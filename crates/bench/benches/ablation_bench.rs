@@ -1,0 +1,101 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//!
+//! * greedy fast path vs always-exact LP inside `solve_robust`;
+//! * independence vs worst-case correlation model in the convex program;
+//! * the three sampling rules at equal total budget.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use expred_core::optimize::{solve_estimated, CorrelationModel, EstimatedGroup};
+use expred_core::pipeline::{run_intel_sample, IntelSampleConfig, PredictorChoice};
+use expred_core::query::QuerySpec;
+use expred_core::sampling::SampleSizeRule;
+use expred_solver::bigreedy::GreedyProblem;
+use expred_stats::rng::Prng;
+use expred_table::datasets::{Dataset, DatasetSpec, LENDING_CLUB};
+use std::hint::black_box;
+
+fn greedy_instance(k: usize) -> GreedyProblem {
+    let mut rng = Prng::seeded(11);
+    let sizes: Vec<f64> = (0..k).map(|_| 100.0 + rng.f64() * 1000.0).collect();
+    let sels: Vec<f64> = (0..k).map(|_| 0.05 + 0.9 * rng.f64()).collect();
+    let recall_mass: f64 = sizes.iter().zip(&sels).map(|(t, s)| t * s).sum();
+    GreedyProblem::from_group_stats(&sizes, &sels, 0.8, 1.0, 3.0, 0.8 * recall_mass, 10.0)
+}
+
+fn bench_fast_path_vs_exact(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solve_robust");
+    group.sample_size(20);
+    for &k in &[8usize, 64, 256] {
+        let p = greedy_instance(k);
+        group.bench_with_input(BenchmarkId::new("greedy_first", k), &p, |b, p| {
+            b.iter(|| black_box(p.solve_robust(false)))
+        });
+        group.bench_with_input(BenchmarkId::new("always_exact", k), &p, |b, p| {
+            b.iter(|| black_box(p.solve_robust(true)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_correlation_models(c: &mut Criterion) {
+    let groups: Vec<EstimatedGroup> = (0..10)
+        .map(|i| {
+            let s = 0.1 + 0.08 * i as f64;
+            EstimatedGroup {
+                size: 5_000.0,
+                sampled: 250.0,
+                sampled_positive: (250.0 * s).round(),
+                sel: s,
+                var: s * (1.0 - s) / 253.0,
+            }
+        })
+        .collect();
+    let spec = QuerySpec::paper_default();
+    let mut group = c.benchmark_group("correlation_model");
+    group.sample_size(30);
+    for (name, corr) in [
+        ("independent", CorrelationModel::Independent),
+        ("unknown", CorrelationModel::Unknown),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &corr, |b, &corr| {
+            b.iter(|| black_box(solve_estimated(&groups, &spec, corr).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_sampling_rules(c: &mut Criterion) {
+    let ds = Dataset::generate(DatasetSpec { rows: 10_000, ..LENDING_CLUB }, 4);
+    let mut group = c.benchmark_group("sampling_rule_pipeline");
+    group.sample_size(10);
+    // Equal-ish total budgets: 5% of 10k = 500 tuples.
+    let rules = [
+        ("fraction_5pct", SampleSizeRule::Fraction(0.05)),
+        ("constant_71", SampleSizeRule::Constant(71)),
+        ("two_third_power", SampleSizeRule::TwoThirdPower(1.08)),
+    ];
+    for (name, rule) in rules {
+        let cfg = IntelSampleConfig {
+            spec: QuerySpec::paper_default(),
+            rule,
+            corr: CorrelationModel::Independent,
+            predictor: PredictorChoice::Fixed("grade".into()),
+        };
+        let mut seed = 0u64;
+        group.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
+            b.iter(|| {
+                seed += 1;
+                black_box(run_intel_sample(&ds, cfg, seed))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fast_path_vs_exact,
+    bench_correlation_models,
+    bench_sampling_rules
+);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Probabilistic-executor throughput: tuples processed per second for
+//! deterministic and fractional plans, with and without memoized samples.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use expred_core::execute::execute_plan;
+use expred_core::plan::Plan;
+use expred_stats::rng::Prng;
+use expred_table::datasets::{Dataset, DatasetSpec, LENDING_CLUB};
+use expred_udf::{OracleUdf, UdfInvoker};
+use std::hint::black_box;
+
+fn bench_executor(c: &mut Criterion) {
+    let rows = 50_000usize;
+    let ds = Dataset::generate(DatasetSpec { rows, ..LENDING_CLUB }, 3);
+    let groups = ds.table.group_by("grade").unwrap();
+    let k = groups.num_groups();
+    let udf = OracleUdf::new(expred_table::datasets::LABEL_COLUMN);
+
+    let mut group = c.benchmark_group("executor");
+    group.throughput(Throughput::Elements(rows as u64));
+    group.sample_size(20);
+
+    let plans = [
+        ("evaluate_all", Plan::evaluate_all(k)),
+        ("discard_all", Plan::discard_all(k)),
+        (
+            "fractional",
+            Plan::new(vec![0.7; k], vec![0.35; k]),
+        ),
+    ];
+    for (name, plan) in &plans {
+        group.bench_with_input(BenchmarkId::from_parameter(name), plan, |b, plan| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                // Fresh invoker per iteration so memoization does not warp
+                // the measurement.
+                let invoker = UdfInvoker::new(&udf, &ds.table);
+                let mut rng = Prng::seeded(seed);
+                black_box(execute_plan(plan, &groups, &invoker, &mut rng))
+            })
+        });
+    }
+
+    // With a warm memo covering 10% of rows (the sampling-reuse path).
+    group.bench_function("fractional_with_memo", |b| {
+        let plan = Plan::new(vec![0.7; k], vec![0.35; k]);
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let invoker = UdfInvoker::new(&udf, &ds.table);
+            let mut rng = Prng::seeded(seed);
+            for r in 0..rows / 10 {
+                invoker.retrieve_and_evaluate(r * 10);
+            }
+            black_box(execute_plan(&plan, &groups, &invoker, &mut rng))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_executor);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! End-to-end pipeline benchmarks: the paper's claim that the optimizer's
+//! compute time (column selection + sampling + convex optimization) is a
+//! negligible fraction of the UDF savings ("less than a second on each of
+//! the datasets", §6.2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use expred_core::optimize::{solve_estimated, CorrelationModel, EstimatedGroup};
+use expred_core::pipeline::{run_intel_sample, IntelSampleConfig, PredictorChoice};
+use expred_core::query::QuerySpec;
+use expred_table::datasets::{all_specs, Dataset, DatasetSpec, PROSPER};
+use std::hint::black_box;
+
+/// The convex optimizer alone, on group statistics shaped like each paper
+/// dataset (7–10 groups, 30k–53k tuples).
+fn bench_convex_optimizer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("convex_optimizer");
+    group.sample_size(30);
+    let spec = QuerySpec::paper_default();
+    for ds_spec in all_specs() {
+        let ds = Dataset::generate(ds_spec, 1);
+        let stats = ds.group_stats(ds.predictor());
+        let groups: Vec<EstimatedGroup> = stats
+            .per_group
+            .iter()
+            .map(|&(t, s)| {
+                let f = (t as f64 * 0.05).round();
+                EstimatedGroup {
+                    size: t as f64,
+                    sampled: f,
+                    sampled_positive: (f * s).round(),
+                    sel: s,
+                    var: s * (1.0 - s) / (f + 3.0),
+                }
+            })
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(ds_spec.name),
+            &groups,
+            |b, gs| {
+                b.iter(|| {
+                    black_box(solve_estimated(gs, &spec, CorrelationModel::Independent).unwrap())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+/// The full Intel-Sample pipeline (grouping, sampling, optimizing,
+/// executing) on a mid-sized dataset.
+fn bench_full_pipeline(c: &mut Criterion) {
+    let ds = Dataset::generate(DatasetSpec { rows: 10_000, ..PROSPER }, 2);
+    let cfg = IntelSampleConfig::experiment1(PredictorChoice::Fixed("grade".into()));
+    let mut group = c.benchmark_group("intel_sample_pipeline");
+    group.sample_size(10);
+    let mut seed = 0u64;
+    group.bench_function("prosper_10k", |b| {
+        b.iter(|| {
+            seed += 1;
+            black_box(run_intel_sample(&ds, &cfg, seed))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_convex_optimizer, bench_full_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Solver micro-benchmarks: the paper's `O(|A| log |A|)` BiGreedy
+//! algorithm against the general simplex, across group counts.
+//!
+//! Expected shape: BiGreedy stays microseconds out to thousands of groups
+//! while the dense simplex grows superlinearly — the reason Theorem 3.8
+//! matters.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use expred_solver::bigreedy::GreedyProblem;
+use expred_stats::rng::Prng;
+use std::hint::black_box;
+
+/// A reproducible structured instance with `k` groups.
+fn instance(k: usize, seed: u64) -> GreedyProblem {
+    let mut rng = Prng::seeded(seed);
+    let sizes: Vec<f64> = (0..k).map(|_| 50.0 + rng.f64() * 2000.0).collect();
+    let sels: Vec<f64> = (0..k).map(|_| 0.05 + 0.9 * rng.f64()).collect();
+    let alpha = 0.8;
+    let recall_mass: f64 = sizes.iter().zip(&sels).map(|(t, s)| t * s).sum();
+    let prec_cap: f64 = sizes
+        .iter()
+        .zip(&sels)
+        .map(|(t, s)| (t * (s - alpha)).max(0.0))
+        .sum();
+    GreedyProblem::from_group_stats(
+        &sizes,
+        &sels,
+        alpha,
+        1.0,
+        3.0,
+        0.8 * recall_mass,
+        0.5 * prec_cap,
+    )
+}
+
+fn bench_bigreedy_vs_simplex(c: &mut Criterion) {
+    let mut group = c.benchmark_group("structured_lp");
+    group.sample_size(20);
+    for &k in &[16usize, 64, 256, 1024] {
+        let problem = instance(k, 42);
+        group.bench_with_input(BenchmarkId::new("bigreedy", k), &problem, |b, p| {
+            b.iter(|| black_box(p.solve()))
+        });
+        // The simplex path is only affordable at smaller sizes.
+        if k <= 256 {
+            let lp = problem.to_linear_program();
+            group.bench_with_input(BenchmarkId::new("simplex", k), &lp, |b, p| {
+                b.iter(|| black_box(p.solve()))
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_bigreedy_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bigreedy_scaling");
+    group.sample_size(20);
+    for &k in &[4096usize, 16384] {
+        let problem = instance(k, 7);
+        group.bench_with_input(BenchmarkId::from_parameter(k), &problem, |b, p| {
+            b.iter(|| black_box(p.solve()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bigreedy_vs_simplex, bench_bigreedy_scaling);
+criterion_main!(benches);

@@ -1,0 +1,10 @@
+//! Experiment harness reproducing every table and figure of the paper's
+//! evaluation (§6), plus shared utilities for the Criterion benchmarks.
+//!
+//! The binary `experiments` (in `src/bin`) exposes one subcommand per
+//! table/figure; see DESIGN.md's per-experiment index for the mapping.
+
+pub mod experiments;
+pub mod harness;
+
+pub use harness::{HarnessConfig, TextTable};

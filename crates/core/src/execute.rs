@@ -1,0 +1,202 @@
+//! Probabilistic plan execution (paper §3.2, "Execution").
+//!
+//! Given a plan `(R_a, E_a)` and a grouping, each tuple of group `a` is
+//! retrieved with probability `R_a` independently; a retrieved tuple is
+//! evaluated with conditional probability `E_a / R_a` (so the
+//! unconditional evaluation probability is exactly `E_a`). Evaluated
+//! tuples enter the answer iff the UDF passes; retrieved-but-unevaluated
+//! tuples enter unconditionally.
+//!
+//! Tuples that were already evaluated during sampling bypass the plan:
+//! positives join the answer for free, negatives are dropped — §4.2's
+//! "those that are correct … can be simply returned as part of the query
+//! result without re-evaluating them".
+
+use crate::plan::Plan;
+use expred_stats::rng::Prng;
+use expred_table::GroupBy;
+use expred_udf::UdfInvoker;
+
+/// The rows a query execution returned (cost lives in the invoker).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExecutionResult {
+    /// Row ids in the answer, ascending.
+    pub returned: Vec<u32>,
+    /// How many answer rows came from reused sampled positives.
+    pub reused_positives: usize,
+}
+
+/// Executes `plan` over `groups`, charging all retrievals/evaluations to
+/// `invoker` and reusing its memoized sample answers.
+pub fn execute_plan(
+    plan: &Plan,
+    groups: &GroupBy,
+    invoker: &UdfInvoker<'_>,
+    rng: &mut Prng,
+) -> ExecutionResult {
+    assert_eq!(
+        plan.num_groups(),
+        groups.num_groups(),
+        "plan and grouping must agree on group count"
+    );
+    let mut returned = Vec::new();
+    let mut reused_positives = 0;
+    for (g, _, rows) in groups.iter() {
+        let r = plan.r()[g];
+        let e = plan.e()[g];
+        let eval_given_retrieved = if r > 0.0 { (e / r).min(1.0) } else { 0.0 };
+        for &row in rows {
+            // Sampled tuples are already decided.
+            if let Some(answer) = invoker.memoized(row as usize) {
+                if answer {
+                    returned.push(row);
+                    reused_positives += 1;
+                }
+                continue;
+            }
+            if r <= 0.0 || !rng.bernoulli(r) {
+                continue;
+            }
+            invoker.charge_retrievals(1);
+            if eval_given_retrieved > 0.0 && rng.bernoulli(eval_given_retrieved) {
+                if invoker.evaluate(row as usize) {
+                    returned.push(row);
+                }
+            } else {
+                returned.push(row);
+            }
+        }
+    }
+    returned.sort_unstable();
+    ExecutionResult {
+        returned,
+        reused_positives,
+    }
+}
+
+/// Reads the ground-truth vector for evaluation purposes (never available
+/// to the planning code).
+pub fn truth_vector(table: &expred_table::Table, label_column: &str) -> Vec<bool> {
+    let col = table
+        .column(label_column)
+        .unwrap_or_else(|| panic!("label column {label_column:?} missing"));
+    (0..table.num_rows())
+        .map(|r| col.bool_at(r).expect("label column must be non-null bool"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use expred_table::{DataType, Field, Schema, Table, Value};
+    use expred_udf::{CostModel, OracleUdf};
+
+    fn test_table(labels: &[bool], groups: &[i64]) -> Table {
+        assert_eq!(labels.len(), groups.len());
+        let schema = Schema::new(vec![
+            Field::new("g", DataType::Int),
+            Field::new("label", DataType::Bool),
+        ]);
+        let rows = groups
+            .iter()
+            .zip(labels)
+            .map(|(&g, &l)| vec![Value::Int(g), Value::Bool(l)])
+            .collect();
+        Table::from_rows(schema, rows).unwrap()
+    }
+
+    #[test]
+    fn deterministic_plan_execution() {
+        // Group 0: return all; group 1: evaluate all; group 2: discard.
+        let labels = [true, false, true, false, true, false];
+        let table = test_table(&labels, &[0, 0, 1, 1, 2, 2]);
+        let udf = OracleUdf::new("label");
+        let invoker = UdfInvoker::new(&udf, &table);
+        let groups = table.group_by("g").unwrap();
+        let plan = Plan::new(vec![1.0, 1.0, 0.0], vec![0.0, 1.0, 0.0]);
+        let mut rng = Prng::seeded(1);
+        let result = execute_plan(&plan, &groups, &invoker, &mut rng);
+        // Group 0 returned unevaluated (rows 0,1); group 1 evaluated, only
+        // row 2 passes; group 2 dropped.
+        assert_eq!(result.returned, vec![0, 1, 2]);
+        let counts = invoker.counts();
+        assert_eq!(counts.retrieved, 4);
+        assert_eq!(counts.evaluated, 2);
+        assert_eq!(counts.cost(&CostModel::PAPER_DEFAULT), 4.0 + 6.0);
+    }
+
+    #[test]
+    fn memoized_positives_are_free_and_returned() {
+        let labels = [true, false, true];
+        let table = test_table(&labels, &[0, 0, 0]);
+        let udf = OracleUdf::new("label");
+        let invoker = UdfInvoker::new(&udf, &table);
+        // Pre-sample rows 0 and 1.
+        invoker.retrieve_and_evaluate(0);
+        invoker.retrieve_and_evaluate(1);
+        let before = invoker.counts();
+        let groups = table.group_by("g").unwrap();
+        // Plan discards the group entirely; sampled positive still returns.
+        let plan = Plan::discard_all(1);
+        let mut rng = Prng::seeded(2);
+        let result = execute_plan(&plan, &groups, &invoker, &mut rng);
+        assert_eq!(result.returned, vec![0]);
+        assert_eq!(result.reused_positives, 1);
+        assert_eq!(invoker.counts(), before, "no new cost for reuse");
+    }
+
+    #[test]
+    fn fractional_plan_rates_track_probabilities() {
+        let n = 10_000;
+        let labels: Vec<bool> = (0..n).map(|i| i % 2 == 0).collect();
+        let group_ids = vec![0i64; n];
+        let table = test_table(&labels, &group_ids);
+        let udf = OracleUdf::new("label");
+        let invoker = UdfInvoker::new(&udf, &table);
+        let groups = table.group_by("g").unwrap();
+        let plan = Plan::new(vec![0.6], vec![0.3]);
+        let mut rng = Prng::seeded(3);
+        let _ = execute_plan(&plan, &groups, &invoker, &mut rng);
+        let counts = invoker.counts();
+        let retrieved_rate = counts.retrieved as f64 / n as f64;
+        let evaluated_rate = counts.evaluated as f64 / n as f64;
+        assert!((retrieved_rate - 0.6).abs() < 0.03, "{retrieved_rate}");
+        assert!((evaluated_rate - 0.3).abs() < 0.03, "{evaluated_rate}");
+    }
+
+    #[test]
+    fn evaluated_tuples_filter_failures() {
+        let n = 2_000;
+        let labels: Vec<bool> = (0..n).map(|i| i % 4 == 0).collect(); // sel 0.25
+        let table = test_table(&labels, &vec![0i64; n]);
+        let udf = OracleUdf::new("label");
+        let invoker = UdfInvoker::new(&udf, &table);
+        let groups = table.group_by("g").unwrap();
+        // Evaluate everything: answer must be exactly the true set.
+        let plan = Plan::evaluate_all(1);
+        let mut rng = Prng::seeded(4);
+        let result = execute_plan(&plan, &groups, &invoker, &mut rng);
+        let truth = truth_vector(&table, "label");
+        assert!(result.returned.iter().all(|&r| truth[r as usize]));
+        assert_eq!(result.returned.len(), n / 4);
+    }
+
+    #[test]
+    fn truth_vector_reads_labels() {
+        let labels = [true, false, true];
+        let table = test_table(&labels, &[0, 1, 2]);
+        assert_eq!(truth_vector(&table, "label"), vec![true, false, true]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn plan_group_mismatch_panics() {
+        let table = test_table(&[true], &[0]);
+        let udf = OracleUdf::new("label");
+        let invoker = UdfInvoker::new(&udf, &table);
+        let groups = table.group_by("g").unwrap();
+        let plan = Plan::discard_all(2);
+        let mut rng = Prng::seeded(5);
+        execute_plan(&plan, &groups, &invoker, &mut rng);
+    }
+}

@@ -1,0 +1,45 @@
+//! `expred-core` — the paper's primary contribution.
+//!
+//! Correlation-aware evaluation of selection queries with expensive UDF
+//! predicates, under user-specified precision (`α`), recall (`β`) and
+//! satisfaction-probability (`ρ`) constraints:
+//!
+//! * [`query`] / [`plan`] — the accuracy contract and the per-group
+//!   probabilistic plan `(R_a, E_a)`.
+//! * [`optimize`] — Problem 2 (perfect selectivities, Hoeffding slack,
+//!   BiGreedy) and Problem 3 (estimated selectivities, Chebyshev slack,
+//!   ConvexProgs 3.10/3.11/4.1 via a monotone fixed-point).
+//! * [`sampling`] — §4: per-group sampling rules (Constant,
+//!   Two-Third-Power, fixed fraction), Beta-posterior estimates, and the
+//!   adaptive `num` search.
+//! * [`column_select`] — §4.4: ranking real columns, and the logistic
+//!   virtual column.
+//! * [`execute`] — the probabilistic executor with sample reuse.
+//! * [`pipeline`] — end-to-end contestants: Intel-Sample, Optimal, Naive.
+//! * [`baselines`] — the ML baselines Learning and Multiple.
+//! * [`extensions`] — §5: budgeted objectives, multiple predicates, and
+//!   selection-before-join weighting.
+
+pub mod adaptive;
+pub mod baselines;
+pub mod column_select;
+pub mod execute;
+pub mod extensions;
+pub mod optimize;
+pub mod pipeline;
+pub mod plan;
+pub mod query;
+pub mod sampling;
+
+pub use adaptive::{run_intel_sample_adaptive, run_intel_sample_iterative};
+pub use execute::{execute_plan, truth_vector, ExecutionResult};
+pub use optimize::{
+    estimated_feasible, solve_estimated, solve_perfect_selectivities, CorrelationModel,
+    EstimatedGroup, PlanError,
+};
+pub use pipeline::{
+    run_intel_sample, run_naive, run_optimal, IntelSampleConfig, PredictorChoice, RunOutcome,
+};
+pub use plan::Plan;
+pub use query::QuerySpec;
+pub use sampling::{adaptive_num_search, sample_groups, GroupSample, SampleSizeRule};

@@ -1,0 +1,83 @@
+//! Query-level specifications.
+
+use expred_udf::CostModel;
+
+/// The user-facing contract of an approximate UDF-selection query:
+/// `SELECT * FROM R WHERE f(...) = 1` with accuracy bounds (paper §2).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuerySpec {
+    /// Precision lower bound `α ∈ [0, 1]`.
+    pub alpha: f64,
+    /// Recall lower bound `β ∈ [0, 1]`.
+    pub beta: f64,
+    /// Satisfaction probability `ρ ∈ [0, 1)`: both constraints must hold
+    /// with at least this probability.
+    pub rho: f64,
+    /// Retrieval/evaluation costs `(o_r, o_e)`.
+    pub cost: CostModel,
+}
+
+impl QuerySpec {
+    /// The paper's default experimental setting:
+    /// `α = β = ρ = 0.8`, `o_r = 1`, `o_e = 3` (§6.1).
+    pub fn paper_default() -> Self {
+        Self {
+            alpha: 0.8,
+            beta: 0.8,
+            rho: 0.8,
+            cost: CostModel::PAPER_DEFAULT,
+        }
+    }
+
+    /// Builds a spec, validating ranges.
+    pub fn new(alpha: f64, beta: f64, rho: f64, cost: CostModel) -> Self {
+        assert!((0.0..=1.0).contains(&alpha), "alpha must be in [0,1]");
+        assert!((0.0..=1.0).contains(&beta), "beta must be in [0,1]");
+        assert!((0.0..1.0).contains(&rho), "rho must be in [0,1)");
+        Self {
+            alpha,
+            beta,
+            rho,
+            cost,
+        }
+    }
+
+    /// The browsing scenario (§2): perfect precision, bounded recall.
+    pub fn browsing(beta: f64, rho: f64, cost: CostModel) -> Self {
+        Self::new(1.0, beta, rho, cost)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults() {
+        let q = QuerySpec::paper_default();
+        assert_eq!(q.alpha, 0.8);
+        assert_eq!(q.beta, 0.8);
+        assert_eq!(q.rho, 0.8);
+        assert_eq!(q.cost.retrieve, 1.0);
+        assert_eq!(q.cost.evaluate, 3.0);
+    }
+
+    #[test]
+    fn browsing_has_full_precision() {
+        let q = QuerySpec::browsing(0.7, 0.9, CostModel::PAPER_DEFAULT);
+        assert_eq!(q.alpha, 1.0);
+        assert_eq!(q.beta, 0.7);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rho_one_rejected() {
+        QuerySpec::new(0.5, 0.5, 1.0, CostModel::PAPER_DEFAULT);
+    }
+
+    #[test]
+    #[should_panic]
+    fn alpha_out_of_range_rejected() {
+        QuerySpec::new(1.5, 0.5, 0.5, CostModel::PAPER_DEFAULT);
+    }
+}

@@ -1,0 +1,288 @@
+//! Feature extraction from tables.
+//!
+//! The virtual-column method and the ML baselines (paper §4.4, §6.2,
+//! §6.3.2) need numeric feature vectors. Following the paper's own
+//! overfitting guard — "we only use columns that are either numeric or
+//! nominal with < 50 different values" — this module standardizes numeric
+//! columns and one-hot encodes low-cardinality categorical columns.
+
+use expred_table::{Column, DataType, Table};
+use std::collections::BTreeMap;
+
+/// Feature-extraction policy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FeatureSpec {
+    /// Categorical columns with more distinct values than this are dropped
+    /// (the paper uses 50).
+    pub max_categorical_cardinality: usize,
+    /// Integer columns with at most this many distinct values are treated
+    /// as categorical rather than numeric.
+    pub int_categorical_threshold: usize,
+}
+
+impl Default for FeatureSpec {
+    fn default() -> Self {
+        Self {
+            max_categorical_cardinality: 50,
+            int_categorical_threshold: 20,
+        }
+    }
+}
+
+/// A dense row-major feature matrix with provenance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeatureMatrix {
+    rows: usize,
+    dim: usize,
+    data: Vec<f64>,
+    feature_names: Vec<String>,
+}
+
+impl FeatureMatrix {
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of features per row.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The feature vector of one row.
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * self.dim..(r + 1) * self.dim]
+    }
+
+    /// Human-readable feature names (column or column=value).
+    pub fn feature_names(&self) -> &[String] {
+        &self.feature_names
+    }
+}
+
+/// Extracts standardized/one-hot features from every eligible column of
+/// `table` except those in `exclude`.
+///
+/// * Float columns (and high-cardinality Int columns) are standardized to
+///   zero mean / unit variance; NULLs map to the mean (0 after
+///   standardization).
+/// * Str/Bool columns (and low-cardinality Int columns) are one-hot
+///   encoded; NULL becomes its own category. Columns whose cardinality
+///   exceeds the spec's limit are dropped.
+pub fn extract_features(table: &Table, exclude: &[&str], spec: FeatureSpec) -> FeatureMatrix {
+    let n = table.num_rows();
+    let mut columns: Vec<(String, Encoding)> = Vec::new();
+    for field in table.schema().fields() {
+        if exclude.contains(&field.name()) {
+            continue;
+        }
+        let col = table.column(field.name()).expect("schema-listed column");
+        let enc = match field.data_type() {
+            DataType::Float => numeric_encoding(col, n),
+            DataType::Int => {
+                if col.distinct_count() <= spec.int_categorical_threshold {
+                    categorical_encoding(col, n, spec.max_categorical_cardinality)
+                } else {
+                    numeric_encoding(col, n)
+                }
+            }
+            DataType::Bool | DataType::Str => {
+                categorical_encoding(col, n, spec.max_categorical_cardinality)
+            }
+        };
+        if let Some(enc) = enc {
+            columns.push((field.name().to_owned(), enc));
+        }
+    }
+
+    let dim: usize = columns.iter().map(|(_, e)| e.width()).sum();
+    let mut data = vec![0.0; n * dim];
+    let mut feature_names = Vec::with_capacity(dim);
+    let mut offset = 0;
+    for (name, enc) in &columns {
+        match enc {
+            Encoding::Numeric { mean, std } => {
+                feature_names.push(name.clone());
+                let col = table.column(name).unwrap();
+                for r in 0..n {
+                    let v = col.float_at(r).unwrap_or(*mean);
+                    data[r * dim + offset] = if *std > 0.0 { (v - mean) / std } else { 0.0 };
+                }
+                offset += 1;
+            }
+            Encoding::OneHot { categories } => {
+                for cat in categories.keys() {
+                    feature_names.push(format!("{name}={cat}"));
+                }
+                let col = table.column(name).unwrap();
+                for r in 0..n {
+                    let key = cell_key(col, r);
+                    if let Some(&slot) = categories.get(&key) {
+                        data[r * dim + offset + slot] = 1.0;
+                    }
+                }
+                offset += categories.len();
+            }
+        }
+    }
+    debug_assert_eq!(offset, dim);
+    FeatureMatrix {
+        rows: n,
+        dim,
+        data,
+        feature_names,
+    }
+}
+
+enum Encoding {
+    Numeric { mean: f64, std: f64 },
+    OneHot { categories: BTreeMap<String, usize> },
+}
+
+impl Encoding {
+    fn width(&self) -> usize {
+        match self {
+            Encoding::Numeric { .. } => 1,
+            Encoding::OneHot { categories } => categories.len(),
+        }
+    }
+}
+
+fn numeric_encoding(col: &Column, n: usize) -> Option<Encoding> {
+    let mut acc = expred_stats::descriptive::Accumulator::new();
+    for r in 0..n {
+        if let Some(v) = col.float_at(r) {
+            acc.push(v);
+        }
+    }
+    Some(Encoding::Numeric {
+        mean: acc.mean(),
+        std: acc.std_dev(),
+    })
+}
+
+fn categorical_encoding(col: &Column, n: usize, max_card: usize) -> Option<Encoding> {
+    let mut categories: BTreeMap<String, usize> = BTreeMap::new();
+    for r in 0..n {
+        let key = cell_key(col, r);
+        let next = categories.len();
+        categories.entry(key).or_insert(next);
+        if categories.len() > max_card {
+            return None; // too many distinct values: drop the column
+        }
+    }
+    // Re-index in sorted order for determinism.
+    let keys: Vec<String> = categories.keys().cloned().collect();
+    let categories = keys
+        .into_iter()
+        .enumerate()
+        .map(|(i, k)| (k, i))
+        .collect();
+    Some(Encoding::OneHot { categories })
+}
+
+fn cell_key(col: &Column, r: usize) -> String {
+    let v = col.value(r);
+    if v.is_null() {
+        "\u{0}NULL".to_owned()
+    } else {
+        v.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use expred_table::{Field, Schema, Value};
+
+    fn sample_table() -> Table {
+        let schema = Schema::new(vec![
+            Field::new("income", DataType::Float),
+            Field::new("grade", DataType::Str),
+            Field::new("flag", DataType::Bool),
+            Field::new("id", DataType::Int),
+            Field::new("label", DataType::Bool),
+        ]);
+        let rows = vec![
+            vec![Value::Float(10.0), Value::from("A"), Value::Bool(true), Value::Int(0), Value::Bool(true)],
+            vec![Value::Float(20.0), Value::from("B"), Value::Bool(false), Value::Int(1), Value::Bool(false)],
+            vec![Value::Float(30.0), Value::from("A"), Value::Bool(true), Value::Int(2), Value::Bool(true)],
+            vec![Value::Float(40.0), Value::from("C"), Value::Bool(false), Value::Int(3), Value::Bool(false)],
+        ];
+        Table::from_rows(schema, rows).unwrap()
+    }
+
+    #[test]
+    fn excludes_and_encodes() {
+        let t = sample_table();
+        let m = extract_features(&t, &["label", "id"], FeatureSpec::default());
+        assert_eq!(m.rows(), 4);
+        // income (1) + grade one-hot (3) + flag one-hot (2) = 6.
+        assert_eq!(m.dim(), 6);
+        assert!(m.feature_names().contains(&"income".to_owned()));
+        assert!(m.feature_names().contains(&"grade=A".to_owned()));
+        assert!(m.feature_names().iter().all(|n| !n.starts_with("label")));
+    }
+
+    #[test]
+    fn numeric_standardization() {
+        let t = sample_table();
+        let m = extract_features(&t, &["label", "id", "grade", "flag"], FeatureSpec::default());
+        assert_eq!(m.dim(), 1);
+        let mean: f64 = (0..4).map(|r| m.row(r)[0]).sum::<f64>() / 4.0;
+        let var: f64 = (0..4).map(|r| m.row(r)[0].powi(2)).sum::<f64>() / 4.0 - mean * mean;
+        assert!(mean.abs() < 1e-12);
+        assert!((var - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn one_hot_rows_sum_to_one_per_column() {
+        let t = sample_table();
+        let m = extract_features(&t, &["label", "id", "income", "flag"], FeatureSpec::default());
+        // grade one-hot only: each row has exactly one hot slot.
+        assert_eq!(m.dim(), 3);
+        for r in 0..4 {
+            let s: f64 = m.row(r).iter().sum();
+            assert_eq!(s, 1.0);
+        }
+    }
+
+    #[test]
+    fn high_cardinality_categoricals_dropped() {
+        let schema = Schema::new(vec![Field::new("s", DataType::Str)]);
+        let rows = (0..100)
+            .map(|i| vec![Value::Str(format!("v{i}"))])
+            .collect();
+        let t = Table::from_rows(schema, rows).unwrap();
+        let m = extract_features(&t, &[], FeatureSpec::default());
+        assert_eq!(m.dim(), 0, "100-distinct categorical must be dropped");
+    }
+
+    #[test]
+    fn small_int_columns_become_categorical() {
+        let schema = Schema::new(vec![Field::new("bucket", DataType::Int)]);
+        let rows = (0..30).map(|i| vec![Value::Int(i % 3)]).collect();
+        let t = Table::from_rows(schema, rows).unwrap();
+        let m = extract_features(&t, &[], FeatureSpec::default());
+        assert_eq!(m.dim(), 3);
+    }
+
+    #[test]
+    fn nulls_get_own_category_and_mean_fill() {
+        let schema = Schema::new(vec![
+            Field::nullable("x", DataType::Float),
+            Field::nullable("c", DataType::Str),
+        ]);
+        let rows = vec![
+            vec![Value::Float(1.0), Value::from("a")],
+            vec![Value::Null, Value::Null],
+            vec![Value::Float(3.0), Value::from("a")],
+        ];
+        let t = Table::from_rows(schema, rows).unwrap();
+        let m = extract_features(&t, &[], FeatureSpec::default());
+        // x numeric (1) + c one-hot {a, NULL} (2).
+        assert_eq!(m.dim(), 3);
+        // NULL numeric row should sit at the (standardized) mean: 0.
+        assert_eq!(m.row(1)[0], 0.0);
+    }
+}

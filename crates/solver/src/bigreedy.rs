@@ -1,0 +1,499 @@
+//! The paper's BiGreedy algorithm (§3.2.2).
+//!
+//! BiGreedy solves the structured LP of LinearProg 3.4 in `O(|A| log |A|)`
+//! without a generic solver:
+//!
+//! 1. raise retrieval probabilities `R_a` to 1 in *decreasing* selectivity
+//!    order until the recall constraint is met (fractionally at the last
+//!    group), then
+//! 2. raise evaluation probabilities `E_a` toward `R_a` in *increasing*
+//!    selectivity order (over groups with `R_a > 0`) until the precision
+//!    constraint is met.
+//!
+//! The module is written against abstract per-group coefficients, so the
+//! same kernel serves Problem 2 (perfect selectivities), the fixed-point
+//! iterations of the estimated-selectivity convex programs (§3.3), and the
+//! sampling-aware program of §4.2 — they differ only in how coefficients
+//! and thresholds are computed.
+
+/// Per-group coefficients of the structured LP.
+///
+/// With the paper's Problem-2 instantiation: `cost_r = t_a·o_r`,
+/// `cost_e = t_a·o_e`, `recall_r = t_a·s_a`,
+/// `prec_r = t_a·s_a·(1-α) − α·t_a·(1-s_a)`, `prec_e = α·t_a·(1-s_a)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GreedyGroup {
+    /// Sort key: the group's (estimated) selectivity `s_a`.
+    pub selectivity: f64,
+    /// Objective weight per unit of `R_a`.
+    pub cost_r: f64,
+    /// Objective weight per unit of `E_a`.
+    pub cost_e: f64,
+    /// Recall-constraint coefficient of `R_a` (must be ≥ 0).
+    pub recall_r: f64,
+    /// Precision-constraint coefficient of `R_a` (may be negative).
+    pub prec_r: f64,
+    /// Precision-constraint coefficient of `E_a` (must be ≥ 0).
+    pub prec_e: f64,
+}
+
+/// The structured LP: minimize `Σ cost_r·R + cost_e·E` subject to
+/// `Σ recall_r·R ≥ recall_target`, `Σ prec_r·R + prec_e·E ≥
+/// precision_target`, `0 ≤ E_a ≤ R_a ≤ 1`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GreedyProblem {
+    /// Per-group coefficients.
+    pub groups: Vec<GreedyGroup>,
+    /// Required recall-constraint LHS.
+    pub recall_target: f64,
+    /// Required precision-constraint LHS.
+    pub precision_target: f64,
+}
+
+/// A fractional retrieval/evaluation plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GreedyPlan {
+    /// Per-group retrieval probabilities `R_a ∈ [0,1]`.
+    pub r: Vec<f64>,
+    /// Per-group evaluation probabilities `E_a ∈ [0,R_a]`.
+    pub e: Vec<f64>,
+    /// Objective value `Σ cost_r·R + cost_e·E`.
+    pub cost: f64,
+}
+
+/// Why BiGreedy could not produce a feasible plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GreedyError {
+    /// Even `R ≡ 1` cannot meet the recall target.
+    RecallUnreachable,
+    /// Even `E ≡ R` on all retrieved groups cannot meet the precision
+    /// target given the chosen retrievals.
+    PrecisionUnreachable,
+}
+
+impl std::fmt::Display for GreedyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GreedyError::RecallUnreachable => {
+                write!(f, "recall target exceeds the total available recall mass")
+            }
+            GreedyError::PrecisionUnreachable => {
+                write!(f, "precision target unreachable even evaluating every retrieved tuple")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GreedyError {}
+
+impl GreedyProblem {
+    /// Builds the Problem-2 instantiation from raw group statistics.
+    ///
+    /// `sizes[a] = t_a` (effective group size), `sels[a] = s_a`,
+    /// precision bound `alpha`, costs `(o_r, o_e)`. Thresholds
+    /// (`recall_target` / `precision_target`) are supplied by the caller
+    /// because they differ across the paper's settings (Hoeffding vs
+    /// Chebyshev vs sampling-adjusted).
+    pub fn from_group_stats(
+        sizes: &[f64],
+        sels: &[f64],
+        alpha: f64,
+        cost_retrieve: f64,
+        cost_evaluate: f64,
+        recall_target: f64,
+        precision_target: f64,
+    ) -> Self {
+        assert_eq!(sizes.len(), sels.len());
+        let groups = sizes
+            .iter()
+            .zip(sels)
+            .map(|(&t, &s)| GreedyGroup {
+                selectivity: s,
+                cost_r: t * cost_retrieve,
+                cost_e: t * cost_evaluate,
+                recall_r: t * s,
+                prec_r: t * s * (1.0 - alpha) - alpha * t * (1.0 - s),
+                prec_e: alpha * t * (1.0 - s),
+            })
+            .collect();
+        Self {
+            groups,
+            recall_target,
+            precision_target,
+        }
+    }
+
+    /// Recall-constraint LHS for a plan.
+    pub fn recall_lhs(&self, r: &[f64]) -> f64 {
+        self.groups
+            .iter()
+            .zip(r)
+            .map(|(g, &ra)| g.recall_r * ra)
+            .sum()
+    }
+
+    /// Precision-constraint LHS for a plan.
+    pub fn precision_lhs(&self, r: &[f64], e: &[f64]) -> f64 {
+        self.groups
+            .iter()
+            .zip(r.iter().zip(e))
+            .map(|(g, (&ra, &ea))| g.prec_r * ra + g.prec_e * ea)
+            .sum()
+    }
+
+    /// Objective value for a plan.
+    pub fn cost(&self, r: &[f64], e: &[f64]) -> f64 {
+        self.groups
+            .iter()
+            .zip(r.iter().zip(e))
+            .map(|(g, (&ra, &ea))| g.cost_r * ra + g.cost_e * ea)
+            .sum()
+    }
+
+    /// Runs BiGreedy. Returns the plan or a structured infeasibility.
+    pub fn solve(&self) -> Result<GreedyPlan, GreedyError> {
+        let k = self.groups.len();
+        let mut r = vec![0.0; k];
+        let mut e = vec![0.0; k];
+
+        // Phase R: raise retrievals in decreasing selectivity order.
+        let mut by_sel_desc: Vec<usize> = (0..k).collect();
+        by_sel_desc.sort_by(|&a, &b| {
+            self.groups[b]
+                .selectivity
+                .partial_cmp(&self.groups[a].selectivity)
+                .expect("NaN selectivity")
+                .then(a.cmp(&b))
+        });
+        let mut recall = 0.0;
+        if self.recall_target > 0.0 {
+            let mut met = false;
+            for &a in &by_sel_desc {
+                let g = &self.groups[a];
+                if g.recall_r <= 0.0 {
+                    // Zero-selectivity groups cannot help recall.
+                    continue;
+                }
+                let deficit = self.recall_target - recall;
+                if deficit <= 0.0 {
+                    met = true;
+                    break;
+                }
+                if g.recall_r >= deficit {
+                    r[a] = (deficit / g.recall_r).min(1.0);
+                    recall += g.recall_r * r[a];
+                    met = recall >= self.recall_target - 1e-12;
+                    if met {
+                        break;
+                    }
+                } else {
+                    r[a] = 1.0;
+                    recall += g.recall_r;
+                }
+            }
+            if !met && recall < self.recall_target - 1e-9 {
+                return Err(GreedyError::RecallUnreachable);
+            }
+        }
+
+        // Phase E: raise evaluations in increasing selectivity order over
+        // retrieved groups.
+        let mut precision = self.precision_lhs(&r, &e);
+        if precision < self.precision_target {
+            let mut by_sel_asc = by_sel_desc;
+            by_sel_asc.reverse();
+            for &a in &by_sel_asc {
+                if precision >= self.precision_target - 1e-12 {
+                    break;
+                }
+                if r[a] <= 0.0 {
+                    continue;
+                }
+                let g = &self.groups[a];
+                if g.prec_e <= 0.0 {
+                    continue;
+                }
+                let deficit = self.precision_target - precision;
+                let full_gain = g.prec_e * r[a];
+                if full_gain >= deficit {
+                    e[a] = deficit / g.prec_e;
+                    precision += deficit;
+                } else {
+                    e[a] = r[a];
+                    precision += full_gain;
+                }
+            }
+            if precision < self.precision_target - 1e-9 {
+                return Err(GreedyError::PrecisionUnreachable);
+            }
+        }
+
+        let cost = self.cost(&r, &e);
+        Ok(GreedyPlan { r, e, cost })
+    }
+
+    /// Whether the sufficient conditions of the paper's Theorem 3.8 hold,
+    /// under which BiGreedy solves the LP exactly:
+    ///
+    /// * `precision_target < Σ_a max(t_a (s_a − α), 0)` — in coefficient
+    ///   form, `Σ max(prec_r + prec_e·0, …)`; note `prec_r = t_a(s_a − α)`
+    ///   for the Problem-2 instantiation, and
+    /// * `recall_target < Σ_a recall_r` (the recall mass strictly covers
+    ///   the target).
+    pub fn theorem_38_preconditions(&self) -> bool {
+        let prec_cap: f64 = self.groups.iter().map(|g| g.prec_r.max(0.0)).sum();
+        let recall_cap: f64 = self.groups.iter().map(|g| g.recall_r).sum();
+        self.precision_target < prec_cap && self.recall_target < recall_cap
+    }
+
+    /// BiGreedy with an exact fallback.
+    ///
+    /// The literal two-phase greedy of §3.2.2 only covers plans whose
+    /// recall constraint is tight; when the cheapest way to reach the
+    /// precision target is to *over-retrieve* high-selectivity groups
+    /// (possible when `s_a > α` groups remain unretrieved after the recall
+    /// phase), it misreports infeasibility or returns a suboptimal plan.
+    /// This wrapper runs BiGreedy first and falls back to the from-scratch
+    /// simplex solver whenever the greedy fails; callers that need the
+    /// exact LP optimum regardless of regime can pass
+    /// `always_exact = true` (cheap for the paper's |A| ≤ ~50).
+    pub fn solve_robust(&self, always_exact: bool) -> Result<GreedyPlan, GreedyError> {
+        let greedy = self.solve();
+        if !always_exact {
+            if let Ok(plan) = greedy {
+                return Ok(plan);
+            }
+        }
+        match self.to_linear_program().solve() {
+            crate::lp::LpOutcome::Optimal(s) => {
+                let k = self.groups.len();
+                let r = s.x[..k].to_vec();
+                // Clamp tiny simplex noise into the box; enforce E <= R.
+                let e: Vec<f64> = s.x[k..2 * k]
+                    .iter()
+                    .zip(&r)
+                    .map(|(&e, &r)| e.clamp(0.0, r.max(0.0)))
+                    .collect();
+                let r: Vec<f64> = r.into_iter().map(|v| v.clamp(0.0, 1.0)).collect();
+                let cost = self.cost(&r, &e);
+                Ok(GreedyPlan { r, e, cost })
+            }
+            // If the greedy found a (constructively feasible) plan but the
+            // simplex calls the instance infeasible, the instance is
+            // numerically borderline — trust the constructive answer.
+            crate::lp::LpOutcome::Infeasible => greedy,
+            crate::lp::LpOutcome::Unbounded => {
+                unreachable!("bounded variables and nonnegative costs cannot be unbounded")
+            }
+        }
+    }
+
+    /// Converts this structured problem into a general [`crate::lp::LinearProgram`]
+    /// (variables ordered `R_0..R_{k-1}, E_0..E_{k-1}`), used to
+    /// cross-validate BiGreedy against the simplex solver.
+    pub fn to_linear_program(&self) -> crate::lp::LinearProgram {
+        use crate::lp::{Constraint, LinearProgram, Relation};
+        let k = self.groups.len();
+        let nv = 2 * k;
+        let mut objective = vec![0.0; nv];
+        for (a, g) in self.groups.iter().enumerate() {
+            objective[a] = g.cost_r;
+            objective[k + a] = g.cost_e;
+        }
+        let mut constraints = Vec::with_capacity(2 + 2 * k);
+        let mut recall_row = vec![0.0; nv];
+        let mut prec_row = vec![0.0; nv];
+        for (a, g) in self.groups.iter().enumerate() {
+            recall_row[a] = g.recall_r;
+            prec_row[a] = g.prec_r;
+            prec_row[k + a] = g.prec_e;
+        }
+        constraints.push(Constraint {
+            coeffs: recall_row,
+            relation: Relation::Ge,
+            rhs: self.recall_target,
+        });
+        constraints.push(Constraint {
+            coeffs: prec_row,
+            relation: Relation::Ge,
+            rhs: self.precision_target,
+        });
+        for a in 0..k {
+            // R_a <= 1
+            let mut row = vec![0.0; nv];
+            row[a] = 1.0;
+            constraints.push(Constraint {
+                coeffs: row,
+                relation: Relation::Le,
+                rhs: 1.0,
+            });
+            // E_a - R_a <= 0
+            let mut row = vec![0.0; nv];
+            row[k + a] = 1.0;
+            row[a] = -1.0;
+            constraints.push(Constraint {
+                coeffs: row,
+                relation: Relation::Le,
+                rhs: 0.0,
+            });
+        }
+        LinearProgram::new(objective, constraints)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The running example of the paper's §1/§3: three groups of 1000
+    /// tuples with selectivities 0.9 / 0.5 / 0.1, α = β = 0.9.
+    fn paper_example(recall_target: f64, precision_target: f64) -> GreedyProblem {
+        GreedyProblem::from_group_stats(
+            &[1000.0, 1000.0, 1000.0],
+            &[0.9, 0.5, 0.1],
+            0.9,
+            1.0,
+            3.0,
+            recall_target,
+            precision_target,
+        )
+    }
+
+    #[test]
+    fn paper_example_zero_slack() {
+        // With zero slack thresholds: recall target = beta * sum(t s) =
+        // 0.9 * 1500 = 1350.
+        let p = paper_example(1350.0, 0.0);
+        let plan = p.solve().expect("feasible");
+        // Greedy retrieves group 0 fully (900 recall mass), then covers the
+        // remaining 450 with 450/500 of group 1 -> R_1 = 0.9.
+        assert!((plan.r[0] - 1.0).abs() < 1e-9);
+        assert!((plan.r[1] - 0.9).abs() < 1e-9);
+        assert_eq!(plan.r[2], 0.0);
+        // At alpha = 0.9, the retrieved mix (900 good : 100 bad in group 0
+        // plus a 50/50 slice of group 1) misses precision, so Phase E must
+        // evaluate the low-selectivity retrieved group. Solving
+        // 45 + 450·E - 405 >= 0 gives E_1 = 0.8.
+        assert!(p.precision_lhs(&plan.r, &plan.e) >= -1e-9);
+        assert_eq!(plan.e[0], 0.0);
+        assert!((plan.e[1] - 0.8).abs() < 1e-9, "e1={}", plan.e[1]);
+        assert_eq!(plan.e[2], 0.0);
+    }
+
+    #[test]
+    fn evaluations_rise_for_precision() {
+        // Force a positive precision target so Phase E must engage.
+        let p = paper_example(1350.0, 30.0);
+        let plan = p.solve().expect("feasible");
+        assert!(p.precision_lhs(&plan.r, &plan.e) >= 30.0 - 1e-9);
+        // Evaluations must start at the lowest-selectivity retrieved group
+        // (group 1 here, since group 2 is not retrieved).
+        assert!(plan.e[1] > 0.0);
+        assert_eq!(plan.e[0], 0.0);
+        assert!(plan.e[1] <= plan.r[1] + 1e-12);
+    }
+
+    #[test]
+    fn recall_unreachable_reported() {
+        let p = paper_example(1501.0, 0.0); // total recall mass is 1500
+        assert_eq!(p.solve(), Err(GreedyError::RecallUnreachable));
+    }
+
+    #[test]
+    fn precision_unreachable_reported() {
+        // Precision target above what full evaluation of retrieved groups
+        // can deliver.
+        let p = paper_example(1350.0, 1e9);
+        assert_eq!(p.solve(), Err(GreedyError::PrecisionUnreachable));
+    }
+
+    #[test]
+    fn zero_targets_mean_zero_cost() {
+        let p = paper_example(0.0, 0.0);
+        let plan = p.solve().expect("feasible");
+        assert_eq!(plan.cost, 0.0);
+        assert_eq!(plan.r, vec![0.0; 3]);
+    }
+
+    #[test]
+    fn plan_respects_bounds() {
+        let p = paper_example(1400.0, 120.0);
+        let plan = p.solve().expect("feasible");
+        for a in 0..3 {
+            assert!(plan.r[a] >= 0.0 && plan.r[a] <= 1.0);
+            assert!(plan.e[a] >= 0.0 && plan.e[a] <= plan.r[a] + 1e-12);
+        }
+    }
+
+    #[test]
+    fn matches_simplex_on_paper_example() {
+        let p = paper_example(1350.0, 50.0);
+        let greedy = p.solve().expect("feasible");
+        match p.to_linear_program().solve() {
+            crate::lp::LpOutcome::Optimal(s) => {
+                assert!(
+                    (greedy.cost - s.objective).abs() < 1e-6 * (1.0 + s.objective.abs()),
+                    "greedy {} vs simplex {}",
+                    greedy.cost,
+                    s.objective
+                );
+            }
+            other => panic!("simplex failed: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cost_accounting_is_consistent() {
+        let p = paper_example(1350.0, 40.0);
+        let plan = p.solve().expect("feasible");
+        assert!((p.cost(&plan.r, &plan.e) - plan.cost).abs() < 1e-9);
+    }
+
+    /// The regime the paper's Theorem 3.8 preconditions exclude: precision
+    /// must be reached by *over-retrieving* a high-selectivity group, which
+    /// the literal two-phase greedy cannot express. The robust wrapper must
+    /// catch it via the LP fallback.
+    #[test]
+    fn over_retrieval_regime_needs_fallback() {
+        // One high-selectivity group; tiny recall target; precision target
+        // reachable only by retrieving more than recall requires.
+        let p = GreedyProblem::from_group_stats(
+            &[100.0, 100.0],
+            &[0.9, 0.6],
+            0.5,
+            1.0,
+            3.0,
+            1.0,  // recall: satisfied by a sliver of group 0
+            30.0, // precision: needs R_0 well beyond that sliver
+        );
+        // prec_r for group 0 = 100*(0.9-0.5) = 40 > 30, so the LP is
+        // feasible via retrieval alone…
+        assert!(p.theorem_38_preconditions());
+        // …but the literal greedy stops raising R once recall is met and
+        // cannot reach the target with evaluations alone.
+        assert_eq!(p.solve(), Err(GreedyError::PrecisionUnreachable));
+        // The robust path recovers the optimum.
+        let plan = p.solve_robust(false).expect("LP fallback must succeed");
+        assert!(p.precision_lhs(&plan.r, &plan.e) >= 30.0 - 1e-9);
+        assert!(p.recall_lhs(&plan.r) >= 1.0 - 1e-9);
+        match p.to_linear_program().solve() {
+            crate::lp::LpOutcome::Optimal(s) => {
+                assert!((plan.cost - s.objective).abs() < 1e-6 * (1.0 + s.objective));
+            }
+            other => panic!("simplex failed: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn robust_exact_agrees_with_greedy_in_standard_regime() {
+        let p = paper_example(1350.0, 50.0);
+        let greedy = p.solve().expect("feasible");
+        let exact = p.solve_robust(true).expect("feasible");
+        assert!(
+            (greedy.cost - exact.cost).abs() < 1e-6 * (1.0 + exact.cost),
+            "greedy {} vs exact {}",
+            greedy.cost,
+            exact.cost
+        );
+    }
+}

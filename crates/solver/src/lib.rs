@@ -1,0 +1,24 @@
+//! Optimization substrate for the `expred` workspace.
+//!
+//! Everything the paper's query optimizer needs, built from scratch:
+//!
+//! * [`lp`] — a dense two-phase simplex solver; the workspace's
+//!   independent reference for linear programs.
+//! * [`bigreedy`] — the paper's `O(|A| log |A|)` BiGreedy algorithm
+//!   (§3.2.2) over abstract per-group coefficients; the production path
+//!   for LinearProg 3.4 and the kernel inside the convex fixed-point
+//!   iterations of §3.3/§4.2.
+//! * [`perfect_info`] — Problem 1 (perfect information): exact
+//!   branch-and-bound plus an LP-relaxation heuristic.
+//! * [`knapsack`] — minimum knapsack (exact DP + greedy) and the
+//!   Theorem 3.2 reduction from min-knapsack to Problem 1, executable as a
+//!   test rather than just a citation.
+
+pub mod bigreedy;
+pub mod knapsack;
+pub mod lp;
+pub mod perfect_info;
+
+pub use bigreedy::{GreedyError, GreedyGroup, GreedyPlan, GreedyProblem};
+pub use lp::{Constraint, LinearProgram, LpOutcome, LpSolution, Relation};
+pub use perfect_info::{Decision, PerfectGroup, PerfectInfoInstance, PerfectInfoSolution};

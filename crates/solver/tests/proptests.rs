@@ -1,0 +1,251 @@
+//! Property tests for the optimization substrate.
+//!
+//! The centerpiece: BiGreedy (the paper's `O(|A| log |A|)` special-purpose
+//! algorithm) must agree with the from-scratch simplex solver on randomized
+//! instances of the structured LP — same feasibility verdict, same optimal
+//! cost.
+
+use expred_solver::bigreedy::GreedyProblem;
+use expred_solver::knapsack::{greedy_min_knapsack, solve_min_knapsack, Item};
+use expred_solver::lp::{Constraint, LinearProgram, LpOutcome, Relation};
+use expred_solver::perfect_info::{Decision, PerfectGroup, PerfectInfoInstance};
+use proptest::prelude::*;
+
+/// Strategy: a random structured instance in the paper's parameter ranges.
+fn greedy_instance() -> impl Strategy<Value = GreedyProblem> {
+    let group = (10usize..2000, 0.01f64..0.99);
+    (
+        prop::collection::vec(group, 2..8),
+        0.05f64..0.95, // alpha
+        0.05f64..0.95, // beta (used to derive a recall target)
+        0.0f64..0.3,   // relative slack for the precision target
+    )
+        .prop_map(|(raw, alpha, beta, prec_frac)| {
+            let sizes: Vec<f64> = raw.iter().map(|&(t, _)| t as f64).collect();
+            let sels: Vec<f64> = raw.iter().map(|&(_, s)| s).collect();
+            let recall_mass: f64 = sizes.iter().zip(&sels).map(|(t, s)| t * s).sum();
+            // Max achievable precision LHS is sum of t*s*(1-alpha).
+            let prec_max: f64 = sizes
+                .iter()
+                .zip(&sels)
+                .map(|(t, s)| t * s * (1.0 - alpha))
+                .sum();
+            GreedyProblem::from_group_stats(
+                &sizes,
+                &sels,
+                alpha,
+                1.0,
+                3.0,
+                beta * recall_mass,
+                prec_frac * prec_max,
+            )
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn bigreedy_plans_are_feasible_and_bounded_below_by_lp(problem in greedy_instance()) {
+        let lp = problem.to_linear_program();
+        let simplex = lp.solve();
+        if let Ok(plan) = problem.solve() {
+            // Plan must satisfy its own constraints and bounds.
+            prop_assert!(problem.recall_lhs(&plan.r) >= problem.recall_target - 1e-6);
+            prop_assert!(
+                problem.precision_lhs(&plan.r, &plan.e) >= problem.precision_target - 1e-6
+            );
+            for (r, e) in plan.r.iter().zip(&plan.e) {
+                prop_assert!((0.0..=1.0 + 1e-9).contains(r));
+                prop_assert!(*e >= -1e-9 && *e <= *r + 1e-9);
+            }
+            match simplex {
+                LpOutcome::Optimal(s) => {
+                    // A feasible greedy plan can never beat the LP optimum.
+                    prop_assert!(
+                        plan.cost >= s.objective - 1e-5 * (1.0 + s.objective.abs()),
+                        "greedy {} below LP optimum {}",
+                        plan.cost,
+                        s.objective
+                    );
+                }
+                other => prop_assert!(false, "simplex disagreed: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn solve_robust_matches_simplex_exactly(problem in greedy_instance()) {
+        let lp = problem.to_linear_program();
+        match (problem.solve_robust(true), lp.solve()) {
+            (Ok(plan), LpOutcome::Optimal(s)) => {
+                let scale = 1.0 + s.objective.abs();
+                prop_assert!(
+                    (plan.cost - s.objective).abs() < 1e-5 * scale,
+                    "robust {} vs simplex {}",
+                    plan.cost,
+                    s.objective
+                );
+                prop_assert!(problem.recall_lhs(&plan.r) >= problem.recall_target - 1e-6);
+                prop_assert!(
+                    problem.precision_lhs(&plan.r, &plan.e) >= problem.precision_target - 1e-6
+                );
+            }
+            (Err(_), LpOutcome::Infeasible) => {}
+            (got, want) => prop_assert!(false, "robust {got:?} vs simplex {want:?}"),
+        }
+    }
+
+    #[test]
+    fn bigreedy_fast_path_feasible_whenever_it_answers(problem in greedy_instance()) {
+        // The production fast path (greedy first, simplex fallback) must
+        // always return a feasible plan when one exists.
+        match (problem.solve_robust(false), problem.to_linear_program().solve()) {
+            (Ok(plan), _) => {
+                prop_assert!(problem.recall_lhs(&plan.r) >= problem.recall_target - 1e-6);
+                prop_assert!(
+                    problem.precision_lhs(&plan.r, &plan.e) >= problem.precision_target - 1e-6
+                );
+            }
+            (Err(_), LpOutcome::Infeasible) => {}
+            (Err(e), other) => prop_assert!(false, "fast path {e:?} but simplex {other:?}"),
+        }
+    }
+
+    #[test]
+    fn simplex_solutions_are_feasible(problem in greedy_instance()) {
+        let lp = problem.to_linear_program();
+        if let LpOutcome::Optimal(s) = lp.solve() {
+            prop_assert!(lp.is_feasible(&s.x, 1e-6));
+        }
+    }
+
+    #[test]
+    fn random_small_lps_verify(
+        n in 1usize..4,
+        rows in prop::collection::vec(
+            (prop::collection::vec(-5.0f64..5.0, 3), -10.0f64..10.0),
+            0..4,
+        ),
+        obj in prop::collection::vec(0.0f64..5.0, 3),
+    ) {
+        // Nonnegative objective => never unbounded; check returned points.
+        let constraints: Vec<Constraint> = rows
+            .into_iter()
+            .map(|(coeffs, rhs)| Constraint {
+                coeffs: coeffs[..n].to_vec(),
+                relation: Relation::Ge,
+                rhs,
+            })
+            .collect();
+        let lp = LinearProgram::new(obj[..n].to_vec(), constraints);
+        match lp.solve() {
+            LpOutcome::Optimal(s) => {
+                prop_assert!(lp.is_feasible(&s.x, 1e-6));
+                prop_assert!(s.objective >= -1e-9);
+            }
+            LpOutcome::Infeasible => {}
+            LpOutcome::Unbounded => prop_assert!(false, "nonneg objective can't be unbounded"),
+        }
+    }
+
+    #[test]
+    fn knapsack_exact_beats_greedy(
+        raw in prop::collection::vec((1.0f64..20.0, 1u64..15), 1..8),
+        frac in 0.1f64..0.9,
+    ) {
+        let items: Vec<Item> = raw.iter().map(|&(w, v)| Item { weight: w, value: v }).collect();
+        let total: u64 = items.iter().map(|i| i.value).sum();
+        let threshold = ((total as f64) * frac).ceil() as u64;
+        let exact = solve_min_knapsack(&items, threshold).expect("threshold <= total");
+        let greedy = greedy_min_knapsack(&items, threshold).expect("threshold <= total");
+        prop_assert!(exact.total_value >= threshold);
+        prop_assert!(greedy.total_value >= threshold);
+        prop_assert!(exact.total_weight <= greedy.total_weight + 1e-9);
+        // Exact solution must be optimal vs brute force for small n.
+        if items.len() <= 6 {
+            let mut best = f64::INFINITY;
+            for mask in 0..(1usize << items.len()) {
+                let v: u64 = (0..items.len())
+                    .filter(|i| mask & (1 << i) != 0)
+                    .map(|i| items[i].value)
+                    .sum();
+                if v >= threshold {
+                    let w: f64 = (0..items.len())
+                        .filter(|i| mask & (1 << i) != 0)
+                        .map(|i| items[i].weight)
+                        .sum();
+                    best = best.min(w);
+                }
+            }
+            prop_assert!((exact.total_weight - best).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn perfect_info_exact_is_optimal_vs_bruteforce(
+        raw in prop::collection::vec((0u64..80, 0u64..80), 2..6),
+        alpha in 0.0f64..1.0,
+        beta in 0.0f64..1.0,
+    ) {
+        let groups: Vec<PerfectGroup> = raw
+            .iter()
+            .map(|&(c, w)| PerfectGroup { correct: c, wrong: w.max(1) })
+            .collect();
+        let inst = PerfectInfoInstance {
+            groups: groups.clone(),
+            alpha,
+            beta,
+            cost_retrieve: 1.0,
+            cost_evaluate: 3.0,
+        };
+        let opts = [Decision::Discard, Decision::Return, Decision::Evaluate];
+        let mut best: Option<f64> = None;
+        for mask in 0..3usize.pow(groups.len() as u32) {
+            let mut m = mask;
+            let decisions: Vec<Decision> = (0..groups.len())
+                .map(|_| {
+                    let d = opts[m % 3];
+                    m /= 3;
+                    d
+                })
+                .collect();
+            if inst.is_feasible(&decisions) {
+                let cost = inst.cost_of(&decisions);
+                best = Some(best.map_or(cost, |b: f64| b.min(cost)));
+            }
+        }
+        match (inst.solve_exact(), best) {
+            (Some(sol), Some(b)) => prop_assert!(
+                (sol.cost - b).abs() < 1e-9,
+                "bb {} vs brute {}",
+                sol.cost,
+                b
+            ),
+            (None, None) => {}
+            (got, want) => prop_assert!(false, "solver {got:?} vs brute {want:?}"),
+        }
+    }
+
+    #[test]
+    fn perfect_info_heuristic_feasible_when_exact_is(
+        raw in prop::collection::vec((1u64..60, 1u64..60), 2..6),
+        alpha in 0.0f64..0.9,
+        beta in 0.0f64..1.0,
+    ) {
+        let inst = PerfectInfoInstance {
+            groups: raw.iter().map(|&(c, w)| PerfectGroup { correct: c, wrong: w }).collect(),
+            alpha,
+            beta,
+            cost_retrieve: 1.0,
+            cost_evaluate: 3.0,
+        };
+        if let Some(exact) = inst.solve_exact() {
+            let heur = inst.solve_heuristic();
+            prop_assert!(heur.is_some(), "heuristic must find something when feasible");
+            let heur = heur.unwrap();
+            prop_assert!(inst.is_feasible(&heur.decisions));
+            prop_assert!(heur.cost + 1e-9 >= exact.cost);
+        }
+    }
+}

@@ -1,0 +1,240 @@
+//! The Beta distribution.
+//!
+//! The paper (§4.1) models the posterior over a group's selectivity after
+//! evaluating `F_a` tuples and observing `F⁺_a` positives as
+//! `Beta(F⁺_a + 1, F⁻_a + 1)`, and feeds its mean and variance into the
+//! convex optimization of §3.3. This module provides that distribution with
+//! exact moments, density, CDF, and sampling (via Marsaglia–Tsang gamma
+//! generation).
+
+use crate::rng::Prng;
+use crate::special::{inc_beta, ln_beta};
+
+/// A `Beta(α, β)` distribution with `α, β > 0`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Beta {
+    alpha: f64,
+    beta: f64,
+}
+
+impl Beta {
+    /// Creates `Beta(alpha, beta)`. Panics unless both parameters are
+    /// positive and finite.
+    pub fn new(alpha: f64, beta: f64) -> Self {
+        assert!(
+            alpha > 0.0 && alpha.is_finite() && beta > 0.0 && beta.is_finite(),
+            "Beta parameters must be positive and finite, got ({alpha}, {beta})"
+        );
+        Self { alpha, beta }
+    }
+
+    /// The Laplace-smoothed posterior over a selectivity after observing
+    /// `positives` successes in `trials` Bernoulli draws:
+    /// `Beta(F⁺ + 1, F⁻ + 1)` with a uniform prior (paper §4.1).
+    pub fn posterior(positives: u64, trials: u64) -> Self {
+        assert!(positives <= trials, "positives cannot exceed trials");
+        Self::new(positives as f64 + 1.0, (trials - positives) as f64 + 1.0)
+    }
+
+    /// First shape parameter.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Second shape parameter.
+    pub fn beta(&self) -> f64 {
+        self.beta
+    }
+
+    /// `E[X] = α / (α + β)`.
+    pub fn mean(&self) -> f64 {
+        self.alpha / (self.alpha + self.beta)
+    }
+
+    /// `Var[X] = αβ / ((α+β)² (α+β+1))`.
+    pub fn variance(&self) -> f64 {
+        let s = self.alpha + self.beta;
+        self.alpha * self.beta / (s * s * (s + 1.0))
+    }
+
+    /// Standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Density at `x ∈ [0, 1]` (0 outside the support).
+    pub fn pdf(&self, x: f64) -> f64 {
+        if !(0.0..=1.0).contains(&x) {
+            return 0.0;
+        }
+        // Handle boundary densities that would hit ln(0).
+        if (x == 0.0 && self.alpha < 1.0) || (x == 1.0 && self.beta < 1.0) {
+            return f64::INFINITY;
+        }
+        if (x == 0.0 && self.alpha > 1.0) || (x == 1.0 && self.beta > 1.0) {
+            return 0.0;
+        }
+        let ln_pdf =
+            (self.alpha - 1.0) * x.ln() + (self.beta - 1.0) * (1.0 - x).ln() - ln_beta(self.alpha, self.beta);
+        ln_pdf.exp()
+    }
+
+    /// CDF `P(X ≤ x)` via the regularized incomplete beta function.
+    pub fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            0.0
+        } else if x >= 1.0 {
+            1.0
+        } else {
+            inc_beta(self.alpha, self.beta, x)
+        }
+    }
+
+    /// Draws one sample, as `G_α / (G_α + G_β)` for independent gamma draws.
+    pub fn sample(&self, rng: &mut Prng) -> f64 {
+        let x = sample_gamma(self.alpha, rng);
+        let y = sample_gamma(self.beta, rng);
+        if x + y == 0.0 {
+            // Numerically possible only for tiny shapes; fall back to mean.
+            self.mean()
+        } else {
+            x / (x + y)
+        }
+    }
+}
+
+/// Samples `Gamma(shape, 1)` via Marsaglia–Tsang (2000), with the standard
+/// boosting trick for `shape < 1`.
+pub fn sample_gamma(shape: f64, rng: &mut Prng) -> f64 {
+    assert!(shape > 0.0, "gamma shape must be positive");
+    if shape < 1.0 {
+        // Boost: X ~ Gamma(a+1), U^(1/a) * X ~ Gamma(a).
+        let x = sample_gamma(shape + 1.0, rng);
+        let u = rng.f64().max(f64::MIN_POSITIVE);
+        return x * u.powf(1.0 / shape);
+    }
+    let d = shape - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        let mut x;
+        let mut v;
+        loop {
+            x = rng.gaussian();
+            v = 1.0 + c * x;
+            if v > 0.0 {
+                break;
+            }
+        }
+        let v3 = v * v * v;
+        let u = rng.f64().max(f64::MIN_POSITIVE);
+        // Squeeze then full acceptance test.
+        if u < 1.0 - 0.0331 * x.powi(4) {
+            return d * v3;
+        }
+        if u.ln() < 0.5 * x * x + d * (1.0 - v3 + v3.ln()) {
+            return d * v3;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn posterior_moments_match_paper_formulas() {
+        // Paper §4.1: s_a = (F⁺+1)/(F+2), v_a = s_a(1-s_a)/(F+3).
+        let cases = [(0u64, 0u64), (5, 10), (90, 100), (0, 7), (7, 7)];
+        for (pos, n) in cases {
+            let b = Beta::posterior(pos, n);
+            let s = (pos as f64 + 1.0) / (n as f64 + 2.0);
+            let v = s * (1.0 - s) / (n as f64 + 3.0);
+            assert!((b.mean() - s).abs() < 1e-12, "mean for ({pos},{n})");
+            assert!((b.variance() - v).abs() < 1e-12, "var for ({pos},{n})");
+        }
+    }
+
+    #[test]
+    fn uniform_special_case() {
+        let b = Beta::new(1.0, 1.0);
+        assert!((b.mean() - 0.5).abs() < 1e-12);
+        assert!((b.variance() - 1.0 / 12.0).abs() < 1e-12);
+        assert!((b.pdf(0.3) - 1.0).abs() < 1e-10);
+        assert!((b.cdf(0.3) - 0.3).abs() < 1e-10);
+    }
+
+    #[test]
+    fn pdf_integrates_to_one() {
+        let b = Beta::new(2.5, 4.0);
+        let n = 20_000;
+        let mut acc = 0.0;
+        for i in 0..n {
+            let x = (i as f64 + 0.5) / n as f64;
+            acc += b.pdf(x) / n as f64;
+        }
+        assert!((acc - 1.0).abs() < 1e-4, "integral={acc}");
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_bounded() {
+        let b = Beta::new(3.0, 1.5);
+        let mut prev = -1.0;
+        for i in 0..=50 {
+            let x = i as f64 / 50.0;
+            let c = b.cdf(x);
+            assert!((0.0..=1.0).contains(&c));
+            assert!(c >= prev);
+            prev = c;
+        }
+        assert_eq!(b.cdf(-0.5), 0.0);
+        assert_eq!(b.cdf(1.5), 1.0);
+    }
+
+    #[test]
+    fn sample_moments_match_analytic() {
+        let b = Beta::new(6.0, 2.0);
+        let mut rng = Prng::seeded(123);
+        let n = 40_000;
+        let (mut sum, mut sum_sq) = (0.0, 0.0);
+        for _ in 0..n {
+            let x = b.sample(&mut rng);
+            assert!((0.0..=1.0).contains(&x));
+            sum += x;
+            sum_sq += x * x;
+        }
+        let mean = sum / n as f64;
+        let var = sum_sq / n as f64 - mean * mean;
+        assert!((mean - b.mean()).abs() < 0.005, "mean {mean} vs {}", b.mean());
+        assert!((var - b.variance()).abs() < 0.002, "var {var} vs {}", b.variance());
+    }
+
+    #[test]
+    fn gamma_sampler_moments() {
+        let mut rng = Prng::seeded(77);
+        for &shape in &[0.5, 1.0, 2.0, 9.0] {
+            let n = 30_000;
+            let mut sum = 0.0;
+            for _ in 0..n {
+                sum += sample_gamma(shape, &mut rng);
+            }
+            let mean = sum / n as f64;
+            // Gamma(shape, 1) has mean = shape.
+            assert!(
+                (mean - shape).abs() < 0.06 * shape.max(1.0),
+                "shape {shape}: mean {mean}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_bad_params() {
+        Beta::new(0.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn posterior_rejects_excess_positives() {
+        Beta::posterior(4, 3);
+    }
+}

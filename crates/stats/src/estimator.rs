@@ -1,0 +1,185 @@
+//! Selectivity estimates.
+//!
+//! Every optimizer in `expred-core` consumes selectivity information in the
+//! same shape: a mean and a variance per group. This module defines that
+//! shape, [`SelectivityEstimate`], and the three ways the paper obtains it:
+//!
+//! * **exact** knowledge (Problem 2, the `Optimal` baseline): variance 0;
+//! * a **Beta posterior over samples** (paper §4.1): mean
+//!   `(F⁺+1)/(F+2)`, variance `s(1-s)/(F+3)`;
+//! * an externally supplied **(mean, variance)** pair (e.g. from a
+//!   logistic-regression bucket, §6.3.2).
+
+use crate::beta::Beta;
+
+/// A (possibly uncertain) estimate of one group's selectivity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SelectivityEstimate {
+    mean: f64,
+    variance: f64,
+    /// Number of tuples evaluated to form the estimate (0 if exact/external).
+    samples: u64,
+    /// Number of sampled tuples that satisfied the predicate.
+    positives: u64,
+}
+
+impl SelectivityEstimate {
+    /// An exact selectivity (no uncertainty); used by the perfect-
+    /// selectivities setting of §3.2.
+    pub fn exact(selectivity: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&selectivity),
+            "selectivity must be in [0,1], got {selectivity}"
+        );
+        Self {
+            mean: selectivity,
+            variance: 0.0,
+            samples: 0,
+            positives: 0,
+        }
+    }
+
+    /// The Beta-posterior estimate after observing `positives` of `samples`
+    /// evaluated tuples satisfy the predicate (paper §4.1).
+    pub fn from_sample(positives: u64, samples: u64) -> Self {
+        let post = Beta::posterior(positives, samples);
+        Self {
+            mean: post.mean(),
+            variance: post.variance(),
+            samples,
+            positives,
+        }
+    }
+
+    /// An externally supplied estimate with explicit uncertainty.
+    pub fn with_variance(mean: f64, variance: f64) -> Self {
+        assert!((0.0..=1.0).contains(&mean), "mean must be in [0,1]");
+        assert!(variance >= 0.0, "variance must be nonnegative");
+        // A [0,1]-supported variable's variance is at most 1/4.
+        assert!(variance <= 0.25 + 1e-12, "variance exceeds 1/4");
+        Self {
+            mean,
+            variance,
+            samples: 0,
+            positives: 0,
+        }
+    }
+
+    /// Estimated selectivity mean `s_a`.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Estimate variance `v_a`.
+    pub fn variance(&self) -> f64 {
+        self.variance
+    }
+
+    /// Estimate standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance.sqrt()
+    }
+
+    /// Number of evaluated sample tuples behind the estimate.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// Number of those samples that satisfied the predicate (`F⁺_a`).
+    pub fn positives(&self) -> u64 {
+        self.positives
+    }
+
+    /// Whether the estimate carries no uncertainty.
+    pub fn is_exact(&self) -> bool {
+        self.variance == 0.0 && self.samples == 0
+    }
+
+    /// The Beta posterior this estimate corresponds to, when sample-based.
+    pub fn posterior(&self) -> Option<Beta> {
+        if self.samples > 0 || self.positives > 0 {
+            Some(Beta::posterior(self.positives, self.samples))
+        } else {
+            None
+        }
+    }
+
+    /// Folds additional sample evidence into the estimate.
+    ///
+    /// Only valid for sample-based estimates; exact/external estimates are
+    /// replaced wholesale instead. Used by the adaptive sampling loop of
+    /// §4.2/§4.3 which alternates estimation and exploitation.
+    pub fn absorb(&mut self, extra_positives: u64, extra_samples: u64) {
+        assert!(extra_positives <= extra_samples);
+        *self = Self::from_sample(
+            self.positives + extra_positives,
+            self.samples + extra_samples,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_estimate_has_no_variance() {
+        let e = SelectivityEstimate::exact(0.72);
+        assert_eq!(e.mean(), 0.72);
+        assert_eq!(e.variance(), 0.0);
+        assert!(e.is_exact());
+        assert!(e.posterior().is_none());
+    }
+
+    #[test]
+    fn sample_estimate_matches_paper_formulas() {
+        let e = SelectivityEstimate::from_sample(90, 100);
+        assert!((e.mean() - 91.0 / 102.0).abs() < 1e-12);
+        let s = e.mean();
+        assert!((e.variance() - s * (1.0 - s) / 103.0).abs() < 1e-12);
+        assert!(!e.is_exact());
+        assert_eq!(e.samples(), 100);
+        assert_eq!(e.positives(), 90);
+    }
+
+    #[test]
+    fn no_samples_gives_uniform_prior() {
+        let e = SelectivityEstimate::from_sample(0, 0);
+        assert!((e.mean() - 0.5).abs() < 1e-12);
+        assert!((e.variance() - 1.0 / 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn absorb_accumulates_counts() {
+        let mut e = SelectivityEstimate::from_sample(3, 10);
+        e.absorb(7, 10);
+        let fresh = SelectivityEstimate::from_sample(10, 20);
+        assert_eq!(e, fresh);
+    }
+
+    #[test]
+    fn more_samples_shrink_variance() {
+        let small = SelectivityEstimate::from_sample(5, 10);
+        let large = SelectivityEstimate::from_sample(500, 1000);
+        assert!(large.variance() < small.variance());
+    }
+
+    #[test]
+    fn with_variance_validates() {
+        let e = SelectivityEstimate::with_variance(0.4, 0.01);
+        assert_eq!(e.mean(), 0.4);
+        assert_eq!(e.variance(), 0.01);
+    }
+
+    #[test]
+    #[should_panic]
+    fn with_variance_rejects_impossible_variance() {
+        SelectivityEstimate::with_variance(0.5, 0.3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn exact_rejects_out_of_range() {
+        SelectivityEstimate::exact(1.2);
+    }
+}

@@ -1,0 +1,127 @@
+//! Equi-depth bucketing of scores.
+//!
+//! The virtual-column technique (paper §4.4 second method, §6.3.2) trains a
+//! classifier, scores every tuple, and splits tuples into `k` buckets
+//! "chosen so as to get equal sized buckets". The bucket id then acts as the
+//! correlated column. This module computes those equi-depth boundaries and
+//! assigns bucket ids.
+
+/// Equi-depth bucket boundaries for `scores`, producing at most `buckets`
+/// buckets.
+///
+/// Returns the interior cut points `c_1 < c_2 < … < c_{m-1}` (m ≤ buckets);
+/// bucket `i` holds scores in `[c_i, c_{i+1})` with the conventional
+/// half-open intervals and the last bucket closed above. Duplicate cut
+/// points arising from heavy ties are collapsed, so fewer than `buckets`
+/// buckets may result (matching how equal-sized bucketing behaves on
+/// discrete score distributions).
+///
+/// Panics if `buckets == 0` or `scores` is empty.
+pub fn equi_depth_boundaries(scores: &[f64], buckets: usize) -> Vec<f64> {
+    assert!(buckets > 0, "need at least one bucket");
+    assert!(!scores.is_empty(), "cannot bucketize an empty score set");
+    let mut sorted = scores.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN score"));
+    let n = sorted.len();
+    let mut cuts = Vec::with_capacity(buckets.saturating_sub(1));
+    for i in 1..buckets {
+        let idx = (i * n) / buckets;
+        let cut = sorted[idx.min(n - 1)];
+        // A cut is only useful if some score falls strictly below it
+        // (otherwise bucket 0 would be empty); duplicates collapse.
+        if cut > sorted[0] && cuts.last().is_none_or(|&last| cut > last) {
+            cuts.push(cut);
+        }
+    }
+    cuts
+}
+
+/// Assigns each score to its bucket id given interior `boundaries`
+/// (as produced by [`equi_depth_boundaries`]).
+///
+/// Scores below the first boundary get bucket 0; scores ≥ the last boundary
+/// get the final bucket.
+pub fn assign_buckets(scores: &[f64], boundaries: &[f64]) -> Vec<usize> {
+    scores
+        .iter()
+        .map(|&s| {
+            // partition_point gives the count of boundaries <= s, which is
+            // exactly the bucket index for half-open intervals.
+            boundaries.partition_point(|&b| b <= s)
+        })
+        .collect()
+}
+
+/// One-call convenience: equi-depth bucket ids for `scores`.
+pub fn bucketize(scores: &[f64], buckets: usize) -> Vec<usize> {
+    let bounds = equi_depth_boundaries(scores, buckets);
+    assign_buckets(scores, &bounds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_scores_get_balanced_buckets() {
+        let scores: Vec<f64> = (0..1000).map(|i| i as f64 / 1000.0).collect();
+        let ids = bucketize(&scores, 10);
+        let mut counts = vec![0usize; 10];
+        for id in ids {
+            counts[id] += 1;
+        }
+        for &c in &counts {
+            assert_eq!(c, 100, "counts={counts:?}");
+        }
+    }
+
+    #[test]
+    fn boundaries_are_strictly_increasing() {
+        let scores: Vec<f64> = (0..500).map(|i| ((i * 7919) % 500) as f64).collect();
+        let bounds = equi_depth_boundaries(&scores, 8);
+        for w in bounds.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+
+    #[test]
+    fn ties_collapse_buckets() {
+        // All-equal scores can only form one bucket.
+        let scores = vec![0.5; 100];
+        let bounds = equi_depth_boundaries(&scores, 10);
+        assert!(bounds.is_empty());
+        let ids = assign_buckets(&scores, &bounds);
+        assert!(ids.iter().all(|&i| i == 0));
+    }
+
+    #[test]
+    fn assignment_respects_boundaries() {
+        let boundaries = vec![0.25, 0.5, 0.75];
+        let scores = [0.0, 0.25, 0.3, 0.5, 0.74, 0.75, 1.0];
+        let ids = assign_buckets(&scores, &boundaries);
+        assert_eq!(ids, vec![0, 1, 1, 2, 2, 3, 3]);
+    }
+
+    #[test]
+    fn bucket_ids_are_monotone_in_score() {
+        let scores: Vec<f64> = (0..200).map(|i| (i as f64 * 0.37).sin()).collect();
+        let ids = bucketize(&scores, 5);
+        let mut pairs: Vec<(f64, usize)> = scores.iter().copied().zip(ids).collect();
+        pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        for w in pairs.windows(2) {
+            assert!(w[0].1 <= w[1].1, "bucket ids must be monotone in score");
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_zero_buckets() {
+        bucketize(&[0.1], 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_empty_scores() {
+        bucketize(&[], 3);
+    }
+}

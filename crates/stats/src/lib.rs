@@ -1,0 +1,41 @@
+//! Statistical substrate for the `expred` workspace.
+//!
+//! This crate provides the probabilistic machinery that the paper's
+//! algorithms are built on:
+//!
+//! * [`rng`] — deterministic, forkable random number generation. Every
+//!   experiment in the workspace is seeded, so results are reproducible
+//!   run-to-run.
+//! * [`special`] — special functions (`ln Γ`, regularized incomplete beta)
+//!   needed by the distributions.
+//! * [`beta`] — the Beta distribution; the posterior over a group's
+//!   selectivity after observing UDF outcomes (paper §4.1).
+//! * [`binomial`] — the Binomial distribution; the number of correct tuples
+//!   in a group under the perfect-selectivity model (paper §3.2).
+//! * [`bounds`] — Hoeffding and Chebyshev concentration thresholds used to
+//!   turn probabilistic precision/recall constraints into deterministic
+//!   ones (paper §3.2.1 and §3.3.1).
+//! * [`estimator`] — selectivity estimates (mean + variance) derived either
+//!   from samples or from exact knowledge.
+//! * [`descriptive`] — streaming descriptive statistics (Welford), Pearson
+//!   correlation, quantiles; used to calibrate and verify the synthetic
+//!   dataset generators against the paper's Table 3.
+//! * [`histogram`] — equi-depth bucketing of probability scores, used to
+//!   turn a classifier's output into a *virtual* correlated column
+//!   (paper §4.4, §6.3.2).
+
+pub mod beta;
+pub mod binomial;
+pub mod bounds;
+pub mod descriptive;
+pub mod estimator;
+pub mod histogram;
+pub mod rng;
+pub mod special;
+
+pub use beta::Beta;
+pub use binomial::Binomial;
+pub use bounds::{chebyshev_scale, hoeffding_threshold};
+pub use descriptive::{pearson, Accumulator};
+pub use estimator::SelectivityEstimate;
+pub use rng::Prng;

@@ -1,0 +1,214 @@
+//! Special functions used by the distributions: `ln Γ(x)` and the
+//! regularized incomplete beta function `I_x(a, b)`.
+//!
+//! Both are textbook numerical-recipes implementations, accurate to well
+//! beyond the tolerances the paper's algorithms need (the incomplete beta
+//! is only used for Binomial/Beta CDFs in tests and diagnostics).
+
+/// Natural log of the gamma function, via the Lanczos approximation.
+///
+/// Accurate to ~1e-13 for `x > 0`. Panics on non-positive input.
+pub fn ln_gamma(x: f64) -> f64 {
+    assert!(x > 0.0, "ln_gamma requires x > 0, got {x}");
+    // Lanczos coefficients (g = 7, n = 9).
+    const COEFFS: [f64; 9] = [
+        0.999_999_999_999_809_93,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_13,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula keeps precision for small x.
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut acc = COEFFS[0];
+    for (i, &c) in COEFFS.iter().enumerate().skip(1) {
+        acc += c / (x + i as f64);
+    }
+    let t = x + 7.5;
+    0.5 * (std::f64::consts::TAU).ln() + (x + 0.5) * t.ln() - t + acc.ln()
+}
+
+/// Natural log of the beta function `B(a, b)`.
+pub fn ln_beta(a: f64, b: f64) -> f64 {
+    ln_gamma(a) + ln_gamma(b) - ln_gamma(a + b)
+}
+
+/// Binomial coefficient `C(n, k)` computed in log-space (exact enough for
+/// pmf evaluation at the scales we use).
+pub fn ln_choose(n: u64, k: u64) -> f64 {
+    assert!(k <= n, "ln_choose requires k <= n");
+    if k == 0 || k == n {
+        return 0.0;
+    }
+    ln_gamma(n as f64 + 1.0) - ln_gamma(k as f64 + 1.0) - ln_gamma((n - k) as f64 + 1.0)
+}
+
+/// Regularized incomplete beta function `I_x(a, b)` via the continued
+/// fraction expansion (Numerical Recipes `betai`).
+///
+/// Domain: `a, b > 0`, `x ∈ [0, 1]`.
+pub fn inc_beta(a: f64, b: f64, x: f64) -> f64 {
+    assert!(a > 0.0 && b > 0.0, "inc_beta requires a,b > 0");
+    assert!((0.0..=1.0).contains(&x), "inc_beta requires x in [0,1]");
+    if x == 0.0 {
+        return 0.0;
+    }
+    if x == 1.0 {
+        return 1.0;
+    }
+    // The prefactor x^a (1-x)^b / B(a,b) is symmetric under (a,b,x) ->
+    // (b,a,1-x), so it can be shared by both continued-fraction branches.
+    let front = (a * x.ln() + b * (1.0 - x).ln() - ln_beta(a, b)).exp();
+    // Evaluate the continued fraction on whichever side converges fast.
+    if x < (a + 1.0) / (a + b + 2.0) {
+        front * beta_cf(a, b, x) / a
+    } else {
+        1.0 - front * beta_cf(b, a, 1.0 - x) / b
+    }
+}
+
+/// Lentz's continued-fraction evaluation for the incomplete beta.
+fn beta_cf(a: f64, b: f64, x: f64) -> f64 {
+    const MAX_ITER: usize = 300;
+    const EPS: f64 = 3e-14;
+    const TINY: f64 = 1e-300;
+
+    let qab = a + b;
+    let qap = a + 1.0;
+    let qam = a - 1.0;
+    let mut c = 1.0;
+    let mut d = 1.0 - qab * x / qap;
+    if d.abs() < TINY {
+        d = TINY;
+    }
+    d = 1.0 / d;
+    let mut h = d;
+    for m in 1..=MAX_ITER {
+        let m = m as f64;
+        let m2 = 2.0 * m;
+        // Even step.
+        let aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        h *= d * c;
+        // Odd step.
+        let aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < EPS {
+            break;
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() < tol, "{a} vs {b} (tol {tol})");
+    }
+
+    #[test]
+    fn ln_gamma_matches_factorials() {
+        // Γ(n) = (n-1)!
+        let facts: [(f64, f64); 5] = [
+            (1.0, 1.0),
+            (2.0, 1.0),
+            (3.0, 2.0),
+            (5.0, 24.0),
+            (10.0, 362_880.0),
+        ];
+        for (x, f) in facts {
+            close(ln_gamma(x), f.ln(), 1e-10);
+        }
+    }
+
+    #[test]
+    fn ln_gamma_half() {
+        // Γ(1/2) = sqrt(pi)
+        close(ln_gamma(0.5), 0.5 * std::f64::consts::PI.ln(), 1e-10);
+    }
+
+    #[test]
+    fn ln_gamma_recurrence() {
+        // Γ(x+1) = x Γ(x)
+        for &x in &[0.3, 1.7, 4.2, 25.0, 1000.0] {
+            close(ln_gamma(x + 1.0), x.ln() + ln_gamma(x), 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn ln_gamma_rejects_nonpositive() {
+        ln_gamma(0.0);
+    }
+
+    #[test]
+    fn ln_choose_small_cases() {
+        close(ln_choose(5, 2), 10f64.ln(), 1e-12);
+        close(ln_choose(10, 5), 252f64.ln(), 1e-10);
+        close(ln_choose(4, 0), 0.0, 1e-12);
+        close(ln_choose(4, 4), 0.0, 1e-12);
+    }
+
+    #[test]
+    fn inc_beta_uniform_case() {
+        // I_x(1, 1) = x (the uniform CDF).
+        for &x in &[0.0, 0.1, 0.5, 0.9, 1.0] {
+            close(inc_beta(1.0, 1.0, x), x, 1e-12);
+        }
+    }
+
+    #[test]
+    fn inc_beta_symmetry() {
+        // I_x(a, b) = 1 - I_{1-x}(b, a)
+        for &(a, b, x) in &[(2.0, 3.0, 0.4), (0.5, 0.5, 0.25), (7.0, 1.5, 0.8)] {
+            close(inc_beta(a, b, x), 1.0 - inc_beta(b, a, 1.0 - x), 1e-11);
+        }
+    }
+
+    #[test]
+    fn inc_beta_known_value() {
+        // I_{0.5}(2, 2) = 0.5 by symmetry of Beta(2,2).
+        close(inc_beta(2.0, 2.0, 0.5), 0.5, 1e-12);
+        // Beta(2,1) has CDF x^2.
+        close(inc_beta(2.0, 1.0, 0.3), 0.09, 1e-12);
+    }
+
+    #[test]
+    fn inc_beta_monotone_in_x() {
+        let mut prev = 0.0;
+        for i in 0..=20 {
+            let x = i as f64 / 20.0;
+            let v = inc_beta(3.0, 5.0, x);
+            assert!(v >= prev - 1e-13);
+            prev = v;
+        }
+    }
+}

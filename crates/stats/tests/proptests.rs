@@ -1,0 +1,164 @@
+//! Property-based tests for the statistical substrate.
+
+use expred_stats::{
+    beta::Beta,
+    binomial::Binomial,
+    bounds::{chebyshev_scale, hoeffding_threshold},
+    descriptive::{pearson, quantile, Accumulator},
+    estimator::SelectivityEstimate,
+    histogram::{assign_buckets, bucketize, equi_depth_boundaries},
+    rng::Prng,
+    special::{inc_beta, ln_gamma},
+};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn prng_f64_always_in_unit_interval(seed in any::<u64>()) {
+        let mut rng = Prng::seeded(seed);
+        for _ in 0..64 {
+            let x = rng.f64();
+            prop_assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn prng_below_always_bounded(seed in any::<u64>(), n in 1usize..10_000) {
+        let mut rng = Prng::seeded(seed);
+        for _ in 0..32 {
+            prop_assert!(rng.below(n) < n);
+        }
+    }
+
+    #[test]
+    fn prng_sample_indices_distinct(seed in any::<u64>(), n in 1usize..300, k in 0usize..300) {
+        let mut rng = Prng::seeded(seed);
+        let sample = rng.sample_indices(n, k);
+        prop_assert_eq!(sample.len(), k.min(n));
+        let mut sorted = sample.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), sample.len());
+    }
+
+    #[test]
+    fn ln_gamma_recurrence_holds(x in 0.05f64..200.0) {
+        let lhs = ln_gamma(x + 1.0);
+        let rhs = x.ln() + ln_gamma(x);
+        prop_assert!((lhs - rhs).abs() < 1e-8 * (1.0 + lhs.abs()));
+    }
+
+    #[test]
+    fn inc_beta_bounded_and_monotone(a in 0.1f64..50.0, b in 0.1f64..50.0, x in 0.0f64..1.0) {
+        let v = inc_beta(a, b, x);
+        prop_assert!((-1e-12..=1.0 + 1e-12).contains(&v));
+        let v2 = inc_beta(a, b, (x + 0.01).min(1.0));
+        prop_assert!(v2 >= v - 1e-9);
+    }
+
+    #[test]
+    fn beta_posterior_moments_valid(pos in 0u64..500, extra in 0u64..500) {
+        let n = pos + extra;
+        let beta = Beta::posterior(pos, n);
+        prop_assert!((0.0..=1.0).contains(&beta.mean()));
+        prop_assert!(beta.variance() > 0.0);
+        prop_assert!(beta.variance() <= 0.25);
+    }
+
+    #[test]
+    fn beta_samples_in_support(alpha in 0.2f64..20.0, b in 0.2f64..20.0, seed in any::<u64>()) {
+        let dist = Beta::new(alpha, b);
+        let mut rng = Prng::seeded(seed);
+        for _ in 0..16 {
+            let x = dist.sample(&mut rng);
+            prop_assert!((0.0..=1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn binomial_pmf_normalized(n in 0u64..120, p in 0.0f64..=1.0) {
+        let b = Binomial::new(n, p);
+        let total: f64 = (0..=n).map(|k| b.pmf(k)).sum();
+        prop_assert!((total - 1.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn binomial_sample_in_range(n in 0u64..5_000, p in 0.0f64..=1.0, seed in any::<u64>()) {
+        let b = Binomial::new(n, p);
+        let mut rng = Prng::seeded(seed);
+        for _ in 0..8 {
+            prop_assert!(b.sample(&mut rng) <= n);
+        }
+    }
+
+    #[test]
+    fn hoeffding_threshold_monotone_in_rho(w in 0.0f64..1e6, r1 in 0.0f64..0.99, r2 in 0.0f64..0.99) {
+        let (lo, hi) = if r1 <= r2 { (r1, r2) } else { (r2, r1) };
+        prop_assert!(hoeffding_threshold(w, lo) <= hoeffding_threshold(w, hi) + 1e-12);
+    }
+
+    #[test]
+    fn chebyshev_scale_at_least_one(rho in 0.0f64..0.999) {
+        prop_assert!(chebyshev_scale(rho) >= 1.0);
+    }
+
+    #[test]
+    fn accumulator_merge_equals_single_pass(xs in prop::collection::vec(-1e3f64..1e3, 0..200), split in 0usize..200) {
+        let split = split.min(xs.len());
+        let full = Accumulator::from_slice(&xs);
+        let mut left = Accumulator::from_slice(&xs[..split]);
+        let right = Accumulator::from_slice(&xs[split..]);
+        left.merge(&right);
+        prop_assert_eq!(left.count(), full.count());
+        prop_assert!((left.mean() - full.mean()).abs() < 1e-7);
+        prop_assert!((left.variance() - full.variance()).abs() < 1e-5 * (1.0 + full.variance()));
+    }
+
+    #[test]
+    fn pearson_bounded(xs in prop::collection::vec(-1e3f64..1e3, 2..50), ys in prop::collection::vec(-1e3f64..1e3, 2..50)) {
+        let n = xs.len().min(ys.len());
+        let r = pearson(&xs[..n], &ys[..n]);
+        prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r));
+    }
+
+    #[test]
+    fn quantile_within_min_max(xs in prop::collection::vec(-1e3f64..1e3, 1..100), q in 0.0f64..=1.0) {
+        let v = quantile(&xs, q);
+        let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
+    }
+
+    #[test]
+    fn bucketize_ids_bounded(xs in prop::collection::vec(0.0f64..1.0, 1..300), k in 1usize..12) {
+        let ids = bucketize(&xs, k);
+        prop_assert_eq!(ids.len(), xs.len());
+        for id in ids {
+            prop_assert!(id < k);
+        }
+    }
+
+    #[test]
+    fn boundaries_sorted_and_within_range(xs in prop::collection::vec(0.0f64..1.0, 2..300), k in 1usize..12) {
+        let bounds = equi_depth_boundaries(&xs, k);
+        for w in bounds.windows(2) {
+            prop_assert!(w[0] < w[1]);
+        }
+        // Every bucket produced must be nonempty.
+        let ids = assign_buckets(&xs, &bounds);
+        let max_id = ids.iter().copied().max().unwrap_or(0);
+        for want in 0..=max_id {
+            prop_assert!(ids.contains(&want), "bucket {} empty", want);
+        }
+    }
+
+    #[test]
+    fn selectivity_estimate_absorb_matches_fresh(p1 in 0u64..100, n1x in 0u64..100, p2 in 0u64..100, n2x in 0u64..100) {
+        let (n1, n2) = (p1 + n1x, p2 + n2x);
+        let mut e = SelectivityEstimate::from_sample(p1, n1);
+        e.absorb(p2, n2);
+        let fresh = SelectivityEstimate::from_sample(p1 + p2, n1 + n2);
+        prop_assert!((e.mean() - fresh.mean()).abs() < 1e-12);
+        prop_assert!((e.variance() - fresh.variance()).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,221 @@
+//! Columnar storage.
+//!
+//! Columns are typed vectors with an optional per-slot NULL. At the paper's
+//! scale (≤ ~53k rows) `Vec<Option<T>>` is simple and fast enough; the
+//! accessors below are what the group-by, the samplers, and the feature
+//! extractor iterate over.
+
+use crate::value::{DataType, Value};
+
+/// A single typed column of values.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Column {
+    /// Boolean column.
+    Bool(Vec<Option<bool>>),
+    /// Integer column.
+    Int(Vec<Option<i64>>),
+    /// Float column.
+    Float(Vec<Option<f64>>),
+    /// String column.
+    Str(Vec<Option<String>>),
+}
+
+impl Column {
+    /// An empty column of the given type.
+    pub fn empty(data_type: DataType) -> Self {
+        match data_type {
+            DataType::Bool => Column::Bool(Vec::new()),
+            DataType::Int => Column::Int(Vec::new()),
+            DataType::Float => Column::Float(Vec::new()),
+            DataType::Str => Column::Str(Vec::new()),
+        }
+    }
+
+    /// An empty column with reserved capacity.
+    pub fn with_capacity(data_type: DataType, cap: usize) -> Self {
+        match data_type {
+            DataType::Bool => Column::Bool(Vec::with_capacity(cap)),
+            DataType::Int => Column::Int(Vec::with_capacity(cap)),
+            DataType::Float => Column::Float(Vec::with_capacity(cap)),
+            DataType::Str => Column::Str(Vec::with_capacity(cap)),
+        }
+    }
+
+    /// The column's data type.
+    pub fn data_type(&self) -> DataType {
+        match self {
+            Column::Bool(_) => DataType::Bool,
+            Column::Int(_) => DataType::Int,
+            Column::Float(_) => DataType::Float,
+            Column::Str(_) => DataType::Str,
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        match self {
+            Column::Bool(v) => v.len(),
+            Column::Int(v) => v.len(),
+            Column::Float(v) => v.len(),
+            Column::Str(v) => v.len(),
+        }
+    }
+
+    /// Whether the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Appends a value. Returns an error message if the type mismatches.
+    pub fn push(&mut self, value: Value) -> Result<(), String> {
+        match (self, value) {
+            (Column::Bool(v), Value::Bool(b)) => v.push(Some(b)),
+            (Column::Int(v), Value::Int(i)) => v.push(Some(i)),
+            (Column::Float(v), Value::Float(f)) => v.push(Some(f)),
+            (Column::Float(v), Value::Int(i)) => v.push(Some(i as f64)),
+            (Column::Str(v), Value::Str(s)) => v.push(Some(s)),
+            (col, Value::Null) => match col {
+                Column::Bool(v) => v.push(None),
+                Column::Int(v) => v.push(None),
+                Column::Float(v) => v.push(None),
+                Column::Str(v) => v.push(None),
+            },
+            (col, value) => {
+                return Err(format!(
+                    "type mismatch: cannot push {:?} into {} column",
+                    value,
+                    col.data_type()
+                ))
+            }
+        }
+        Ok(())
+    }
+
+    /// The value at `row` (NULL as [`Value::Null`]). Panics if out of range.
+    pub fn value(&self, row: usize) -> Value {
+        match self {
+            Column::Bool(v) => v[row].map_or(Value::Null, Value::Bool),
+            Column::Int(v) => v[row].map_or(Value::Null, Value::Int),
+            Column::Float(v) => v[row].map_or(Value::Null, Value::Float),
+            Column::Str(v) => v[row]
+                .as_ref()
+                .map_or(Value::Null, |s| Value::Str(s.clone())),
+        }
+    }
+
+    /// Borrow the string at `row` without cloning, if this is a string
+    /// column with a non-NULL entry.
+    pub fn str_at(&self, row: usize) -> Option<&str> {
+        match self {
+            Column::Str(v) => v[row].as_deref(),
+            _ => None,
+        }
+    }
+
+    /// The boolean at `row` if this is a non-NULL bool entry.
+    pub fn bool_at(&self, row: usize) -> Option<bool> {
+        match self {
+            Column::Bool(v) => v[row],
+            _ => None,
+        }
+    }
+
+    /// The float at `row`, widening integers, if non-NULL numeric.
+    pub fn float_at(&self, row: usize) -> Option<f64> {
+        match self {
+            Column::Float(v) => v[row],
+            Column::Int(v) => v[row].map(|i| i as f64),
+            _ => None,
+        }
+    }
+
+    /// Number of NULL entries.
+    pub fn null_count(&self) -> usize {
+        match self {
+            Column::Bool(v) => v.iter().filter(|x| x.is_none()).count(),
+            Column::Int(v) => v.iter().filter(|x| x.is_none()).count(),
+            Column::Float(v) => v.iter().filter(|x| x.is_none()).count(),
+            Column::Str(v) => v.iter().filter(|x| x.is_none()).count(),
+        }
+    }
+
+    /// Number of distinct non-NULL values.
+    pub fn distinct_count(&self) -> usize {
+        use std::collections::HashSet;
+        match self {
+            Column::Bool(v) => v.iter().flatten().collect::<HashSet<_>>().len(),
+            Column::Int(v) => v.iter().flatten().collect::<HashSet<_>>().len(),
+            Column::Float(v) => v
+                .iter()
+                .flatten()
+                .map(|f| f.to_bits())
+                .collect::<HashSet<_>>()
+                .len(),
+            Column::Str(v) => v.iter().flatten().collect::<HashSet<_>>().len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_read_back() {
+        let mut c = Column::empty(DataType::Int);
+        c.push(Value::Int(1)).unwrap();
+        c.push(Value::Null).unwrap();
+        c.push(Value::Int(3)).unwrap();
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.value(0), Value::Int(1));
+        assert_eq!(c.value(1), Value::Null);
+        assert_eq!(c.null_count(), 1);
+        assert_eq!(c.distinct_count(), 2);
+    }
+
+    #[test]
+    fn type_mismatch_is_an_error() {
+        let mut c = Column::empty(DataType::Bool);
+        assert!(c.push(Value::Int(1)).is_err());
+        assert!(c.push(Value::Bool(true)).is_ok());
+    }
+
+    #[test]
+    fn int_widens_into_float_column() {
+        let mut c = Column::empty(DataType::Float);
+        c.push(Value::Int(2)).unwrap();
+        assert_eq!(c.value(0), Value::Float(2.0));
+        assert_eq!(c.float_at(0), Some(2.0));
+    }
+
+    #[test]
+    fn typed_accessors() {
+        let mut c = Column::empty(DataType::Str);
+        c.push(Value::Str("a".into())).unwrap();
+        c.push(Value::Null).unwrap();
+        assert_eq!(c.str_at(0), Some("a"));
+        assert_eq!(c.str_at(1), None);
+        assert_eq!(c.bool_at(0), None);
+
+        let mut b = Column::empty(DataType::Bool);
+        b.push(Value::Bool(true)).unwrap();
+        assert_eq!(b.bool_at(0), Some(true));
+    }
+
+    #[test]
+    fn distinct_counts_floats_by_bits() {
+        let mut c = Column::empty(DataType::Float);
+        for v in [1.0, 1.0, 2.0, f64::NAN, f64::NAN] {
+            c.push(Value::Float(v)).unwrap();
+        }
+        // NaN == NaN at the bit level here, so distinct = {1.0, 2.0, NaN}.
+        assert_eq!(c.distinct_count(), 3);
+    }
+
+    #[test]
+    fn capacity_constructor() {
+        let c = Column::with_capacity(DataType::Int, 100);
+        assert!(c.is_empty());
+        assert_eq!(c.data_type(), DataType::Int);
+    }
+}

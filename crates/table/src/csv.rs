@@ -1,0 +1,263 @@
+//! A minimal CSV reader/writer.
+//!
+//! The paper's artifacts are CSV files (Lending Club, Prosper, UCI dumps).
+//! Our reproduction generates data synthetically, but users pointing the
+//! library at *real* CSV exports need an ingestion path; this module
+//! provides one without pulling in an external dependency. It supports
+//! RFC-4180 quoting, type inference (int → float → string, empty → NULL),
+//! and round-trips through [`write_csv`].
+
+use crate::schema::{Field, Schema};
+use crate::table::Table;
+use crate::value::{DataType, Value};
+use std::io::{BufRead, Write};
+
+/// Parses CSV text (with a header row) into a [`Table`], inferring column
+/// types from the data: a column is `Int` if every non-empty cell parses as
+/// `i64`, else `Float` if every non-empty cell parses as `f64`, else `Str`.
+/// Columns containing `true`/`false` exclusively become `Bool`. Empty cells
+/// are NULL and make the column nullable.
+pub fn read_csv<R: BufRead>(reader: R) -> Result<Table, String> {
+    let records = parse_records(reader)?;
+    let mut iter = records.into_iter();
+    let header = iter.next().ok_or("empty CSV input")?;
+    let rows: Vec<Vec<String>> = iter.collect();
+    for (i, row) in rows.iter().enumerate() {
+        if row.len() != header.len() {
+            return Err(format!(
+                "row {} has {} fields, header has {}",
+                i + 2,
+                row.len(),
+                header.len()
+            ));
+        }
+    }
+    let num_cols = header.len();
+    let mut fields = Vec::with_capacity(num_cols);
+    let mut types = Vec::with_capacity(num_cols);
+    for c in 0..num_cols {
+        let cells = rows.iter().map(|r| r[c].as_str());
+        let (dt, nullable) = infer_type(cells);
+        types.push(dt);
+        fields.push(if nullable {
+            Field::nullable(header[c].clone(), dt)
+        } else {
+            Field::new(header[c].clone(), dt)
+        });
+    }
+    let schema = Schema::new(fields);
+    let mut table = Table::empty(schema);
+    for row in rows {
+        let values: Result<Vec<Value>, String> = row
+            .iter()
+            .zip(&types)
+            .map(|(cell, &dt)| parse_cell(cell, dt))
+            .collect();
+        table.push_row(values?)?;
+    }
+    Ok(table)
+}
+
+/// Serializes a table as CSV with a header row. Strings containing commas,
+/// quotes, or newlines are quoted; NULLs serialize as empty cells.
+pub fn write_csv<W: Write>(table: &Table, writer: &mut W) -> std::io::Result<()> {
+    let names: Vec<&str> = table.schema().fields().iter().map(|f| f.name()).collect();
+    writeln!(writer, "{}", names.iter().map(|n| escape(n)).collect::<Vec<_>>().join(","))?;
+    for r in 0..table.num_rows() {
+        let mut cells = Vec::with_capacity(table.num_columns());
+        for c in 0..table.num_columns() {
+            cells.push(escape(&table.column_at(c).value(r).to_string()));
+        }
+        writeln!(writer, "{}", cells.join(","))?;
+    }
+    Ok(())
+}
+
+fn escape(cell: &str) -> String {
+    if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+        format!("\"{}\"", cell.replace('"', "\"\""))
+    } else {
+        cell.to_owned()
+    }
+}
+
+fn infer_type<'a>(cells: impl Iterator<Item = &'a str> + Clone) -> (DataType, bool) {
+    let mut nullable = false;
+    let mut all_bool = true;
+    let mut all_int = true;
+    let mut all_float = true;
+    let mut saw_value = false;
+    for cell in cells {
+        if cell.is_empty() {
+            nullable = true;
+            continue;
+        }
+        saw_value = true;
+        if cell != "true" && cell != "false" {
+            all_bool = false;
+        }
+        if cell.parse::<i64>().is_err() {
+            all_int = false;
+        }
+        if cell.parse::<f64>().is_err() {
+            all_float = false;
+        }
+    }
+    let dt = if !saw_value {
+        DataType::Str
+    } else if all_bool {
+        DataType::Bool
+    } else if all_int {
+        DataType::Int
+    } else if all_float {
+        DataType::Float
+    } else {
+        DataType::Str
+    };
+    (dt, nullable)
+}
+
+fn parse_cell(cell: &str, dt: DataType) -> Result<Value, String> {
+    if cell.is_empty() {
+        return Ok(Value::Null);
+    }
+    match dt {
+        DataType::Bool => cell
+            .parse::<bool>()
+            .map(Value::Bool)
+            .map_err(|e| format!("bad bool {cell:?}: {e}")),
+        DataType::Int => cell
+            .parse::<i64>()
+            .map(Value::Int)
+            .map_err(|e| format!("bad int {cell:?}: {e}")),
+        DataType::Float => cell
+            .parse::<f64>()
+            .map(Value::Float)
+            .map_err(|e| format!("bad float {cell:?}: {e}")),
+        DataType::Str => Ok(Value::Str(cell.to_owned())),
+    }
+}
+
+/// Splits CSV input into records of unquoted fields (RFC-4180).
+fn parse_records<R: BufRead>(mut reader: R) -> Result<Vec<Vec<String>>, String> {
+    let mut text = String::new();
+    reader
+        .read_to_string(&mut text)
+        .map_err(|e| format!("io error: {e}"))?;
+    let mut records = Vec::new();
+    let mut record: Vec<String> = Vec::new();
+    let mut field = String::new();
+    let mut in_quotes = false;
+    let mut chars = text.chars().peekable();
+    let mut any = false;
+    while let Some(ch) = chars.next() {
+        any = true;
+        if in_quotes {
+            match ch {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        field.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                _ => field.push(ch),
+            }
+        } else {
+            match ch {
+                '"' => in_quotes = true,
+                ',' => {
+                    record.push(std::mem::take(&mut field));
+                }
+                '\r' => {
+                    // Swallow; the \n (if any) terminates the record.
+                }
+                '\n' => {
+                    record.push(std::mem::take(&mut field));
+                    records.push(std::mem::take(&mut record));
+                }
+                _ => field.push(ch),
+            }
+        }
+    }
+    if in_quotes {
+        return Err("unterminated quoted field".into());
+    }
+    if any && (!field.is_empty() || !record.is_empty()) {
+        record.push(field);
+        records.push(record);
+    }
+    Ok(records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn parses_types_and_nulls() {
+        let csv = "id,score,grade,ok\n1,0.5,A,true\n2,,B,false\n3,1.5,C,true\n";
+        let t = read_csv(Cursor::new(csv)).unwrap();
+        assert_eq!(t.num_rows(), 3);
+        assert_eq!(t.schema().field("id").unwrap().data_type(), DataType::Int);
+        assert_eq!(t.schema().field("score").unwrap().data_type(), DataType::Float);
+        assert!(t.schema().field("score").unwrap().is_nullable());
+        assert_eq!(t.schema().field("grade").unwrap().data_type(), DataType::Str);
+        assert_eq!(t.schema().field("ok").unwrap().data_type(), DataType::Bool);
+        assert_eq!(t.value(1, "score"), Some(Value::Null));
+        assert_eq!(t.value(2, "ok"), Some(Value::Bool(true)));
+    }
+
+    #[test]
+    fn quoted_fields_with_commas_and_quotes() {
+        let csv = "a,b\n\"x,y\",\"he said \"\"hi\"\"\"\n";
+        let t = read_csv(Cursor::new(csv)).unwrap();
+        assert_eq!(t.value(0, "a"), Some(Value::from("x,y")));
+        assert_eq!(t.value(0, "b"), Some(Value::from("he said \"hi\"")));
+    }
+
+    #[test]
+    fn crlf_line_endings() {
+        let csv = "a,b\r\n1,2\r\n3,4\r\n";
+        let t = read_csv(Cursor::new(csv)).unwrap();
+        assert_eq!(t.num_rows(), 2);
+        assert_eq!(t.value(1, "b"), Some(Value::Int(4)));
+    }
+
+    #[test]
+    fn missing_trailing_newline() {
+        let csv = "a\n1\n2";
+        let t = read_csv(Cursor::new(csv)).unwrap();
+        assert_eq!(t.num_rows(), 2);
+    }
+
+    #[test]
+    fn ragged_rows_error() {
+        let csv = "a,b\n1\n";
+        assert!(read_csv(Cursor::new(csv)).is_err());
+    }
+
+    #[test]
+    fn empty_input_errors() {
+        assert!(read_csv(Cursor::new("")).is_err());
+    }
+
+    #[test]
+    fn unterminated_quote_errors() {
+        assert!(read_csv(Cursor::new("a\n\"oops\n")).is_err());
+    }
+
+    #[test]
+    fn round_trip() {
+        let csv = "id,note,x\n1,\"a,b\",0.5\n2,,1.25\n";
+        let t = read_csv(Cursor::new(csv)).unwrap();
+        let mut out = Vec::new();
+        write_csv(&t, &mut out).unwrap();
+        let t2 = read_csv(Cursor::new(String::from_utf8(out).unwrap())).unwrap();
+        assert_eq!(t.num_rows(), t2.num_rows());
+        assert_eq!(t.value(0, "note"), t2.value(0, "note"));
+        assert_eq!(t.value(1, "x"), t2.value(1, "x"));
+    }
+}

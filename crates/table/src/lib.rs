@@ -1,0 +1,27 @@
+//! In-memory columnar relation substrate for the `expred` workspace.
+//!
+//! The paper's query `SELECT * FROM R(A, ID) WHERE f(ID) = 1` needs a small
+//! relational backbone: typed tables, a group-by over the correlated
+//! attribute, per-column metadata for predictor selection, and ingestion.
+//! This crate provides it from scratch:
+//!
+//! * [`value`] / [`schema`] / [`crate::column`] / [`table`] — the data model.
+//!   [`table::GroupBy`] is the central structure: the partition of rows by
+//!   a real or *virtual* correlated column.
+//! * [`csv`] — minimal RFC-4180 CSV ingestion for users with real data.
+//! * [`datasets`] — synthetic clones of the paper's four evaluation
+//!   datasets, calibrated to the published Table 2/3 statistics (see
+//!   DESIGN.md for the substitution argument).
+
+pub mod column;
+pub mod csv;
+pub mod datasets;
+pub mod schema;
+pub mod table;
+pub mod value;
+
+pub use column::Column;
+pub use datasets::{Dataset, DatasetSpec, LABEL_COLUMN};
+pub use schema::{Field, Schema};
+pub use table::{GroupBy, Table};
+pub use value::{DataType, Value};

@@ -1,0 +1,160 @@
+//! Table schemas.
+
+use crate::value::DataType;
+use std::fmt;
+
+/// One named, typed column descriptor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Field {
+    name: String,
+    data_type: DataType,
+    nullable: bool,
+}
+
+impl Field {
+    /// A non-nullable field.
+    pub fn new(name: impl Into<String>, data_type: DataType) -> Self {
+        Self {
+            name: name.into(),
+            data_type,
+            nullable: false,
+        }
+    }
+
+    /// A nullable field.
+    pub fn nullable(name: impl Into<String>, data_type: DataType) -> Self {
+        Self {
+            name: name.into(),
+            data_type,
+            nullable: true,
+        }
+    }
+
+    /// Field name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Field type.
+    pub fn data_type(&self) -> DataType {
+        self.data_type
+    }
+
+    /// Whether NULLs are permitted.
+    pub fn is_nullable(&self) -> bool {
+        self.nullable
+    }
+}
+
+/// An ordered collection of uniquely named fields.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    fields: Vec<Field>,
+}
+
+impl Schema {
+    /// Builds a schema, validating that field names are unique and
+    /// non-empty. Panics on violation — schemas are programmer-supplied
+    /// constants, not runtime inputs.
+    pub fn new(fields: Vec<Field>) -> Self {
+        let mut seen = std::collections::HashSet::new();
+        for f in &fields {
+            assert!(!f.name().is_empty(), "field names must be non-empty");
+            assert!(
+                seen.insert(f.name().to_owned()),
+                "duplicate field name {:?}",
+                f.name()
+            );
+        }
+        Self { fields }
+    }
+
+    /// All fields in declaration order.
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    /// Number of fields.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// Whether the schema has no fields.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// Index of the field with the given name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.fields.iter().position(|f| f.name() == name)
+    }
+
+    /// The field with the given name.
+    pub fn field(&self, name: &str) -> Option<&Field> {
+        self.fields.iter().find(|f| f.name() == name)
+    }
+
+    /// The field at a position.
+    pub fn field_at(&self, idx: usize) -> &Field {
+        &self.fields[idx]
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, field) in self.fields.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}: {}", field.name(), field.data_type())?;
+            if field.is_nullable() {
+                write!(f, "?")?;
+            }
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_by_name_and_index() {
+        let schema = Schema::new(vec![
+            Field::new("a", DataType::Int),
+            Field::nullable("b", DataType::Str),
+        ]);
+        assert_eq!(schema.len(), 2);
+        assert_eq!(schema.index_of("b"), Some(1));
+        assert_eq!(schema.index_of("missing"), None);
+        assert_eq!(schema.field("a").unwrap().data_type(), DataType::Int);
+        assert!(schema.field_at(1).is_nullable());
+        assert!(!schema.field_at(0).is_nullable());
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let schema = Schema::new(vec![
+            Field::new("x", DataType::Float),
+            Field::nullable("y", DataType::Bool),
+        ]);
+        assert_eq!(schema.to_string(), "(x: float, y: bool?)");
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_duplicate_names() {
+        Schema::new(vec![
+            Field::new("a", DataType::Int),
+            Field::new("a", DataType::Str),
+        ]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_empty_names() {
+        Schema::new(vec![Field::new("", DataType::Int)]);
+    }
+}

@@ -1,0 +1,336 @@
+//! The in-memory relation and its group-by operation.
+//!
+//! The paper's algorithms never need joins or sorts over the base relation;
+//! they need (a) row access by index, (b) partitioning rows into *groups*
+//! by the value of a (possibly virtual) correlated column, and (c) cheap
+//! per-column metadata (distinct counts) for the column-selection procedure
+//! of §4.4. [`Table`] provides exactly that.
+
+use crate::column::Column;
+use crate::schema::Schema;
+use crate::value::{Value, ValueKey};
+use std::collections::HashMap;
+
+/// An immutable-after-build, columnar, in-memory relation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    schema: Schema,
+    columns: Vec<Column>,
+    num_rows: usize,
+}
+
+impl Table {
+    /// An empty table with the given schema.
+    pub fn empty(schema: Schema) -> Self {
+        let columns = schema
+            .fields()
+            .iter()
+            .map(|f| Column::empty(f.data_type()))
+            .collect();
+        Self {
+            schema,
+            columns,
+            num_rows: 0,
+        }
+    }
+
+    /// Builds a table from rows, validating types against the schema.
+    pub fn from_rows(schema: Schema, rows: Vec<Vec<Value>>) -> Result<Self, String> {
+        let mut table = Self::empty(schema);
+        for row in rows {
+            table.push_row(row)?;
+        }
+        Ok(table)
+    }
+
+    /// Appends one row. Errors on arity or type mismatch, and on NULLs in
+    /// non-nullable fields.
+    pub fn push_row(&mut self, row: Vec<Value>) -> Result<(), String> {
+        if row.len() != self.schema.len() {
+            return Err(format!(
+                "row arity {} does not match schema arity {}",
+                row.len(),
+                self.schema.len()
+            ));
+        }
+        for (idx, value) in row.iter().enumerate() {
+            let field = self.schema.field_at(idx);
+            if value.is_null() && !field.is_nullable() {
+                return Err(format!("NULL in non-nullable field {:?}", field.name()));
+            }
+        }
+        for (idx, value) in row.into_iter().enumerate() {
+            self.columns[idx].push(value)?;
+        }
+        self.num_rows += 1;
+        Ok(())
+    }
+
+    /// The table's schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of rows.
+    pub fn num_rows(&self) -> usize {
+        self.num_rows
+    }
+
+    /// Number of columns.
+    pub fn num_columns(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// The column with the given name.
+    pub fn column(&self, name: &str) -> Option<&Column> {
+        self.schema.index_of(name).map(|i| &self.columns[i])
+    }
+
+    /// The column at an index.
+    pub fn column_at(&self, idx: usize) -> &Column {
+        &self.columns[idx]
+    }
+
+    /// The cell at `(row, column-name)`.
+    pub fn value(&self, row: usize, column: &str) -> Option<Value> {
+        self.column(column).map(|c| c.value(row))
+    }
+
+    /// Materializes one full row (mostly for tests and display).
+    pub fn row(&self, row: usize) -> Vec<Value> {
+        self.columns.iter().map(|c| c.value(row)).collect()
+    }
+
+    /// Partitions all rows by the value of `column`.
+    ///
+    /// Group order is deterministic: ascending by the group key's total
+    /// order (NULL first), so downstream algorithms and experiments are
+    /// reproducible.
+    pub fn group_by(&self, column: &str) -> Result<GroupBy, String> {
+        let col = self
+            .column(column)
+            .ok_or_else(|| format!("no column named {column:?}"))?;
+        // First pass: bucket row ids by key.
+        let mut buckets: HashMap<ValueKey<'_>, Vec<u32>> = HashMap::new();
+        let keys_owned: Vec<Value> = (0..self.num_rows).map(|r| col.value(r)).collect();
+        for (row, key) in keys_owned.iter().enumerate() {
+            buckets.entry(key.sort_key()).or_default().push(row as u32);
+        }
+        // Deterministic group order: sort by key.
+        let mut entries: Vec<(ValueKey<'_>, Vec<u32>)> = buckets.into_iter().collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut keys = Vec::with_capacity(entries.len());
+        let mut rows = Vec::with_capacity(entries.len());
+        for (key, group_rows) in entries {
+            // Recover an owned Value for the key from its first row.
+            let first = group_rows[0] as usize;
+            debug_assert_eq!(keys_owned[first].sort_key(), key);
+            keys.push(keys_owned[first].clone());
+            rows.push(group_rows);
+        }
+        Ok(GroupBy::new(column.to_owned(), keys, rows, self.num_rows))
+    }
+}
+
+/// The result of partitioning a table's rows by a column's values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupBy {
+    column: String,
+    keys: Vec<Value>,
+    rows: Vec<Vec<u32>>,
+    num_rows: usize,
+}
+
+impl GroupBy {
+    /// Builds a grouping from externally computed assignments.
+    ///
+    /// This is also the entry point for *virtual* columns (paper §4.4):
+    /// bucketized classifier scores never materialize as a table column,
+    /// they arrive here directly.
+    pub fn new(column: String, keys: Vec<Value>, rows: Vec<Vec<u32>>, num_rows: usize) -> Self {
+        assert_eq!(keys.len(), rows.len(), "one key per group required");
+        assert!(
+            rows.iter().all(|g| !g.is_empty()),
+            "groups must be nonempty"
+        );
+        let total: usize = rows.iter().map(|g| g.len()).sum();
+        assert_eq!(total, num_rows, "groups must partition all rows");
+        Self {
+            column,
+            keys,
+            rows,
+            num_rows,
+        }
+    }
+
+    /// Builds a grouping from a per-row group-id assignment (ids must be
+    /// dense `0..k`).
+    pub fn from_assignments(column: &str, assignments: &[usize]) -> Self {
+        let k = assignments.iter().copied().max().map_or(0, |m| m + 1);
+        let mut rows: Vec<Vec<u32>> = vec![Vec::new(); k];
+        for (row, &g) in assignments.iter().enumerate() {
+            rows[g].push(row as u32);
+        }
+        // Drop empty buckets while preserving order, renumbering keys.
+        let mut keys = Vec::new();
+        let mut kept = Vec::new();
+        for (id, group) in rows.into_iter().enumerate() {
+            if !group.is_empty() {
+                keys.push(Value::Int(id as i64));
+                kept.push(group);
+            }
+        }
+        Self::new(column.to_owned(), keys, kept, assignments.len())
+    }
+
+    /// The grouping column's name (or the virtual column's label).
+    pub fn column(&self) -> &str {
+        &self.column
+    }
+
+    /// Number of groups.
+    pub fn num_groups(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Total number of rows across groups.
+    pub fn num_rows(&self) -> usize {
+        self.num_rows
+    }
+
+    /// The key of group `g`.
+    pub fn key(&self, g: usize) -> &Value {
+        &self.keys[g]
+    }
+
+    /// The row ids in group `g`.
+    pub fn rows(&self, g: usize) -> &[u32] {
+        &self.rows[g]
+    }
+
+    /// The size `t_a` of group `g`.
+    pub fn size(&self, g: usize) -> usize {
+        self.rows[g].len()
+    }
+
+    /// All group sizes.
+    pub fn sizes(&self) -> Vec<usize> {
+        self.rows.iter().map(|g| g.len()).collect()
+    }
+
+    /// Iterator over `(group_index, key, row_ids)`.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &Value, &[u32])> {
+        self.keys
+            .iter()
+            .enumerate()
+            .map(move |(i, k)| (i, k, self.rows[i].as_slice()))
+    }
+
+    /// Inverse mapping: for each row, which group contains it.
+    pub fn group_of_rows(&self) -> Vec<usize> {
+        let mut out = vec![usize::MAX; self.num_rows];
+        for (g, rows) in self.rows.iter().enumerate() {
+            for &r in rows {
+                out[r as usize] = g;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Field;
+    use crate::value::DataType;
+
+    fn sample_table() -> Table {
+        let schema = Schema::new(vec![
+            Field::new("a", DataType::Int),
+            Field::new("name", DataType::Str),
+            Field::new("good", DataType::Bool),
+        ]);
+        let rows = vec![
+            vec![Value::Int(1), Value::from("w"), Value::Bool(true)],
+            vec![Value::Int(2), Value::from("x"), Value::Bool(false)],
+            vec![Value::Int(1), Value::from("y"), Value::Bool(true)],
+            vec![Value::Int(3), Value::from("z"), Value::Bool(false)],
+            vec![Value::Int(2), Value::from("v"), Value::Bool(true)],
+        ];
+        Table::from_rows(schema, rows).unwrap()
+    }
+
+    #[test]
+    fn build_and_access() {
+        let t = sample_table();
+        assert_eq!(t.num_rows(), 5);
+        assert_eq!(t.num_columns(), 3);
+        assert_eq!(t.value(3, "name"), Some(Value::from("z")));
+        assert_eq!(t.row(0), vec![Value::Int(1), Value::from("w"), Value::Bool(true)]);
+        assert!(t.column("missing").is_none());
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let mut t = sample_table();
+        assert!(t.push_row(vec![Value::Int(1)]).is_err());
+    }
+
+    #[test]
+    fn null_in_non_nullable_rejected() {
+        let mut t = sample_table();
+        let err = t
+            .push_row(vec![Value::Null, Value::from("q"), Value::Bool(true)])
+            .unwrap_err();
+        assert!(err.contains("non-nullable"), "{err}");
+    }
+
+    #[test]
+    fn group_by_partitions_rows() {
+        let t = sample_table();
+        let g = t.group_by("a").unwrap();
+        assert_eq!(g.num_groups(), 3);
+        assert_eq!(g.num_rows(), 5);
+        // Sorted keys: 1, 2, 3.
+        assert_eq!(g.key(0), &Value::Int(1));
+        assert_eq!(g.rows(0), &[0, 2]);
+        assert_eq!(g.key(1), &Value::Int(2));
+        assert_eq!(g.rows(1), &[1, 4]);
+        assert_eq!(g.size(2), 1);
+        assert_eq!(g.sizes(), vec![2, 2, 1]);
+    }
+
+    #[test]
+    fn group_of_rows_inverts() {
+        let t = sample_table();
+        let g = t.group_by("a").unwrap();
+        let inv = g.group_of_rows();
+        for (gi, _, rows) in g.iter() {
+            for &r in rows {
+                assert_eq!(inv[r as usize], gi);
+            }
+        }
+    }
+
+    #[test]
+    fn group_by_missing_column_errors() {
+        let t = sample_table();
+        assert!(t.group_by("nope").is_err());
+    }
+
+    #[test]
+    fn from_assignments_drops_empty_buckets() {
+        let g = GroupBy::from_assignments("virt", &[0, 2, 2, 0]);
+        assert_eq!(g.num_groups(), 2);
+        assert_eq!(g.rows(0), &[0, 3]);
+        assert_eq!(g.rows(1), &[1, 2]);
+        assert_eq!(g.key(0), &Value::Int(0));
+        assert_eq!(g.key(1), &Value::Int(2));
+    }
+
+    #[test]
+    #[should_panic]
+    fn groupby_must_partition() {
+        GroupBy::new("c".into(), vec![Value::Int(0)], vec![vec![0, 1]], 5);
+    }
+}

@@ -1,0 +1,98 @@
+//! Property tests for the relation substrate.
+
+use expred_table::csv::{read_csv, write_csv};
+use expred_table::datasets::{all_specs, Dataset, DatasetSpec};
+use expred_table::{DataType, Field, Schema, Table, Value};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn group_by_partitions_every_row(values in prop::collection::vec(0i64..6, 1..300)) {
+        let schema = Schema::new(vec![Field::new("g", DataType::Int)]);
+        let rows: Vec<Vec<Value>> = values.iter().map(|&v| vec![Value::Int(v)]).collect();
+        let table = Table::from_rows(schema, rows).unwrap();
+        let groups = table.group_by("g").unwrap();
+        // Partition: every row exactly once.
+        let mut seen = vec![false; values.len()];
+        for (_, key, rows) in groups.iter() {
+            for &r in rows {
+                prop_assert!(!seen[r as usize], "row {r} in two groups");
+                seen[r as usize] = true;
+                prop_assert_eq!(&Value::Int(values[r as usize]), key);
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+        // Keys sorted ascending.
+        for w in (0..groups.num_groups()).collect::<Vec<_>>().windows(2) {
+            prop_assert!(groups.key(w[0]).sort_key() < groups.key(w[1]).sort_key());
+        }
+    }
+
+    #[test]
+    fn csv_round_trip_arbitrary_strings(cells in prop::collection::vec("[ -~]{0,12}", 1..40)) {
+        // Printable-ASCII strings (commas, quotes and all) must survive a
+        // write/read cycle. Empty strings become NULL by the format's
+        // convention, so map them away.
+        let schema = Schema::new(vec![Field::new("s", DataType::Str)]);
+        let rows: Vec<Vec<Value>> = cells
+            .iter()
+            .map(|c| {
+                let c = if c.is_empty() { "_" } else { c.as_str() };
+                vec![Value::Str(c.to_owned())]
+            })
+            .collect();
+        let table = Table::from_rows(schema, rows).unwrap();
+        let mut buf = Vec::new();
+        write_csv(&table, &mut buf).unwrap();
+        let back = read_csv(std::io::Cursor::new(buf)).unwrap();
+        prop_assert_eq!(back.num_rows(), table.num_rows());
+        for r in 0..table.num_rows() {
+            // Numeric-looking strings may re-infer as numbers; compare via
+            // display form, which is inference-invariant.
+            prop_assert_eq!(
+                back.column_at(0).value(r).to_string(),
+                table.column_at(0).value(r).to_string()
+            );
+        }
+    }
+
+    #[test]
+    fn dataset_clones_calibrate_across_seeds(seed in 0u64..30, which in 0usize..4) {
+        let spec = all_specs()[which];
+        // Shrink for speed while keeping calibration checkable.
+        let spec = DatasetSpec { rows: spec.rows / 4, ..spec };
+        let ds = Dataset::generate(spec, seed);
+        let stats = ds.group_stats(spec.predictor);
+        prop_assert_eq!(ds.table.num_rows(), spec.rows);
+        prop_assert_eq!(stats.num_groups, spec.groups);
+        prop_assert!(
+            (stats.overall_selectivity - spec.selectivity).abs() < 0.03,
+            "{}: selectivity {} vs {}",
+            spec.name,
+            stats.overall_selectivity,
+            spec.selectivity
+        );
+        // Correlation sign must match the paper's.
+        if spec.size_sel_corr.abs() > 0.3 {
+            prop_assert_eq!(
+                stats.size_sel_corr.signum(),
+                spec.size_sel_corr.signum(),
+                "{}: corr {} vs {}",
+                spec.name,
+                stats.size_sel_corr,
+                spec.size_sel_corr
+            );
+        }
+    }
+
+    #[test]
+    fn distinct_count_matches_naive(values in prop::collection::vec(0i64..10, 0..200)) {
+        let schema = Schema::new(vec![Field::new("v", DataType::Int)]);
+        let rows: Vec<Vec<Value>> = values.iter().map(|&v| vec![Value::Int(v)]).collect();
+        let table = Table::from_rows(schema, rows).unwrap();
+        let naive: std::collections::HashSet<i64> = values.iter().copied().collect();
+        prop_assert_eq!(table.column_at(0).distinct_count(), naive.len());
+    }
+}

@@ -1,0 +1,162 @@
+//! The paper's cost model and the audited cost tracker.
+//!
+//! Every tuple *retrieved* costs `o_r` and every tuple *evaluated* (a UDF
+//! invocation) costs `o_e`; discards are free (paper §2). The experiments
+//! use `o_e = 3, o_r = 1` ("evaluating the UDF is a factor of three more
+//! expensive than retrieving the tuple", §6.1).
+
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Per-action costs `(o_r, o_e)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    /// Cost `o_r` of retrieving one tuple from storage.
+    pub retrieve: f64,
+    /// Cost `o_e` of one UDF evaluation.
+    pub evaluate: f64,
+}
+
+impl CostModel {
+    /// The paper's default experimental cost model: `o_r = 1, o_e = 3`.
+    pub const PAPER_DEFAULT: CostModel = CostModel {
+        retrieve: 1.0,
+        evaluate: 3.0,
+    };
+
+    /// Creates a cost model; both costs must be nonnegative.
+    pub fn new(retrieve: f64, evaluate: f64) -> Self {
+        assert!(retrieve >= 0.0 && evaluate >= 0.0, "costs must be >= 0");
+        Self { retrieve, evaluate }
+    }
+
+    /// Total cost for the given action counts.
+    pub fn total(&self, retrieved: u64, evaluated: u64) -> f64 {
+        self.retrieve * retrieved as f64 + self.evaluate * evaluated as f64
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        Self::PAPER_DEFAULT
+    }
+}
+
+/// A snapshot of accumulated action counts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CostCounts {
+    /// Tuples retrieved from storage.
+    pub retrieved: u64,
+    /// UDF evaluations actually performed (cache misses).
+    pub evaluated: u64,
+    /// Evaluations answered from the memo without invoking the UDF.
+    pub cache_hits: u64,
+}
+
+impl CostCounts {
+    /// Total monetary/latency cost under `model`. Cache hits are free: a
+    /// memoized answer does not re-invoke the external service.
+    pub fn cost(&self, model: &CostModel) -> f64 {
+        model.total(self.retrieved, self.evaluated)
+    }
+}
+
+/// Thread-safe accumulator of retrieval/evaluation counts.
+///
+/// Cloning shares the underlying counters, so a tracker can be handed to
+/// several pipeline stages and still report one total.
+#[derive(Debug, Clone, Default)]
+pub struct CostTracker {
+    counts: Arc<Mutex<CostCounts>>,
+}
+
+impl CostTracker {
+    /// A fresh tracker with zero counts.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records `n` tuple retrievals.
+    pub fn add_retrievals(&self, n: u64) {
+        self.counts.lock().retrieved += n;
+    }
+
+    /// Records one UDF evaluation.
+    pub fn add_evaluation(&self) {
+        self.counts.lock().evaluated += 1;
+    }
+
+    /// Records one memoized evaluation (no external call).
+    pub fn add_cache_hit(&self) {
+        self.counts.lock().cache_hits += 1;
+    }
+
+    /// Current counts.
+    pub fn snapshot(&self) -> CostCounts {
+        *self.counts.lock()
+    }
+
+    /// Resets all counters to zero.
+    pub fn reset(&self) {
+        *self.counts.lock() = CostCounts::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_costs() {
+        let m = CostModel::default();
+        assert_eq!(m.retrieve, 1.0);
+        assert_eq!(m.evaluate, 3.0);
+        assert_eq!(m.total(10, 5), 25.0);
+    }
+
+    #[test]
+    fn tracker_accumulates() {
+        let t = CostTracker::new();
+        t.add_retrievals(4);
+        t.add_evaluation();
+        t.add_evaluation();
+        t.add_cache_hit();
+        let c = t.snapshot();
+        assert_eq!(c.retrieved, 4);
+        assert_eq!(c.evaluated, 2);
+        assert_eq!(c.cache_hits, 1);
+        assert_eq!(c.cost(&CostModel::PAPER_DEFAULT), 4.0 + 6.0);
+    }
+
+    #[test]
+    fn clones_share_counters() {
+        let t = CostTracker::new();
+        let t2 = t.clone();
+        t2.add_retrievals(3);
+        assert_eq!(t.snapshot().retrieved, 3);
+    }
+
+    #[test]
+    fn reset_zeroes() {
+        let t = CostTracker::new();
+        t.add_retrievals(9);
+        t.reset();
+        assert_eq!(t.snapshot(), CostCounts::default());
+    }
+
+    #[test]
+    fn cache_hits_are_free() {
+        let c = CostCounts {
+            retrieved: 0,
+            evaluated: 0,
+            cache_hits: 100,
+        };
+        assert_eq!(c.cost(&CostModel::PAPER_DEFAULT), 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn negative_costs_rejected() {
+        CostModel::new(-1.0, 1.0);
+    }
+}

@@ -1,0 +1,175 @@
+//! The audited UDF gateway.
+//!
+//! All algorithm code reaches the UDF through [`UdfInvoker`], never through
+//! [`crate::udf::BooleanUdf`] directly. The invoker
+//!
+//! * charges every retrieval and evaluation to a shared
+//!   [`crate::cost::CostTracker`] (so experiment costs include
+//!   sampling, exactly as the paper requires: "The cost of sampling tuples
+//!   to estimate the selectivity is included in the cost of the
+//!   algorithms", §6.2), and
+//! * memoizes evaluations per row, implementing the paper's observation
+//!   that already-sampled tuples "can be simply returned as part of the
+//!   query result without re-evaluating them" (§4.2).
+
+use crate::cost::{CostCounts, CostModel, CostTracker};
+use crate::udf::BooleanUdf;
+use expred_table::Table;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+/// Counted, memoized access to a UDF over one table.
+pub struct UdfInvoker<'a> {
+    udf: &'a dyn BooleanUdf,
+    table: &'a Table,
+    tracker: CostTracker,
+    memo: Mutex<HashMap<usize, bool>>,
+}
+
+impl<'a> UdfInvoker<'a> {
+    /// Creates an invoker with a fresh cost tracker.
+    pub fn new(udf: &'a dyn BooleanUdf, table: &'a Table) -> Self {
+        Self::with_tracker(udf, table, CostTracker::new())
+    }
+
+    /// Creates an invoker charging to an existing tracker (lets a pipeline
+    /// aggregate sampling and execution costs in one place).
+    pub fn with_tracker(udf: &'a dyn BooleanUdf, table: &'a Table, tracker: CostTracker) -> Self {
+        Self {
+            udf,
+            table,
+            tracker,
+            memo: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The table this invoker answers over.
+    pub fn table(&self) -> &Table {
+        self.table
+    }
+
+    /// Charges `n` tuple retrievals.
+    pub fn charge_retrievals(&self, n: u64) {
+        self.tracker.add_retrievals(n);
+    }
+
+    /// Evaluates the UDF on `row`, charging `o_e` unless this row was
+    /// already evaluated (then the memoized answer is returned free).
+    ///
+    /// Retrieval is charged separately by the caller — the executor decides
+    /// whether an evaluation happens on a freshly retrieved tuple.
+    pub fn evaluate(&self, row: usize) -> bool {
+        if let Some(&answer) = self.memo.lock().get(&row) {
+            self.tracker.add_cache_hit();
+            return answer;
+        }
+        let answer = self.udf.evaluate(self.table, row);
+        self.tracker.add_evaluation();
+        self.memo.lock().insert(row, answer);
+        answer
+    }
+
+    /// Whether `row` has already been evaluated (a free lookup).
+    pub fn is_evaluated(&self, row: usize) -> bool {
+        self.memo.lock().contains_key(&row)
+    }
+
+    /// The memoized answer for `row`, if it has been evaluated.
+    pub fn memoized(&self, row: usize) -> Option<bool> {
+        self.memo.lock().get(&row).copied()
+    }
+
+    /// Retrieves and evaluates `row` in one step (charges both actions).
+    pub fn retrieve_and_evaluate(&self, row: usize) -> bool {
+        self.charge_retrievals(1);
+        self.evaluate(row)
+    }
+
+    /// Current action counts.
+    pub fn counts(&self) -> CostCounts {
+        self.tracker.snapshot()
+    }
+
+    /// Total cost so far under `model`.
+    pub fn cost(&self, model: &CostModel) -> f64 {
+        self.counts().cost(model)
+    }
+
+    /// The shared tracker (for pipelines that stack invokers).
+    pub fn tracker(&self) -> &CostTracker {
+        &self.tracker
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::udf::OracleUdf;
+    use expred_table::{DataType, Field, Schema, Table, Value};
+
+    fn table_with_labels(labels: &[bool]) -> Table {
+        let schema = Schema::new(vec![Field::new("good", DataType::Bool)]);
+        let rows = labels.iter().map(|&l| vec![Value::Bool(l)]).collect();
+        Table::from_rows(schema, rows).unwrap()
+    }
+
+    #[test]
+    fn evaluations_are_charged_once_per_row() {
+        let t = table_with_labels(&[true, false, true]);
+        let udf = OracleUdf::new("good");
+        let inv = UdfInvoker::new(&udf, &t);
+        assert!(inv.evaluate(0));
+        assert!(inv.evaluate(0));
+        assert!(!inv.evaluate(1));
+        let c = inv.counts();
+        assert_eq!(c.evaluated, 2, "second call to row 0 must be memoized");
+        assert_eq!(c.cache_hits, 1);
+    }
+
+    #[test]
+    fn retrieve_and_evaluate_charges_both() {
+        let t = table_with_labels(&[true]);
+        let udf = OracleUdf::new("good");
+        let inv = UdfInvoker::new(&udf, &t);
+        assert!(inv.retrieve_and_evaluate(0));
+        let c = inv.counts();
+        assert_eq!(c.retrieved, 1);
+        assert_eq!(c.evaluated, 1);
+        assert_eq!(inv.cost(&CostModel::PAPER_DEFAULT), 4.0);
+    }
+
+    #[test]
+    fn memo_queries_are_free() {
+        let t = table_with_labels(&[true, false]);
+        let udf = OracleUdf::new("good");
+        let inv = UdfInvoker::new(&udf, &t);
+        assert!(!inv.is_evaluated(0));
+        assert_eq!(inv.memoized(0), None);
+        inv.evaluate(0);
+        assert!(inv.is_evaluated(0));
+        assert_eq!(inv.memoized(0), Some(true));
+        assert_eq!(inv.counts().evaluated, 1);
+    }
+
+    #[test]
+    fn shared_tracker_aggregates_across_invokers() {
+        let t = table_with_labels(&[true, false]);
+        let udf = OracleUdf::new("good");
+        let tracker = CostTracker::new();
+        let a = UdfInvoker::with_tracker(&udf, &t, tracker.clone());
+        let b = UdfInvoker::with_tracker(&udf, &t, tracker.clone());
+        a.evaluate(0);
+        b.evaluate(1);
+        assert_eq!(tracker.snapshot().evaluated, 2);
+    }
+
+    #[test]
+    fn charge_retrievals_accumulates() {
+        let t = table_with_labels(&[true]);
+        let udf = OracleUdf::new("good");
+        let inv = UdfInvoker::new(&udf, &t);
+        inv.charge_retrievals(10);
+        inv.charge_retrievals(5);
+        assert_eq!(inv.counts().retrieved, 15);
+    }
+}

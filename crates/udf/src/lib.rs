@@ -1,0 +1,23 @@
+//! Expensive-UDF abstraction for the `expred` workspace.
+//!
+//! The paper's object of study is a selection query whose predicate is an
+//! expensive black-box boolean function. This crate models that function
+//! and — critically for a faithful reproduction — *audits* every access to
+//! it:
+//!
+//! * [`udf`] — the [`BooleanUdf`] trait plus implementations: the
+//!   evaluation-protocol [`OracleUdf`] (answers from a hidden label
+//!   column), latency simulation, answer noise, and conjunctions.
+//! * [`cost`] — the `(o_r, o_e)` cost model and a shared, thread-safe
+//!   [`CostTracker`].
+//! * [`invoker`] — [`UdfInvoker`], the only gateway algorithm code may use:
+//!   it charges every retrieval/evaluation and memoizes answers so sampled
+//!   tuples are never paid for twice.
+
+pub mod cost;
+pub mod invoker;
+pub mod udf;
+
+pub use cost::{CostCounts, CostModel, CostTracker};
+pub use invoker::UdfInvoker;
+pub use udf::{BooleanUdf, ConjunctionUdf, NoisyUdf, OracleUdf, SlowUdf};

@@ -1,0 +1,256 @@
+//! The boolean UDF abstraction and its concrete implementations.
+//!
+//! The paper's `f(ID)` is an arbitrary expensive black box — a credit
+//! bureau call, an image classifier, a crowd task. For reproduction, the
+//! evaluation protocol (§6.1) designates a hidden label attribute as the
+//! UDF's answer: "we assume that the UDF f on each tuple returns the
+//! value … of this attribute for that tuple". [`OracleUdf`] implements
+//! exactly that; wrappers add timing or noise for robustness experiments.
+
+use expred_table::Table;
+use std::time::Duration;
+
+/// A boolean predicate over rows of a table — the expensive `f(ID) = 1`.
+///
+/// Implementations must be deterministic per `(table, row)` within one
+/// query execution (the paper's model: re-evaluating a tuple returns the
+/// same answer, which is why sampled tuples need not be re-evaluated).
+pub trait BooleanUdf: Send + Sync {
+    /// Evaluates the UDF on one row. This is the *expensive* call.
+    fn evaluate(&self, table: &Table, row: usize) -> bool;
+
+    /// Short human-readable name for diagnostics.
+    fn name(&self) -> &str {
+        "udf"
+    }
+}
+
+/// The evaluation-protocol UDF: answers from a hidden boolean column.
+#[derive(Debug, Clone)]
+pub struct OracleUdf {
+    column: String,
+}
+
+impl OracleUdf {
+    /// Answers from `column`, which must be a boolean column.
+    pub fn new(column: impl Into<String>) -> Self {
+        Self {
+            column: column.into(),
+        }
+    }
+
+    /// The backing column name.
+    pub fn column(&self) -> &str {
+        &self.column
+    }
+}
+
+impl BooleanUdf for OracleUdf {
+    fn evaluate(&self, table: &Table, row: usize) -> bool {
+        table
+            .column(&self.column)
+            .unwrap_or_else(|| panic!("oracle column {:?} missing", self.column))
+            .bool_at(row)
+            .unwrap_or_else(|| panic!("oracle column {:?} NULL/non-bool at row {row}", self.column))
+    }
+
+    fn name(&self) -> &str {
+        "oracle"
+    }
+}
+
+/// Wraps a UDF with simulated per-call latency, for wall-clock experiments
+/// where `o_e` models time rather than money.
+pub struct SlowUdf<U> {
+    inner: U,
+    delay: Duration,
+}
+
+impl<U: BooleanUdf> SlowUdf<U> {
+    /// Sleeps `delay` on every evaluation of `inner`.
+    pub fn new(inner: U, delay: Duration) -> Self {
+        Self { inner, delay }
+    }
+}
+
+impl<U: BooleanUdf> BooleanUdf for SlowUdf<U> {
+    fn evaluate(&self, table: &Table, row: usize) -> bool {
+        std::thread::sleep(self.delay);
+        self.inner.evaluate(table, row)
+    }
+
+    fn name(&self) -> &str {
+        "slow"
+    }
+}
+
+/// Wraps a UDF so a deterministic pseudo-random subset of rows gets a
+/// flipped answer. Models subjective/approximate UDFs ("the output of the
+/// UDF itself is subjective or approximate", §1); flips are a function of
+/// `(seed, row)` so repeated evaluation stays consistent.
+pub struct NoisyUdf<U> {
+    inner: U,
+    flip_probability: f64,
+    seed: u64,
+}
+
+impl<U: BooleanUdf> NoisyUdf<U> {
+    /// Flips `inner`'s answer on roughly `flip_probability` of rows.
+    pub fn new(inner: U, flip_probability: f64, seed: u64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&flip_probability),
+            "flip probability must be in [0,1]"
+        );
+        Self {
+            inner,
+            flip_probability,
+            seed,
+        }
+    }
+
+    fn flips(&self, row: usize) -> bool {
+        // SplitMix64 of (seed, row) -> uniform in [0,1).
+        let mut z = self.seed ^ (row as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        let u = (z >> 11) as f64 / (1u64 << 53) as f64;
+        u < self.flip_probability
+    }
+}
+
+impl<U: BooleanUdf> BooleanUdf for NoisyUdf<U> {
+    fn evaluate(&self, table: &Table, row: usize) -> bool {
+        let truth = self.inner.evaluate(table, row);
+        if self.flips(row) {
+            !truth
+        } else {
+            truth
+        }
+    }
+
+    fn name(&self) -> &str {
+        "noisy"
+    }
+}
+
+/// Conjunction of several UDFs — the "multiple predicates" extension
+/// (paper §5) evaluates tuples against `f1 AND f2 AND …`.
+pub struct ConjunctionUdf {
+    parts: Vec<Box<dyn BooleanUdf>>,
+}
+
+impl ConjunctionUdf {
+    /// Builds the conjunction of the given predicates (at least one).
+    pub fn new(parts: Vec<Box<dyn BooleanUdf>>) -> Self {
+        assert!(!parts.is_empty(), "conjunction needs at least one UDF");
+        Self { parts }
+    }
+
+    /// Number of conjuncts.
+    pub fn arity(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// Evaluates only the `i`-th conjunct.
+    pub fn evaluate_part(&self, i: usize, table: &Table, row: usize) -> bool {
+        self.parts[i].evaluate(table, row)
+    }
+}
+
+impl BooleanUdf for ConjunctionUdf {
+    fn evaluate(&self, table: &Table, row: usize) -> bool {
+        self.parts.iter().all(|p| p.evaluate(table, row))
+    }
+
+    fn name(&self) -> &str {
+        "conjunction"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use expred_table::{DataType, Field, Schema, Value};
+
+    fn table_with_labels(labels: &[bool]) -> Table {
+        let schema = Schema::new(vec![
+            Field::new("x", DataType::Int),
+            Field::new("good", DataType::Bool),
+        ]);
+        let rows = labels
+            .iter()
+            .enumerate()
+            .map(|(i, &l)| vec![Value::Int(i as i64), Value::Bool(l)])
+            .collect();
+        Table::from_rows(schema, rows).unwrap()
+    }
+
+    #[test]
+    fn oracle_reads_hidden_column() {
+        let t = table_with_labels(&[true, false, true]);
+        let udf = OracleUdf::new("good");
+        assert!(udf.evaluate(&t, 0));
+        assert!(!udf.evaluate(&t, 1));
+        assert!(udf.evaluate(&t, 2));
+        assert_eq!(udf.name(), "oracle");
+        assert_eq!(udf.column(), "good");
+    }
+
+    #[test]
+    #[should_panic]
+    fn oracle_panics_on_missing_column() {
+        let t = table_with_labels(&[true]);
+        OracleUdf::new("nope").evaluate(&t, 0);
+    }
+
+    #[test]
+    fn noisy_udf_is_deterministic_per_row() {
+        let t = table_with_labels(&[true; 64]);
+        let udf = NoisyUdf::new(OracleUdf::new("good"), 0.5, 99);
+        for row in 0..64 {
+            assert_eq!(udf.evaluate(&t, row), udf.evaluate(&t, row));
+        }
+    }
+
+    #[test]
+    fn noisy_udf_flip_rate_tracks_probability() {
+        let labels = vec![true; 4000];
+        let t = table_with_labels(&labels);
+        let udf = NoisyUdf::new(OracleUdf::new("good"), 0.25, 7);
+        let flipped = (0..4000).filter(|&r| !udf.evaluate(&t, r)).count();
+        let rate = flipped as f64 / 4000.0;
+        assert!((rate - 0.25).abs() < 0.03, "rate={rate}");
+    }
+
+    #[test]
+    fn noisy_udf_zero_probability_is_transparent() {
+        let t = table_with_labels(&[true, false, true, false]);
+        let udf = NoisyUdf::new(OracleUdf::new("good"), 0.0, 1);
+        for r in 0..4 {
+            assert_eq!(udf.evaluate(&t, r), OracleUdf::new("good").evaluate(&t, r));
+        }
+    }
+
+    #[test]
+    fn conjunction_ands_parts() {
+        let t = table_with_labels(&[true, false]);
+        let udf = ConjunctionUdf::new(vec![
+            Box::new(OracleUdf::new("good")),
+            Box::new(OracleUdf::new("good")),
+        ]);
+        assert!(udf.evaluate(&t, 0));
+        assert!(!udf.evaluate(&t, 1));
+        assert_eq!(udf.arity(), 2);
+        assert!(udf.evaluate_part(0, &t, 0));
+    }
+
+    #[test]
+    fn slow_udf_delegates() {
+        let t = table_with_labels(&[true]);
+        let udf = SlowUdf::new(OracleUdf::new("good"), Duration::from_millis(1));
+        let start = std::time::Instant::now();
+        assert!(udf.evaluate(&t, 0));
+        assert!(start.elapsed() >= Duration::from_millis(1));
+    }
+}

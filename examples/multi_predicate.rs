@@ -1,0 +1,66 @@
+//! Two chained expensive predicates (§5): trading accuracy between UDFs.
+//!
+//! ```text
+//! cargo run --release --example multi_predicate
+//! ```
+//!
+//! `SELECT * FROM listings WHERE is_fraud_free(id) = 1 AND
+//! passes_image_check(id) = 1` — both predicates are expensive, and the
+//! image check costs twice the fraud check. The joint optimizer decides,
+//! per correlation group, whether to return blindly, evaluate one
+//! predicate and assume the other, or evaluate both (short-circuited).
+
+use expred::core::extensions::{
+    solve_multi_predicate, MultiAction, MultiCost, PredicatePairGroup,
+};
+
+fn main() {
+    // Groups from a hypothetical correlated attribute: (size, s1, s2).
+    let groups = vec![
+        PredicatePairGroup { size: 4000.0, s1: 0.95, s2: 0.90 },
+        PredicatePairGroup { size: 3000.0, s1: 0.85, s2: 0.60 },
+        PredicatePairGroup { size: 2000.0, s1: 0.50, s2: 0.80 },
+        PredicatePairGroup { size: 1000.0, s1: 0.20, s2: 0.30 },
+    ];
+    let cost = MultiCost {
+        retrieve: 1.0,
+        eval1: 2.0, // fraud check
+        eval2: 4.0, // image check
+    };
+    let (alpha, beta) = (0.85, 0.85);
+    let plan = solve_multi_predicate(&groups, alpha, beta, &cost)
+        .expect("constraints satisfiable");
+
+    println!("joint plan (alpha = {alpha}, beta = {beta}):");
+    println!(
+        "{:>5} {:>6} {:>5} {:>5} | {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "group", "size", "s1", "s2", "return", "eval-f1", "eval-f2", "both", "discard"
+    );
+    for (a, g) in groups.iter().enumerate() {
+        println!(
+            "{:>5} {:>6} {:>5.2} {:>5.2} | {:>8.2} {:>8.2} {:>8.2} {:>8.2} {:>8.2}",
+            a,
+            g.size,
+            g.s1,
+            g.s2,
+            plan.prob(a, MultiAction::Return),
+            plan.prob(a, MultiAction::EvalFirst),
+            plan.prob(a, MultiAction::EvalSecond),
+            plan.prob(a, MultiAction::EvalBoth),
+            plan.discard_prob(a),
+        );
+    }
+    println!("\nexpected cost: {:.0}", plan.expected_cost);
+
+    // Contrast: the naive conjunction evaluates both predicates on every
+    // tuple (short-circuiting f2 behind f1).
+    let naive: f64 = groups
+        .iter()
+        .map(|g| g.size * (cost.retrieve + cost.eval1 + g.s1 * cost.eval2))
+        .sum();
+    println!("evaluate-both-everywhere cost: {naive:.0}");
+    println!(
+        "joint optimization saves {:.0}%",
+        100.0 * (1.0 - plan.expected_cost / naive)
+    );
+}
