@@ -65,7 +65,13 @@ fn bench_correlation_models(c: &mut Criterion) {
 }
 
 fn bench_sampling_rules(c: &mut Criterion) {
-    let ds = Dataset::generate(DatasetSpec { rows: 10_000, ..LENDING_CLUB }, 4);
+    let ds = Dataset::generate(
+        DatasetSpec {
+            rows: 10_000,
+            ..LENDING_CLUB
+        },
+        4,
+    );
     let mut group = c.benchmark_group("sampling_rule_pipeline");
     group.sample_size(10);
     // Equal-ish total budgets: 5% of 10k = 500 tuples.

@@ -11,7 +11,13 @@ use std::hint::black_box;
 
 fn bench_executor(c: &mut Criterion) {
     let rows = 50_000usize;
-    let ds = Dataset::generate(DatasetSpec { rows, ..LENDING_CLUB }, 3);
+    let ds = Dataset::generate(
+        DatasetSpec {
+            rows,
+            ..LENDING_CLUB
+        },
+        3,
+    );
     let groups = ds.table.group_by("grade").unwrap();
     let k = groups.num_groups();
     let udf = OracleUdf::new(expred_table::datasets::LABEL_COLUMN);
@@ -23,10 +29,7 @@ fn bench_executor(c: &mut Criterion) {
     let plans = [
         ("evaluate_all", Plan::evaluate_all(k)),
         ("discard_all", Plan::discard_all(k)),
-        (
-            "fractional",
-            Plan::new(vec![0.7; k], vec![0.35; k]),
-        ),
+        ("fractional", Plan::new(vec![0.7; k], vec![0.35; k])),
     ];
     for (name, plan) in &plans {
         group.bench_with_input(BenchmarkId::from_parameter(name), plan, |b, plan| {

@@ -49,7 +49,13 @@ fn bench_convex_optimizer(c: &mut Criterion) {
 /// The full Intel-Sample pipeline (grouping, sampling, optimizing,
 /// executing) on a mid-sized dataset.
 fn bench_full_pipeline(c: &mut Criterion) {
-    let ds = Dataset::generate(DatasetSpec { rows: 10_000, ..PROSPER }, 2);
+    let ds = Dataset::generate(
+        DatasetSpec {
+            rows: 10_000,
+            ..PROSPER
+        },
+        2,
+    );
     let cfg = IntelSampleConfig::experiment1(PredictorChoice::Fixed("grade".into()));
     let mut group = c.benchmark_group("intel_sample_pipeline");
     group.sample_size(10);

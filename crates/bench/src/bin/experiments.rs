@@ -61,19 +61,58 @@ fn main() {
     for name in which {
         let started = std::time::Instant::now();
         let (title, table): (&str, TextTable) = match name.as_str() {
-            "table2" => ("Table 2: selectivities and savings", experiments::table2(&cfg)),
-            "table3" => ("Table 3: group statistics (paper vs ours)", experiments::table3(&cfg)),
-            "fig1a" => ("Figure 1(a): evaluations, Naive / Intel-Sample / Optimal", experiments::fig1a(&cfg)),
-            "fig1b" => ("Figure 1(b): evaluations, Learning / Multiple / Intel-Sample", experiments::fig1b(&cfg)),
-            "fig1c" => ("Figure 1(c): evaluations vs num (logistic virtual column)", experiments::fig1c(&cfg)),
-            "fig2a" => ("Figure 2(a): precision-constraint satisfaction vs rho", experiments::fig2ab(&cfg, false)),
-            "fig2b" => ("Figure 2(b): recall-constraint satisfaction vs rho", experiments::fig2ab(&cfg, true)),
-            "fig2c" => ("Figure 2(c): evaluations vs alpha (LC, beta = 0.8)", experiments::fig2c(&cfg)),
-            "fig3a" => ("Figure 3(a): evaluations vs c (Constant sampling)", experiments::fig3a(&cfg)),
-            "fig3b" => ("Figure 3(b): evaluations vs num (Two-Third-Power sampling)", experiments::fig3b(&cfg)),
-            "fig3c" => ("Figure 3(c): retrievals vs beta (LC, alpha = 0.8)", experiments::fig3c(&cfg)),
-            "columns" => ("Section 6.2.1: per-column robustness sweep (LC)", experiments::columns(&cfg)),
-            "timing" => ("Section 6.2: optimizer compute time", experiments::timing(&cfg)),
+            "table2" => (
+                "Table 2: selectivities and savings",
+                experiments::table2(&cfg),
+            ),
+            "table3" => (
+                "Table 3: group statistics (paper vs ours)",
+                experiments::table3(&cfg),
+            ),
+            "fig1a" => (
+                "Figure 1(a): evaluations, Naive / Intel-Sample / Optimal",
+                experiments::fig1a(&cfg),
+            ),
+            "fig1b" => (
+                "Figure 1(b): evaluations, Learning / Multiple / Intel-Sample",
+                experiments::fig1b(&cfg),
+            ),
+            "fig1c" => (
+                "Figure 1(c): evaluations vs num (logistic virtual column)",
+                experiments::fig1c(&cfg),
+            ),
+            "fig2a" => (
+                "Figure 2(a): precision-constraint satisfaction vs rho",
+                experiments::fig2ab(&cfg, false),
+            ),
+            "fig2b" => (
+                "Figure 2(b): recall-constraint satisfaction vs rho",
+                experiments::fig2ab(&cfg, true),
+            ),
+            "fig2c" => (
+                "Figure 2(c): evaluations vs alpha (LC, beta = 0.8)",
+                experiments::fig2c(&cfg),
+            ),
+            "fig3a" => (
+                "Figure 3(a): evaluations vs c (Constant sampling)",
+                experiments::fig3a(&cfg),
+            ),
+            "fig3b" => (
+                "Figure 3(b): evaluations vs num (Two-Third-Power sampling)",
+                experiments::fig3b(&cfg),
+            ),
+            "fig3c" => (
+                "Figure 3(c): retrievals vs beta (LC, alpha = 0.8)",
+                experiments::fig3c(&cfg),
+            ),
+            "columns" => (
+                "Section 6.2.1: per-column robustness sweep (LC)",
+                experiments::columns(&cfg),
+            ),
+            "timing" => (
+                "Section 6.2: optimizer compute time",
+                experiments::timing(&cfg),
+            ),
             other => usage(&format!("unknown experiment {other}")),
         };
         println!("\n== {title} ==");

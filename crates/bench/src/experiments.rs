@@ -6,11 +6,11 @@
 //! `o_r = 1`, `o_e = 3`, 5% sampling for Experiment 1.
 
 use crate::harness::{fmt, paper_datasets, run_many, summarize, HarnessConfig, TextTable};
+use expred_core::baselines::{run_learning, run_multiple};
+use expred_core::optimize::CorrelationModel;
 use expred_core::pipeline::{
     run_intel_sample, run_naive, run_optimal, IntelSampleConfig, PredictorChoice,
 };
-use expred_core::baselines::{run_learning, run_multiple};
-use expred_core::optimize::CorrelationModel;
 use expred_core::query::QuerySpec;
 use expred_core::sampling::SampleSizeRule;
 use expred_table::datasets::Dataset;
@@ -36,7 +36,9 @@ pub fn table2(cfg: &HarnessConfig) -> TextTable {
             label_fraction: 0.01,
         });
         let intel = summarize(
-            &run_many(cfg.iterations, cfg.seed, |s| run_intel_sample(ds, &intel_cfg, s)),
+            &run_many(cfg.iterations, cfg.seed, |s| {
+                run_intel_sample(ds, &intel_cfg, s)
+            }),
             spec.alpha,
             spec.beta,
         );
@@ -115,7 +117,9 @@ pub fn fig1a(cfg: &HarnessConfig) -> TextTable {
             spec.beta,
         );
         let intel = summarize(
-            &run_many(cfg.iterations, cfg.seed, |s| run_intel_sample(ds, &intel_cfg, s)),
+            &run_many(cfg.iterations, cfg.seed, |s| {
+                run_intel_sample(ds, &intel_cfg, s)
+            }),
             spec.alpha,
             spec.beta,
         );
@@ -155,7 +159,9 @@ pub fn fig1b(cfg: &HarnessConfig) -> TextTable {
             spec.beta,
         );
         let intel = summarize(
-            &run_many(cfg.iterations, cfg.seed, |s| run_intel_sample(ds, &intel_cfg, s)),
+            &run_many(cfg.iterations, cfg.seed, |s| {
+                run_intel_sample(ds, &intel_cfg, s)
+            }),
             spec.alpha,
             spec.beta,
         );
@@ -189,7 +195,9 @@ pub fn fig1c(cfg: &HarnessConfig) -> TextTable {
                 },
             };
             let stats = summarize(
-                &run_many(cfg.iterations, cfg.seed, |s| run_intel_sample(ds, &intel_cfg, s)),
+                &run_many(cfg.iterations, cfg.seed, |s| {
+                    run_intel_sample(ds, &intel_cfg, s)
+                }),
                 spec.alpha,
                 spec.beta,
             );
@@ -243,7 +251,12 @@ pub fn fig2c(cfg: &HarnessConfig) -> TextTable {
     let ds = &paper_datasets(cfg.seed)[0]; // lc
     let alphas = [0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9];
     let ratios = [2.5, 3.5, 4.5];
-    let mut t = TextTable::new(vec!["alpha", "num/alpha 2.5", "num/alpha 3.5", "num/alpha 4.5"]);
+    let mut t = TextTable::new(vec![
+        "alpha",
+        "num/alpha 2.5",
+        "num/alpha 3.5",
+        "num/alpha 4.5",
+    ]);
     for &alpha in &alphas {
         let mut row = vec![fmt(alpha, 1)];
         for &ratio in &ratios {
@@ -255,7 +268,9 @@ pub fn fig2c(cfg: &HarnessConfig) -> TextTable {
                 predictor: fixed(ds),
             };
             let stats = summarize(
-                &run_many(cfg.iterations, cfg.seed, |s| run_intel_sample(ds, &intel_cfg, s)),
+                &run_many(cfg.iterations, cfg.seed, |s| {
+                    run_intel_sample(ds, &intel_cfg, s)
+                }),
                 spec.alpha,
                 spec.beta,
             );
@@ -288,7 +303,9 @@ fn sweep_sampling(cfg: &HarnessConfig, constant: bool) -> TextTable {
         "census",
         "marketing",
     ]);
-    let constants = [25.0, 50.0, 100.0, 250.0, 500.0, 1000.0, 2000.0, 3500.0, 5000.0];
+    let constants = [
+        25.0, 50.0, 100.0, 250.0, 500.0, 1000.0, 2000.0, 3500.0, 5000.0,
+    ];
     let nums = [0.5, 1.0, 2.0, 3.0, 4.0, 6.0, 8.0, 10.0, 13.0, 16.0];
     let params: &[f64] = if constant { &constants } else { &nums };
     for &p in params {
@@ -306,7 +323,9 @@ fn sweep_sampling(cfg: &HarnessConfig, constant: bool) -> TextTable {
                 predictor: fixed(ds),
             };
             let stats = summarize(
-                &run_many(cfg.iterations, cfg.seed, |s| run_intel_sample(ds, &intel_cfg, s)),
+                &run_many(cfg.iterations, cfg.seed, |s| {
+                    run_intel_sample(ds, &intel_cfg, s)
+                }),
                 spec.alpha,
                 spec.beta,
             );
@@ -335,7 +354,9 @@ pub fn fig3c(cfg: &HarnessConfig) -> TextTable {
                 predictor: fixed(ds),
             };
             let stats = summarize(
-                &run_many(cfg.iterations, cfg.seed, |s| run_intel_sample(ds, &intel_cfg, s)),
+                &run_many(cfg.iterations, cfg.seed, |s| {
+                    run_intel_sample(ds, &intel_cfg, s)
+                }),
                 spec.alpha,
                 spec.beta,
             );
@@ -361,7 +382,9 @@ pub fn columns(cfg: &HarnessConfig) -> TextTable {
     for col in ds.candidate_columns() {
         let intel_cfg = IntelSampleConfig::experiment1(PredictorChoice::Fixed(col.clone()));
         let stats = summarize(
-            &run_many(cfg.iterations, cfg.seed, |s| run_intel_sample(ds, &intel_cfg, s)),
+            &run_many(cfg.iterations, cfg.seed, |s| {
+                run_intel_sample(ds, &intel_cfg, s)
+            }),
             spec.alpha,
             spec.beta,
         );
@@ -427,7 +450,10 @@ mod tests {
             let intel: f64 = t.cell(r, 2).parse().unwrap();
             let optimal: f64 = t.cell(r, 3).parse().unwrap();
             assert!(naive > intel, "row {r}: naive {naive} vs intel {intel}");
-            assert!(intel >= optimal * 0.9, "row {r}: intel {intel} vs optimal {optimal}");
+            assert!(
+                intel >= optimal * 0.9,
+                "row {r}: intel {intel} vs optimal {optimal}"
+            );
         }
     }
 }

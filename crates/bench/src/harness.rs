@@ -58,18 +58,19 @@ where
     let seeds: Vec<u64> = (0..iterations as u64).map(|i| base_seed + i).collect();
     let mut out: Vec<Option<RunOutcome>> = (0..iterations).map(|_| None).collect();
     let chunk = iterations.div_ceil(workers.max(1));
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for (slice, seed_chunk) in out.chunks_mut(chunk).zip(seeds.chunks(chunk)) {
             let f = &f;
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 for (slot, &seed) in slice.iter_mut().zip(seed_chunk) {
                     *slot = Some(f(seed));
                 }
             });
         }
-    })
-    .expect("experiment worker panicked");
-    out.into_iter().map(|o| o.expect("all slots filled")).collect()
+    });
+    out.into_iter()
+        .map(|o| o.expect("all slots filled"))
+        .collect()
 }
 
 /// Summary statistics over a set of runs.
@@ -241,7 +242,13 @@ mod tests {
     fn run_many_is_deterministic_and_ordered() {
         use expred_core::{run_naive, QuerySpec};
         use expred_table::datasets::{Dataset, DatasetSpec, PROSPER};
-        let ds = Dataset::generate(DatasetSpec { rows: 1_000, ..PROSPER }, 1);
+        let ds = Dataset::generate(
+            DatasetSpec {
+                rows: 1_000,
+                ..PROSPER
+            },
+            1,
+        );
         let spec = QuerySpec::paper_default();
         let a = run_many(4, 10, |seed| run_naive(&ds, &spec, seed));
         let b = run_many(4, 10, |seed| run_naive(&ds, &spec, seed));

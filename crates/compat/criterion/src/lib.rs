@@ -1,0 +1,294 @@
+//! A minimal, dependency-free stand-in for the [`criterion`] benchmarking
+//! crate.
+//!
+//! The build environment has no network access, so the real crates.io
+//! `criterion` cannot be vendored. This crate implements the subset of its
+//! API used by the workspace benches — `criterion_group!`/`criterion_main!`,
+//! benchmark groups, `bench_function`/`bench_with_input`, `Throughput`,
+//! `BenchmarkId`, and `Bencher::iter` — with wall-clock measurement and a
+//! plain-text report (mean, min, max per benchmark, plus throughput).
+//!
+//! Statistical machinery (outlier rejection, bootstrap confidence
+//! intervals, HTML reports) is intentionally absent. Measurement knobs:
+//!
+//! * `sample_size(n)` — number of timed samples (default 10);
+//! * the `CRITERION_MAX_SECONDS` environment variable caps the time spent
+//!   per benchmark (default 5 seconds), so debug-profile runs stay fast.
+//!
+//! [`criterion`]: https://docs.rs/criterion
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How many logical units one iteration processes; folded into the report
+/// as a rate.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements (rows, tuples, …) per iteration.
+    Elements(u64),
+    /// Bytes per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark's display identity.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// A `function_name/parameter` id.
+    pub fn new(function_name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        Self {
+            text: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// An id that is just the parameter.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        Self {
+            text: parameter.to_string(),
+        }
+    }
+}
+
+impl<S: Into<String>> From<S> for BenchmarkId {
+    fn from(s: S) -> Self {
+        Self { text: s.into() }
+    }
+}
+
+/// Drives closures under measurement; handed to the bench body.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+    max_total: Duration,
+}
+
+impl Bencher {
+    /// Times `f`, collecting up to `sample_size` samples within the time
+    /// budget. Each sample is one call; outputs pass through `black_box`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up (also primes lazy state the first call builds).
+        black_box(f());
+        let started = Instant::now();
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            black_box(f());
+            self.samples.push(t.elapsed());
+            if started.elapsed() > self.max_total {
+                break;
+            }
+        }
+    }
+}
+
+fn max_seconds() -> f64 {
+    std::env::var("CRITERION_MAX_SECONDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(5.0)
+}
+
+fn report(id: &str, group: Option<&str>, samples: &[Duration], throughput: Option<Throughput>) {
+    let name = match group {
+        Some(g) => format!("{g}/{id}"),
+        None => id.to_owned(),
+    };
+    if samples.is_empty() {
+        println!("{name:<48} (no samples)");
+        return;
+    }
+    let secs: Vec<f64> = samples.iter().map(|d| d.as_secs_f64()).collect();
+    let mean = secs.iter().sum::<f64>() / secs.len() as f64;
+    let min = secs.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = secs.iter().cloned().fold(0.0f64, f64::max);
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) if mean > 0.0 => {
+            format!("  {:>12.0} elem/s", n as f64 / mean)
+        }
+        Some(Throughput::Bytes(n)) if mean > 0.0 => {
+            format!("  {:>12.0} B/s", n as f64 / mean)
+        }
+        _ => String::new(),
+    };
+    println!(
+        "{name:<48} time: [{} {} {}]{rate}  ({} samples)",
+        fmt_time(min),
+        fmt_time(mean),
+        fmt_time(max),
+        samples.len()
+    );
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.2} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.3} s")
+    }
+}
+
+/// The top-level benchmark driver.
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            default_sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.default_sample_size;
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            throughput: None,
+            sample_size,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: self.default_sample_size,
+            max_total: Duration::from_secs_f64(max_seconds()),
+        };
+        f(&mut b);
+        report(&id.text, None, &b.samples, None);
+        self
+    }
+}
+
+/// A group of benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration throughput used in reports.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Accepted for API compatibility; the shim's budget comes from
+    /// `CRITERION_MAX_SECONDS` instead.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+            max_total: Duration::from_secs_f64(max_seconds()),
+        };
+        f(&mut b);
+        report(&id.text, Some(&self.name), &b.samples, self.throughput);
+        self
+    }
+
+    /// Runs one benchmark with an explicit input handle.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (reporting is incremental, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// Declares a function running the listed benchmark targets in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo test`/`cargo bench` pass harness flags; a bench binary
+            // invoked with `--test` must not run the full measurement.
+            if std::env::args().any(|a| a == "--test") {
+                return;
+            }
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_render() {
+        assert_eq!(BenchmarkId::new("f", 8).text, "f/8");
+        assert_eq!(BenchmarkId::from_parameter("x").text, "x");
+        assert_eq!(BenchmarkId::from("plain").text, "plain");
+    }
+
+    #[test]
+    fn bencher_collects_samples() {
+        std::env::set_var("CRITERION_MAX_SECONDS", "1");
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.throughput(Throughput::Elements(4)).sample_size(3);
+        group.bench_function("noop", |b| b.iter(|| 2 + 2));
+        group.finish();
+    }
+
+    #[test]
+    fn time_formatting() {
+        assert!(fmt_time(3.2e-9).ends_with("ns"));
+        assert!(fmt_time(3.2e-6).ends_with("µs"));
+        assert!(fmt_time(3.2e-3).ends_with("ms"));
+        assert!(fmt_time(3.2).ends_with("s"));
+    }
+}

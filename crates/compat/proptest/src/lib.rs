@@ -1,0 +1,570 @@
+//! A minimal, dependency-free stand-in for the [`proptest`] crate.
+//!
+//! The build environment for this workspace has no network access, so the
+//! real crates.io `proptest` cannot be vendored. This crate implements the
+//! subset of its API that the workspace's property tests use, with the
+//! same names and shapes:
+//!
+//! * the [`proptest!`] macro with `#![proptest_config(..)]`, `pattern in
+//!   strategy` arguments, and `prop_assert!`/`prop_assert_eq!`;
+//! * [`strategy::Strategy`] with `prop_map`, implemented for numeric
+//!   ranges, tuples, `any::<T>()`, [`collection::vec`], and a small
+//!   character-class subset of regex string strategies;
+//! * deterministic case generation (seeded per test name and case index,
+//!   overridable via the `PROPTEST_CASES` environment variable).
+//!
+//! Differences from the real crate: no shrinking, no persisted failure
+//! regressions, and a fixed (rather than adaptively grown) case schedule.
+//! Failing cases report the test name and case index, which — together
+//! with the deterministic seeding — is enough to reproduce locally.
+//!
+//! [`proptest`]: https://docs.rs/proptest
+
+use std::fmt;
+
+/// Why a single generated case failed.
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// A failed assertion with the given rendered message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// Per-case outcome used by the generated test bodies.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+pub mod test_runner {
+    //! Test configuration and the deterministic per-case RNG.
+
+    /// Mirror of `proptest::test_runner::Config` (the `cases` knob only).
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of generated cases per property.
+        pub cases: u32,
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Self { cases: 64 }
+        }
+    }
+
+    impl Config {
+        /// A config running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    /// Effective case count: the config, unless `PROPTEST_CASES` overrides.
+    pub fn case_count(config: &Config) -> u32 {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(config.cases)
+    }
+
+    /// SplitMix64-based generator, seeded from the test name and case
+    /// index so every property sees a distinct but reproducible stream.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// The generator for one `(test, case)` pair.
+        pub fn for_case(test_name: &str, case: u32) -> Self {
+            let mut seed = 0xcbf2_9ce4_8422_2325u64; // FNV offset basis
+            for b in test_name.bytes() {
+                seed ^= b as u64;
+                seed = seed.wrapping_mul(0x100_0000_01b3);
+            }
+            seed = seed.wrapping_add((case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            let mut rng = Self { state: seed };
+            rng.next_u64(); // decouple from the raw hash
+            rng
+        }
+
+        /// Next raw 64-bit output (SplitMix64).
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform draw in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+
+        /// Uniform draw in `[0, 1]` (both endpoints reachable).
+        pub fn unit_f64_inclusive(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / ((1u64 << 53) - 1) as f64)
+        }
+
+        /// Uniform integer in `[0, n)`; `n` must be nonzero.
+        pub fn below(&mut self, n: u64) -> u64 {
+            debug_assert!(n > 0);
+            // Multiply-shift; bias is immaterial for test generation.
+            (((self.next_u64() as u128) * (n as u128)) >> 64) as u64
+        }
+    }
+}
+
+pub mod strategy {
+    //! The [`Strategy`] trait and its built-in implementations.
+
+    use super::test_runner::TestRng;
+    use std::marker::PhantomData;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A recipe for generating values of `Self::Value`.
+    ///
+    /// Unlike the real proptest `Strategy`, generation is direct (no value
+    /// trees, no shrinking): `generate` draws one value from the RNG.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// The strategy returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    macro_rules! int_range_strategies {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty strategy range");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + rng.below(span) as i128) as $t
+                }
+            }
+
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty strategy range");
+                    let span = (hi as i128 - lo as i128 + 1) as u64;
+                    (lo as i128 + rng.below(span) as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    int_range_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty strategy range");
+            let v = self.start + (self.end - self.start) * rng.unit_f64();
+            if v < self.end {
+                v
+            } else {
+                self.start
+            }
+        }
+    }
+
+    impl Strategy for RangeInclusive<f64> {
+        type Value = f64;
+
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            let (lo, hi) = (*self.start(), *self.end());
+            assert!(lo <= hi, "empty strategy range");
+            lo + (hi - lo) * rng.unit_f64_inclusive()
+        }
+    }
+
+    macro_rules! tuple_strategies {
+        ($(($($s:ident),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($s,)+) = self;
+                    ($($s.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategies! {
+        (A, B)
+        (A, B, C)
+        (A, B, C, D)
+        (A, B, C, D, E)
+        (A, B, C, D, E, F)
+    }
+
+    /// Types with a canonical full-domain strategy (see [`any`]).
+    pub trait Arbitrary {
+        /// Draws an unconstrained value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! arbitrary_ints {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    arbitrary_ints!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    /// The strategy returned by [`any`].
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// Full-domain strategy for `T`, mirroring `proptest::prelude::any`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    /// String strategy from a regex-like pattern.
+    ///
+    /// Supports the character-class-with-repetition subset this workspace
+    /// uses: `[a-z]{min,max}` (multiple ranges and literal characters
+    /// inside the class are fine). Anything fancier panics with a pointer
+    /// to this implementation.
+    impl Strategy for &str {
+        type Value = String;
+
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let (alphabet, min, max) = parse_class_pattern(self);
+            let len = min + rng.below((max - min + 1) as u64) as usize;
+            (0..len)
+                .map(|_| alphabet[rng.below(alphabet.len() as u64) as usize])
+                .collect()
+        }
+    }
+
+    fn parse_class_pattern(pattern: &str) -> (Vec<char>, usize, usize) {
+        let unsupported = || -> ! {
+            panic!(
+                "the offline proptest stand-in only supports `[class]{{min,max}}` \
+                 string patterns, got {pattern:?}"
+            )
+        };
+        let rest = pattern.strip_prefix('[').unwrap_or_else(|| unsupported());
+        let (class, rest) = rest.split_once(']').unwrap_or_else(|| unsupported());
+        let mut alphabet = Vec::new();
+        let chars: Vec<char> = class.chars().collect();
+        let mut i = 0;
+        while i < chars.len() {
+            if i + 2 < chars.len() && chars[i + 1] == '-' {
+                let (lo, hi) = (chars[i], chars[i + 2]);
+                assert!(lo <= hi, "inverted class range in {pattern:?}");
+                alphabet.extend(lo..=hi);
+                i += 3;
+            } else {
+                alphabet.push(chars[i]);
+                i += 1;
+            }
+        }
+        if alphabet.is_empty() {
+            unsupported();
+        }
+        let (min, max) = if rest.is_empty() {
+            (1, 1)
+        } else {
+            let body = rest
+                .strip_prefix('{')
+                .and_then(|r| r.strip_suffix('}'))
+                .unwrap_or_else(|| unsupported());
+            match body.split_once(',') {
+                Some((a, b)) => (
+                    a.parse().unwrap_or_else(|_| unsupported()),
+                    b.parse().unwrap_or_else(|_| unsupported()),
+                ),
+                None => {
+                    let n = body.parse().unwrap_or_else(|_| unsupported());
+                    (n, n)
+                }
+            }
+        };
+        assert!(min <= max, "inverted repetition in {pattern:?}");
+        (alphabet, min, max)
+    }
+}
+
+pub mod collection {
+    //! `Vec` strategies, mirroring `proptest::collection`.
+
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Inclusive bounds on a generated collection's length.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self { min: n, max: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            Self {
+                min: r.start,
+                max: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            Self {
+                min: *r.start(),
+                max: *r.end(),
+            }
+        }
+    }
+
+    /// The strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.max - self.size.min + 1) as u64;
+            let len = self.size.min + rng.below(span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// A `Vec` of values from `element`, with length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+/// Module-path mirror of the real crate's `prop` re-export hierarchy
+/// (`prop::collection::vec` and friends).
+pub mod prop {
+    pub use crate::collection;
+}
+
+pub mod prelude {
+    //! Mirrors `proptest::prelude`: everything a test file needs.
+
+    pub use crate::collection;
+    pub use crate::prop;
+    pub use crate::strategy::{any, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+    pub use crate::{TestCaseError, TestCaseResult};
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the current case
+/// (rather than panicking) on violation.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond));
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{:?}` != `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        if !(*left == *right) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    }};
+}
+
+/// The property-test entry macro; see the crate docs for supported syntax.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests!($cfg; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests!(
+            <$crate::test_runner::Config as ::std::default::Default>::default();
+            $($rest)*
+        );
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    ($cfg:expr; ) => {};
+    ($cfg:expr; #[test] fn $name:ident($($args:tt)*) $body:block $($rest:tt)*) => {
+        $crate::__proptest_one!($cfg; $name; ($($args)*); $body);
+        $crate::__proptest_tests!($cfg; $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_one {
+    ($cfg:expr; $name:ident; ($($arg:pat in $strat:expr),* $(,)?); $body:block) => {
+        #[test]
+        fn $name() {
+            let config: $crate::test_runner::Config = $cfg;
+            let cases = $crate::test_runner::case_count(&config);
+            for case in 0..cases {
+                let mut __proptest_rng =
+                    $crate::test_runner::TestRng::for_case(stringify!($name), case);
+                $(
+                    let $arg =
+                        $crate::strategy::Strategy::generate(&$strat, &mut __proptest_rng);
+                )*
+                let outcome: $crate::TestCaseResult = (|| {
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                if let ::std::result::Result::Err(e) = outcome {
+                    panic!(
+                        "property `{}` failed at case {}/{}: {}",
+                        stringify!($name),
+                        case,
+                        cases,
+                        e
+                    );
+                }
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn string_pattern_parses() {
+        let mut rng = crate::test_runner::TestRng::for_case("string_pattern", 0);
+        for _ in 0..100 {
+            let s = Strategy::generate(&"[ -~]{0,12}", &mut rng);
+            assert!(s.len() <= 12);
+            assert!(s.bytes().all(|b| (b' '..=b'~').contains(&b)));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_case() {
+        let mut a = crate::test_runner::TestRng::for_case("x", 3);
+        let mut b = crate::test_runner::TestRng::for_case("x", 3);
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn ranges_respect_bounds(x in 3usize..10, y in -2.0f64..2.0, b in any::<bool>()) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((-2.0..2.0).contains(&y));
+            let _drawn: bool = b;
+        }
+
+        #[test]
+        fn tuples_vecs_and_maps((n, v) in (1u64..5, prop::collection::vec(0i64..4, 0..6))) {
+            prop_assert!((1..5).contains(&n));
+            prop_assert!(v.len() < 6);
+            prop_assert_eq!(v.iter().filter(|&&x| x > 3).count(), 0);
+        }
+
+        #[test]
+        fn prop_map_composes(total in (0u32..10, 0u32..10).prop_map(|(a, b)| a + b)) {
+            prop_assert!(total < 20, "total {} out of range", total);
+        }
+    }
+}

@@ -11,12 +11,13 @@
 //!   exploiting them": run a fraction of the plan, fold the new
 //!   evaluations into the estimates, and re-plan.
 
-use crate::execute::{execute_plan, truth_vector};
+use crate::execute::{execute_plan_with, truth_vector};
 use crate::optimize::{solve_estimated, CorrelationModel};
 use crate::pipeline::RunOutcome;
 use crate::plan::Plan;
 use crate::query::QuerySpec;
-use crate::sampling::{adaptive_num_search, sample_groups, SampleSizeRule};
+use crate::sampling::{adaptive_num_search_with, sample_groups_with, SampleSizeRule};
+use expred_exec::{Executor, Sequential};
 use expred_ml::metrics::precision_recall;
 use expred_stats::rng::Prng;
 use expred_table::datasets::{Dataset, LABEL_COLUMN};
@@ -31,6 +32,18 @@ pub fn run_intel_sample_adaptive(
     predictor: &str,
     seed: u64,
 ) -> RunOutcome {
+    run_intel_sample_adaptive_with(ds, spec, corr, predictor, seed, &Sequential)
+}
+
+/// [`run_intel_sample_adaptive`], probing through `executor`.
+pub fn run_intel_sample_adaptive_with(
+    ds: &Dataset,
+    spec: &QuerySpec,
+    corr: CorrelationModel,
+    predictor: &str,
+    seed: u64,
+    executor: &dyn Executor,
+) -> RunOutcome {
     let start = Instant::now();
     let table = &ds.table;
     let udf = OracleUdf::new(LABEL_COLUMN);
@@ -38,13 +51,13 @@ pub fn run_intel_sample_adaptive(
     let mut rng = Prng::seeded(seed);
     let groups = table.group_by(predictor).expect("predictor column");
 
-    let outcome = adaptive_num_search(&groups, &invoker, spec, corr, &mut rng);
+    let outcome = adaptive_num_search_with(&groups, &invoker, spec, corr, &mut rng, executor);
     let est_groups = outcome.sample.to_estimated_groups(&groups);
     let (plan, plan_feasible) = match solve_estimated(&est_groups, spec, corr) {
         Ok(plan) => (plan, true),
         Err(_) => (Plan::evaluate_all(groups.num_groups()), false),
     };
-    let result = execute_plan(&plan, &groups, &invoker, &mut rng);
+    let result = execute_plan_with(&plan, &groups, &invoker, &mut rng, executor);
     let compute_seconds = start.elapsed().as_secs_f64();
 
     let truth = truth_vector(table, LABEL_COLUMN);
@@ -77,6 +90,30 @@ pub fn run_intel_sample_iterative(
     rounds: usize,
     seed: u64,
 ) -> RunOutcome {
+    run_intel_sample_iterative_with(
+        ds,
+        spec,
+        corr,
+        predictor,
+        initial_rule,
+        rounds,
+        seed,
+        &Sequential,
+    )
+}
+
+/// [`run_intel_sample_iterative`], probing through `executor`.
+#[allow(clippy::too_many_arguments)]
+pub fn run_intel_sample_iterative_with(
+    ds: &Dataset,
+    spec: &QuerySpec,
+    corr: CorrelationModel,
+    predictor: &str,
+    initial_rule: SampleSizeRule,
+    rounds: usize,
+    seed: u64,
+    executor: &dyn Executor,
+) -> RunOutcome {
     assert!(rounds >= 1, "need at least one round");
     let start = Instant::now();
     let table = &ds.table;
@@ -87,7 +124,7 @@ pub fn run_intel_sample_iterative(
     let k = groups.num_groups();
 
     // Initial estimates.
-    let mut sample = sample_groups(&groups, &invoker, initial_rule, &mut rng);
+    let mut sample = sample_groups_with(&groups, &invoker, initial_rule, &mut rng, executor);
     let mut returned: Vec<u32> = Vec::new();
     // Rows not yet touched by execution, per group.
     let mut pending: Vec<Vec<u32>> = (0..k).map(|g| groups.rows(g).to_vec()).collect();
@@ -132,11 +169,17 @@ pub fn run_intel_sample_iterative(
             total,
         );
         let slice_plan = Plan::new(slice_r, slice_e);
-        let result = execute_plan(&slice_plan, &slice_groups, &invoker, &mut rng);
+        let result = execute_plan_with(&slice_plan, &slice_groups, &invoker, &mut rng, executor);
         returned.extend(result.returned);
 
         // Fold everything evaluated so far back into the estimates.
-        let refreshed = sample_groups(&groups, &invoker, SampleSizeRule::Constant(0), &mut rng);
+        let refreshed = sample_groups_with(
+            &groups,
+            &invoker,
+            SampleSizeRule::Constant(0),
+            &mut rng,
+            executor,
+        );
         sample = refreshed;
     }
     returned.sort_unstable();
@@ -161,24 +204,25 @@ pub fn run_intel_sample_iterative(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::pipeline::{run_naive, run_intel_sample, IntelSampleConfig, PredictorChoice};
+    use crate::pipeline::{run_intel_sample, run_naive, IntelSampleConfig, PredictorChoice};
     use expred_table::datasets::{Dataset, DatasetSpec, PROSPER};
 
     fn small_prosper() -> Dataset {
-        Dataset::generate(DatasetSpec { rows: 6_000, ..PROSPER }, 41)
+        Dataset::generate(
+            DatasetSpec {
+                rows: 6_000,
+                ..PROSPER
+            },
+            41,
+        )
     }
 
     #[test]
     fn adaptive_pipeline_beats_naive_without_tuning() {
         let ds = small_prosper();
         let spec = QuerySpec::paper_default();
-        let adaptive = run_intel_sample_adaptive(
-            &ds,
-            &spec,
-            CorrelationModel::Independent,
-            "grade",
-            1,
-        );
+        let adaptive =
+            run_intel_sample_adaptive(&ds, &spec, CorrelationModel::Independent, "grade", 1);
         let naive = run_naive(&ds, &spec, 1);
         assert!(
             adaptive.counts.evaluated < naive.counts.evaluated,
@@ -194,13 +238,8 @@ mod tests {
         let spec = QuerySpec::paper_default();
         let mut ok = 0;
         for seed in 0..8 {
-            let out = run_intel_sample_adaptive(
-                &ds,
-                &spec,
-                CorrelationModel::Independent,
-                "grade",
-                seed,
-            );
+            let out =
+                run_intel_sample_adaptive(&ds, &spec, CorrelationModel::Independent, "grade", seed);
             if out.summary.meets(spec.alpha, spec.beta) {
                 ok += 1;
             }

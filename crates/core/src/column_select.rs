@@ -13,6 +13,7 @@
 
 use crate::optimize::solve_perfect_selectivities;
 use crate::query::QuerySpec;
+use expred_exec::{Executor, Sequential};
 use expred_ml::features::{extract_features, FeatureSpec};
 use expred_ml::logistic::{train, TrainConfig};
 use expred_stats::estimator::SelectivityEstimate;
@@ -48,6 +49,28 @@ pub fn rank_columns(
     label_fraction: f64,
     rng: &mut Prng,
 ) -> (Vec<ColumnScore>, Vec<u32>) {
+    rank_columns_with(
+        table,
+        candidates,
+        invoker,
+        spec,
+        label_fraction,
+        rng,
+        &Sequential,
+    )
+}
+
+/// [`rank_columns`], labelling each round's sample as one executor batch.
+#[allow(clippy::too_many_arguments)]
+pub fn rank_columns_with(
+    table: &Table,
+    candidates: &[String],
+    invoker: &UdfInvoker<'_>,
+    spec: &QuerySpec,
+    label_fraction: f64,
+    rng: &mut Prng,
+    executor: &dyn Executor,
+) -> (Vec<ColumnScore>, Vec<u32>) {
     assert!(!candidates.is_empty(), "need at least one candidate column");
     let n = table.num_rows();
     let max_rounds = 4;
@@ -61,11 +84,13 @@ pub fn rank_columns(
             let unlabelled: Vec<u32> = (0..n as u32)
                 .filter(|&r| !invoker.is_evaluated(r as usize))
                 .collect();
-            for idx in rng.sample_indices(unlabelled.len(), missing) {
-                let row = unlabelled[idx];
-                invoker.retrieve_and_evaluate(row as usize);
-                labelled.push(row);
-            }
+            let batch: Vec<usize> = rng
+                .sample_indices(unlabelled.len(), missing)
+                .into_iter()
+                .map(|idx| unlabelled[idx] as usize)
+                .collect();
+            invoker.retrieve_and_evaluate_batch(executor, &batch);
+            labelled.extend(batch.into_iter().map(|row| row as u32));
         }
         let limit = (labelled.len() as f64).sqrt().ceil() as usize;
         let eligible: Vec<&String> = candidates
@@ -187,8 +212,8 @@ mod tests {
             rank_columns(&ds.table, &candidates, &invoker, &spec, 0.01, &mut rng);
         assert!(!scores.is_empty());
         assert_eq!(labelled.len(), 300); // 1% of 30k
-        // The designated predictor ("grade") or its high-fidelity noisy
-        // copy should rank at or near the top.
+                                         // The designated predictor ("grade") or its high-fidelity noisy
+                                         // copy should rank at or near the top.
         let top3: Vec<&str> = scores.iter().take(3).map(|s| s.column.as_str()).collect();
         assert!(
             top3.contains(&"grade") || top3.contains(&"sub_grade"),
@@ -261,7 +286,11 @@ mod tests {
             &labelled,
             10,
         );
-        assert!(groups.num_groups() >= 5, "got {} buckets", groups.num_groups());
+        assert!(
+            groups.num_groups() >= 5,
+            "got {} buckets",
+            groups.num_groups()
+        );
         assert_eq!(groups.num_rows(), n);
         // Bucket selectivity (vs ground truth) should increase with the
         // bucket id: the regressor's score orders tuples by likelihood.

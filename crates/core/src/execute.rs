@@ -13,6 +13,7 @@
 //! result without re-evaluating them".
 
 use crate::plan::Plan;
+use expred_exec::{BatchPlanner, Executor, Sequential};
 use expred_stats::rng::Prng;
 use expred_table::GroupBy;
 use expred_udf::UdfInvoker;
@@ -28,11 +29,48 @@ pub struct ExecutionResult {
 
 /// Executes `plan` over `groups`, charging all retrievals/evaluations to
 /// `invoker` and reusing its memoized sample answers.
+///
+/// Equivalent to [`execute_plan_with`] on the [`Sequential`] backend.
 pub fn execute_plan(
     plan: &Plan,
     groups: &GroupBy,
     invoker: &UdfInvoker<'_>,
     rng: &mut Prng,
+) -> ExecutionResult {
+    execute_plan_with(plan, groups, invoker, rng, &Sequential)
+}
+
+/// Executes `plan` over `groups`, routing UDF probes through `executor`
+/// with the default in-flight budget.
+pub fn execute_plan_with(
+    plan: &Plan,
+    groups: &GroupBy,
+    invoker: &UdfInvoker<'_>,
+    rng: &mut Prng,
+    executor: &dyn Executor,
+) -> ExecutionResult {
+    execute_plan_with_planner(plan, groups, invoker, rng, executor, BatchPlanner::new())
+}
+
+/// Executes `plan` over `groups`, routing UDF probes through `executor`
+/// and a caller-supplied [`BatchPlanner`] (the way to bound how many
+/// rows one `evaluate_batch` call may carry — memory-bounded backends,
+/// crowd-scale windows).
+///
+/// The random decisions (retrieve? evaluate?) are drawn on the calling
+/// thread in group order — exactly the stream the sequential executor
+/// consumes — and only then are the chosen rows drained through the
+/// runtime: ordered by correlation group, in slices of at most the
+/// planner's `max_in_flight` rows (a slice may span a group boundary).
+/// The result is therefore byte-identical across backends and budgets
+/// for a fixed seed; only wall-clock time changes.
+pub fn execute_plan_with_planner(
+    plan: &Plan,
+    groups: &GroupBy,
+    invoker: &UdfInvoker<'_>,
+    rng: &mut Prng,
+    executor: &dyn Executor,
+    mut planner: BatchPlanner,
 ) -> ExecutionResult {
     assert_eq!(
         plan.num_groups(),
@@ -59,14 +97,19 @@ pub fn execute_plan(
             }
             invoker.charge_retrievals(1);
             if eval_given_retrieved > 0.0 && rng.bernoulli(eval_given_retrieved) {
-                if invoker.evaluate(row as usize) {
-                    returned.push(row);
-                }
+                planner.enqueue(g, row as usize);
             } else {
                 returned.push(row);
             }
         }
     }
+    // Every queued row is fresh (the memoized branch above skipped the
+    // rest) and distinct (groups partition rows), so the audited batch
+    // charges exactly one evaluation per row — the same bill the serial
+    // loop paid. Drain through the invoker, never the raw probe: the
+    // invoker is what memoizes the answers and charges the tracker.
+    let answers = planner.drain_with(&mut |rows| invoker.evaluate_batch(executor, rows));
+    returned.extend(answers.iter().filter(|a| a.answer).map(|a| a.row as u32));
     returned.sort_unstable();
     ExecutionResult {
         returned,
@@ -179,6 +222,30 @@ mod tests {
         let truth = truth_vector(&table, "label");
         assert!(result.returned.iter().all(|&r| truth[r as usize]));
         assert_eq!(result.returned.len(), n / 4);
+    }
+
+    #[test]
+    fn custom_in_flight_budget_does_not_change_the_outcome() {
+        use expred_exec::BatchPlanner;
+        let n = 3_000;
+        let labels: Vec<bool> = (0..n).map(|i| i % 3 == 0).collect();
+        let group_ids: Vec<i64> = (0..n as i64).map(|i| i % 4).collect();
+        let table = test_table(&labels, &group_ids);
+        let udf = OracleUdf::new("label");
+        let groups = table.group_by("g").unwrap();
+        let plan = Plan::new(vec![0.8; 4], vec![0.5; 4]);
+        let run = |planner: BatchPlanner| {
+            let invoker = UdfInvoker::new(&udf, &table);
+            let mut rng = Prng::seeded(17);
+            let result =
+                execute_plan_with_planner(&plan, &groups, &invoker, &mut rng, &Sequential, planner);
+            (result, invoker.counts())
+        };
+        let (default_result, default_counts) = run(BatchPlanner::new());
+        // A budget far below one group's queue forces many slices.
+        let (tiny_result, tiny_counts) = run(BatchPlanner::with_max_in_flight(7));
+        assert_eq!(default_result, tiny_result);
+        assert_eq!(default_counts, tiny_counts);
     }
 
     #[test]

@@ -84,10 +84,12 @@ mod tests {
     #[test]
     fn bigger_budget_buys_more_recall() {
         let (sizes, sels) = groups();
-        let small = maximize_recall_under_budget(&sizes, &sels, 0.8, 0.8, CostModel::PAPER_DEFAULT, 1500.0)
-            .expect("affordable");
-        let large = maximize_recall_under_budget(&sizes, &sels, 0.8, 0.8, CostModel::PAPER_DEFAULT, 6000.0)
-            .expect("affordable");
+        let small =
+            maximize_recall_under_budget(&sizes, &sels, 0.8, 0.8, CostModel::PAPER_DEFAULT, 1500.0)
+                .expect("affordable");
+        let large =
+            maximize_recall_under_budget(&sizes, &sels, 0.8, 0.8, CostModel::PAPER_DEFAULT, 6000.0)
+                .expect("affordable");
         assert!(large.achieved_beta > small.achieved_beta);
         assert!(small.expected_cost <= 1500.0 + 1e-6);
         assert!(large.expected_cost <= 6000.0 + 1e-6);
@@ -96,16 +98,18 @@ mod tests {
     #[test]
     fn unlimited_budget_reaches_full_recall() {
         let (sizes, sels) = groups();
-        let out = maximize_recall_under_budget(&sizes, &sels, 0.8, 0.8, CostModel::PAPER_DEFAULT, 1e9)
-            .expect("affordable");
+        let out =
+            maximize_recall_under_budget(&sizes, &sels, 0.8, 0.8, CostModel::PAPER_DEFAULT, 1e9)
+                .expect("affordable");
         assert_eq!(out.achieved_beta, 1.0);
     }
 
     #[test]
     fn zero_budget_zero_recall() {
         let (sizes, sels) = groups();
-        let out = maximize_recall_under_budget(&sizes, &sels, 0.8, 0.8, CostModel::PAPER_DEFAULT, 0.0)
-            .expect("beta = 0 costs nothing");
+        let out =
+            maximize_recall_under_budget(&sizes, &sels, 0.8, 0.8, CostModel::PAPER_DEFAULT, 0.0)
+                .expect("beta = 0 costs nothing");
         assert!(out.achieved_beta < 1e-6);
         assert_eq!(out.expected_cost, 0.0);
     }

@@ -40,10 +40,7 @@ pub fn solve_select_join(
     cost: &CostModel,
 ) -> Result<Plan, PlanError> {
     assert!((0.0..=1.0).contains(&alpha) && (0.0..=1.0).contains(&beta));
-    let recall_mass: f64 = subgroups
-        .iter()
-        .map(|g| g.size * g.sel * g.fanout)
-        .sum();
+    let recall_mass: f64 = subgroups.iter().map(|g| g.size * g.sel * g.fanout).sum();
     let groups: Vec<GreedyGroup> = subgroups
         .iter()
         .map(|g| {
@@ -78,8 +75,16 @@ mod tests {
         // Two subgroups, same size and selectivity, very different fan-out:
         // at beta = 0.5 the solver must prefer the high-fanout subgroup.
         let subs = vec![
-            JoinSubgroup { size: 100.0, sel: 0.5, fanout: 10.0 },
-            JoinSubgroup { size: 100.0, sel: 0.5, fanout: 1.0 },
+            JoinSubgroup {
+                size: 100.0,
+                sel: 0.5,
+                fanout: 10.0,
+            },
+            JoinSubgroup {
+                size: 100.0,
+                sel: 0.5,
+                fanout: 1.0,
+            },
         ];
         let plan = solve_select_join(&subs, 0.0, 0.5, &CostModel::PAPER_DEFAULT).unwrap();
         assert!(
@@ -95,15 +100,27 @@ mod tests {
         // in before a higher-selectivity subgroup with tiny fan-out — note
         // the greedy sorts by selectivity, so this requires the exact LP.
         let subs = vec![
-            JoinSubgroup { size: 100.0, sel: 0.4, fanout: 50.0 },
-            JoinSubgroup { size: 100.0, sel: 0.8, fanout: 1.0 },
+            JoinSubgroup {
+                size: 100.0,
+                sel: 0.4,
+                fanout: 50.0,
+            },
+            JoinSubgroup {
+                size: 100.0,
+                sel: 0.8,
+                fanout: 1.0,
+            },
         ];
         let plan = solve_select_join(&subs, 0.0, 0.4, &CostModel::PAPER_DEFAULT).unwrap();
         // Recall mass: 0.4*100*50 = 2000 vs 0.8*100*1 = 80; target = 832.
         // Covering via subgroup 0 costs 100·1·(832/2000); via subgroup 1 it
         // cannot even reach the target.
         assert!(plan.r()[0] > 0.3);
-        assert!(plan.r()[1] < 0.2, "low-fanout subgroup wasteful: {:?}", plan.r());
+        assert!(
+            plan.r()[1] < 0.2,
+            "low-fanout subgroup wasteful: {:?}",
+            plan.r()
+        );
     }
 
     #[test]
@@ -111,14 +128,26 @@ mod tests {
         // A junk subgroup with large fan-out poisons join-precision fast;
         // the solver must evaluate (not blind-return) it.
         let subs = vec![
-            JoinSubgroup { size: 100.0, sel: 0.95, fanout: 1.0 },
-            JoinSubgroup { size: 100.0, sel: 0.30, fanout: 20.0 },
+            JoinSubgroup {
+                size: 100.0,
+                sel: 0.95,
+                fanout: 1.0,
+            },
+            JoinSubgroup {
+                size: 100.0,
+                sel: 0.30,
+                fanout: 20.0,
+            },
         ];
         let plan = solve_select_join(&subs, 0.9, 0.9, &CostModel::PAPER_DEFAULT).unwrap();
         // Subgroup 1 is needed for recall (its weighted mass dominates) but
         // blind returns would crush precision, so it must be evaluated.
         assert!(plan.r()[1] > 0.8);
-        assert!(plan.e()[1] > 0.5, "junk subgroup must be evaluated: {:?}", plan.e());
+        assert!(
+            plan.e()[1] > 0.5,
+            "junk subgroup must be evaluated: {:?}",
+            plan.e()
+        );
     }
 
     #[test]
@@ -126,11 +155,23 @@ mod tests {
         // A subgroup with no correct tuples contributes nothing to recall
         // and only poisons precision; the plan must skip it entirely.
         let subs = vec![
-            JoinSubgroup { size: 100.0, sel: 0.0, fanout: 5.0 },
-            JoinSubgroup { size: 100.0, sel: 0.6, fanout: 1.0 },
+            JoinSubgroup {
+                size: 100.0,
+                sel: 0.0,
+                fanout: 5.0,
+            },
+            JoinSubgroup {
+                size: 100.0,
+                sel: 0.6,
+                fanout: 1.0,
+            },
         ];
         let plan = solve_select_join(&subs, 0.5, 0.8, &CostModel::PAPER_DEFAULT).unwrap();
-        assert!(plan.r()[0] < 1e-9, "junk subgroup retrieved: {:?}", plan.r());
+        assert!(
+            plan.r()[0] < 1e-9,
+            "junk subgroup retrieved: {:?}",
+            plan.r()
+        );
         assert!(plan.r()[1] > 0.7);
     }
 
@@ -139,20 +180,29 @@ mod tests {
         // With fan-out 1 everywhere the solution must match the plain
         // perfect-selectivity LP at zero slack.
         let subs = vec![
-            JoinSubgroup { size: 1000.0, sel: 0.9, fanout: 1.0 },
-            JoinSubgroup { size: 1000.0, sel: 0.5, fanout: 1.0 },
-            JoinSubgroup { size: 1000.0, sel: 0.1, fanout: 1.0 },
+            JoinSubgroup {
+                size: 1000.0,
+                sel: 0.9,
+                fanout: 1.0,
+            },
+            JoinSubgroup {
+                size: 1000.0,
+                sel: 0.5,
+                fanout: 1.0,
+            },
+            JoinSubgroup {
+                size: 1000.0,
+                sel: 0.1,
+                fanout: 1.0,
+            },
         ];
         let plan = solve_select_join(&subs, 0.9, 0.9, &CostModel::PAPER_DEFAULT).unwrap();
         let sizes = [1000.0, 1000.0, 1000.0];
         let sels = [0.9, 0.5, 0.1];
-        let plain = GreedyProblem::from_group_stats(
-            &sizes, &sels, 0.9, 1.0, 3.0,
-            0.9 * 1500.0,
-            0.0,
-        )
-        .solve_robust(true)
-        .unwrap();
+        let plain =
+            GreedyProblem::from_group_stats(&sizes, &sels, 0.9, 1.0, 3.0, 0.9 * 1500.0, 0.0)
+                .solve_robust(true)
+                .unwrap();
         let join_cost = plan.expected_cost(&sizes, &CostModel::PAPER_DEFAULT);
         assert!((join_cost - plain.cost).abs() < 1e-6 * (1.0 + plain.cost));
     }

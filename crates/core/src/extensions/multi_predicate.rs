@@ -16,7 +16,10 @@
 //! simplex.
 
 use crate::optimize::PlanError;
+use expred_exec::Executor;
 use expred_solver::lp::{Constraint, LinearProgram, LpOutcome, Relation};
+use expred_table::Table;
+use expred_udf::{ConjunctionUdf, CostTracker};
 
 /// Per-group statistics for a two-predicate conjunction.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -102,11 +105,7 @@ fn action_rates(g: &PredicatePairGroup, cost: &MultiCost, action: MultiAction) -
         MultiAction::EvalFirst => (cost.retrieve + cost.eval1, g.s1, s12),
         MultiAction::EvalSecond => (cost.retrieve + cost.eval2, g.s2, s12),
         // Evaluate f1 always, f2 only on f1-pass; output iff both.
-        MultiAction::EvalBoth => (
-            cost.retrieve + cost.eval1 + g.s1 * cost.eval2,
-            s12,
-            s12,
-        ),
+        MultiAction::EvalBoth => (cost.retrieve + cost.eval1 + g.s1 * cost.eval2, s12, s12),
     }
 }
 
@@ -163,8 +162,8 @@ pub fn solve_multi_predicate(
             let mut probs = Vec::with_capacity(k);
             for a in 0..k {
                 let mut p = [0.0; 4];
-                for i in 0..4 {
-                    p[i] = s.x[4 * a + i].clamp(0.0, 1.0);
+                for (i, slot) in p.iter_mut().enumerate() {
+                    *slot = s.x[4 * a + i].clamp(0.0, 1.0);
                 }
                 probs.push(p);
             }
@@ -321,6 +320,49 @@ pub fn solve_predicate_chain(
     }
 }
 
+/// Evaluates an `n`-predicate conjunction over `rows` in staged batches:
+/// conjunct 0 runs on the whole batch through `executor`, conjunct 1 only
+/// on the survivors, and so on — batched short-circuiting in the style of
+/// disjunction/conjunction evaluation for column stores, with each stage
+/// wide enough to keep a parallel backend busy.
+///
+/// Each conjunct invocation is charged to `tracker` as one evaluation
+/// (the scalar cost model prices every external call at `o_e`; for
+/// per-predicate prices see [`MultiCost`] and the planners above).
+/// Retrieval is charged by the caller, which decided to touch the rows.
+/// Answers come back in input order and are identical across executor
+/// backends.
+pub fn evaluate_conjunction_batch(
+    udf: &ConjunctionUdf,
+    table: &Table,
+    rows: &[usize],
+    tracker: &CostTracker,
+    executor: &dyn Executor,
+) -> Vec<bool> {
+    // Positions (into `rows`) still alive after the stages so far.
+    let mut alive: Vec<usize> = (0..rows.len()).collect();
+    for part in 0..udf.arity() {
+        if alive.is_empty() {
+            break;
+        }
+        let batch: Vec<usize> = alive.iter().map(|&position| rows[position]).collect();
+        let probe = |row: usize| udf.evaluate_part(part, table, row);
+        let verdicts = executor.evaluate_batch(&probe, &batch);
+        tracker.add_evaluations(batch.len() as u64);
+        alive = alive
+            .into_iter()
+            .zip(verdicts)
+            .filter(|&(_, passed)| passed)
+            .map(|(position, _)| position)
+            .collect();
+    }
+    let mut answers = vec![false; rows.len()];
+    for position in alive {
+        answers[position] = true;
+    }
+    answers
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -335,9 +377,21 @@ mod tests {
 
     fn groups() -> Vec<PredicatePairGroup> {
         vec![
-            PredicatePairGroup { size: 1000.0, s1: 0.9, s2: 0.95 },
-            PredicatePairGroup { size: 1000.0, s1: 0.5, s2: 0.6 },
-            PredicatePairGroup { size: 1000.0, s1: 0.1, s2: 0.2 },
+            PredicatePairGroup {
+                size: 1000.0,
+                s1: 0.9,
+                s2: 0.95,
+            },
+            PredicatePairGroup {
+                size: 1000.0,
+                s1: 0.5,
+                s2: 0.6,
+            },
+            PredicatePairGroup {
+                size: 1000.0,
+                s1: 0.1,
+                s2: 0.2,
+            },
         ]
     }
 
@@ -355,6 +409,67 @@ mod tests {
         }
         assert!(correct >= alpha * output - 1e-6, "precision violated");
         assert!(correct >= beta * total - 1e-6, "recall violated");
+    }
+
+    fn two_label_table(f1: &[bool], f2: &[bool]) -> Table {
+        use expred_table::{DataType, Field, Schema, Value};
+        let schema = Schema::new(vec![
+            Field::new("f1", DataType::Bool),
+            Field::new("f2", DataType::Bool),
+        ]);
+        let rows = f1
+            .iter()
+            .zip(f2)
+            .map(|(&a, &b)| vec![Value::Bool(a), Value::Bool(b)])
+            .collect();
+        Table::from_rows(schema, rows).unwrap()
+    }
+
+    #[test]
+    fn conjunction_batch_short_circuits_and_charges_per_stage() {
+        use expred_udf::OracleUdf;
+        let f1 = [true, true, false, false, true, false];
+        let f2 = [true, false, true, false, true, true];
+        let table = two_label_table(&f1, &f2);
+        let udf = ConjunctionUdf::new(vec![
+            Box::new(OracleUdf::new("f1")),
+            Box::new(OracleUdf::new("f2")),
+        ]);
+        let tracker = CostTracker::new();
+        let rows: Vec<usize> = (0..6).collect();
+        let answers =
+            evaluate_conjunction_batch(&udf, &table, &rows, &tracker, &expred_exec::Sequential);
+        let want: Vec<bool> = f1.iter().zip(&f2).map(|(&a, &b)| a && b).collect();
+        assert_eq!(answers, want);
+        // Stage 1 probes all 6 rows; stage 2 only the 3 f1-survivors.
+        assert_eq!(tracker.snapshot().evaluated, 6 + 3);
+    }
+
+    #[test]
+    fn conjunction_batch_identical_across_backends() {
+        use expred_udf::OracleUdf;
+        let n = 500;
+        let f1: Vec<bool> = (0..n).map(|i| i % 3 != 0).collect();
+        let f2: Vec<bool> = (0..n).map(|i| i % 5 != 0).collect();
+        let table = two_label_table(&f1, &f2);
+        let udf = ConjunctionUdf::new(vec![
+            Box::new(OracleUdf::new("f1")),
+            Box::new(OracleUdf::new("f2")),
+        ]);
+        let rows: Vec<usize> = (0..n).rev().collect();
+        let seq_tracker = CostTracker::new();
+        let seq =
+            evaluate_conjunction_batch(&udf, &table, &rows, &seq_tracker, &expred_exec::Sequential);
+        let par_tracker = CostTracker::new();
+        let par = evaluate_conjunction_batch(
+            &udf,
+            &table,
+            &rows,
+            &par_tracker,
+            &expred_exec::Parallel::with_threads(4),
+        );
+        assert_eq!(seq, par);
+        assert_eq!(seq_tracker.snapshot(), par_tracker.snapshot());
     }
 
     #[test]
@@ -391,8 +506,16 @@ mod tests {
     #[test]
     fn asymmetric_costs_prefer_cheap_predicate() {
         // Make f2 very cheap: evaluating f2 alone should dominate f1-alone.
-        let gs = vec![PredicatePairGroup { size: 1000.0, s1: 0.5, s2: 0.5 }];
-        let cheap2 = MultiCost { retrieve: 1.0, eval1: 10.0, eval2: 0.5 };
+        let gs = vec![PredicatePairGroup {
+            size: 1000.0,
+            s1: 0.5,
+            s2: 0.5,
+        }];
+        let cheap2 = MultiCost {
+            retrieve: 1.0,
+            eval1: 10.0,
+            eval2: 0.5,
+        };
         let plan = solve_multi_predicate(&gs, 0.9, 0.9, &cheap2).expect("feasible");
         assert!(
             plan.prob(0, MultiAction::EvalFirst) < 1e-6,
@@ -425,7 +548,10 @@ mod tests {
         let gs = groups();
         let chain_groups: Vec<ChainGroup> = gs
             .iter()
-            .map(|g| ChainGroup { size: g.size, sels: vec![g.s1, g.s2] })
+            .map(|g| ChainGroup {
+                size: g.size,
+                sels: vec![g.s1, g.s2],
+            })
             .collect();
         let pair = solve_multi_predicate(&gs, 0.8, 0.8, &cost()).unwrap();
         let chain = solve_predicate_chain(&chain_groups, 0.8, 0.8, &[3.0, 3.0], 1.0).unwrap();
@@ -447,9 +573,18 @@ mod tests {
     #[test]
     fn chain_three_predicates_solves_and_meets_constraints() {
         let groups = vec![
-            ChainGroup { size: 1000.0, sels: vec![0.9, 0.8, 0.95] },
-            ChainGroup { size: 1000.0, sels: vec![0.5, 0.7, 0.4] },
-            ChainGroup { size: 500.0, sels: vec![0.2, 0.3, 0.9] },
+            ChainGroup {
+                size: 1000.0,
+                sels: vec![0.9, 0.8, 0.95],
+            },
+            ChainGroup {
+                size: 1000.0,
+                sels: vec![0.5, 0.7, 0.4],
+            },
+            ChainGroup {
+                size: 500.0,
+                sels: vec![0.2, 0.3, 0.9],
+            },
         ];
         let eval_costs = [2.0, 5.0, 1.0];
         let plan = solve_predicate_chain(&groups, 0.85, 0.8, &eval_costs, 1.0).unwrap();
@@ -491,7 +626,11 @@ mod tests {
 
     #[test]
     fn full_precision_forces_eval_both_on_mixed_groups() {
-        let gs = vec![PredicatePairGroup { size: 100.0, s1: 0.6, s2: 0.6 }];
+        let gs = vec![PredicatePairGroup {
+            size: 100.0,
+            s1: 0.6,
+            s2: 0.6,
+        }];
         let plan = solve_multi_predicate(&gs, 1.0, 0.9, &cost()).expect("feasible");
         // Only EvalBoth has precision 1 on a mixed group.
         let non_both: f64 = plan.prob(0, MultiAction::Return)

@@ -31,15 +31,24 @@ pub mod plan;
 pub mod query;
 pub mod sampling;
 
-pub use adaptive::{run_intel_sample_adaptive, run_intel_sample_iterative};
-pub use execute::{execute_plan, truth_vector, ExecutionResult};
+pub use adaptive::{
+    run_intel_sample_adaptive, run_intel_sample_adaptive_with, run_intel_sample_iterative,
+    run_intel_sample_iterative_with,
+};
+pub use execute::{
+    execute_plan, execute_plan_with, execute_plan_with_planner, truth_vector, ExecutionResult,
+};
 pub use optimize::{
     estimated_feasible, solve_estimated, solve_perfect_selectivities, CorrelationModel,
     EstimatedGroup, PlanError,
 };
 pub use pipeline::{
-    run_intel_sample, run_naive, run_optimal, IntelSampleConfig, PredictorChoice, RunOutcome,
+    run_intel_sample, run_intel_sample_with, run_naive, run_naive_with, run_optimal,
+    run_optimal_with, IntelSampleConfig, PredictorChoice, RunOutcome,
 };
 pub use plan::Plan;
 pub use query::QuerySpec;
-pub use sampling::{adaptive_num_search, sample_groups, GroupSample, SampleSizeRule};
+pub use sampling::{
+    adaptive_num_search, adaptive_num_search_with, sample_groups, sample_groups_with, GroupSample,
+    SampleSizeRule,
+};

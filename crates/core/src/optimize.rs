@@ -13,8 +13,8 @@
 
 use crate::plan::Plan;
 use crate::query::QuerySpec;
-use expred_stats::bounds::{chebyshev_scale, precision_slack, recall_slack};
 use expred_solver::bigreedy::GreedyProblem;
+use expred_stats::bounds::{chebyshev_scale, precision_slack, recall_slack};
 
 /// Group counts above which the exact-LP cross-check is skipped and the
 /// `O(|A| log |A|)` greedy answer is trusted directly.
@@ -112,7 +112,13 @@ impl EstimatedGroup {
 }
 
 /// The Chebyshev deviation bound on the precision constraint for a plan.
-fn precision_dev(groups: &[EstimatedGroup], plan_r: &[f64], plan_e: &[f64], alpha: f64, corr: CorrelationModel) -> f64 {
+fn precision_dev(
+    groups: &[EstimatedGroup],
+    plan_r: &[f64],
+    plan_e: &[f64],
+    alpha: f64,
+    corr: CorrelationModel,
+) -> f64 {
     match corr {
         CorrelationModel::Independent => {
             let sum: f64 = groups
@@ -433,7 +439,13 @@ mod tests {
         let spec = QuerySpec::paper_default();
         let plan = solve_estimated(&groups, &spec, CorrelationModel::Independent).unwrap();
         assert_eq!(plan.expected_cost(&[0.0], &spec.cost), 0.0);
-        assert!(estimated_feasible(&groups, &plan, &spec, CorrelationModel::Independent, 1e-9));
+        assert!(estimated_feasible(
+            &groups,
+            &plan,
+            &spec,
+            CorrelationModel::Independent,
+            1e-9
+        ));
     }
 
     #[test]

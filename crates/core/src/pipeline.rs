@@ -11,12 +11,13 @@
 //! costs include sampling and predictor-selection evaluations, exactly as
 //! §6.2 requires.
 
-use crate::column_select::{rank_columns, virtual_column};
-use crate::execute::{execute_plan, truth_vector};
+use crate::column_select::{rank_columns_with, virtual_column};
+use crate::execute::{execute_plan_with, truth_vector};
 use crate::optimize::{solve_estimated, solve_perfect_selectivities, CorrelationModel};
 use crate::plan::Plan;
 use crate::query::QuerySpec;
-use crate::sampling::{sample_groups, SampleSizeRule};
+use crate::sampling::{sample_groups_with, SampleSizeRule};
+use expred_exec::{Executor, Sequential};
 use expred_ml::metrics::{precision_recall, PrSummary};
 use expred_stats::rng::Prng;
 use expred_table::datasets::{Dataset, LABEL_COLUMN};
@@ -92,7 +93,23 @@ pub struct RunOutcome {
 }
 
 /// Runs the paper's Intel-Sample pipeline on a dataset.
+///
+/// Equivalent to [`run_intel_sample_with`] on the [`Sequential`] backend.
 pub fn run_intel_sample(ds: &Dataset, cfg: &IntelSampleConfig, seed: u64) -> RunOutcome {
+    run_intel_sample_with(ds, cfg, seed, &Sequential)
+}
+
+/// Runs Intel-Sample with every UDF probe (predictor labelling, sampling,
+/// execution) routed through `executor`.
+///
+/// For a fixed seed the outcome is byte-identical across backends: all
+/// randomness is drawn on the calling thread before batches dispatch.
+pub fn run_intel_sample_with(
+    ds: &Dataset,
+    cfg: &IntelSampleConfig,
+    seed: u64,
+    executor: &dyn Executor,
+) -> RunOutcome {
     let start = Instant::now();
     let table = &ds.table;
     let udf = OracleUdf::new(LABEL_COLUMN);
@@ -104,13 +121,14 @@ pub fn run_intel_sample(ds: &Dataset, cfg: &IntelSampleConfig, seed: u64) -> Run
         PredictorChoice::Fixed(col) => table.group_by(col).expect("predictor column must exist"),
         PredictorChoice::Auto { label_fraction } => {
             let candidates = ds.candidate_columns();
-            let (scores, _labelled) = rank_columns(
+            let (scores, _labelled) = rank_columns_with(
                 table,
                 &candidates,
                 &invoker,
                 &cfg.spec,
                 *label_fraction,
                 &mut rng,
+                executor,
             );
             let best = scores.first().expect("at least one candidate");
             table
@@ -123,20 +141,21 @@ pub fn run_intel_sample(ds: &Dataset, cfg: &IntelSampleConfig, seed: u64) -> Run
         } => {
             let n = table.num_rows();
             let want = ((label_fraction * n as f64).ceil() as usize).clamp(1, n);
-            let labelled: Vec<u32> = rng
-                .sample_indices(n, want)
-                .into_iter()
-                .map(|r| {
-                    invoker.retrieve_and_evaluate(r);
-                    r as u32
-                })
-                .collect();
-            virtual_column(table, &[LABEL_COLUMN, "row_id"], &invoker, &labelled, *buckets)
+            let batch = rng.sample_indices(n, want);
+            invoker.retrieve_and_evaluate_batch(executor, &batch);
+            let labelled: Vec<u32> = batch.into_iter().map(|r| r as u32).collect();
+            virtual_column(
+                table,
+                &[LABEL_COLUMN, "row_id"],
+                &invoker,
+                &labelled,
+                *buckets,
+            )
         }
     };
 
     // Step 1: sample for selectivity estimates (reuses labelled rows).
-    let sample = sample_groups(&groups, &invoker, cfg.rule, &mut rng);
+    let sample = sample_groups_with(&groups, &invoker, cfg.rule, &mut rng, executor);
     let est_groups = sample.to_estimated_groups(&groups);
 
     // Step 2: optimize. Infeasibility falls back to evaluating everything
@@ -147,7 +166,7 @@ pub fn run_intel_sample(ds: &Dataset, cfg: &IntelSampleConfig, seed: u64) -> Run
     };
 
     // Step 3: execute.
-    let result = execute_plan(&plan, &groups, &invoker, &mut rng);
+    let result = execute_plan_with(&plan, &groups, &invoker, &mut rng, executor);
     let compute_seconds = start.elapsed().as_secs_f64();
 
     let truth = truth_vector(table, LABEL_COLUMN);
@@ -168,6 +187,17 @@ pub fn run_intel_sample(ds: &Dataset, cfg: &IntelSampleConfig, seed: u64) -> Run
 /// Runs the unrealistic `Optimal` baseline: exact selectivities are read
 /// from ground truth for free, then the §3.2 optimizer plans and executes.
 pub fn run_optimal(ds: &Dataset, spec: &QuerySpec, predictor: &str, seed: u64) -> RunOutcome {
+    run_optimal_with(ds, spec, predictor, seed, &Sequential)
+}
+
+/// [`run_optimal`], executing its plan through `executor`.
+pub fn run_optimal_with(
+    ds: &Dataset,
+    spec: &QuerySpec,
+    predictor: &str,
+    seed: u64,
+    executor: &dyn Executor,
+) -> RunOutcome {
     let start = Instant::now();
     let table = &ds.table;
     let udf = OracleUdf::new(LABEL_COLUMN);
@@ -187,7 +217,7 @@ pub fn run_optimal(ds: &Dataset, spec: &QuerySpec, predictor: &str, seed: u64) -
         Ok(plan) => (plan, true),
         Err(_) => (Plan::evaluate_all(groups.num_groups()), false),
     };
-    let result = execute_plan(&plan, &groups, &invoker, &mut rng);
+    let result = execute_plan_with(&plan, &groups, &invoker, &mut rng, executor);
     let compute_seconds = start.elapsed().as_secs_f64();
     let returned_usize: Vec<usize> = result.returned.iter().map(|&r| r as usize).collect();
     let summary = precision_recall(&returned_usize, &truth);
@@ -206,6 +236,16 @@ pub fn run_optimal(ds: &Dataset, spec: &QuerySpec, predictor: &str, seed: u64) -
 /// Runs the `Naive` baseline: retrieve a uniform `β` fraction of the table
 /// and evaluate every retrieved tuple (§6.2).
 pub fn run_naive(ds: &Dataset, spec: &QuerySpec, seed: u64) -> RunOutcome {
+    run_naive_with(ds, spec, seed, &Sequential)
+}
+
+/// [`run_naive`], evaluating its β-fraction as executor batches.
+pub fn run_naive_with(
+    ds: &Dataset,
+    spec: &QuerySpec,
+    seed: u64,
+    executor: &dyn Executor,
+) -> RunOutcome {
     let start = Instant::now();
     let table = &ds.table;
     let udf = OracleUdf::new(LABEL_COLUMN);
@@ -213,12 +253,14 @@ pub fn run_naive(ds: &Dataset, spec: &QuerySpec, seed: u64) -> RunOutcome {
     let mut rng = Prng::seeded(seed);
     let n = table.num_rows();
     let k = ((spec.beta * n as f64).ceil() as usize).min(n);
-    let mut returned = Vec::new();
-    for row in rng.sample_indices(n, k) {
-        if invoker.retrieve_and_evaluate(row) {
-            returned.push(row as u32);
-        }
-    }
+    let batch = rng.sample_indices(n, k);
+    let answers = invoker.retrieve_and_evaluate_batch(executor, &batch);
+    let mut returned: Vec<u32> = batch
+        .into_iter()
+        .zip(answers)
+        .filter(|&(_, answer)| answer)
+        .map(|(row, _)| row as u32)
+        .collect();
     returned.sort_unstable();
     let compute_seconds = start.elapsed().as_secs_f64();
     let truth = truth_vector(table, LABEL_COLUMN);
@@ -251,8 +293,15 @@ mod tests {
         let spec = QuerySpec::paper_default();
         let out = run_naive(&ds, &spec, 1);
         assert_eq!(out.summary.precision, 1.0);
-        assert!((out.summary.recall - 0.8).abs() < 0.03, "{}", out.summary.recall);
-        assert_eq!(out.counts.evaluated as usize, (0.8f64 * 30_000.0).ceil() as usize);
+        assert!(
+            (out.summary.recall - 0.8).abs() < 0.03,
+            "{}",
+            out.summary.recall
+        );
+        assert_eq!(
+            out.counts.evaluated as usize,
+            (0.8f64 * 30_000.0).ceil() as usize
+        );
     }
 
     #[test]
@@ -305,7 +354,9 @@ mod tests {
     #[test]
     fn auto_predictor_runs_and_is_competitive() {
         let ds = prosper();
-        let cfg = IntelSampleConfig::experiment1(PredictorChoice::Auto { label_fraction: 0.01 });
+        let cfg = IntelSampleConfig::experiment1(PredictorChoice::Auto {
+            label_fraction: 0.01,
+        });
         let auto = run_intel_sample(&ds, &cfg, 4);
         let naive = run_naive(&ds, &cfg.spec, 4);
         assert!(auto.counts.evaluated < naive.counts.evaluated);

@@ -14,6 +14,7 @@
 
 use crate::optimize::{solve_estimated, CorrelationModel, EstimatedGroup};
 use crate::query::QuerySpec;
+use expred_exec::{Executor, Sequential};
 use expred_stats::estimator::SelectivityEstimate;
 use expred_stats::rng::Prng;
 use expred_table::GroupBy;
@@ -85,6 +86,22 @@ pub fn sample_groups(
     rule: SampleSizeRule,
     rng: &mut Prng,
 ) -> GroupSample {
+    sample_groups_with(groups, invoker, rule, rng, &Sequential)
+}
+
+/// [`sample_groups`], with each group's shortfall evaluated as one batch
+/// through `executor`.
+///
+/// Row selection consumes the RNG identically to the sequential path, and
+/// every batched row is fresh and distinct, so estimates, counts, and
+/// charged costs are byte-identical across backends for a fixed seed.
+pub fn sample_groups_with(
+    groups: &GroupBy,
+    invoker: &UdfInvoker<'_>,
+    rule: SampleSizeRule,
+    rng: &mut Prng,
+    executor: &dyn Executor,
+) -> GroupSample {
     let n = groups.num_rows();
     let mut estimates = Vec::with_capacity(groups.num_groups());
     let mut evaluated = Vec::with_capacity(groups.num_groups());
@@ -105,11 +122,13 @@ pub fn sample_groups(
                 .filter(|&r| !invoker.is_evaluated(r as usize))
                 .collect();
             let need = target - known.len();
-            for idx in rng.sample_indices(fresh.len(), need) {
-                let row = fresh[idx];
-                invoker.retrieve_and_evaluate(row as usize);
-                known.push(row);
-            }
+            let batch: Vec<usize> = rng
+                .sample_indices(fresh.len(), need)
+                .into_iter()
+                .map(|idx| fresh[idx] as usize)
+                .collect();
+            invoker.retrieve_and_evaluate_batch(executor, &batch);
+            known.extend(batch.into_iter().map(|row| row as u32));
         }
         let pos = known
             .iter()
@@ -150,13 +169,31 @@ pub fn adaptive_num_search(
     corr: CorrelationModel,
     rng: &mut Prng,
 ) -> AdaptiveOutcome {
+    adaptive_num_search_with(groups, invoker, spec, corr, rng, &Sequential)
+}
+
+/// [`adaptive_num_search`], sampling each round through `executor`.
+pub fn adaptive_num_search_with(
+    groups: &GroupBy,
+    invoker: &UdfInvoker<'_>,
+    spec: &QuerySpec,
+    corr: CorrelationModel,
+    rng: &mut Prng,
+    executor: &dyn Executor,
+) -> AdaptiveOutcome {
     let mut num = 0.5 * spec.alpha.max(0.1);
     let growth = 1.4;
     let max_steps = 16;
     let mut best: Option<AdaptiveOutcome> = None;
     let mut rises = 0;
     for _ in 0..max_steps {
-        let sample = sample_groups(groups, invoker, SampleSizeRule::TwoThirdPower(num), rng);
+        let sample = sample_groups_with(
+            groups,
+            invoker,
+            SampleSizeRule::TwoThirdPower(num),
+            rng,
+            executor,
+        );
         let est_groups = sample.to_estimated_groups(groups);
         let spent = invoker.cost(&spec.cost);
         let planned = match solve_estimated(&est_groups, spec, corr) {
@@ -167,7 +204,7 @@ pub fn adaptive_num_search(
             Err(_) => f64::INFINITY,
         };
         let total = spent + planned;
-        let improved = best.as_ref().map_or(true, |b| total < b.estimated_cost);
+        let improved = best.as_ref().is_none_or(|b| total < b.estimated_cost);
         if improved {
             best = Some(AdaptiveOutcome {
                 sample,

@@ -1,0 +1,168 @@
+//! [`ShardedMemo`]: a lock-striped concurrent memo table.
+//!
+//! The seed's invoker guarded its memo with a single `Mutex<HashMap>`,
+//! which serializes every worker of a parallel batch on one lock. This
+//! structure stripes the key space across many small `RwLock`ed maps:
+//! readers of different shards never contend, and writers contend only
+//! within a shard (1/shards of the time for uniformly hashed keys).
+
+use std::collections::HashMap;
+use std::sync::RwLock;
+
+/// Default shard count; plenty of striping for any realistic core count
+/// while keeping the empty structure small.
+const DEFAULT_SHARDS: usize = 64;
+
+/// A concurrent `usize -> V` map striped over `RwLock`ed shards.
+///
+/// All operations take `&self`; interior locks are per shard. Poisoning
+/// is ignored (a panicked writer can only have aborted a single-entry
+/// insert, which is harmless for a memo table).
+#[derive(Debug)]
+pub struct ShardedMemo<V> {
+    shards: Box<[RwLock<HashMap<usize, V>>]>,
+    mask: usize,
+}
+
+impl<V: Copy> ShardedMemo<V> {
+    /// A memo with the default shard count.
+    pub fn new() -> Self {
+        Self::with_shards(DEFAULT_SHARDS)
+    }
+
+    /// A memo with at least `shards` stripes (rounded up to a power of
+    /// two so shard selection is a mask, not a division).
+    pub fn with_shards(shards: usize) -> Self {
+        let n = shards.max(1).next_power_of_two();
+        let shards: Vec<RwLock<HashMap<usize, V>>> =
+            (0..n).map(|_| RwLock::new(HashMap::new())).collect();
+        Self {
+            shards: shards.into_boxed_slice(),
+            mask: n - 1,
+        }
+    }
+
+    /// Fibonacci-hashes `key` onto a shard. Row ids arrive in runs
+    /// (contiguous per correlation group), so the multiplier spreads
+    /// neighboring keys across different stripes.
+    fn shard(&self, key: usize) -> &RwLock<HashMap<usize, V>> {
+        let spread = (key as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32;
+        &self.shards[(spread as usize) & self.mask]
+    }
+
+    /// The memoized value for `key`, if present.
+    pub fn get(&self, key: usize) -> Option<V> {
+        self.shard(key)
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(&key)
+            .copied()
+    }
+
+    /// Whether `key` is memoized.
+    pub fn contains(&self, key: usize) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Inserts `value` for `key`, returning the previous value if any.
+    pub fn insert(&self, key: usize, value: V) -> Option<V> {
+        self.shard(key)
+            .write()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(key, value)
+    }
+
+    /// Total number of memoized entries (sums across shards; exact only
+    /// while no writers are active).
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.read().unwrap_or_else(|e| e.into_inner()).len())
+            .sum()
+    }
+
+    /// Whether the memo holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Removes every entry.
+    pub fn clear(&self) {
+        for shard in self.shards.iter() {
+            shard.write().unwrap_or_else(|e| e.into_inner()).clear();
+        }
+    }
+}
+
+impl<V: Copy> Default for ShardedMemo<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_get_insert() {
+        let memo: ShardedMemo<bool> = ShardedMemo::new();
+        assert!(memo.is_empty());
+        assert_eq!(memo.get(7), None);
+        assert_eq!(memo.insert(7, true), None);
+        assert_eq!(memo.insert(7, false), Some(true));
+        assert_eq!(memo.get(7), Some(false));
+        assert!(memo.contains(7));
+        assert_eq!(memo.len(), 1);
+        memo.clear();
+        assert!(memo.is_empty());
+    }
+
+    #[test]
+    fn shard_count_rounds_to_power_of_two() {
+        let memo: ShardedMemo<u8> = ShardedMemo::with_shards(5);
+        assert_eq!(memo.shards.len(), 8);
+        let memo: ShardedMemo<u8> = ShardedMemo::with_shards(0);
+        assert_eq!(memo.shards.len(), 1);
+    }
+
+    #[test]
+    fn many_keys_spread_over_shards() {
+        let memo: ShardedMemo<usize> = ShardedMemo::with_shards(16);
+        for k in 0..10_000 {
+            memo.insert(k, k);
+        }
+        assert_eq!(memo.len(), 10_000);
+        // Contiguous keys must not pile into one stripe.
+        let occupancies: Vec<usize> = memo
+            .shards
+            .iter()
+            .map(|s| s.read().unwrap().len())
+            .collect();
+        let max = occupancies.iter().copied().max().unwrap();
+        assert!(max < 2_000, "one shard holds {max} of 10000 entries");
+        for k in (0..10_000).step_by(37) {
+            assert_eq!(memo.get(k), Some(k));
+        }
+    }
+
+    #[test]
+    fn concurrent_writers_land_every_entry() {
+        let memo: ShardedMemo<usize> = ShardedMemo::new();
+        std::thread::scope(|scope| {
+            for worker in 0..8usize {
+                let memo = &memo;
+                scope.spawn(move || {
+                    for i in 0..500 {
+                        let key = worker * 500 + i;
+                        memo.insert(key, key * 2);
+                    }
+                });
+            }
+        });
+        assert_eq!(memo.len(), 4_000);
+        for key in 0..4_000 {
+            assert_eq!(memo.get(key), Some(key * 2));
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! `expred-exec` — the parallel, batched, cache-sharing evaluation runtime.
+//!
+//! The paper's premise is that UDF evaluation dominates query cost; this
+//! crate makes sure the system spends that cost as the hardware allows
+//! instead of one blocking call at a time. It is deliberately foundational
+//! (no dependency on the table/UDF crates), so every layer above — the
+//! audited invoker, the probabilistic executor, the pipelines — can route
+//! probes through it:
+//!
+//! * [`executor`] — the [`Executor`] trait ([`Executor::evaluate_batch`])
+//!   with the [`Sequential`] backend that preserves one-at-a-time
+//!   behavior bit for bit;
+//! * [`parallel`] — the [`Parallel`] backend: shards a batch across
+//!   scoped OS threads, deterministic answer order;
+//! * [`cache`] — [`ShardedMemo`], a lock-striped concurrent memo table so
+//!   workers sharing one result cache do not serialize on a single lock;
+//! * [`planner`] — [`BatchPlanner`], which accumulates pending probes per
+//!   correlation group and drains them through an executor under a
+//!   `max_in_flight` budget.
+//!
+//! # The `Executor` contract
+//!
+//! Implementations of [`Executor`] must uphold, and callers may rely on:
+//!
+//! 1. **Order**: `evaluate_batch(probe, rows)` returns exactly
+//!    `rows.len()` answers, with `answers[i] = probe(rows[i])`.
+//! 2. **Exactly once per slot**: the probe is invoked exactly once per
+//!    batch slot (callers dedupe and memoize *before* batching, so the
+//!    charged cost of a batch is precisely its length).
+//! 3. **Determinism**: for a pure probe, the returned vector is a pure
+//!    function of `rows` — scheduling, thread count, and backend choice
+//!    must not leak into results. This is what makes `Parallel` produce
+//!    byte-identical `RunOutcome`s to `Sequential`.
+//! 4. **Purity requirement on probes**: [`BatchProbe::probe`] must be
+//!    deterministic per row and safe to call from any thread
+//!    concurrently. Probes that randomize or keep interior mutable state
+//!    must synchronize internally and stay row-deterministic.
+//!
+//! Backends may reorder, interleave, or parallelize the underlying calls
+//! arbitrarily within a batch — the paper's cost model is indifferent to
+//! *when* an evaluation happens, only to *how many* happen.
+
+pub mod cache;
+pub mod executor;
+pub mod parallel;
+pub mod planner;
+
+pub use cache::ShardedMemo;
+pub use executor::{BatchProbe, Executor, Sequential};
+pub use parallel::Parallel;
+pub use planner::{BatchPlanner, GroupedAnswer, DEFAULT_MAX_IN_FLIGHT};

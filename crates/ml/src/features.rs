@@ -173,11 +173,7 @@ fn categorical_encoding(col: &Column, n: usize, max_card: usize) -> Option<Encod
     }
     // Re-index in sorted order for determinism.
     let keys: Vec<String> = categories.keys().cloned().collect();
-    let categories = keys
-        .into_iter()
-        .enumerate()
-        .map(|(i, k)| (k, i))
-        .collect();
+    let categories = keys.into_iter().enumerate().map(|(i, k)| (k, i)).collect();
     Some(Encoding::OneHot { categories })
 }
 
@@ -204,10 +200,34 @@ mod tests {
             Field::new("label", DataType::Bool),
         ]);
         let rows = vec![
-            vec![Value::Float(10.0), Value::from("A"), Value::Bool(true), Value::Int(0), Value::Bool(true)],
-            vec![Value::Float(20.0), Value::from("B"), Value::Bool(false), Value::Int(1), Value::Bool(false)],
-            vec![Value::Float(30.0), Value::from("A"), Value::Bool(true), Value::Int(2), Value::Bool(true)],
-            vec![Value::Float(40.0), Value::from("C"), Value::Bool(false), Value::Int(3), Value::Bool(false)],
+            vec![
+                Value::Float(10.0),
+                Value::from("A"),
+                Value::Bool(true),
+                Value::Int(0),
+                Value::Bool(true),
+            ],
+            vec![
+                Value::Float(20.0),
+                Value::from("B"),
+                Value::Bool(false),
+                Value::Int(1),
+                Value::Bool(false),
+            ],
+            vec![
+                Value::Float(30.0),
+                Value::from("A"),
+                Value::Bool(true),
+                Value::Int(2),
+                Value::Bool(true),
+            ],
+            vec![
+                Value::Float(40.0),
+                Value::from("C"),
+                Value::Bool(false),
+                Value::Int(3),
+                Value::Bool(false),
+            ],
         ];
         Table::from_rows(schema, rows).unwrap()
     }
@@ -227,7 +247,11 @@ mod tests {
     #[test]
     fn numeric_standardization() {
         let t = sample_table();
-        let m = extract_features(&t, &["label", "id", "grade", "flag"], FeatureSpec::default());
+        let m = extract_features(
+            &t,
+            &["label", "id", "grade", "flag"],
+            FeatureSpec::default(),
+        );
         assert_eq!(m.dim(), 1);
         let mean: f64 = (0..4).map(|r| m.row(r)[0]).sum::<f64>() / 4.0;
         let var: f64 = (0..4).map(|r| m.row(r)[0].powi(2)).sum::<f64>() / 4.0 - mean * mean;
@@ -238,7 +262,11 @@ mod tests {
     #[test]
     fn one_hot_rows_sum_to_one_per_column() {
         let t = sample_table();
-        let m = extract_features(&t, &["label", "id", "income", "flag"], FeatureSpec::default());
+        let m = extract_features(
+            &t,
+            &["label", "id", "income", "flag"],
+            FeatureSpec::default(),
+        );
         // grade one-hot only: each row has exactly one hot slot.
         assert_eq!(m.dim(), 3);
         for r in 0..4 {

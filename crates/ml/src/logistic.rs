@@ -59,12 +59,16 @@ impl LogisticModel {
 
     /// Predicted probabilities for a subset of matrix rows.
     pub fn predict_rows(&self, features: &FeatureMatrix, rows: &[usize]) -> Vec<f64> {
-        rows.iter().map(|&r| self.predict(features.row(r))).collect()
+        rows.iter()
+            .map(|&r| self.predict(features.row(r)))
+            .collect()
     }
 
     /// Predicted probabilities for every matrix row.
     pub fn predict_all(&self, features: &FeatureMatrix) -> Vec<f64> {
-        (0..features.rows()).map(|r| self.predict(features.row(r))).collect()
+        (0..features.rows())
+            .map(|r| self.predict(features.row(r)))
+            .collect()
     }
 }
 
@@ -210,13 +214,19 @@ mod tests {
             &features,
             &rows,
             &targets,
-            TrainConfig { l2: 0.0, ..TrainConfig::default() },
+            TrainConfig {
+                l2: 0.0,
+                ..TrainConfig::default()
+            },
         );
         let tight = train(
             &features,
             &rows,
             &targets,
-            TrainConfig { l2: 1.0, ..TrainConfig::default() },
+            TrainConfig {
+                l2: 1.0,
+                ..TrainConfig::default()
+            },
         );
         assert!(tight.weights()[0].abs() < loose.weights()[0].abs());
     }

@@ -234,7 +234,10 @@ mod tests {
             &features,
             &labelled,
             &labels,
-            SelfTrainConfig { rounds: 1, ..SelfTrainConfig::default() },
+            SelfTrainConfig {
+                rounds: 1,
+                ..SelfTrainConfig::default()
+            },
         );
         let direct = crate::logistic::train(&features, &labelled, &labels, TrainConfig::default());
         assert_eq!(one.model, direct);

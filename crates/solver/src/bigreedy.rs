@@ -78,7 +78,10 @@ impl std::fmt::Display for GreedyError {
                 write!(f, "recall target exceeds the total available recall mass")
             }
             GreedyError::PrecisionUnreachable => {
-                write!(f, "precision target unreachable even evaluating every retrieved tuple")
+                write!(
+                    f,
+                    "precision target unreachable even evaluating every retrieved tuple"
+                )
             }
         }
     }

@@ -87,7 +87,11 @@ pub fn solve_min_knapsack(items: &[Item], threshold: u64) -> Option<KnapsackSolu
         }
         // Item i was taken: find the exact predecessor state.
         let val = items[i].value as usize;
-        let lo = if v == cap { v.saturating_sub(val) } else { v - val.min(v) };
+        let lo = if v == cap {
+            v.saturating_sub(val)
+        } else {
+            v - val.min(v)
+        };
         let mut found = None;
         for pv in lo..=v {
             let reaches = (pv + val).min(cap) == v;
@@ -267,7 +271,10 @@ mod tests {
         let solution = instance.solve_exact().expect("reduction must be feasible");
         let subset = decisions_to_subset(&solution.decisions);
         let subset_value: u64 = subset.iter().map(|&i| its[i].value).sum();
-        assert!(subset_value >= threshold, "reduction subset misses threshold");
+        assert!(
+            subset_value >= threshold,
+            "reduction subset misses threshold"
+        );
 
         // The reduced instance's retrieval cost of a group is (C_a + W_a) =
         // ceil(scale * w_a); minimizing it minimizes the (scaled) weight.

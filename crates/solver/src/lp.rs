@@ -242,8 +242,7 @@ impl Simplex {
             for r in 0..self.tableau.len() {
                 if self.artificial.contains(&self.basis[r]) {
                     // Find a non-artificial column with nonzero coefficient.
-                    let col = (0..self.num_real)
-                        .find(|&c| self.tableau[r][c].abs() > EPS);
+                    let col = (0..self.num_real).find(|&c| self.tableau[r][c].abs() > EPS);
                     if let Some(c) = col {
                         self.pivot(r, c);
                     }
@@ -288,15 +287,15 @@ impl Simplex {
         for (r, &b) in self.basis.iter().enumerate() {
             let cb = cost[b];
             if cb != 0.0 {
-                for c in 0..width {
-                    z[c] -= cb * self.tableau[r][c];
+                for (zc, tc) in z.iter_mut().zip(&self.tableau[r][..width]) {
+                    *zc -= cb * tc;
                 }
             }
         }
         z
     }
 
-    fn pivot_loop(&mut self, z: &mut Vec<f64>, width: usize) -> PivotResult {
+    fn pivot_loop(&mut self, z: &mut [f64], width: usize) -> PivotResult {
         self.pivot_loop_restricted(z, width - 1, width)
     }
 
@@ -304,7 +303,7 @@ impl Simplex {
     /// entering candidates (used in Phase 2 to exclude artificials).
     fn pivot_loop_restricted(
         &mut self,
-        z: &mut Vec<f64>,
+        z: &mut [f64],
         allowed_cols: usize,
         width: usize,
     ) -> PivotResult {
@@ -338,8 +337,8 @@ impl Simplex {
             // Update the reduced-cost row for the pivot.
             let factor = z[col];
             if factor != 0.0 {
-                for c in 0..width {
-                    z[c] -= factor * self.tableau[row][c];
+                for (zc, tc) in z.iter_mut().zip(&self.tableau[row][..width]) {
+                    *zc -= factor * tc;
                 }
                 z[col] = 0.0; // exact
             }
@@ -498,10 +497,7 @@ mod tests {
 
     #[test]
     fn feasibility_checker() {
-        let lp = LinearProgram::new(
-            vec![1.0, 1.0],
-            vec![c(vec![1.0, 1.0], Relation::Ge, 1.0)],
-        );
+        let lp = LinearProgram::new(vec![1.0, 1.0], vec![c(vec![1.0, 1.0], Relation::Ge, 1.0)]);
         assert!(lp.is_feasible(&[0.5, 0.6], 1e-9));
         assert!(!lp.is_feasible(&[0.2, 0.2], 1e-9));
         assert!(!lp.is_feasible(&[-0.5, 2.0], 1e-9));

@@ -197,6 +197,7 @@ impl PerfectInfoInstance {
             suffix_best_ratio: &'a [f64],
             gamma: f64,
         }
+        #[allow(clippy::too_many_arguments)]
         fn dfs(
             ctx: &Ctx<'_>,
             depth: usize,
@@ -241,7 +242,12 @@ impl PerfectInfoInstance {
             // Try the three decisions; cheaper-but-riskier first so good
             // upper bounds arrive early on high-selectivity prefixes.
             let options = [
-                (Decision::Return, t * ctx.inst.cost_retrieve, c, (1.0 - alpha) * c - alpha * w),
+                (
+                    Decision::Return,
+                    t * ctx.inst.cost_retrieve,
+                    c,
+                    (1.0 - alpha) * c - alpha * w,
+                ),
                 (
                     Decision::Evaluate,
                     t * (ctx.inst.cost_retrieve + ctx.inst.cost_evaluate),
@@ -351,9 +357,18 @@ mod tests {
     fn example_31() -> PerfectInfoInstance {
         PerfectInfoInstance {
             groups: vec![
-                PerfectGroup { correct: 900, wrong: 100 },
-                PerfectGroup { correct: 500, wrong: 500 },
-                PerfectGroup { correct: 100, wrong: 900 },
+                PerfectGroup {
+                    correct: 900,
+                    wrong: 100,
+                },
+                PerfectGroup {
+                    correct: 500,
+                    wrong: 500,
+                },
+                PerfectGroup {
+                    correct: 100,
+                    wrong: 900,
+                },
             ],
             alpha: 0.9,
             beta: 0.9,
@@ -437,8 +452,14 @@ mod tests {
     fn pure_groups_can_be_returned_even_at_full_precision() {
         let inst = PerfectInfoInstance {
             groups: vec![
-                PerfectGroup { correct: 100, wrong: 0 },
-                PerfectGroup { correct: 0, wrong: 100 },
+                PerfectGroup {
+                    correct: 100,
+                    wrong: 0,
+                },
+                PerfectGroup {
+                    correct: 0,
+                    wrong: 100,
+                },
             ],
             alpha: 1.0,
             beta: 1.0,
@@ -457,11 +478,26 @@ mod tests {
         // instance.
         let inst = PerfectInfoInstance {
             groups: vec![
-                PerfectGroup { correct: 30, wrong: 20 },
-                PerfectGroup { correct: 10, wrong: 60 },
-                PerfectGroup { correct: 50, wrong: 10 },
-                PerfectGroup { correct: 5, wrong: 5 },
-                PerfectGroup { correct: 25, wrong: 40 },
+                PerfectGroup {
+                    correct: 30,
+                    wrong: 20,
+                },
+                PerfectGroup {
+                    correct: 10,
+                    wrong: 60,
+                },
+                PerfectGroup {
+                    correct: 50,
+                    wrong: 10,
+                },
+                PerfectGroup {
+                    correct: 5,
+                    wrong: 5,
+                },
+                PerfectGroup {
+                    correct: 25,
+                    wrong: 40,
+                },
             ],
             alpha: 0.7,
             beta: 0.75,
@@ -485,6 +521,11 @@ mod tests {
                 best = best.min(inst.cost_of(&decisions));
             }
         }
-        assert!((sol.cost - best).abs() < 1e-9, "bb {} vs brute {}", sol.cost, best);
+        assert!(
+            (sol.cost - best).abs() < 1e-9,
+            "bb {} vs brute {}",
+            sol.cost,
+            best
+        );
     }
 }

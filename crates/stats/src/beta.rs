@@ -74,8 +74,8 @@ impl Beta {
         if (x == 0.0 && self.alpha > 1.0) || (x == 1.0 && self.beta > 1.0) {
             return 0.0;
         }
-        let ln_pdf =
-            (self.alpha - 1.0) * x.ln() + (self.beta - 1.0) * (1.0 - x).ln() - ln_beta(self.alpha, self.beta);
+        let ln_pdf = (self.alpha - 1.0) * x.ln() + (self.beta - 1.0) * (1.0 - x).ln()
+            - ln_beta(self.alpha, self.beta);
         ln_pdf.exp()
     }
 
@@ -204,8 +204,16 @@ mod tests {
         }
         let mean = sum / n as f64;
         let var = sum_sq / n as f64 - mean * mean;
-        assert!((mean - b.mean()).abs() < 0.005, "mean {mean} vs {}", b.mean());
-        assert!((var - b.variance()).abs() < 0.002, "var {var} vs {}", b.variance());
+        assert!(
+            (mean - b.mean()).abs() < 0.005,
+            "mean {mean} vs {}",
+            b.mean()
+        );
+        assert!(
+            (var - b.variance()).abs() < 0.002,
+            "var {var} vs {}",
+            b.variance()
+        );
     }
 
     #[test]

@@ -163,7 +163,11 @@ mod tests {
         let mut acc = 0.0;
         for k in 0..=25 {
             acc += b.pmf(k);
-            assert!((b.cdf(k) - acc).abs() < 1e-9, "k={k}: {} vs {acc}", b.cdf(k));
+            assert!(
+                (b.cdf(k) - acc).abs() < 1e-9,
+                "k={k}: {} vs {acc}",
+                b.cdf(k)
+            );
         }
     }
 

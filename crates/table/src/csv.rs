@@ -62,7 +62,15 @@ pub fn read_csv<R: BufRead>(reader: R) -> Result<Table, String> {
 /// quotes, or newlines are quoted; NULLs serialize as empty cells.
 pub fn write_csv<W: Write>(table: &Table, writer: &mut W) -> std::io::Result<()> {
     let names: Vec<&str> = table.schema().fields().iter().map(|f| f.name()).collect();
-    writeln!(writer, "{}", names.iter().map(|n| escape(n)).collect::<Vec<_>>().join(","))?;
+    writeln!(
+        writer,
+        "{}",
+        names
+            .iter()
+            .map(|n| escape(n))
+            .collect::<Vec<_>>()
+            .join(",")
+    )?;
     for r in 0..table.num_rows() {
         let mut cells = Vec::with_capacity(table.num_columns());
         for c in 0..table.num_columns() {
@@ -202,9 +210,15 @@ mod tests {
         let t = read_csv(Cursor::new(csv)).unwrap();
         assert_eq!(t.num_rows(), 3);
         assert_eq!(t.schema().field("id").unwrap().data_type(), DataType::Int);
-        assert_eq!(t.schema().field("score").unwrap().data_type(), DataType::Float);
+        assert_eq!(
+            t.schema().field("score").unwrap().data_type(),
+            DataType::Float
+        );
         assert!(t.schema().field("score").unwrap().is_nullable());
-        assert_eq!(t.schema().field("grade").unwrap().data_type(), DataType::Str);
+        assert_eq!(
+            t.schema().field("grade").unwrap().data_type(),
+            DataType::Str
+        );
         assert_eq!(t.schema().field("ok").unwrap().data_type(), DataType::Bool);
         assert_eq!(t.value(1, "score"), Some(Value::Null));
         assert_eq!(t.value(2, "ok"), Some(Value::Bool(true)));

@@ -254,7 +254,11 @@ fn calibrate_groups(spec: &DatasetSpec, rng: &mut Prng) -> (Vec<usize>, Vec<f64>
             base = (0..k).map(|_| (1.2 * rng.gaussian()).exp()).collect();
             let centered = center(&base);
             let proj: f64 = dot(&centered, &u) / dot(&u, &u).max(1e-12);
-            let resid: Vec<f64> = centered.iter().zip(&u).map(|(b, ui)| b - proj * ui).collect();
+            let resid: Vec<f64> = centered
+                .iter()
+                .zip(&u)
+                .map(|(b, ui)| b - proj * ui)
+                .collect();
             if dot(&resid, &resid) > 1e-6 {
                 break standardize(resid);
             }
@@ -279,13 +283,19 @@ fn calibrate_groups(spec: &DatasetSpec, rng: &mut Prng) -> (Vec<usize>, Vec<f64>
     } else {
         spec.size_dev
     };
-    let mut sizes_f: Vec<f64> = z.iter().map(|zi| (mean_size + dev * zi).max(floor)).collect();
+    let mut sizes_f: Vec<f64> = z
+        .iter()
+        .map(|zi| (mean_size + dev * zi).max(floor))
+        .collect();
     // Renormalize to the exact row count with largest-remainder rounding.
     let total: f64 = sizes_f.iter().sum();
     for s in &mut sizes_f {
         *s *= spec.rows as f64 / total;
     }
-    let mut sizes: Vec<usize> = sizes_f.iter().map(|&s| s.floor().max(1.0) as usize).collect();
+    let mut sizes: Vec<usize> = sizes_f
+        .iter()
+        .map(|&s| s.floor().max(1.0) as usize)
+        .collect();
     let mut deficit = spec.rows as isize - sizes.iter().sum::<usize>() as isize;
     let mut order: Vec<usize> = (0..k).collect();
     order.sort_by(|&a, &b| {
@@ -426,7 +436,11 @@ fn build_table(spec: &DatasetSpec, plan: &[(usize, bool)], rng: &mut Prng) -> Ta
         row.push(Value::Int(row_id as i64));
         row.push(Value::Str(group_label(spec.predictor, group)));
         for (_, fidelity) in noisy_predictors {
-            let g = if rng.bernoulli(fidelity) { group } else { rng.below(k) };
+            let g = if rng.bernoulli(fidelity) {
+                group
+            } else {
+                rng.below(k)
+            };
             row.push(Value::Str(group_label("noisy", g)));
         }
         for (name, strength, card) in aux_cat {
@@ -441,7 +455,9 @@ fn build_table(spec: &DatasetSpec, plan: &[(usize, bool)], rng: &mut Prng) -> Ta
             row.push(Value::Float(base + shift + sigma * rng.gaussian()));
         }
         row.push(Value::Bool(label));
-        table.push_row(row).expect("generated row must match schema");
+        table
+            .push_row(row)
+            .expect("generated row must match schema");
     }
     table
 }

@@ -266,7 +266,10 @@ mod tests {
         assert_eq!(t.num_rows(), 5);
         assert_eq!(t.num_columns(), 3);
         assert_eq!(t.value(3, "name"), Some(Value::from("z")));
-        assert_eq!(t.row(0), vec![Value::Int(1), Value::from("w"), Value::Bool(true)]);
+        assert_eq!(
+            t.row(0),
+            vec![Value::Int(1), Value::from("w"), Value::Bool(true)]
+        );
         assert!(t.column("missing").is_none());
     }
 

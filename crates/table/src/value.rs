@@ -201,7 +201,7 @@ mod tests {
 
     #[test]
     fn sort_keys_order_sensibly() {
-        let mut vals = vec![
+        let mut vals = [
             Value::Float(2.0),
             Value::Float(-1.0),
             Value::Float(0.0),

@@ -5,7 +5,7 @@
 //! use `o_e = 3, o_r = 1` ("evaluating the UDF is a factor of three more
 //! expensive than retrieving the tuple", §6.1).
 
-use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Per-action costs `(o_r, o_e)`.
@@ -64,10 +64,22 @@ impl CostCounts {
 /// Thread-safe accumulator of retrieval/evaluation counts.
 ///
 /// Cloning shares the underlying counters, so a tracker can be handed to
-/// several pipeline stages and still report one total.
+/// several pipeline stages and still report one total. Counters are
+/// individual atomics rather than one mutex-guarded struct, so parallel
+/// executor workers charging concurrently never serialize on a lock and
+/// every increment lands exactly once; a [`CostTracker::snapshot`] taken
+/// while workers are mid-batch may mix counters from slightly different
+/// instants, but quiescent totals are exact.
 #[derive(Debug, Clone, Default)]
 pub struct CostTracker {
-    counts: Arc<Mutex<CostCounts>>,
+    counts: Arc<AtomicCounts>,
+}
+
+#[derive(Debug, Default)]
+struct AtomicCounts {
+    retrieved: AtomicU64,
+    evaluated: AtomicU64,
+    cache_hits: AtomicU64,
 }
 
 impl CostTracker {
@@ -78,27 +90,43 @@ impl CostTracker {
 
     /// Records `n` tuple retrievals.
     pub fn add_retrievals(&self, n: u64) {
-        self.counts.lock().retrieved += n;
+        self.counts.retrieved.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Records one UDF evaluation.
     pub fn add_evaluation(&self) {
-        self.counts.lock().evaluated += 1;
+        self.add_evaluations(1);
+    }
+
+    /// Records `n` UDF evaluations (one batch charge for a drained batch).
+    pub fn add_evaluations(&self, n: u64) {
+        self.counts.evaluated.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Records one memoized evaluation (no external call).
     pub fn add_cache_hit(&self) {
-        self.counts.lock().cache_hits += 1;
+        self.add_cache_hits(1);
+    }
+
+    /// Records `n` memoized evaluations.
+    pub fn add_cache_hits(&self, n: u64) {
+        self.counts.cache_hits.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Current counts.
     pub fn snapshot(&self) -> CostCounts {
-        *self.counts.lock()
+        CostCounts {
+            retrieved: self.counts.retrieved.load(Ordering::Relaxed),
+            evaluated: self.counts.evaluated.load(Ordering::Relaxed),
+            cache_hits: self.counts.cache_hits.load(Ordering::Relaxed),
+        }
     }
 
     /// Resets all counters to zero.
     pub fn reset(&self) {
-        *self.counts.lock() = CostCounts::default();
+        self.counts.retrieved.store(0, Ordering::Relaxed);
+        self.counts.evaluated.store(0, Ordering::Relaxed);
+        self.counts.cache_hits.store(0, Ordering::Relaxed);
     }
 }
 
@@ -158,5 +186,34 @@ mod tests {
     #[should_panic]
     fn negative_costs_rejected() {
         CostModel::new(-1.0, 1.0);
+    }
+
+    #[test]
+    fn batch_charges_accumulate() {
+        let t = CostTracker::new();
+        t.add_evaluations(10);
+        t.add_cache_hits(4);
+        let c = t.snapshot();
+        assert_eq!(c.evaluated, 10);
+        assert_eq!(c.cache_hits, 4);
+    }
+
+    #[test]
+    fn concurrent_charges_are_exact() {
+        let t = CostTracker::new();
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let t = t.clone();
+                scope.spawn(move || {
+                    for _ in 0..1_000 {
+                        t.add_retrievals(1);
+                        t.add_evaluation();
+                    }
+                });
+            }
+        });
+        let c = t.snapshot();
+        assert_eq!(c.retrieved, 8_000);
+        assert_eq!(c.evaluated, 8_000);
     }
 }

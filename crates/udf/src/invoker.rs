@@ -14,16 +14,20 @@
 
 use crate::cost::{CostCounts, CostModel, CostTracker};
 use crate::udf::BooleanUdf;
+use expred_exec::{Executor, ShardedMemo};
 use expred_table::Table;
-use parking_lot::Mutex;
 use std::collections::HashMap;
 
 /// Counted, memoized access to a UDF over one table.
+///
+/// The memo is a lock-striped [`ShardedMemo`], so concurrent executor
+/// workers sharing one invoker do not serialize on a single lock, and the
+/// cost tracker is atomic, so charges stay exact under parallelism.
 pub struct UdfInvoker<'a> {
     udf: &'a dyn BooleanUdf,
     table: &'a Table,
     tracker: CostTracker,
-    memo: Mutex<HashMap<usize, bool>>,
+    memo: ShardedMemo<bool>,
 }
 
 impl<'a> UdfInvoker<'a> {
@@ -39,7 +43,7 @@ impl<'a> UdfInvoker<'a> {
             udf,
             table,
             tracker,
-            memo: Mutex::new(HashMap::new()),
+            memo: ShardedMemo::new(),
         }
     }
 
@@ -59,30 +63,89 @@ impl<'a> UdfInvoker<'a> {
     /// Retrieval is charged separately by the caller — the executor decides
     /// whether an evaluation happens on a freshly retrieved tuple.
     pub fn evaluate(&self, row: usize) -> bool {
-        if let Some(&answer) = self.memo.lock().get(&row) {
+        if let Some(answer) = self.memo.get(row) {
             self.tracker.add_cache_hit();
             return answer;
         }
         let answer = self.udf.evaluate(self.table, row);
         self.tracker.add_evaluation();
-        self.memo.lock().insert(row, answer);
+        self.memo.insert(row, answer);
         answer
+    }
+
+    /// Evaluates the UDF on every row of `rows` through `executor`,
+    /// returning answers in input order.
+    ///
+    /// Memoized rows are answered from the cache (charged as hits); the
+    /// remaining rows are deduplicated, evaluated in one batch (charging
+    /// exactly one `o_e` each — duplicates beyond the first occurrence
+    /// count as cache hits, matching a sequential evaluation loop), and
+    /// memoized. With the [`expred_exec::Sequential`] backend this is
+    /// action-for-action identical to calling [`UdfInvoker::evaluate`] in
+    /// a loop.
+    pub fn evaluate_batch(&self, executor: &dyn Executor, rows: &[usize]) -> Vec<bool> {
+        let mut answers = vec![false; rows.len()];
+        let mut fresh: Vec<usize> = Vec::new();
+        // Slot index in `fresh` for every distinct fresh row.
+        let mut fresh_slot: HashMap<usize, usize> = HashMap::new();
+        // (position in `answers`, slot in `fresh`) to fill after the batch.
+        let mut fills: Vec<(usize, usize)> = Vec::new();
+        let mut hits = 0u64;
+        for (i, &row) in rows.iter().enumerate() {
+            if let Some(answer) = self.memo.get(row) {
+                answers[i] = answer;
+                hits += 1;
+            } else if let Some(&slot) = fresh_slot.get(&row) {
+                // Duplicate within the batch: evaluated once, re-read free.
+                fills.push((i, slot));
+                hits += 1;
+            } else {
+                let slot = fresh.len();
+                fresh.push(row);
+                fresh_slot.insert(row, slot);
+                fills.push((i, slot));
+            }
+        }
+        self.tracker.add_cache_hits(hits);
+        if !fresh.is_empty() {
+            let probe = |row: usize| self.udf.evaluate(self.table, row);
+            let fresh_answers = executor.evaluate_batch(&probe, &fresh);
+            self.tracker.add_evaluations(fresh.len() as u64);
+            for (&row, &answer) in fresh.iter().zip(&fresh_answers) {
+                self.memo.insert(row, answer);
+            }
+            for (position, slot) in fills {
+                answers[position] = fresh_answers[slot];
+            }
+        }
+        answers
     }
 
     /// Whether `row` has already been evaluated (a free lookup).
     pub fn is_evaluated(&self, row: usize) -> bool {
-        self.memo.lock().contains_key(&row)
+        self.memo.contains(row)
     }
 
     /// The memoized answer for `row`, if it has been evaluated.
     pub fn memoized(&self, row: usize) -> Option<bool> {
-        self.memo.lock().get(&row).copied()
+        self.memo.get(row)
     }
 
     /// Retrieves and evaluates `row` in one step (charges both actions).
     pub fn retrieve_and_evaluate(&self, row: usize) -> bool {
         self.charge_retrievals(1);
         self.evaluate(row)
+    }
+
+    /// Retrieves and evaluates every row of `rows` through `executor`
+    /// (charges one retrieval per row plus the batch's evaluations).
+    pub fn retrieve_and_evaluate_batch(
+        &self,
+        executor: &dyn Executor,
+        rows: &[usize],
+    ) -> Vec<bool> {
+        self.charge_retrievals(rows.len() as u64);
+        self.evaluate_batch(executor, rows)
     }
 
     /// Current action counts.
@@ -161,6 +224,66 @@ mod tests {
         a.evaluate(0);
         b.evaluate(1);
         assert_eq!(tracker.snapshot().evaluated, 2);
+    }
+
+    #[test]
+    fn batch_matches_sequential_loop_action_for_action() {
+        let labels: Vec<bool> = (0..64).map(|i| i % 3 == 0).collect();
+        let t = table_with_labels(&labels);
+        let udf = OracleUdf::new("good");
+        let rows: Vec<usize> = (0..64).rev().collect();
+
+        let loop_inv = UdfInvoker::new(&udf, &t);
+        let loop_answers: Vec<bool> = rows.iter().map(|&r| loop_inv.evaluate(r)).collect();
+
+        for executor in [
+            &expred_exec::Sequential as &dyn Executor,
+            &expred_exec::Parallel::with_threads(4),
+        ] {
+            let batch_inv = UdfInvoker::new(&udf, &t);
+            let batch_answers = batch_inv.evaluate_batch(executor, &rows);
+            assert_eq!(batch_answers, loop_answers);
+            assert_eq!(batch_inv.counts(), loop_inv.counts());
+        }
+    }
+
+    #[test]
+    fn batch_reuses_memo_and_charges_hits() {
+        let t = table_with_labels(&[true, false, true, false]);
+        let udf = OracleUdf::new("good");
+        let inv = UdfInvoker::new(&udf, &t);
+        inv.evaluate(0);
+        inv.evaluate(1);
+        let answers = inv.evaluate_batch(&expred_exec::Sequential, &[0, 1, 2, 3]);
+        assert_eq!(answers, vec![true, false, true, false]);
+        let c = inv.counts();
+        assert_eq!(c.evaluated, 4, "rows 2 and 3 are the only new calls");
+        assert_eq!(c.cache_hits, 2);
+    }
+
+    #[test]
+    fn batch_duplicates_charge_once() {
+        let t = table_with_labels(&[true, false]);
+        let udf = OracleUdf::new("good");
+        let inv = UdfInvoker::new(&udf, &t);
+        let answers = inv.evaluate_batch(&expred_exec::Sequential, &[1, 0, 1, 1]);
+        assert_eq!(answers, vec![false, true, false, false]);
+        let c = inv.counts();
+        assert_eq!(c.evaluated, 2);
+        assert_eq!(c.cache_hits, 2, "repeat occurrences are free re-reads");
+    }
+
+    #[test]
+    fn retrieve_and_evaluate_batch_charges_both() {
+        let t = table_with_labels(&[true, false, true]);
+        let udf = OracleUdf::new("good");
+        let inv = UdfInvoker::new(&udf, &t);
+        let answers = inv.retrieve_and_evaluate_batch(&expred_exec::Sequential, &[0, 1, 2]);
+        assert_eq!(answers, vec![true, false, true]);
+        let c = inv.counts();
+        assert_eq!(c.retrieved, 3);
+        assert_eq!(c.evaluated, 3);
+        assert_eq!(inv.cost(&CostModel::PAPER_DEFAULT), 3.0 + 9.0);
     }
 
     #[test]

@@ -30,12 +30,21 @@ fn main() {
     let naive = run_naive(&ds, &spec, 1);
     let intel = run_intel_sample(
         &ds,
-        &IntelSampleConfig::experiment1(PredictorChoice::Auto { label_fraction: 0.01 }),
+        &IntelSampleConfig::experiment1(PredictorChoice::Auto {
+            label_fraction: 0.01,
+        }),
         1,
     );
     let optimal = run_optimal(&ds, &spec, ds.predictor(), 1);
-    println!("\n{:<14} {:>12} {:>10} {:>10} {:>8}", "strategy", "evaluations", "precision", "recall", "cost");
-    for (name, out) in [("naive", &naive), ("intel-sample", &intel), ("optimal", &optimal)] {
+    println!(
+        "\n{:<14} {:>12} {:>10} {:>10} {:>8}",
+        "strategy", "evaluations", "precision", "recall", "cost"
+    );
+    for (name, out) in [
+        ("naive", &naive),
+        ("intel-sample", &intel),
+        ("optimal", &optimal),
+    ] {
         println!(
             "{:<14} {:>12} {:>10.3} {:>10.3} {:>8.0}",
             name, out.counts.evaluated, out.summary.precision, out.summary.recall, out.cost
@@ -51,7 +60,10 @@ fn main() {
     let sizes: Vec<f64> = stats.per_group.iter().map(|&(t, _)| t as f64).collect();
     let sels: Vec<f64> = stats.per_group.iter().map(|&(_, s)| s).collect();
     println!("\nbudgeted variant (max recall s.t. cost <= budget, alpha = 0.8):");
-    println!("{:>10} {:>14} {:>14}", "budget", "recall bound", "expected cost");
+    println!(
+        "{:>10} {:>14} {:>14}",
+        "budget", "recall bound", "expected cost"
+    );
     for budget in [10_000.0, 25_000.0, 50_000.0, 100_000.0, 200_000.0] {
         match maximize_recall_under_budget(
             &sizes,

@@ -11,10 +11,10 @@
 //! CSV → Table → predictor selection → sampling → optimization →
 //! execution → audited cost report.
 
+use expred::core::optimize::CorrelationModel;
 use expred::core::{
     run_intel_sample, run_naive, IntelSampleConfig, PredictorChoice, QuerySpec, SampleSizeRule,
 };
-use expred::core::optimize::CorrelationModel;
 use expred::table::csv::{read_csv, write_csv};
 use expred::table::datasets::{Dataset, DatasetSpec, LABEL_COLUMN, PROSPER};
 use expred::udf::CostModel;
@@ -25,12 +25,24 @@ fn main() {
     let (path, label, alpha, beta, rho) = match args.len() {
         0 => {
             // Self-contained demo: materialize a clone as CSV.
-            let ds = Dataset::generate(DatasetSpec { rows: 8_000, ..PROSPER }, 7);
+            let ds = Dataset::generate(
+                DatasetSpec {
+                    rows: 8_000,
+                    ..PROSPER
+                },
+                7,
+            );
             let path = std::env::temp_dir().join("expred_demo.csv");
             let mut file = std::fs::File::create(&path).expect("create temp csv");
             write_csv(&ds.table, &mut file).expect("write csv");
             println!("wrote demo data to {}", path.display());
-            (path.to_string_lossy().into_owned(), LABEL_COLUMN.to_owned(), 0.8, 0.8, 0.8)
+            (
+                path.to_string_lossy().into_owned(),
+                LABEL_COLUMN.to_owned(),
+                0.8,
+                0.8,
+                0.8,
+            )
         }
         2..=5 => (
             args[0].clone(),
@@ -63,8 +75,15 @@ fn main() {
     // Wrap the table as a Dataset so the pipelines can run over it. The
     // label column plays the expensive UDF (in a real deployment you would
     // implement `BooleanUdf` for your service call instead).
-    let spec_template = DatasetSpec { rows: table.num_rows(), ..PROSPER };
-    let ds = Dataset { table, spec: spec_template, seed: 0 };
+    let spec_template = DatasetSpec {
+        rows: table.num_rows(),
+        ..PROSPER
+    };
+    let ds = Dataset {
+        table,
+        spec: spec_template,
+        seed: 0,
+    };
 
     let spec = QuerySpec::new(alpha, beta, rho, CostModel::PAPER_DEFAULT);
     if label != LABEL_COLUMN {
@@ -77,7 +96,9 @@ fn main() {
         spec,
         rule: SampleSizeRule::Fraction(0.05),
         corr: CorrelationModel::Independent,
-        predictor: PredictorChoice::Auto { label_fraction: 0.01 },
+        predictor: PredictorChoice::Auto {
+            label_fraction: 0.01,
+        },
     };
     let intel = run_intel_sample(&ds, &cfg, 1);
     let naive = run_naive(&ds, &spec, 1);

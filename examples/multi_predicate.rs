@@ -1,7 +1,7 @@
 //! Two chained expensive predicates (§5): trading accuracy between UDFs.
 //!
 //! ```text
-//! cargo run --release --example multi_predicate
+//! cargo run --release --example multi_predicate [-- --parallel]
 //! ```
 //!
 //! `SELECT * FROM listings WHERE is_fraud_free(id) = 1 AND
@@ -9,18 +9,49 @@
 //! image check costs twice the fraud check. The joint optimizer decides,
 //! per correlation group, whether to return blindly, evaluate one
 //! predicate and assume the other, or evaluate both (short-circuited).
+//! The demo then runs the conjunction over a synthetic table through the
+//! `expred-exec` runtime — staged, batched short-circuiting; with
+//! `--parallel` each stage fans out across worker threads.
 
 use expred::core::extensions::{
-    solve_multi_predicate, MultiAction, MultiCost, PredicatePairGroup,
+    evaluate_conjunction_batch, solve_multi_predicate, MultiAction, MultiCost, PredicatePairGroup,
 };
+use expred::exec::{Executor, Parallel, Sequential};
+use expred::stats::Prng;
+use expred::table::{DataType, Field, Schema, Table, Value};
+use expred::udf::{ConjunctionUdf, CostTracker, OracleUdf};
 
 fn main() {
+    let executor: Box<dyn Executor> = if std::env::args().any(|a| a == "--parallel") {
+        let backend = Parallel::new();
+        println!("executor backend: parallel ({} threads)", backend.threads());
+        Box::new(backend)
+    } else {
+        println!("executor backend: sequential (pass --parallel to fan out)");
+        Box::new(Sequential)
+    };
     // Groups from a hypothetical correlated attribute: (size, s1, s2).
     let groups = vec![
-        PredicatePairGroup { size: 4000.0, s1: 0.95, s2: 0.90 },
-        PredicatePairGroup { size: 3000.0, s1: 0.85, s2: 0.60 },
-        PredicatePairGroup { size: 2000.0, s1: 0.50, s2: 0.80 },
-        PredicatePairGroup { size: 1000.0, s1: 0.20, s2: 0.30 },
+        PredicatePairGroup {
+            size: 4000.0,
+            s1: 0.95,
+            s2: 0.90,
+        },
+        PredicatePairGroup {
+            size: 3000.0,
+            s1: 0.85,
+            s2: 0.60,
+        },
+        PredicatePairGroup {
+            size: 2000.0,
+            s1: 0.50,
+            s2: 0.80,
+        },
+        PredicatePairGroup {
+            size: 1000.0,
+            s1: 0.20,
+            s2: 0.30,
+        },
     ];
     let cost = MultiCost {
         retrieve: 1.0,
@@ -28,8 +59,7 @@ fn main() {
         eval2: 4.0, // image check
     };
     let (alpha, beta) = (0.85, 0.85);
-    let plan = solve_multi_predicate(&groups, alpha, beta, &cost)
-        .expect("constraints satisfiable");
+    let plan = solve_multi_predicate(&groups, alpha, beta, &cost).expect("constraints satisfiable");
 
     println!("joint plan (alpha = {alpha}, beta = {beta}):");
     println!(
@@ -62,5 +92,45 @@ fn main() {
     println!(
         "joint optimization saves {:.0}%",
         100.0 * (1.0 - plan.expected_cost / naive)
+    );
+
+    // Runtime demo: evaluate the conjunction itself over a synthetic
+    // table, stage by stage, through the chosen executor backend.
+    let schema = Schema::new(vec![
+        Field::new("fraud_free", DataType::Bool),
+        Field::new("image_ok", DataType::Bool),
+    ]);
+    let mut table = Table::empty(schema);
+    let mut rng = Prng::seeded(7);
+    for g in &groups {
+        let rows = (g.size / 10.0) as usize; // 1:10 scale model
+        for _ in 0..rows {
+            table
+                .push_row(vec![
+                    Value::Bool(rng.bernoulli(g.s1)),
+                    Value::Bool(rng.bernoulli(g.s2)),
+                ])
+                .unwrap();
+        }
+    }
+    let conjunction = ConjunctionUdf::new(vec![
+        Box::new(OracleUdf::new("fraud_free")),
+        Box::new(OracleUdf::new("image_ok")),
+    ]);
+    let tracker = CostTracker::new();
+    let rows: Vec<usize> = (0..table.num_rows()).collect();
+    let answers =
+        evaluate_conjunction_batch(&conjunction, &table, &rows, &tracker, executor.as_ref());
+    let passed = answers.iter().filter(|&&a| a).count();
+    let counts = tracker.snapshot();
+    println!(
+        "\nstaged batched evaluation over {} tuples: {} passed both predicates",
+        rows.len(),
+        passed
+    );
+    println!(
+        "conjunct invocations: {} (vs {} without stage-wise short-circuiting)",
+        counts.evaluated,
+        2 * rows.len()
     );
 }

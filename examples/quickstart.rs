@@ -2,25 +2,36 @@
 //! hand-built table.
 //!
 //! ```text
-//! cargo run --release --example quickstart
+//! cargo run --release --example quickstart [-- --parallel]
 //! ```
 //!
 //! The query is the paper's running example: `SELECT * FROM R WHERE
 //! f(ID) = 1` with three groups of customers whose attribute `A`
 //! correlates with the (expensive) credit check `f`. We ask for 90%
 //! precision and recall with 90% confidence, and compare the cost against
-//! evaluating the UDF on every tuple.
+//! evaluating the UDF on every tuple. With `--parallel`, UDF probes run
+//! through the `expred-exec` parallel backend — same answer and same
+//! bill, batched across worker threads.
 
 use expred::core::{
-    execute_plan, sample_groups, solve_estimated, truth_vector, CorrelationModel, QuerySpec,
-    SampleSizeRule,
+    execute_plan_with, sample_groups_with, solve_estimated, truth_vector, CorrelationModel,
+    QuerySpec, SampleSizeRule,
 };
+use expred::exec::{Executor, Parallel, Sequential};
 use expred::ml::metrics::precision_recall;
 use expred::stats::Prng;
 use expred::table::{DataType, Field, Schema, Table, Value};
 use expred::udf::{CostModel, OracleUdf, UdfInvoker};
 
 fn main() {
+    let executor: Box<dyn Executor> = if std::env::args().any(|a| a == "--parallel") {
+        let backend = Parallel::new();
+        println!("executor backend: parallel ({} threads)", backend.threads());
+        Box::new(backend)
+    } else {
+        println!("executor backend: sequential (pass --parallel to fan out)");
+        Box::new(Sequential)
+    };
     // Build the example relation: 3000 tuples, attribute A in {1,2,3} with
     // selectivities 0.9 / 0.5 / 0.1 for the hidden predicate.
     let schema = Schema::new(vec![
@@ -46,7 +57,13 @@ fn main() {
 
     // Step 1 — estimate correlations: group by A and sample 5%.
     let groups = table.group_by("a").expect("column a exists");
-    let sample = sample_groups(&groups, &invoker, SampleSizeRule::Fraction(0.05), &mut rng);
+    let sample = sample_groups_with(
+        &groups,
+        &invoker,
+        SampleSizeRule::Fraction(0.05),
+        &mut rng,
+        executor.as_ref(),
+    );
     for (g, key, _) in groups.iter() {
         println!(
             "group A={key}: sampled {} tuples, estimated selectivity {:.2}",
@@ -66,7 +83,7 @@ fn main() {
             plan.e()[g]
         );
     }
-    let result = execute_plan(&plan, &groups, &invoker, &mut rng);
+    let result = execute_plan_with(&plan, &groups, &invoker, &mut rng, executor.as_ref());
 
     // Report: achieved accuracy and cost vs the evaluate-everything bound.
     let truth = truth_vector(&table, "good_credit");

@@ -22,9 +22,8 @@ fn main() {
         ds.group_stats(ds.predictor()).overall_selectivity
     );
 
-    let fixed_cfg = IntelSampleConfig::experiment1(PredictorChoice::Fixed(
-        ds.predictor().to_owned(),
-    ));
+    let fixed_cfg =
+        IntelSampleConfig::experiment1(PredictorChoice::Fixed(ds.predictor().to_owned()));
     let virtual_cfg = IntelSampleConfig::experiment1(PredictorChoice::Virtual {
         buckets: 10,
         label_fraction: 0.01,
@@ -33,7 +32,10 @@ fn main() {
     let fixed = run_intel_sample(&ds, &fixed_cfg, 5);
     let virt = run_intel_sample(&ds, &virtual_cfg, 5);
 
-    println!("\n{:<22} {:>12} {:>10} {:>10}", "predictor", "evaluations", "precision", "recall");
+    println!(
+        "\n{:<22} {:>12} {:>10} {:>10}",
+        "predictor", "evaluations", "precision", "recall"
+    );
     for (name, out) in [
         (format!("fixed ({})", ds.predictor()), &fixed),
         ("virtual (logistic)".to_owned(), &virt),
@@ -68,9 +70,11 @@ fn main() {
     );
     println!("\nvirtual-column buckets (score-ordered):");
     for (g, _, rows) in groups.iter() {
-        let sel =
-            rows.iter().filter(|&&r| truth[r as usize]).count() as f64 / rows.len() as f64;
+        let sel = rows.iter().filter(|&&r| truth[r as usize]).count() as f64 / rows.len() as f64;
         let bar = "#".repeat((sel * 40.0).round() as usize);
-        println!("bucket {g:>2}: {:>6} rows, selectivity {sel:>5.2} {bar}", rows.len());
+        println!(
+            "bucket {g:>2}: {:>6} rows, selectivity {sel:>5.2} {bar}",
+            rows.len()
+        );
     }
 }

@@ -2,11 +2,11 @@
 //! datasets, exercised through the `expred` facade exactly as a downstream
 //! user would.
 
+use expred::core::optimize::CorrelationModel;
 use expred::core::{
     run_intel_sample, run_naive, run_optimal, IntelSampleConfig, PredictorChoice, QuerySpec,
     SampleSizeRule,
 };
-use expred::core::optimize::CorrelationModel;
 use expred::table::datasets::{Dataset, DatasetSpec, LENDING_CLUB, PROSPER};
 
 /// Shrunken clones keep the suite quick while preserving group structure.

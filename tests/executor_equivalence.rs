@@ -1,0 +1,173 @@
+//! Backend-equivalence suite: the `Parallel` executor must be an exact
+//! drop-in for `Sequential` — identical result sets, identical accuracy
+//! metrics, identical audited costs — for every pipeline, on the bundled
+//! datasets, under fixed seeds. Only wall-clock time may differ.
+
+use expred::core::{
+    run_intel_sample_adaptive_with, run_intel_sample_with, run_naive_with, run_optimal_with,
+    CorrelationModel, IntelSampleConfig, PredictorChoice, QuerySpec, RunOutcome,
+};
+use expred::exec::{Executor, Parallel, Sequential};
+use expred::table::datasets::{Dataset, DatasetSpec, LENDING_CLUB, PROSPER};
+
+fn small(spec: DatasetSpec, rows: usize, seed: u64) -> Dataset {
+    Dataset::generate(DatasetSpec { rows, ..spec }, seed)
+}
+
+/// Backends under test: inline, oversubscribed, and machine-sized.
+fn backends() -> Vec<Box<dyn Executor>> {
+    vec![
+        Box::new(Parallel::with_threads(2)),
+        Box::new(Parallel::with_threads(7)),
+        Box::new(Parallel::new()),
+    ]
+}
+
+#[track_caller]
+fn assert_identical(sequential: &RunOutcome, parallel: &RunOutcome, what: &str) {
+    assert_eq!(
+        sequential.returned, parallel.returned,
+        "{what}: result sets differ"
+    );
+    assert_eq!(
+        sequential.counts, parallel.counts,
+        "{what}: audited action counts differ"
+    );
+    assert_eq!(sequential.cost, parallel.cost, "{what}: costs differ");
+    assert_eq!(
+        sequential.summary, parallel.summary,
+        "{what}: precision/recall differ"
+    );
+    assert_eq!(
+        sequential.num_groups, parallel.num_groups,
+        "{what}: group counts differ"
+    );
+    assert_eq!(
+        sequential.plan_feasible, parallel.plan_feasible,
+        "{what}: feasibility verdicts differ"
+    );
+}
+
+#[test]
+fn naive_is_backend_invariant() {
+    let ds = small(PROSPER, 4_000, 1);
+    let spec = QuerySpec::paper_default();
+    for seed in [1u64, 99] {
+        let want = run_naive_with(&ds, &spec, seed, &Sequential);
+        for backend in backends() {
+            let got = run_naive_with(&ds, &spec, seed, backend.as_ref());
+            assert_identical(&want, &got, &format!("naive seed {seed}"));
+        }
+    }
+}
+
+#[test]
+fn optimal_is_backend_invariant() {
+    let ds = small(LENDING_CLUB, 5_000, 2);
+    let spec = QuerySpec::paper_default();
+    for seed in [3u64, 77] {
+        let want = run_optimal_with(&ds, &spec, "grade", seed, &Sequential);
+        for backend in backends() {
+            let got = run_optimal_with(&ds, &spec, "grade", seed, backend.as_ref());
+            assert_identical(&want, &got, &format!("optimal seed {seed}"));
+        }
+    }
+}
+
+#[test]
+fn intel_sample_fixed_predictor_is_backend_invariant() {
+    let ds = small(PROSPER, 5_000, 3);
+    let cfg = IntelSampleConfig::experiment1(PredictorChoice::Fixed("grade".into()));
+    for seed in [5u64, 123] {
+        let want = run_intel_sample_with(&ds, &cfg, seed, &Sequential);
+        for backend in backends() {
+            let got = run_intel_sample_with(&ds, &cfg, seed, backend.as_ref());
+            assert_identical(&want, &got, &format!("intel-sample seed {seed}"));
+        }
+    }
+}
+
+#[test]
+fn intel_sample_auto_predictor_is_backend_invariant() {
+    let ds = small(LENDING_CLUB, 4_000, 4);
+    let cfg = IntelSampleConfig::experiment1(PredictorChoice::Auto {
+        label_fraction: 0.01,
+    });
+    let want = run_intel_sample_with(&ds, &cfg, 6, &Sequential);
+    for backend in backends() {
+        let got = run_intel_sample_with(&ds, &cfg, 6, backend.as_ref());
+        assert_identical(&want, &got, "intel-sample auto");
+    }
+}
+
+#[test]
+fn intel_sample_virtual_predictor_is_backend_invariant() {
+    let ds = small(PROSPER, 4_000, 5);
+    let cfg = IntelSampleConfig::experiment1(PredictorChoice::Virtual {
+        buckets: 10,
+        label_fraction: 0.01,
+    });
+    let want = run_intel_sample_with(&ds, &cfg, 7, &Sequential);
+    for backend in backends() {
+        let got = run_intel_sample_with(&ds, &cfg, 7, backend.as_ref());
+        assert_identical(&want, &got, "intel-sample virtual");
+    }
+}
+
+#[test]
+fn adaptive_pipeline_is_backend_invariant() {
+    let ds = small(PROSPER, 3_000, 6);
+    let spec = QuerySpec::paper_default();
+    let want = run_intel_sample_adaptive_with(
+        &ds,
+        &spec,
+        CorrelationModel::Independent,
+        "grade",
+        8,
+        &Sequential,
+    );
+    for backend in backends() {
+        let got = run_intel_sample_adaptive_with(
+            &ds,
+            &spec,
+            CorrelationModel::Independent,
+            "grade",
+            8,
+            backend.as_ref(),
+        );
+        assert_identical(&want, &got, "adaptive");
+    }
+}
+
+#[test]
+fn iterative_pipeline_is_backend_invariant() {
+    let ds = small(PROSPER, 3_000, 8);
+    let spec = QuerySpec::paper_default();
+    let run = |backend: &dyn Executor| {
+        expred::core::run_intel_sample_iterative_with(
+            &ds,
+            &spec,
+            CorrelationModel::Independent,
+            "grade",
+            expred::core::SampleSizeRule::Fraction(0.05),
+            3,
+            9,
+            backend,
+        )
+    };
+    let want = run(&Sequential);
+    for backend in backends() {
+        let got = run(backend.as_ref());
+        assert_identical(&want, &got, "iterative");
+    }
+}
+
+#[test]
+fn legacy_entry_points_equal_sequential_with() {
+    // The parameterless API must stay exactly what it was: Sequential.
+    let ds = small(PROSPER, 3_000, 7);
+    let cfg = IntelSampleConfig::experiment1(PredictorChoice::Fixed("grade".into()));
+    let legacy = expred::core::run_intel_sample(&ds, &cfg, 11);
+    let explicit = run_intel_sample_with(&ds, &cfg, 11, &Sequential);
+    assert_identical(&legacy, &explicit, "legacy intel-sample");
+}

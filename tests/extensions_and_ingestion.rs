@@ -1,20 +1,26 @@
 //! Integration tests for the §5 extensions and the CSV ingestion path.
 
 use expred::core::extensions::{
-    maximize_recall_under_budget, solve_multi_predicate, solve_select_join, MultiCost,
-    PredicatePairGroup, JoinSubgroup,
+    maximize_recall_under_budget, solve_multi_predicate, solve_select_join, JoinSubgroup,
+    MultiCost, PredicatePairGroup,
 };
+use expred::core::optimize::CorrelationModel;
 use expred::core::{
     run_intel_sample, IntelSampleConfig, PredictorChoice, QuerySpec, SampleSizeRule,
 };
-use expred::core::optimize::CorrelationModel;
 use expred::table::csv::{read_csv, write_csv};
 use expred::table::datasets::{Dataset, DatasetSpec, PROSPER};
 use expred::udf::CostModel;
 
 #[test]
 fn budget_recall_curve_is_monotone() {
-    let ds = Dataset::generate(DatasetSpec { rows: 6_000, ..PROSPER }, 8);
+    let ds = Dataset::generate(
+        DatasetSpec {
+            rows: 6_000,
+            ..PROSPER
+        },
+        8,
+    );
     let stats = ds.group_stats("grade");
     let sizes: Vec<f64> = stats.per_group.iter().map(|&(t, _)| t as f64).collect();
     let sels: Vec<f64> = stats.per_group.iter().map(|&(_, s)| s).collect();
@@ -29,16 +35,31 @@ fn budget_recall_curve_is_monotone() {
         );
         prev = out.achieved_beta;
     }
-    assert!(prev > 0.3, "a 20k budget should buy real recall, got {prev}");
+    assert!(
+        prev > 0.3,
+        "a 20k budget should buy real recall, got {prev}"
+    );
 }
 
 #[test]
 fn multi_predicate_cheaper_than_eval_both_everywhere() {
     let groups = vec![
-        PredicatePairGroup { size: 2_000.0, s1: 0.9, s2: 0.9 },
-        PredicatePairGroup { size: 2_000.0, s1: 0.4, s2: 0.5 },
+        PredicatePairGroup {
+            size: 2_000.0,
+            s1: 0.9,
+            s2: 0.9,
+        },
+        PredicatePairGroup {
+            size: 2_000.0,
+            s1: 0.4,
+            s2: 0.5,
+        },
     ];
-    let cost = MultiCost { retrieve: 1.0, eval1: 3.0, eval2: 3.0 };
+    let cost = MultiCost {
+        retrieve: 1.0,
+        eval1: 3.0,
+        eval2: 3.0,
+    };
     let plan = solve_multi_predicate(&groups, 0.8, 0.8, &cost).expect("feasible");
     let naive: f64 = groups
         .iter()
@@ -57,12 +78,28 @@ fn join_weighting_changes_the_plan() {
     // Same statistics; flipping which subgroup carries the fan-out must
     // flip where the retrieval probability goes.
     let forward = vec![
-        JoinSubgroup { size: 500.0, sel: 0.5, fanout: 8.0 },
-        JoinSubgroup { size: 500.0, sel: 0.5, fanout: 1.0 },
+        JoinSubgroup {
+            size: 500.0,
+            sel: 0.5,
+            fanout: 8.0,
+        },
+        JoinSubgroup {
+            size: 500.0,
+            sel: 0.5,
+            fanout: 1.0,
+        },
     ];
     let reversed = vec![
-        JoinSubgroup { size: 500.0, sel: 0.5, fanout: 1.0 },
-        JoinSubgroup { size: 500.0, sel: 0.5, fanout: 8.0 },
+        JoinSubgroup {
+            size: 500.0,
+            sel: 0.5,
+            fanout: 1.0,
+        },
+        JoinSubgroup {
+            size: 500.0,
+            sel: 0.5,
+            fanout: 8.0,
+        },
     ];
     let a = solve_select_join(&forward, 0.0, 0.5, &CostModel::PAPER_DEFAULT).unwrap();
     let b = solve_select_join(&reversed, 0.0, 0.5, &CostModel::PAPER_DEFAULT).unwrap();
@@ -74,7 +111,13 @@ fn join_weighting_changes_the_plan() {
 fn csv_round_trip_preserves_pipeline_behaviour() {
     // Export a dataset to CSV, re-ingest it, and run the same seeded
     // pipeline on both: the costs and answers must agree exactly.
-    let ds = Dataset::generate(DatasetSpec { rows: 3_000, ..PROSPER }, 9);
+    let ds = Dataset::generate(
+        DatasetSpec {
+            rows: 3_000,
+            ..PROSPER
+        },
+        9,
+    );
     let mut buf = Vec::new();
     write_csv(&ds.table, &mut buf).expect("serialize");
     let round_tripped = read_csv(std::io::Cursor::new(buf)).expect("parse");
