@@ -1,0 +1,143 @@
+//! Cross-query cache benchmarks: repeated and overlapping workloads.
+//!
+//! The serving story of the session layer is that repeated/overlapping
+//! traffic stops re-paying `o_e`. Two workload shapes:
+//!
+//! * **Repeated** — the identical query resubmitted to one
+//!   [`QueryEngine`]; the result memo answers it without touching the
+//!   UDF.
+//! * **Overlapping** — two different queries whose row sets overlap; the
+//!   row-tier [`CacheStore`] pays `o_e` only for the fresh rows. With a
+//!   100µs UDF, `overlap_speedup_report` measures the second query cold
+//!   vs warm and asserts the ≥2x win the ROADMAP promised.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use expred_core::engine::{Query, QueryEngine};
+use expred_core::QuerySpec;
+use expred_exec::{CacheStore, ExecContext, Sequential};
+use expred_table::datasets::{Dataset, DatasetSpec, LABEL_COLUMN, PROSPER};
+use expred_udf::{OracleUdf, SlowUdf, UdfInvoker};
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+const UDF_LATENCY: Duration = Duration::from_micros(100);
+
+fn dataset() -> Dataset {
+    Dataset::generate(
+        DatasetSpec {
+            rows: 4_000,
+            ..PROSPER
+        },
+        1,
+    )
+}
+
+/// The identical query, resubmitted: cold engine every iteration vs one
+/// long-lived engine.
+fn bench_repeated_query(c: &mut Criterion) {
+    let ds = dataset();
+    let spec = QuerySpec::paper_default();
+    let mut group = c.benchmark_group("repeated_naive_query");
+    group.throughput(Throughput::Elements(ds.table.num_rows() as u64));
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::from_parameter("cold_engine_each_time"), |b| {
+        b.iter(|| {
+            let mut engine = QueryEngine::new();
+            black_box(engine.run(&ds, &Query::Naive(spec), 7))
+        })
+    });
+    group.bench_function(BenchmarkId::from_parameter("one_session"), |b| {
+        let mut engine = QueryEngine::new();
+        engine.run(&ds, &Query::Naive(spec), 7); // warm once
+        b.iter(|| black_box(engine.run(&ds, &Query::Naive(spec), 7)))
+    });
+    group.finish();
+}
+
+/// Two overlapping β-fraction workloads over a 100µs UDF, second query
+/// timed cold vs warm.
+fn overlapping_batches(n: usize) -> (Vec<usize>, Vec<usize>) {
+    // 75% overlap: query A covers [0, n), query B covers [n/4, n + n/4).
+    let a: Vec<usize> = (0..n).collect();
+    let b: Vec<usize> = (n / 4..n + n / 4).collect();
+    (a, b)
+}
+
+fn overlap_speedup_report(c: &mut Criterion) {
+    let ds = dataset();
+    let udf = SlowUdf::new(OracleUdf::new(LABEL_COLUMN), UDF_LATENCY);
+    let (first, second) = overlapping_batches(1_024);
+
+    // Cold: the second query pays the full 1024 slow calls.
+    let cold_store = CacheStore::new();
+    let cold_ctx = ExecContext::sequential().with_cache(&cold_store);
+    let cold_inv = UdfInvoker::with_context(&udf, &ds.table, &cold_ctx);
+    let start = Instant::now();
+    let cold_answers = cold_inv.retrieve_and_evaluate_batch(&Sequential, &second);
+    let cold_secs = start.elapsed().as_secs_f64();
+
+    // Warm: query one runs first and shares the session store.
+    let warm_store = CacheStore::new();
+    let warm_ctx = ExecContext::sequential().with_cache(&warm_store);
+    UdfInvoker::with_context(&udf, &ds.table, &warm_ctx)
+        .retrieve_and_evaluate_batch(&Sequential, &first);
+    let warm_inv = UdfInvoker::with_context(&udf, &ds.table, &warm_ctx);
+    let start = Instant::now();
+    let warm_answers = warm_inv.retrieve_and_evaluate_batch(&Sequential, &second);
+    let warm_secs = start.elapsed().as_secs_f64();
+
+    assert_eq!(cold_answers, warm_answers, "reuse must not change answers");
+    let warm_counts = warm_inv.counts();
+    assert_eq!(
+        warm_counts.evaluated + warm_counts.reuse_hits,
+        cold_inv.counts().evaluated,
+        "ledger: fresh + reused == cache-less fresh"
+    );
+    let ratio = cold_secs / warm_secs;
+    println!(
+        "overlap_speedup_report: second query cold {cold_secs:.3}s, warm {warm_secs:.3}s \
+         ({} of {} rows reused) -> {ratio:.1}x",
+        warm_counts.reuse_hits,
+        second.len(),
+    );
+    assert!(
+        ratio >= 2.0,
+        "expected >= 2x on a 75%-overlap workload, got {ratio:.2}x"
+    );
+    c.bench_function("overlap_speedup_report/noop", |b| b.iter(|| black_box(0)));
+}
+
+/// Session statistics over a mixed workload — prints the row-tier stats
+/// so regressions in hit rate are visible in bench logs.
+fn session_stats_report(c: &mut Criterion) {
+    let ds = dataset();
+    let spec = QuerySpec::paper_default();
+    let mut engine = QueryEngine::new();
+    for seed in 0..4 {
+        engine.run(&ds, &Query::Naive(spec), seed);
+    }
+    engine.run(
+        &ds,
+        &Query::Optimal {
+            spec,
+            predictor: "grade".into(),
+        },
+        0,
+    );
+    let counts = engine.session_counts();
+    println!(
+        "session_stats_report: {counts}; cache {:?}; engine {:?}",
+        engine.cache_stats(),
+        engine.stats()
+    );
+    assert!(counts.reuse_hits > 0);
+    c.bench_function("session_stats_report/noop", |b| b.iter(|| black_box(0)));
+}
+
+criterion_group!(
+    benches,
+    bench_repeated_query,
+    overlap_speedup_report,
+    session_stats_report
+);
+criterion_main!(benches);

@@ -11,13 +11,13 @@
 //!   exploiting them": run a fraction of the plan, fold the new
 //!   evaluations into the estimates, and re-plan.
 
-use crate::execute::{execute_plan_with, truth_vector};
+use crate::execute::{execute_plan_ctx, truth_vector};
 use crate::optimize::{solve_estimated, CorrelationModel};
 use crate::pipeline::RunOutcome;
 use crate::plan::Plan;
 use crate::query::QuerySpec;
-use crate::sampling::{adaptive_num_search_with, sample_groups_with, SampleSizeRule};
-use expred_exec::{Executor, Sequential};
+use crate::sampling::{adaptive_num_search_ctx, sample_groups_ctx, SampleSizeRule};
+use expred_exec::{ExecContext, Executor};
 use expred_ml::metrics::precision_recall;
 use expred_stats::rng::Prng;
 use expred_table::datasets::{Dataset, LABEL_COLUMN};
@@ -32,7 +32,7 @@ pub fn run_intel_sample_adaptive(
     predictor: &str,
     seed: u64,
 ) -> RunOutcome {
-    run_intel_sample_adaptive_with(ds, spec, corr, predictor, seed, &Sequential)
+    run_intel_sample_adaptive_ctx(ds, spec, corr, predictor, seed, &ExecContext::sequential())
 }
 
 /// [`run_intel_sample_adaptive`], probing through `executor`.
@@ -44,20 +44,32 @@ pub fn run_intel_sample_adaptive_with(
     seed: u64,
     executor: &dyn Executor,
 ) -> RunOutcome {
+    run_intel_sample_adaptive_ctx(ds, spec, corr, predictor, seed, &ExecContext::new(executor))
+}
+
+/// [`run_intel_sample_adaptive`] under an execution context.
+pub fn run_intel_sample_adaptive_ctx(
+    ds: &Dataset,
+    spec: &QuerySpec,
+    corr: CorrelationModel,
+    predictor: &str,
+    seed: u64,
+    ctx: &ExecContext<'_>,
+) -> RunOutcome {
     let start = Instant::now();
     let table = &ds.table;
     let udf = OracleUdf::new(LABEL_COLUMN);
-    let invoker = UdfInvoker::new(&udf, table);
+    let invoker = UdfInvoker::with_context(&udf, table, ctx);
     let mut rng = Prng::seeded(seed);
     let groups = table.group_by(predictor).expect("predictor column");
 
-    let outcome = adaptive_num_search_with(&groups, &invoker, spec, corr, &mut rng, executor);
+    let outcome = adaptive_num_search_ctx(&groups, &invoker, spec, corr, &mut rng, ctx);
     let est_groups = outcome.sample.to_estimated_groups(&groups);
     let (plan, plan_feasible) = match solve_estimated(&est_groups, spec, corr) {
         Ok(plan) => (plan, true),
         Err(_) => (Plan::evaluate_all(groups.num_groups()), false),
     };
-    let result = execute_plan_with(&plan, &groups, &invoker, &mut rng, executor);
+    let result = execute_plan_ctx(&plan, &groups, &invoker, &mut rng, ctx);
     let compute_seconds = start.elapsed().as_secs_f64();
 
     let truth = truth_vector(table, LABEL_COLUMN);
@@ -90,7 +102,7 @@ pub fn run_intel_sample_iterative(
     rounds: usize,
     seed: u64,
 ) -> RunOutcome {
-    run_intel_sample_iterative_with(
+    run_intel_sample_iterative_ctx(
         ds,
         spec,
         corr,
@@ -98,7 +110,7 @@ pub fn run_intel_sample_iterative(
         initial_rule,
         rounds,
         seed,
-        &Sequential,
+        &ExecContext::sequential(),
     )
 }
 
@@ -114,17 +126,41 @@ pub fn run_intel_sample_iterative_with(
     seed: u64,
     executor: &dyn Executor,
 ) -> RunOutcome {
+    run_intel_sample_iterative_ctx(
+        ds,
+        spec,
+        corr,
+        predictor,
+        initial_rule,
+        rounds,
+        seed,
+        &ExecContext::new(executor),
+    )
+}
+
+/// [`run_intel_sample_iterative`] under an execution context.
+#[allow(clippy::too_many_arguments)]
+pub fn run_intel_sample_iterative_ctx(
+    ds: &Dataset,
+    spec: &QuerySpec,
+    corr: CorrelationModel,
+    predictor: &str,
+    initial_rule: SampleSizeRule,
+    rounds: usize,
+    seed: u64,
+    ctx: &ExecContext<'_>,
+) -> RunOutcome {
     assert!(rounds >= 1, "need at least one round");
     let start = Instant::now();
     let table = &ds.table;
     let udf = OracleUdf::new(LABEL_COLUMN);
-    let invoker = UdfInvoker::new(&udf, table);
+    let invoker = UdfInvoker::with_context(&udf, table, ctx);
     let mut rng = Prng::seeded(seed);
     let groups = table.group_by(predictor).expect("predictor column");
     let k = groups.num_groups();
 
     // Initial estimates.
-    let mut sample = sample_groups_with(&groups, &invoker, initial_rule, &mut rng, executor);
+    let mut sample = sample_groups_ctx(&groups, &invoker, initial_rule, &mut rng, ctx);
     let mut returned: Vec<u32> = Vec::new();
     // Rows not yet touched by execution, per group.
     let mut pending: Vec<Vec<u32>> = (0..k).map(|g| groups.rows(g).to_vec()).collect();
@@ -169,16 +205,16 @@ pub fn run_intel_sample_iterative_with(
             total,
         );
         let slice_plan = Plan::new(slice_r, slice_e);
-        let result = execute_plan_with(&slice_plan, &slice_groups, &invoker, &mut rng, executor);
+        let result = execute_plan_ctx(&slice_plan, &slice_groups, &invoker, &mut rng, ctx);
         returned.extend(result.returned);
 
         // Fold everything evaluated so far back into the estimates.
-        let refreshed = sample_groups_with(
+        let refreshed = sample_groups_ctx(
             &groups,
             &invoker,
             SampleSizeRule::Constant(0),
             &mut rng,
-            executor,
+            ctx,
         );
         sample = refreshed;
     }

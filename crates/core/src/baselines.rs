@@ -7,9 +7,17 @@
 //! to evaluate that lets us satisfy the precision and recall constraints"
 //! — i.e. the training size is tuned against ground truth, and only the
 //! winning configuration's cost is charged.
+//!
+//! Labelling runs through the audited [`UdfInvoker`] and the `expred-exec`
+//! runtime (not a serial ground-truth loop): each grid step labels only
+//! its *new* slice of the shuffled permutation as one executor batch, so
+//! the cumulative bill at the winning step is exactly that step's
+//! labelling cost — and inside a session, labels paid for by earlier
+//! queries arrive as free reuse hits.
 
 use crate::pipeline::RunOutcome;
 use crate::query::QuerySpec;
+use expred_exec::ExecContext;
 use expred_ml::features::{extract_features, FeatureSpec};
 use expred_ml::logistic::TrainConfig;
 use expred_ml::metrics::{precision_recall, PrSummary};
@@ -18,7 +26,7 @@ use expred_ml::semisupervised::{
 };
 use expred_stats::rng::Prng;
 use expred_table::datasets::{Dataset, LABEL_COLUMN};
-use expred_udf::{CostCounts, CostModel};
+use expred_udf::{CostModel, OracleUdf, UdfInvoker};
 use std::time::Instant;
 
 /// Training-set sizes to probe, as fractions of the table. The grid is
@@ -47,18 +55,17 @@ fn outcome_from(
     labelled: &[usize],
     summary: PrSummary,
     cost_model: &CostModel,
+    invoker: &UdfInvoker<'_>,
     start: Instant,
     feasible: bool,
 ) -> RunOutcome {
     // Every returned-but-unevaluated row still has to be retrieved; the
-    // evaluated seed was retrieved once already.
+    // evaluated seed was retrieved once already (charged by the labelling
+    // batches).
     let seed: std::collections::HashSet<usize> = labelled.iter().copied().collect();
     let fresh_returns = returned.iter().filter(|r| !seed.contains(r)).count();
-    let counts = CostCounts {
-        retrieved: (labelled.len() + fresh_returns) as u64,
-        evaluated: labelled.len() as u64,
-        cache_hits: 0,
-    };
+    invoker.charge_retrievals(fresh_returns as u64);
+    let counts = invoker.counts();
     RunOutcome {
         returned: returned.into_iter().map(|r| r as u32).collect(),
         counts,
@@ -70,59 +77,123 @@ fn outcome_from(
     }
 }
 
+/// Labels the permutation prefix `perm[..m]` through the runtime,
+/// extending past steps' coverage (`labelled_so_far`) with one batch, and
+/// returns the prefix's labels read back from the invoker's memo.
+fn label_prefix(
+    invoker: &UdfInvoker<'_>,
+    perm: &[usize],
+    m: usize,
+    labelled_so_far: &mut usize,
+    ctx: &ExecContext<'_>,
+) -> Vec<bool> {
+    if m > *labelled_so_far {
+        invoker.retrieve_and_evaluate_batch(ctx.executor, &perm[*labelled_so_far..m]);
+        *labelled_so_far = m;
+    }
+    perm[..m]
+        .iter()
+        .map(|&r| {
+            invoker
+                .memoized(r)
+                .expect("labelled rows must be evaluated")
+        })
+        .collect()
+}
+
 /// The `Learning` baseline: self-training semi-supervised classification
 /// with oracle-tuned minimal training size.
 pub fn run_learning(ds: &Dataset, spec: &QuerySpec, seed: u64) -> RunOutcome {
+    run_learning_ctx(ds, spec, seed, &ExecContext::sequential())
+}
+
+/// [`run_learning`] under an execution context: training labels are
+/// evaluated through `ctx.executor` (and reused from the session cache,
+/// when present).
+pub fn run_learning_ctx(
+    ds: &Dataset,
+    spec: &QuerySpec,
+    seed: u64,
+    ctx: &ExecContext<'_>,
+) -> RunOutcome {
     let start = Instant::now();
     let table = &ds.table;
     let truth = crate::execute::truth_vector(table, LABEL_COLUMN);
     let features = extract_features(table, &[LABEL_COLUMN, "row_id"], FeatureSpec::default());
     let n = table.num_rows();
+    let udf = OracleUdf::new(LABEL_COLUMN);
+    let invoker = UdfInvoker::with_context(&udf, table, ctx);
     let mut rng = Prng::seeded(seed);
     let mut perm: Vec<usize> = (0..n).collect();
     rng.shuffle(&mut perm);
     let cfg = baseline_train_config();
+    let mut labelled_so_far = 0usize;
 
     let mut last: Option<(Vec<usize>, usize, PrSummary)> = None;
     for frac in SIZE_GRID {
         let m = ((frac * n as f64).ceil() as usize).clamp(1, n);
+        let labels = label_prefix(&invoker, &perm, m, &mut labelled_so_far, ctx);
         let labelled = &perm[..m];
-        let labels: Vec<bool> = labelled.iter().map(|&r| truth[r]).collect();
         let outcome = self_train(&features, labelled, &labels, cfg);
         let returned = learning_returned_set(&outcome, labelled, &labels);
         let summary = precision_recall(&returned, &truth);
         let meets = summary.meets(spec.alpha, spec.beta);
         if meets {
-            return outcome_from(returned, labelled, summary, &spec.cost, start, true);
+            return outcome_from(
+                returned, labelled, summary, &spec.cost, &invoker, start, true,
+            );
         }
         last = Some((returned, m, summary));
     }
     // Even full evaluation of the grid's maximum failed (possible only for
     // extreme constraints); report the last attempt, flagged infeasible.
     let (returned, m, summary) = last.expect("grid is nonempty");
-    outcome_from(returned, &perm[..m], summary, &spec.cost, start, false)
+    outcome_from(
+        returned,
+        &perm[..m],
+        summary,
+        &spec.cost,
+        &invoker,
+        start,
+        false,
+    )
 }
 
 /// The `Multiple` baseline: multiple imputations from class probabilities;
 /// the training size is the smallest whose constraints hold *on average
 /// across the imputed datasets* (§6.2).
 pub fn run_multiple(ds: &Dataset, spec: &QuerySpec, imputations: usize, seed: u64) -> RunOutcome {
+    run_multiple_ctx(ds, spec, imputations, seed, &ExecContext::sequential())
+}
+
+/// [`run_multiple`] under an execution context (labelling as in
+/// [`run_learning_ctx`]).
+pub fn run_multiple_ctx(
+    ds: &Dataset,
+    spec: &QuerySpec,
+    imputations: usize,
+    seed: u64,
+    ctx: &ExecContext<'_>,
+) -> RunOutcome {
     assert!(imputations >= 1);
     let start = Instant::now();
     let table = &ds.table;
     let truth = crate::execute::truth_vector(table, LABEL_COLUMN);
     let features = extract_features(table, &[LABEL_COLUMN, "row_id"], FeatureSpec::default());
     let n = table.num_rows();
+    let udf = OracleUdf::new(LABEL_COLUMN);
+    let invoker = UdfInvoker::with_context(&udf, table, ctx);
     let mut rng = Prng::seeded(seed);
     let mut perm: Vec<usize> = (0..n).collect();
     rng.shuffle(&mut perm);
     let cfg = baseline_train_config();
+    let mut labelled_so_far = 0usize;
 
     let mut last: Option<(Vec<usize>, usize, PrSummary)> = None;
     for frac in SIZE_GRID {
         let m = ((frac * n as f64).ceil() as usize).clamp(1, n);
+        let labels = label_prefix(&invoker, &perm, m, &mut labelled_so_far, ctx);
         let labelled = &perm[..m];
-        let labels: Vec<bool> = labelled.iter().map(|&r| truth[r]).collect();
         let outcome = self_train(&features, labelled, &labels, cfg);
         // Average constraint satisfaction across imputed completions.
         let mut imp_rng = rng.fork(m as u64);
@@ -145,12 +216,22 @@ pub fn run_multiple(ds: &Dataset, spec: &QuerySpec, imputations: usize, seed: u6
         let returned = learning_returned_set(&outcome, labelled, &labels);
         let summary = precision_recall(&returned, &truth);
         if mean_p >= spec.alpha && mean_r >= spec.beta {
-            return outcome_from(returned, labelled, summary, &spec.cost, start, true);
+            return outcome_from(
+                returned, labelled, summary, &spec.cost, &invoker, start, true,
+            );
         }
         last = Some((returned, m, summary));
     }
     let (returned, m, summary) = last.expect("grid is nonempty");
-    outcome_from(returned, &perm[..m], summary, &spec.cost, start, false)
+    outcome_from(
+        returned,
+        &perm[..m],
+        summary,
+        &spec.cost,
+        &invoker,
+        start,
+        false,
+    )
 }
 
 #[cfg(test)]

@@ -13,7 +13,7 @@
 
 use crate::optimize::solve_perfect_selectivities;
 use crate::query::QuerySpec;
-use expred_exec::{Executor, Sequential};
+use expred_exec::{ExecContext, Executor};
 use expred_ml::features::{extract_features, FeatureSpec};
 use expred_ml::logistic::{train, TrainConfig};
 use expred_stats::estimator::SelectivityEstimate;
@@ -49,14 +49,14 @@ pub fn rank_columns(
     label_fraction: f64,
     rng: &mut Prng,
 ) -> (Vec<ColumnScore>, Vec<u32>) {
-    rank_columns_with(
+    rank_columns_ctx(
         table,
         candidates,
         invoker,
         spec,
         label_fraction,
         rng,
-        &Sequential,
+        &ExecContext::sequential(),
     )
 }
 
@@ -70,6 +70,28 @@ pub fn rank_columns_with(
     label_fraction: f64,
     rng: &mut Prng,
     executor: &dyn Executor,
+) -> (Vec<ColumnScore>, Vec<u32>) {
+    rank_columns_ctx(
+        table,
+        candidates,
+        invoker,
+        spec,
+        label_fraction,
+        rng,
+        &ExecContext::new(executor),
+    )
+}
+
+/// [`rank_columns`] under an execution context.
+#[allow(clippy::too_many_arguments)]
+pub fn rank_columns_ctx(
+    table: &Table,
+    candidates: &[String],
+    invoker: &UdfInvoker<'_>,
+    spec: &QuerySpec,
+    label_fraction: f64,
+    rng: &mut Prng,
+    ctx: &ExecContext<'_>,
 ) -> (Vec<ColumnScore>, Vec<u32>) {
     assert!(!candidates.is_empty(), "need at least one candidate column");
     let n = table.num_rows();
@@ -89,7 +111,7 @@ pub fn rank_columns_with(
                 .into_iter()
                 .map(|idx| unlabelled[idx] as usize)
                 .collect();
-            invoker.retrieve_and_evaluate_batch(executor, &batch);
+            invoker.retrieve_and_evaluate_batch(ctx.executor, &batch);
             labelled.extend(batch.into_iter().map(|row| row as u32));
         }
         let limit = (labelled.len() as f64).sqrt().ceil() as usize;

@@ -1,0 +1,563 @@
+//! [`QueryEngine`]: the session layer — many queries, one cache.
+//!
+//! Everything below this module is per-query: pipelines build an invoker,
+//! pay `o_e` for every fresh evaluation, and throw the memo away. The
+//! engine is what a *serving* deployment holds on to between requests. It
+//! owns an [`Executor`] backend and a [`CacheStore`], threads them
+//! through every pipeline as one [`ExecContext`], and adds a second
+//! reuse tier: a bounded memo of whole query outcomes, so an *identical*
+//! repeated request (same table state, same query, same seed) is answered
+//! without touching the UDF at all.
+//!
+//! The two tiers compose:
+//!
+//! 1. **Row tier** ([`CacheStore`]) — namespaced by `(udf, table id,
+//!    table version)`; overlapping-but-different queries stop re-paying
+//!    `o_e` for rows any earlier query evaluated.
+//! 2. **Query tier** (result memo) — keyed by a fingerprint of the query
+//!    request; identical repeats are free and charge zero additional
+//!    `o_e`, reported as [`EngineStats::result_hits`].
+//!
+//! Mutating a table bumps its version, which invalidates both tiers for
+//! that table automatically (row namespaces are GCed on next borrow;
+//! result keys simply never match again).
+//!
+//! ```
+//! use expred_core::engine::{Query, QueryEngine};
+//! use expred_core::{IntelSampleConfig, PredictorChoice};
+//! use expred_table::datasets::{Dataset, DatasetSpec, PROSPER};
+//!
+//! let ds = Dataset::generate(DatasetSpec { rows: 2_000, ..PROSPER }, 7);
+//! let mut engine = QueryEngine::new();
+//! let query = Query::IntelSample(IntelSampleConfig::experiment1(
+//!     PredictorChoice::Fixed("grade".into()),
+//! ));
+//! let first = engine.run(&ds, &query, 42);
+//! let again = engine.run(&ds, &query, 42);
+//! assert_eq!(first.returned, again.returned);
+//! // The repeat was answered from the result memo: zero new UDF calls.
+//! assert_eq!(engine.session_counts().evaluated, first.counts.evaluated);
+//! assert_eq!(engine.stats().result_hits, 1);
+//! ```
+
+use crate::adaptive::{run_intel_sample_adaptive_ctx, run_intel_sample_iterative_ctx};
+use crate::baselines::{run_learning_ctx, run_multiple_ctx};
+use crate::optimize::CorrelationModel;
+use crate::pipeline::{
+    run_intel_sample_ctx, run_naive_ctx, run_optimal_ctx, IntelSampleConfig, PredictorChoice,
+    RunOutcome,
+};
+use crate::query::QuerySpec;
+use crate::sampling::SampleSizeRule;
+use expred_exec::{CacheStats, CacheStore, ExecContext, Executor, Sequential};
+use expred_stats::hash::Fnv64;
+use expred_table::datasets::Dataset;
+use expred_udf::{CostCounts, CostTracker};
+use std::collections::{HashMap, VecDeque};
+
+/// Default bound on memoized whole-query outcomes.
+pub const DEFAULT_RESULT_MEMO_CAPACITY: usize = 1024;
+
+/// One query request an engine can serve — every pipeline the workspace
+/// offers, in a hashable, memoizable form.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Query {
+    /// The paper's main algorithm ([`run_intel_sample_ctx`]).
+    IntelSample(IntelSampleConfig),
+    /// The naive β-fraction baseline ([`run_naive_ctx`]).
+    Naive(QuerySpec),
+    /// The perfect-information lower bound ([`run_optimal_ctx`]).
+    Optimal {
+        /// Accuracy contract.
+        spec: QuerySpec,
+        /// Predictor column with free exact selectivities.
+        predictor: String,
+    },
+    /// The parameter-free adaptive pipeline
+    /// ([`run_intel_sample_adaptive_ctx`]).
+    Adaptive {
+        /// Accuracy contract.
+        spec: QuerySpec,
+        /// Estimate-correlation model.
+        corr: CorrelationModel,
+        /// Predictor column.
+        predictor: String,
+    },
+    /// The §4.2 iterative estimate/exploit pipeline
+    /// ([`run_intel_sample_iterative_ctx`]).
+    Iterative {
+        /// Accuracy contract.
+        spec: QuerySpec,
+        /// Estimate-correlation model.
+        corr: CorrelationModel,
+        /// Predictor column.
+        predictor: String,
+        /// Initial sampling rule.
+        rule: SampleSizeRule,
+        /// Number of estimate/exploit rounds.
+        rounds: usize,
+    },
+    /// The `Learning` ML baseline ([`run_learning_ctx`]).
+    Learning(QuerySpec),
+    /// The `Multiple` ML baseline ([`run_multiple_ctx`]).
+    Multiple {
+        /// Accuracy contract.
+        spec: QuerySpec,
+        /// Number of imputed completions.
+        imputations: usize,
+    },
+}
+
+/// Session-level statistics beyond the cost counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Queries served, including memoized repeats.
+    pub queries: u64,
+    /// Queries answered entirely from the result memo.
+    pub result_hits: u64,
+}
+
+/// The full identity of one memoized request. Stored alongside the
+/// outcome and compared on every hit, so a 64-bit hash collision can
+/// never serve one query's answers as another's.
+#[derive(Debug, Clone, PartialEq)]
+struct ResultKey {
+    table: u64,
+    version: u64,
+    seed: u64,
+    query: Query,
+}
+
+/// A long-lived query session: one executor, one cross-query cache, one
+/// result memo, many queries.
+///
+/// Not `Sync` by design (the result memo is plain state); a serving tier
+/// wraps one engine per worker or behind a mutex. Making the engine
+/// itself shareable is a ROADMAP follow-on.
+pub struct QueryEngine {
+    executor: Box<dyn Executor>,
+    store: CacheStore,
+    session: CostTracker,
+    results: HashMap<u64, (ResultKey, RunOutcome)>,
+    result_order: VecDeque<u64>,
+    result_capacity: usize,
+    stats: EngineStats,
+}
+
+impl QueryEngine {
+    /// An engine on the [`Sequential`] backend with default capacities.
+    pub fn new() -> Self {
+        Self::with_executor(Box::new(Sequential))
+    }
+
+    /// An engine running UDF batches through `executor`.
+    pub fn with_executor(executor: Box<dyn Executor>) -> Self {
+        Self {
+            executor,
+            store: CacheStore::new(),
+            session: CostTracker::new(),
+            results: HashMap::new(),
+            result_order: VecDeque::new(),
+            result_capacity: DEFAULT_RESULT_MEMO_CAPACITY,
+            stats: EngineStats::default(),
+        }
+    }
+
+    /// Replaces the row-tier cache with one bounded at `capacity` entries
+    /// per namespace.
+    pub fn with_cache_capacity(mut self, capacity: usize) -> Self {
+        self.store = CacheStore::with_capacity(capacity);
+        self
+    }
+
+    /// Bounds the query-tier result memo (0 disables it).
+    pub fn with_result_capacity(mut self, capacity: usize) -> Self {
+        self.result_capacity = capacity;
+        self
+    }
+
+    /// The execution context this engine runs queries under — exposed so
+    /// callers can drive the lower-level `*_ctx` entry points (or their
+    /// own invokers) inside this session's cache.
+    pub fn context(&self) -> ExecContext<'_> {
+        ExecContext::new(self.executor.as_ref()).with_cache(&self.store)
+    }
+
+    /// Serves one query.
+    ///
+    /// An identical request — same dataset state, same [`Query`], same
+    /// seed — returns the memoized [`RunOutcome`] (its `counts` describe
+    /// the original run) and charges nothing new to the session. A fresh
+    /// request runs the pipeline against the shared row cache and folds
+    /// its bill into [`QueryEngine::session_counts`].
+    pub fn run(&mut self, ds: &Dataset, query: &Query, seed: u64) -> RunOutcome {
+        self.stats.queries += 1;
+        let key = query_key(ds, query, seed);
+        let identity = ResultKey {
+            table: ds.table.id().as_u64(),
+            version: ds.table.version(),
+            seed,
+            query: query.clone(),
+        };
+        if self.result_capacity > 0 {
+            // Hash first, then verify the full identity: a colliding key
+            // is treated as a miss, never served.
+            if let Some((stored, hit)) = self.results.get(&key) {
+                if *stored == identity {
+                    self.stats.result_hits += 1;
+                    return hit.clone();
+                }
+            }
+        }
+        let outcome = {
+            let ctx = self.context();
+            match query {
+                Query::IntelSample(cfg) => run_intel_sample_ctx(ds, cfg, seed, &ctx),
+                Query::Naive(spec) => run_naive_ctx(ds, spec, seed, &ctx),
+                Query::Optimal { spec, predictor } => {
+                    run_optimal_ctx(ds, spec, predictor, seed, &ctx)
+                }
+                Query::Adaptive {
+                    spec,
+                    corr,
+                    predictor,
+                } => run_intel_sample_adaptive_ctx(ds, spec, *corr, predictor, seed, &ctx),
+                Query::Iterative {
+                    spec,
+                    corr,
+                    predictor,
+                    rule,
+                    rounds,
+                } => run_intel_sample_iterative_ctx(
+                    ds, spec, *corr, predictor, *rule, *rounds, seed, &ctx,
+                ),
+                Query::Learning(spec) => run_learning_ctx(ds, spec, seed, &ctx),
+                Query::Multiple { spec, imputations } => {
+                    run_multiple_ctx(ds, spec, *imputations, seed, &ctx)
+                }
+            }
+        };
+        self.session.absorb(&outcome.counts);
+        if self.result_capacity > 0 {
+            // A colliding occupant (different identity, same hash) is
+            // replaced in place — its order slot carries over.
+            if self
+                .results
+                .insert(key, (identity, outcome.clone()))
+                .is_none()
+            {
+                self.result_order.push_back(key);
+                while self.result_order.len() > self.result_capacity {
+                    if let Some(evicted) = self.result_order.pop_front() {
+                        self.results.remove(&evicted);
+                    }
+                }
+            }
+        }
+        outcome
+    }
+
+    /// Cumulative audited counts across every non-memoized query served.
+    pub fn session_counts(&self) -> CostCounts {
+        self.session.snapshot()
+    }
+
+    /// Row-tier cache statistics.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.store.stats()
+    }
+
+    /// Session statistics (queries served, result-memo hits).
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    /// The shared row-tier store (e.g. for explicit invalidation).
+    pub fn store(&self) -> &CacheStore {
+        &self.store
+    }
+
+    /// Drops both reuse tiers, keeping the executor and counters.
+    pub fn clear_caches(&mut self) {
+        self.store.clear();
+        self.results.clear();
+        self.result_order.clear();
+    }
+}
+
+impl Default for QueryEngine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Fingerprints one request: dataset state + query shape + seed.
+fn query_key(ds: &Dataset, query: &Query, seed: u64) -> u64 {
+    let mut h = Fnv64::new();
+    h.write_u64(ds.table.id().as_u64());
+    h.write_u64(ds.table.version());
+    h.write_u64(seed);
+    match query {
+        Query::IntelSample(cfg) => {
+            h.write_u64(1);
+            spec_key(&mut h, &cfg.spec);
+            rule_key(&mut h, cfg.rule);
+            corr_key(&mut h, cfg.corr);
+            match &cfg.predictor {
+                PredictorChoice::Fixed(col) => {
+                    h.write_u64(1);
+                    h.write_str(col);
+                }
+                PredictorChoice::Auto { label_fraction } => {
+                    h.write_u64(2);
+                    h.write_u64(label_fraction.to_bits());
+                }
+                PredictorChoice::Virtual {
+                    buckets,
+                    label_fraction,
+                } => {
+                    h.write_u64(3);
+                    h.write_u64(*buckets as u64);
+                    h.write_u64(label_fraction.to_bits());
+                }
+            }
+        }
+        Query::Naive(spec) => {
+            h.write_u64(2);
+            spec_key(&mut h, spec);
+        }
+        Query::Optimal { spec, predictor } => {
+            h.write_u64(3);
+            spec_key(&mut h, spec);
+            h.write_str(predictor);
+        }
+        Query::Adaptive {
+            spec,
+            corr,
+            predictor,
+        } => {
+            h.write_u64(4);
+            spec_key(&mut h, spec);
+            corr_key(&mut h, *corr);
+            h.write_str(predictor);
+        }
+        Query::Iterative {
+            spec,
+            corr,
+            predictor,
+            rule,
+            rounds,
+        } => {
+            h.write_u64(5);
+            spec_key(&mut h, spec);
+            corr_key(&mut h, *corr);
+            h.write_str(predictor);
+            rule_key(&mut h, *rule);
+            h.write_u64(*rounds as u64);
+        }
+        Query::Learning(spec) => {
+            h.write_u64(6);
+            spec_key(&mut h, spec);
+        }
+        Query::Multiple { spec, imputations } => {
+            h.write_u64(7);
+            spec_key(&mut h, spec);
+            h.write_u64(*imputations as u64);
+        }
+    }
+    h.finish()
+}
+
+fn spec_key(h: &mut Fnv64, spec: &QuerySpec) {
+    h.write_u64(spec.alpha.to_bits());
+    h.write_u64(spec.beta.to_bits());
+    h.write_u64(spec.rho.to_bits());
+    h.write_u64(spec.cost.retrieve.to_bits());
+    h.write_u64(spec.cost.evaluate.to_bits());
+}
+
+fn rule_key(h: &mut Fnv64, rule: SampleSizeRule) {
+    match rule {
+        SampleSizeRule::Fraction(f) => {
+            h.write_u64(1);
+            h.write_u64(f.to_bits());
+        }
+        SampleSizeRule::Constant(c) => {
+            h.write_u64(2);
+            h.write_u64(c as u64);
+        }
+        SampleSizeRule::TwoThirdPower(p) => {
+            h.write_u64(3);
+            h.write_u64(p.to_bits());
+        }
+    }
+}
+
+fn corr_key(h: &mut Fnv64, corr: CorrelationModel) {
+    h.write_u64(match corr {
+        CorrelationModel::Independent => 1,
+        CorrelationModel::Unknown => 2,
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use expred_table::datasets::{DatasetSpec, PROSPER};
+
+    fn small_prosper(seed: u64) -> Dataset {
+        Dataset::generate(
+            DatasetSpec {
+                rows: 3_000,
+                ..PROSPER
+            },
+            seed,
+        )
+    }
+
+    fn intel_query() -> Query {
+        Query::IntelSample(IntelSampleConfig::experiment1(PredictorChoice::Fixed(
+            "grade".into(),
+        )))
+    }
+
+    #[test]
+    fn identical_query_is_memoized_and_free() {
+        let ds = small_prosper(1);
+        let mut engine = QueryEngine::new();
+        let first = engine.run(&ds, &intel_query(), 5);
+        let after_first = engine.session_counts();
+        let again = engine.run(&ds, &intel_query(), 5);
+        assert_eq!(first.returned, again.returned);
+        assert_eq!(first.counts, again.counts);
+        assert_eq!(
+            engine.session_counts(),
+            after_first,
+            "a memoized repeat charges nothing"
+        );
+        assert_eq!(engine.stats().result_hits, 1);
+        assert_eq!(engine.stats().queries, 2);
+    }
+
+    #[test]
+    fn first_run_matches_the_legacy_pipeline_exactly() {
+        let ds = small_prosper(2);
+        let mut engine = QueryEngine::new();
+        let engine_out = engine.run(&ds, &intel_query(), 9);
+        let legacy = crate::pipeline::run_intel_sample(
+            &ds,
+            &IntelSampleConfig::experiment1(PredictorChoice::Fixed("grade".into())),
+            9,
+        );
+        assert_eq!(engine_out.returned, legacy.returned);
+        assert_eq!(engine_out.counts.evaluated, legacy.counts.evaluated);
+        assert_eq!(engine_out.counts.retrieved, legacy.counts.retrieved);
+        assert_eq!(engine_out.cost, legacy.cost);
+        assert_eq!(engine_out.counts.reuse_hits, 0, "cold session, no reuse");
+    }
+
+    #[test]
+    fn overlapping_queries_reuse_rows() {
+        let ds = small_prosper(3);
+        let mut engine = QueryEngine::new();
+        let spec = QuerySpec::paper_default();
+        engine.run(&ds, &Query::Naive(spec), 1);
+        // Same query, different seed: different random β-fraction, heavy
+        // overlap with the first one's rows.
+        let second = engine.run(&ds, &Query::Naive(spec), 2);
+        assert!(
+            second.counts.reuse_hits > 0,
+            "overlapping workload must reuse"
+        );
+        let cold = crate::pipeline::run_naive(&ds, &spec, 2);
+        assert_eq!(
+            second.returned, cold.returned,
+            "reuse must not change answers"
+        );
+        assert!(
+            second.counts.evaluated < cold.counts.evaluated,
+            "warm {} vs cold {}",
+            second.counts.evaluated,
+            cold.counts.evaluated
+        );
+        assert_eq!(
+            second.counts.evaluated + second.counts.reuse_hits,
+            cold.counts.evaluated,
+            "every demanded row is either fresh or reused"
+        );
+    }
+
+    #[test]
+    fn different_seeds_and_specs_are_distinct_memo_keys() {
+        let ds = small_prosper(4);
+        let mut engine = QueryEngine::new();
+        let spec = QuerySpec::paper_default();
+        engine.run(&ds, &Query::Naive(spec), 1);
+        engine.run(&ds, &Query::Naive(spec), 2);
+        let other = QuerySpec::new(0.7, 0.7, 0.8, spec.cost);
+        engine.run(&ds, &Query::Naive(other), 1);
+        assert_eq!(engine.stats().result_hits, 0);
+        assert_eq!(engine.stats().queries, 3);
+    }
+
+    #[test]
+    fn result_capacity_zero_disables_the_memo() {
+        let ds = small_prosper(5);
+        let mut engine = QueryEngine::new().with_result_capacity(0);
+        let spec = QuerySpec::paper_default();
+        let a = engine.run(&ds, &Query::Naive(spec), 1);
+        let b = engine.run(&ds, &Query::Naive(spec), 1);
+        assert_eq!(engine.stats().result_hits, 0);
+        // The row tier still answers everything: zero fresh evaluations.
+        assert_eq!(b.counts.evaluated, 0);
+        assert_eq!(b.counts.reuse_hits, a.counts.evaluated);
+        assert_eq!(a.returned, b.returned);
+    }
+
+    #[test]
+    fn every_query_kind_runs_through_the_engine() {
+        let ds = small_prosper(6);
+        let spec = QuerySpec::paper_default();
+        let mut engine = QueryEngine::new();
+        let queries = [
+            intel_query(),
+            Query::Naive(spec),
+            Query::Optimal {
+                spec,
+                predictor: "grade".into(),
+            },
+            Query::Adaptive {
+                spec,
+                corr: CorrelationModel::Independent,
+                predictor: "grade".into(),
+            },
+            Query::Iterative {
+                spec,
+                corr: CorrelationModel::Independent,
+                predictor: "grade".into(),
+                rule: SampleSizeRule::Fraction(0.05),
+                rounds: 2,
+            },
+        ];
+        for (i, q) in queries.iter().enumerate() {
+            let out = engine.run(&ds, q, 100 + i as u64);
+            assert!(!out.returned.is_empty(), "query {i} returned nothing");
+        }
+        assert_eq!(engine.stats().queries, queries.len() as u64);
+        assert!(engine.cache_stats().insertions > 0);
+        // Later queries benefit from earlier ones' evaluations.
+        assert!(engine.session_counts().reuse_hits > 0);
+    }
+
+    #[test]
+    fn clear_caches_forces_full_price_again() {
+        let ds = small_prosper(7);
+        let spec = QuerySpec::paper_default();
+        let mut engine = QueryEngine::new();
+        let first = engine.run(&ds, &Query::Naive(spec), 1);
+        engine.clear_caches();
+        let again = engine.run(&ds, &Query::Naive(spec), 1);
+        assert_eq!(again.counts.evaluated, first.counts.evaluated);
+        assert_eq!(again.counts.reuse_hits, 0);
+    }
+}

@@ -13,7 +13,7 @@
 //! result without re-evaluating them".
 
 use crate::plan::Plan;
-use expred_exec::{BatchPlanner, Executor, Sequential};
+use expred_exec::{BatchPlanner, ExecContext, Executor};
 use expred_stats::rng::Prng;
 use expred_table::GroupBy;
 use expred_udf::UdfInvoker;
@@ -30,14 +30,14 @@ pub struct ExecutionResult {
 /// Executes `plan` over `groups`, charging all retrievals/evaluations to
 /// `invoker` and reusing its memoized sample answers.
 ///
-/// Equivalent to [`execute_plan_with`] on the [`Sequential`] backend.
+/// Equivalent to [`execute_plan_ctx`] on [`ExecContext::sequential`].
 pub fn execute_plan(
     plan: &Plan,
     groups: &GroupBy,
     invoker: &UdfInvoker<'_>,
     rng: &mut Prng,
 ) -> ExecutionResult {
-    execute_plan_with(plan, groups, invoker, rng, &Sequential)
+    execute_plan_ctx(plan, groups, invoker, rng, &ExecContext::sequential())
 }
 
 /// Executes `plan` over `groups`, routing UDF probes through `executor`
@@ -49,7 +49,22 @@ pub fn execute_plan_with(
     rng: &mut Prng,
     executor: &dyn Executor,
 ) -> ExecutionResult {
-    execute_plan_with_planner(plan, groups, invoker, rng, executor, BatchPlanner::new())
+    execute_plan_ctx(plan, groups, invoker, rng, &ExecContext::new(executor))
+}
+
+/// Executes `plan` over `groups` under an execution context: probes run
+/// through `ctx.executor` in batches bounded by `ctx.max_in_flight`.
+/// Cross-query caching is the invoker's concern — build it with
+/// [`UdfInvoker::with_context`] and already-known rows (from sampling or
+/// from earlier queries in the session) bypass the plan for free.
+pub fn execute_plan_ctx(
+    plan: &Plan,
+    groups: &GroupBy,
+    invoker: &UdfInvoker<'_>,
+    rng: &mut Prng,
+    ctx: &ExecContext<'_>,
+) -> ExecutionResult {
+    execute_plan_with_planner(plan, groups, invoker, rng, ctx.executor, ctx.planner())
 }
 
 /// Executes `plan` over `groups`, routing UDF probes through `executor`
@@ -131,6 +146,7 @@ pub fn truth_vector(table: &expred_table::Table, label_column: &str) -> Vec<bool
 #[cfg(test)]
 mod tests {
     use super::*;
+    use expred_exec::Sequential;
     use expred_table::{DataType, Field, Schema, Table, Value};
     use expred_udf::{CostModel, OracleUdf};
 

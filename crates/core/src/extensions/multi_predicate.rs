@@ -16,7 +16,7 @@
 //! simplex.
 
 use crate::optimize::PlanError;
-use expred_exec::Executor;
+use expred_exec::{ExecContext, Executor};
 use expred_solver::lp::{Constraint, LinearProgram, LpOutcome, Relation};
 use expred_table::Table;
 use expred_udf::{ConjunctionUdf, CostTracker};
@@ -339,6 +339,18 @@ pub fn evaluate_conjunction_batch(
     tracker: &CostTracker,
     executor: &dyn Executor,
 ) -> Vec<bool> {
+    evaluate_conjunction_batch_ctx(udf, table, rows, tracker, &ExecContext::new(executor))
+}
+
+/// [`evaluate_conjunction_batch`] under an execution context.
+pub fn evaluate_conjunction_batch_ctx(
+    udf: &ConjunctionUdf,
+    table: &Table,
+    rows: &[usize],
+    tracker: &CostTracker,
+    ctx: &ExecContext<'_>,
+) -> Vec<bool> {
+    let executor = ctx.executor;
     // Positions (into `rows`) still alive after the stages so far.
     let mut alive: Vec<usize> = (0..rows.len()).collect();
     for part in 0..udf.arity() {

@@ -19,10 +19,20 @@
 //! * [`baselines`] — the ML baselines Learning and Multiple.
 //! * [`extensions`] — §5: budgeted objectives, multiple predicates, and
 //!   selection-before-join weighting.
+//! * [`engine`] — the session layer: [`QueryEngine`] runs many queries
+//!   against one executor, one cross-query [`expred_exec::CacheStore`],
+//!   and a memo of whole query outcomes.
+//!
+//! Every pipeline entry point comes in three flavors: the legacy bare
+//! name (sequential, cache-less — the original audited behavior), a
+//! `*_with(executor)` variant, and the primary `*_ctx(ctx)` variant
+//! taking one [`expred_exec::ExecContext`]. The first two are thin
+//! wrappers over the third.
 
 pub mod adaptive;
 pub mod baselines;
 pub mod column_select;
+pub mod engine;
 pub mod execute;
 pub mod extensions;
 pub mod optimize;
@@ -32,23 +42,27 @@ pub mod query;
 pub mod sampling;
 
 pub use adaptive::{
-    run_intel_sample_adaptive, run_intel_sample_adaptive_with, run_intel_sample_iterative,
-    run_intel_sample_iterative_with,
+    run_intel_sample_adaptive, run_intel_sample_adaptive_ctx, run_intel_sample_adaptive_with,
+    run_intel_sample_iterative, run_intel_sample_iterative_ctx, run_intel_sample_iterative_with,
 };
+pub use baselines::{run_learning, run_learning_ctx, run_multiple, run_multiple_ctx};
+pub use engine::{EngineStats, Query, QueryEngine};
 pub use execute::{
-    execute_plan, execute_plan_with, execute_plan_with_planner, truth_vector, ExecutionResult,
+    execute_plan, execute_plan_ctx, execute_plan_with, execute_plan_with_planner, truth_vector,
+    ExecutionResult,
 };
 pub use optimize::{
     estimated_feasible, solve_estimated, solve_perfect_selectivities, CorrelationModel,
     EstimatedGroup, PlanError,
 };
 pub use pipeline::{
-    run_intel_sample, run_intel_sample_with, run_naive, run_naive_with, run_optimal,
-    run_optimal_with, IntelSampleConfig, PredictorChoice, RunOutcome,
+    run_intel_sample, run_intel_sample_ctx, run_intel_sample_with, run_naive, run_naive_ctx,
+    run_naive_with, run_optimal, run_optimal_ctx, run_optimal_with, IntelSampleConfig,
+    PredictorChoice, RunOutcome,
 };
 pub use plan::Plan;
 pub use query::QuerySpec;
 pub use sampling::{
-    adaptive_num_search, adaptive_num_search_with, sample_groups, sample_groups_with, GroupSample,
-    SampleSizeRule,
+    adaptive_num_search, adaptive_num_search_ctx, adaptive_num_search_with, sample_groups,
+    sample_groups_ctx, sample_groups_with, GroupSample, SampleSizeRule,
 };

@@ -11,13 +11,13 @@
 //! costs include sampling and predictor-selection evaluations, exactly as
 //! §6.2 requires.
 
-use crate::column_select::{rank_columns_with, virtual_column};
-use crate::execute::{execute_plan_with, truth_vector};
+use crate::column_select::{rank_columns_ctx, virtual_column};
+use crate::execute::{execute_plan_ctx, truth_vector};
 use crate::optimize::{solve_estimated, solve_perfect_selectivities, CorrelationModel};
 use crate::plan::Plan;
 use crate::query::QuerySpec;
-use crate::sampling::{sample_groups_with, SampleSizeRule};
-use expred_exec::{Executor, Sequential};
+use crate::sampling::{sample_groups_ctx, SampleSizeRule};
+use expred_exec::{ExecContext, Executor};
 use expred_ml::metrics::{precision_recall, PrSummary};
 use expred_stats::rng::Prng;
 use expred_table::datasets::{Dataset, LABEL_COLUMN};
@@ -94,26 +94,40 @@ pub struct RunOutcome {
 
 /// Runs the paper's Intel-Sample pipeline on a dataset.
 ///
-/// Equivalent to [`run_intel_sample_with`] on the [`Sequential`] backend.
+/// Equivalent to [`run_intel_sample_ctx`] on [`ExecContext::sequential`].
 pub fn run_intel_sample(ds: &Dataset, cfg: &IntelSampleConfig, seed: u64) -> RunOutcome {
-    run_intel_sample_with(ds, cfg, seed, &Sequential)
+    run_intel_sample_ctx(ds, cfg, seed, &ExecContext::sequential())
 }
 
 /// Runs Intel-Sample with every UDF probe (predictor labelling, sampling,
 /// execution) routed through `executor`.
-///
-/// For a fixed seed the outcome is byte-identical across backends: all
-/// randomness is drawn on the calling thread before batches dispatch.
 pub fn run_intel_sample_with(
     ds: &Dataset,
     cfg: &IntelSampleConfig,
     seed: u64,
     executor: &dyn Executor,
 ) -> RunOutcome {
+    run_intel_sample_ctx(ds, cfg, seed, &ExecContext::new(executor))
+}
+
+/// Runs Intel-Sample under an execution context.
+///
+/// For a fixed seed the outcome is byte-identical across backends: all
+/// randomness is drawn on the calling thread before batches dispatch.
+/// When the context carries a session cache store, one invoker — and
+/// therefore one borrowed cache handle — serves predictor ranking,
+/// sampling, *and* execution, and rows paid for by earlier queries in
+/// the session arrive as free [`CostCounts::reuse_hits`].
+pub fn run_intel_sample_ctx(
+    ds: &Dataset,
+    cfg: &IntelSampleConfig,
+    seed: u64,
+    ctx: &ExecContext<'_>,
+) -> RunOutcome {
     let start = Instant::now();
     let table = &ds.table;
     let udf = OracleUdf::new(LABEL_COLUMN);
-    let invoker = UdfInvoker::new(&udf, table);
+    let invoker = UdfInvoker::with_context(&udf, table, ctx);
     let mut rng = Prng::seeded(seed);
 
     // Step 0: obtain the correlated (possibly virtual) grouping.
@@ -121,14 +135,14 @@ pub fn run_intel_sample_with(
         PredictorChoice::Fixed(col) => table.group_by(col).expect("predictor column must exist"),
         PredictorChoice::Auto { label_fraction } => {
             let candidates = ds.candidate_columns();
-            let (scores, _labelled) = rank_columns_with(
+            let (scores, _labelled) = rank_columns_ctx(
                 table,
                 &candidates,
                 &invoker,
                 &cfg.spec,
                 *label_fraction,
                 &mut rng,
-                executor,
+                ctx,
             );
             let best = scores.first().expect("at least one candidate");
             table
@@ -142,7 +156,7 @@ pub fn run_intel_sample_with(
             let n = table.num_rows();
             let want = ((label_fraction * n as f64).ceil() as usize).clamp(1, n);
             let batch = rng.sample_indices(n, want);
-            invoker.retrieve_and_evaluate_batch(executor, &batch);
+            invoker.retrieve_and_evaluate_batch(ctx.executor, &batch);
             let labelled: Vec<u32> = batch.into_iter().map(|r| r as u32).collect();
             virtual_column(
                 table,
@@ -155,7 +169,7 @@ pub fn run_intel_sample_with(
     };
 
     // Step 1: sample for selectivity estimates (reuses labelled rows).
-    let sample = sample_groups_with(&groups, &invoker, cfg.rule, &mut rng, executor);
+    let sample = sample_groups_ctx(&groups, &invoker, cfg.rule, &mut rng, ctx);
     let est_groups = sample.to_estimated_groups(&groups);
 
     // Step 2: optimize. Infeasibility falls back to evaluating everything
@@ -166,7 +180,7 @@ pub fn run_intel_sample_with(
     };
 
     // Step 3: execute.
-    let result = execute_plan_with(&plan, &groups, &invoker, &mut rng, executor);
+    let result = execute_plan_ctx(&plan, &groups, &invoker, &mut rng, ctx);
     let compute_seconds = start.elapsed().as_secs_f64();
 
     let truth = truth_vector(table, LABEL_COLUMN);
@@ -187,7 +201,7 @@ pub fn run_intel_sample_with(
 /// Runs the unrealistic `Optimal` baseline: exact selectivities are read
 /// from ground truth for free, then the §3.2 optimizer plans and executes.
 pub fn run_optimal(ds: &Dataset, spec: &QuerySpec, predictor: &str, seed: u64) -> RunOutcome {
-    run_optimal_with(ds, spec, predictor, seed, &Sequential)
+    run_optimal_ctx(ds, spec, predictor, seed, &ExecContext::sequential())
 }
 
 /// [`run_optimal`], executing its plan through `executor`.
@@ -198,10 +212,21 @@ pub fn run_optimal_with(
     seed: u64,
     executor: &dyn Executor,
 ) -> RunOutcome {
+    run_optimal_ctx(ds, spec, predictor, seed, &ExecContext::new(executor))
+}
+
+/// [`run_optimal`] under an execution context.
+pub fn run_optimal_ctx(
+    ds: &Dataset,
+    spec: &QuerySpec,
+    predictor: &str,
+    seed: u64,
+    ctx: &ExecContext<'_>,
+) -> RunOutcome {
     let start = Instant::now();
     let table = &ds.table;
     let udf = OracleUdf::new(LABEL_COLUMN);
-    let invoker = UdfInvoker::new(&udf, table);
+    let invoker = UdfInvoker::with_context(&udf, table, ctx);
     let mut rng = Prng::seeded(seed);
     let groups = table.group_by(predictor).expect("predictor column");
     let truth = truth_vector(table, LABEL_COLUMN);
@@ -217,7 +242,7 @@ pub fn run_optimal_with(
         Ok(plan) => (plan, true),
         Err(_) => (Plan::evaluate_all(groups.num_groups()), false),
     };
-    let result = execute_plan_with(&plan, &groups, &invoker, &mut rng, executor);
+    let result = execute_plan_ctx(&plan, &groups, &invoker, &mut rng, ctx);
     let compute_seconds = start.elapsed().as_secs_f64();
     let returned_usize: Vec<usize> = result.returned.iter().map(|&r| r as usize).collect();
     let summary = precision_recall(&returned_usize, &truth);
@@ -236,7 +261,7 @@ pub fn run_optimal_with(
 /// Runs the `Naive` baseline: retrieve a uniform `β` fraction of the table
 /// and evaluate every retrieved tuple (§6.2).
 pub fn run_naive(ds: &Dataset, spec: &QuerySpec, seed: u64) -> RunOutcome {
-    run_naive_with(ds, spec, seed, &Sequential)
+    run_naive_ctx(ds, spec, seed, &ExecContext::sequential())
 }
 
 /// [`run_naive`], evaluating its β-fraction as executor batches.
@@ -246,15 +271,25 @@ pub fn run_naive_with(
     seed: u64,
     executor: &dyn Executor,
 ) -> RunOutcome {
+    run_naive_ctx(ds, spec, seed, &ExecContext::new(executor))
+}
+
+/// [`run_naive`] under an execution context.
+pub fn run_naive_ctx(
+    ds: &Dataset,
+    spec: &QuerySpec,
+    seed: u64,
+    ctx: &ExecContext<'_>,
+) -> RunOutcome {
     let start = Instant::now();
     let table = &ds.table;
     let udf = OracleUdf::new(LABEL_COLUMN);
-    let invoker = UdfInvoker::new(&udf, table);
+    let invoker = UdfInvoker::with_context(&udf, table, ctx);
     let mut rng = Prng::seeded(seed);
     let n = table.num_rows();
     let k = ((spec.beta * n as f64).ceil() as usize).min(n);
     let batch = rng.sample_indices(n, k);
-    let answers = invoker.retrieve_and_evaluate_batch(executor, &batch);
+    let answers = invoker.retrieve_and_evaluate_batch(ctx.executor, &batch);
     let mut returned: Vec<u32> = batch
         .into_iter()
         .zip(answers)

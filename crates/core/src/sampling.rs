@@ -14,7 +14,7 @@
 
 use crate::optimize::{solve_estimated, CorrelationModel, EstimatedGroup};
 use crate::query::QuerySpec;
-use expred_exec::{Executor, Sequential};
+use expred_exec::{ExecContext, Executor};
 use expred_stats::estimator::SelectivityEstimate;
 use expred_stats::rng::Prng;
 use expred_table::GroupBy;
@@ -86,21 +86,35 @@ pub fn sample_groups(
     rule: SampleSizeRule,
     rng: &mut Prng,
 ) -> GroupSample {
-    sample_groups_with(groups, invoker, rule, rng, &Sequential)
+    sample_groups_ctx(groups, invoker, rule, rng, &ExecContext::sequential())
 }
 
 /// [`sample_groups`], with each group's shortfall evaluated as one batch
 /// through `executor`.
-///
-/// Row selection consumes the RNG identically to the sequential path, and
-/// every batched row is fresh and distinct, so estimates, counts, and
-/// charged costs are byte-identical across backends for a fixed seed.
 pub fn sample_groups_with(
     groups: &GroupBy,
     invoker: &UdfInvoker<'_>,
     rule: SampleSizeRule,
     rng: &mut Prng,
     executor: &dyn Executor,
+) -> GroupSample {
+    sample_groups_ctx(groups, invoker, rule, rng, &ExecContext::new(executor))
+}
+
+/// [`sample_groups`] under an execution context.
+///
+/// Row selection consumes the RNG identically to the sequential path, and
+/// every batched row is fresh and distinct, so estimates, counts, and
+/// charged costs are byte-identical across backends for a fixed seed.
+/// Rows known to the invoker — sampled earlier in this query *or*
+/// evaluated by a previous query sharing the session cache — count toward
+/// the target for free.
+pub fn sample_groups_ctx(
+    groups: &GroupBy,
+    invoker: &UdfInvoker<'_>,
+    rule: SampleSizeRule,
+    rng: &mut Prng,
+    ctx: &ExecContext<'_>,
 ) -> GroupSample {
     let n = groups.num_rows();
     let mut estimates = Vec::with_capacity(groups.num_groups());
@@ -127,7 +141,7 @@ pub fn sample_groups_with(
                 .into_iter()
                 .map(|idx| fresh[idx] as usize)
                 .collect();
-            invoker.retrieve_and_evaluate_batch(executor, &batch);
+            invoker.retrieve_and_evaluate_batch(ctx.executor, &batch);
             known.extend(batch.into_iter().map(|row| row as u32));
         }
         let pos = known
@@ -169,7 +183,7 @@ pub fn adaptive_num_search(
     corr: CorrelationModel,
     rng: &mut Prng,
 ) -> AdaptiveOutcome {
-    adaptive_num_search_with(groups, invoker, spec, corr, rng, &Sequential)
+    adaptive_num_search_ctx(groups, invoker, spec, corr, rng, &ExecContext::sequential())
 }
 
 /// [`adaptive_num_search`], sampling each round through `executor`.
@@ -181,18 +195,37 @@ pub fn adaptive_num_search_with(
     rng: &mut Prng,
     executor: &dyn Executor,
 ) -> AdaptiveOutcome {
+    adaptive_num_search_ctx(
+        groups,
+        invoker,
+        spec,
+        corr,
+        rng,
+        &ExecContext::new(executor),
+    )
+}
+
+/// [`adaptive_num_search`] under an execution context.
+pub fn adaptive_num_search_ctx(
+    groups: &GroupBy,
+    invoker: &UdfInvoker<'_>,
+    spec: &QuerySpec,
+    corr: CorrelationModel,
+    rng: &mut Prng,
+    ctx: &ExecContext<'_>,
+) -> AdaptiveOutcome {
     let mut num = 0.5 * spec.alpha.max(0.1);
     let growth = 1.4;
     let max_steps = 16;
     let mut best: Option<AdaptiveOutcome> = None;
     let mut rises = 0;
     for _ in 0..max_steps {
-        let sample = sample_groups_with(
+        let sample = sample_groups_ctx(
             groups,
             invoker,
             SampleSizeRule::TwoThirdPower(num),
             rng,
-            executor,
+            ctx,
         );
         let est_groups = sample.to_estimated_groups(groups);
         let spent = invoker.cost(&spec.cost);

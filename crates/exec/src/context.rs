@@ -1,0 +1,102 @@
+//! [`ExecContext`]: the one execution parameter every pipeline takes.
+//!
+//! Before this type existed, each new runtime capability grew another
+//! `*_with(...)` variant on every pipeline entry point (first an
+//! executor, next a cache store, then a batch budget…). The context
+//! bundles all of it: which [`Executor`] evaluates batches, which
+//! [`CacheStore`] (if any) outlives the query, and the in-flight budget
+//! batch planners should respect. Legacy entry points simply run on
+//! [`ExecContext::sequential`], which reproduces the original
+//! one-at-a-time, cache-less behavior bit for bit.
+
+use crate::executor::{Executor, Sequential};
+use crate::planner::{BatchPlanner, DEFAULT_MAX_IN_FLIGHT};
+use crate::store::CacheStore;
+
+/// The sequential backend as a `'static` borrow for default contexts.
+static SEQUENTIAL: Sequential = Sequential;
+
+/// How a query executes: backend, cross-query cache, batching budget.
+///
+/// `Copy` and cheap — pipelines pass it by reference, helpers may copy it
+/// to narrow lifetimes. Constructed either standalone (one-shot queries)
+/// or by a session engine that owns the executor and store.
+#[derive(Clone, Copy)]
+pub struct ExecContext<'a> {
+    /// The backend UDF batches run through.
+    pub executor: &'a dyn Executor,
+    /// The cross-query cache, if this query runs inside a session.
+    pub cache: Option<&'a CacheStore>,
+    /// Cap on rows handed to one `evaluate_batch` call.
+    pub max_in_flight: usize,
+}
+
+impl<'a> ExecContext<'a> {
+    /// A context running on `executor`, cache-less, default batching.
+    pub fn new(executor: &'a dyn Executor) -> Self {
+        Self {
+            executor,
+            cache: None,
+            max_in_flight: DEFAULT_MAX_IN_FLIGHT,
+        }
+    }
+
+    /// The legacy behavior: sequential, cache-less, default batching.
+    pub fn sequential() -> ExecContext<'static> {
+        ExecContext::new(&SEQUENTIAL)
+    }
+
+    /// Attaches a cross-query cache store.
+    pub fn with_cache(mut self, store: &'a CacheStore) -> Self {
+        self.cache = Some(store);
+        self
+    }
+
+    /// Overrides the per-batch in-flight budget (at least 1).
+    pub fn with_max_in_flight(mut self, max_in_flight: usize) -> Self {
+        self.max_in_flight = max_in_flight.max(1);
+        self
+    }
+
+    /// A batch planner honoring this context's in-flight budget.
+    pub fn planner(&self) -> BatchPlanner {
+        BatchPlanner::with_max_in_flight(self.max_in_flight)
+    }
+}
+
+impl std::fmt::Debug for ExecContext<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExecContext")
+            .field("executor", &self.executor.name())
+            .field("cached", &self.cache.is_some())
+            .field("max_in_flight", &self.max_in_flight)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_context_is_cacheless_and_default_budgeted() {
+        let ctx = ExecContext::sequential();
+        assert_eq!(ctx.executor.name(), "sequential");
+        assert!(ctx.cache.is_none());
+        assert_eq!(ctx.max_in_flight, DEFAULT_MAX_IN_FLIGHT);
+        assert_eq!(ctx.planner().max_in_flight(), DEFAULT_MAX_IN_FLIGHT);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let store = CacheStore::new();
+        let ctx = ExecContext::new(&Sequential)
+            .with_cache(&store)
+            .with_max_in_flight(0);
+        assert!(ctx.cache.is_some());
+        assert_eq!(ctx.max_in_flight, 1, "budget clamps to >= 1");
+        let copy = ctx; // Copy must hold: contexts are passed around freely.
+        assert_eq!(copy.planner().max_in_flight(), 1);
+        assert!(format!("{ctx:?}").contains("sequential"));
+    }
+}

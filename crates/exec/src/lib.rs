@@ -14,6 +14,12 @@
 //!   scoped OS threads, deterministic answer order;
 //! * [`cache`] — [`ShardedMemo`], a lock-striped concurrent memo table so
 //!   workers sharing one result cache do not serialize on a single lock;
+//! * [`store`] — [`CacheStore`], the generalization of the memo to a
+//!   long-lived, capacity-bounded, `(udf, table, version)`-namespaced
+//!   cache that outlives individual queries; invokers borrow
+//!   [`CacheHandle`]s from it instead of owning their memo;
+//! * [`context`] — [`ExecContext`], the single execution parameter
+//!   (backend + cache + batch budget) threaded through every pipeline;
 //! * [`planner`] — [`BatchPlanner`], which accumulates pending probes per
 //!   correlation group and drains them through an executor under a
 //!   `max_in_flight` budget.
@@ -41,11 +47,17 @@
 //! *when* an evaluation happens, only to *how many* happen.
 
 pub mod cache;
+pub mod context;
 pub mod executor;
 pub mod parallel;
 pub mod planner;
+pub mod store;
 
 pub use cache::ShardedMemo;
+pub use context::ExecContext;
 pub use executor::{BatchProbe, Executor, Sequential};
 pub use parallel::Parallel;
 pub use planner::{BatchPlanner, GroupedAnswer, DEFAULT_MAX_IN_FLIGHT};
+pub use store::{
+    CacheHandle, CacheNamespace, CacheStats, CacheStore, DEFAULT_CACHE_CAPACITY, MAX_LIVE_VERSIONS,
+};

@@ -1,0 +1,634 @@
+//! [`CacheStore`]: the long-lived, cross-query evaluation cache.
+//!
+//! [`crate::ShardedMemo`] solves the *within-query* problem: concurrent
+//! workers of one batch sharing one result cache without serializing on a
+//! lock. This module generalizes it to the *cross-query* problem the
+//! paper's §4.2 observation implies: an already-evaluated tuple "can be
+//! simply returned as part of the query result without re-evaluating" —
+//! and nothing about that observation stops at a query boundary. The
+//! store namespaces entries by `(udf, table, table version)`, bounds its
+//! memory with sharded second-chance (CLOCK) eviction, and reports
+//! hit/miss/eviction/invalidation statistics.
+//!
+//! # Keying and invalidation
+//!
+//! A [`CacheNamespace`] is three raw `u64`s so this crate stays
+//! foundational (no dependency on the table/UDF crates): the UDF's
+//! fingerprint, the table's instance id, and the table's content version.
+//! A mutated table presents a new version, which is simply a *different*
+//! namespace — stale entries become unreachable immediately. To keep
+//! superseded versions from pinning memory without punishing *diverged
+//! clones* (two live tables sharing one id whose versions legitimately
+//! coexist), [`CacheStore::handle`] retains the
+//! [`MAX_LIVE_VERSIONS`] most recently borrowed versions of each
+//! `(udf, table)` pair and garbage-collects the rest.
+//!
+//! # Consistency contract
+//!
+//! The store is a *cache*, not a ledger: any entry may disappear at any
+//! moment (eviction, invalidation). Callers that need read-your-writes
+//! stability within one query — the paper's sample-reuse logic does —
+//! must layer a per-query memo in front (the invoker does exactly that)
+//! and treat the store as a best-effort accelerator.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// Default per-namespace entry budget: roomy for the bundled datasets
+/// while still exercising eviction on million-row workloads.
+pub const DEFAULT_CACHE_CAPACITY: usize = 1 << 20;
+
+/// How many versions of one `(udf, table)` pair stay live at once.
+///
+/// Two covers the common shapes: a linear mutation history (current +
+/// immediately superseded), and a pair of diverged clones queried
+/// alternately — which must *not* thrash each other's namespaces.
+pub const MAX_LIVE_VERSIONS: usize = 2;
+
+/// Shard count per namespace (same striping rationale as `ShardedMemo`).
+const NAMESPACE_SHARDS: usize = 64;
+
+/// The key of one cache namespace: which UDF over which table state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheNamespace {
+    /// The UDF's stable fingerprint.
+    pub udf: u64,
+    /// The table's instance id.
+    pub table: u64,
+    /// The table's content version; bumping it abandons the namespace.
+    pub version: u64,
+}
+
+/// A snapshot of store-wide cache statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the store.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Entries written.
+    pub insertions: u64,
+    /// Entries discarded by the capacity bound.
+    pub evictions: u64,
+    /// Entries discarded by namespace invalidation (version bumps,
+    /// explicit invalidation).
+    pub invalidated: u64,
+}
+
+#[derive(Debug, Default)]
+struct AtomicStats {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    insertions: AtomicU64,
+    evictions: AtomicU64,
+    invalidated: AtomicU64,
+}
+
+impl AtomicStats {
+    fn snapshot(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            insertions: self.insertions.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            invalidated: self.invalidated.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// One cached answer plus its CLOCK referenced bit. The bit is atomic so
+/// a hit can mark it under a *shared* read lock — lookups never exclude
+/// other readers.
+#[derive(Debug)]
+struct CacheEntry {
+    answer: bool,
+    referenced: AtomicBool,
+}
+
+/// One lock-striped shard: entries plus the CLOCK ring over their keys.
+#[derive(Debug, Default)]
+struct Shard {
+    map: HashMap<usize, CacheEntry>,
+    /// Insertion ring the CLOCK hand walks for eviction.
+    ring: VecDeque<usize>,
+}
+
+/// The entries of one namespace, striped like `ShardedMemo`.
+#[derive(Debug)]
+struct NamespaceCache {
+    shards: Box<[RwLock<Shard>]>,
+    mask: usize,
+    shard_capacity: usize,
+    stats: Arc<AtomicStats>,
+}
+
+impl NamespaceCache {
+    fn new(shard_capacity: usize, stats: Arc<AtomicStats>) -> Self {
+        let shards: Vec<RwLock<Shard>> = (0..NAMESPACE_SHARDS)
+            .map(|_| RwLock::new(Shard::default()))
+            .collect();
+        Self {
+            shards: shards.into_boxed_slice(),
+            mask: NAMESPACE_SHARDS - 1,
+            shard_capacity,
+            stats,
+        }
+    }
+
+    fn shard(&self, key: usize) -> &RwLock<Shard> {
+        let spread = (key as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32;
+        &self.shards[(spread as usize) & self.mask]
+    }
+
+    fn get(&self, key: usize) -> Option<bool> {
+        let guard = self.shard(key).read().unwrap_or_else(|e| e.into_inner());
+        match guard.map.get(&key) {
+            Some(entry) => {
+                entry.referenced.store(true, Ordering::Relaxed);
+                let answer = entry.answer;
+                drop(guard);
+                self.stats.hits.fetch_add(1, Ordering::Relaxed);
+                Some(answer)
+            }
+            None => {
+                drop(guard);
+                self.stats.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    fn insert(&self, key: usize, value: bool) {
+        let mut evicted = 0u64;
+        {
+            let mut guard = self.shard(key).write().unwrap_or_else(|e| e.into_inner());
+            let shard = &mut *guard;
+            if let Some(entry) = shard.map.get_mut(&key) {
+                // Refresh in place; the ring entry stays where it is.
+                entry.answer = value;
+                entry.referenced.store(true, Ordering::Relaxed);
+            } else {
+                // Second-chance sweep: referenced entries get one more
+                // lap, unreferenced ones go. Bounded by ring length + 1
+                // because every pass-over clears a referenced bit.
+                while shard.map.len() >= self.shard_capacity {
+                    let Some(candidate) = shard.ring.pop_front() else {
+                        break;
+                    };
+                    match shard.map.get(&candidate) {
+                        Some(entry) if entry.referenced.load(Ordering::Relaxed) => {
+                            entry.referenced.store(false, Ordering::Relaxed);
+                            shard.ring.push_back(candidate);
+                        }
+                        Some(_) => {
+                            shard.map.remove(&candidate);
+                            evicted += 1;
+                        }
+                        None => {}
+                    }
+                }
+                shard.map.insert(
+                    key,
+                    CacheEntry {
+                        answer: value,
+                        referenced: AtomicBool::new(false),
+                    },
+                );
+                shard.ring.push_back(key);
+            }
+        }
+        self.stats.insertions.fetch_add(1, Ordering::Relaxed);
+        if evicted > 0 {
+            self.stats.evictions.fetch_add(evicted, Ordering::Relaxed);
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.read().unwrap_or_else(|e| e.into_inner()).map.len())
+            .sum()
+    }
+}
+
+/// A cheap, clonable view of one namespace inside a [`CacheStore`].
+///
+/// This is what an invoker *borrows* for the duration of a query instead
+/// of owning its memo: lookups and insertions go straight to the shared
+/// store, so every borrower of the same namespace — across threads and
+/// across queries — sees one cache.
+#[derive(Clone)]
+pub struct CacheHandle {
+    namespace: CacheNamespace,
+    cache: Arc<NamespaceCache>,
+}
+
+impl CacheHandle {
+    /// The namespace this handle is scoped to.
+    pub fn namespace(&self) -> CacheNamespace {
+        self.namespace
+    }
+
+    /// The cached answer for `key`, if present (counts a hit or miss).
+    pub fn get(&self, key: usize) -> Option<bool> {
+        self.cache.get(key)
+    }
+
+    /// Caches `value` for `key`, possibly evicting under the capacity
+    /// bound.
+    pub fn insert(&self, key: usize, value: bool) {
+        self.cache.insert(key, value)
+    }
+
+    /// Number of live entries in this namespace.
+    pub fn len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Whether the namespace holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl std::fmt::Debug for CacheHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CacheHandle")
+            .field("namespace", &self.namespace)
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+/// The cross-query evaluation cache: a capacity-bounded map of
+/// namespaces, shared by every query an engine session runs.
+///
+/// Cloning shares the underlying storage (the store is an `Arc`
+/// internally), so an engine, its pipelines, and diagnostic code can all
+/// hold the same store cheaply.
+#[derive(Clone, Debug)]
+pub struct CacheStore {
+    inner: Arc<StoreInner>,
+}
+
+/// The namespace table plus the per-`(udf, table)` borrow-recency lists
+/// driving [`MAX_LIVE_VERSIONS`] garbage collection. One struct, one
+/// lock: they must always be updated together.
+#[derive(Debug, Default)]
+struct Namespaces {
+    map: HashMap<CacheNamespace, Arc<NamespaceCache>>,
+    /// Live versions per `(udf, table)`, most recently borrowed last.
+    recency: HashMap<(u64, u64), Vec<u64>>,
+}
+
+impl Namespaces {
+    /// Removes one namespace, maintaining the recency index. Returns the
+    /// number of entries dropped.
+    fn remove(&mut self, namespace: &CacheNamespace) -> u64 {
+        let Some(old) = self.map.remove(namespace) else {
+            return 0;
+        };
+        let pair = (namespace.udf, namespace.table);
+        if let Some(versions) = self.recency.get_mut(&pair) {
+            versions.retain(|&v| v != namespace.version);
+            if versions.is_empty() {
+                self.recency.remove(&pair);
+            }
+        }
+        old.len() as u64
+    }
+}
+
+#[derive(Debug)]
+struct StoreInner {
+    namespaces: RwLock<Namespaces>,
+    shard_capacity: usize,
+    stats: Arc<AtomicStats>,
+}
+
+impl CacheStore {
+    /// A store with the default per-namespace capacity.
+    pub fn new() -> Self {
+        Self::with_capacity(DEFAULT_CACHE_CAPACITY)
+    }
+
+    /// A store holding at most `capacity` entries per namespace
+    /// (rounded up to at least one entry per shard).
+    pub fn with_capacity(capacity: usize) -> Self {
+        let shard_capacity = capacity.div_ceil(NAMESPACE_SHARDS).max(1);
+        Self {
+            inner: Arc::new(StoreInner {
+                namespaces: RwLock::new(Namespaces::default()),
+                shard_capacity,
+                stats: Arc::new(AtomicStats::default()),
+            }),
+        }
+    }
+
+    /// Borrows the cache for `namespace`, creating it on first use.
+    ///
+    /// Borrowing refreshes the namespace's recency; once more than
+    /// [`MAX_LIVE_VERSIONS`] versions of one `(udf, table)` pair are
+    /// live, the least recently borrowed ones are dropped (their entries
+    /// count as invalidated). A bumped version's entries are unreachable
+    /// from the new version immediately — retention only delays memory
+    /// reclamation, never serves stale answers — while two diverged
+    /// clones of one table can alternate without thrashing each other.
+    pub fn handle(&self, namespace: CacheNamespace) -> CacheHandle {
+        let mut guard = self
+            .inner
+            .namespaces
+            .write()
+            .unwrap_or_else(|e| e.into_inner());
+        let pair = (namespace.udf, namespace.table);
+        let stale_versions: Vec<u64> = {
+            let versions = guard.recency.entry(pair).or_default();
+            versions.retain(|&v| v != namespace.version);
+            versions.push(namespace.version);
+            let excess = versions.len().saturating_sub(MAX_LIVE_VERSIONS);
+            versions.drain(..excess).collect()
+        };
+        let mut invalidated = 0u64;
+        for version in stale_versions {
+            invalidated += guard.remove(&CacheNamespace {
+                version,
+                ..namespace
+            });
+        }
+        if invalidated > 0 {
+            self.inner
+                .stats
+                .invalidated
+                .fetch_add(invalidated, Ordering::Relaxed);
+        }
+        let cache = guard
+            .map
+            .entry(namespace)
+            .or_insert_with(|| {
+                Arc::new(NamespaceCache::new(
+                    self.inner.shard_capacity,
+                    Arc::clone(&self.inner.stats),
+                ))
+            })
+            .clone();
+        CacheHandle { namespace, cache }
+    }
+
+    /// Drops one namespace outright.
+    pub fn invalidate(&self, namespace: CacheNamespace) {
+        let mut guard = self
+            .inner
+            .namespaces
+            .write()
+            .unwrap_or_else(|e| e.into_inner());
+        let dropped = guard.remove(&namespace);
+        if dropped > 0 {
+            self.inner
+                .stats
+                .invalidated
+                .fetch_add(dropped, Ordering::Relaxed);
+        }
+    }
+
+    /// Drops every namespace belonging to `table` (any UDF, any version).
+    pub fn invalidate_table(&self, table: u64) {
+        let mut guard = self
+            .inner
+            .namespaces
+            .write()
+            .unwrap_or_else(|e| e.into_inner());
+        let doomed: Vec<CacheNamespace> = guard
+            .map
+            .keys()
+            .filter(|ns| ns.table == table)
+            .copied()
+            .collect();
+        let mut invalidated = 0u64;
+        for ns in doomed {
+            invalidated += guard.remove(&ns);
+        }
+        if invalidated > 0 {
+            self.inner
+                .stats
+                .invalidated
+                .fetch_add(invalidated, Ordering::Relaxed);
+        }
+    }
+
+    /// Number of live namespaces.
+    pub fn num_namespaces(&self) -> usize {
+        self.inner
+            .namespaces
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .map
+            .len()
+    }
+
+    /// Total live entries across namespaces.
+    pub fn len(&self) -> usize {
+        self.inner
+            .namespaces
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .map
+            .values()
+            .map(|c| c.len())
+            .sum()
+    }
+
+    /// Whether the store holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Store-wide statistics since construction.
+    pub fn stats(&self) -> CacheStats {
+        self.inner.stats.snapshot()
+    }
+
+    /// Drops every namespace (stats are preserved).
+    pub fn clear(&self) {
+        let mut guard = self
+            .inner
+            .namespaces
+            .write()
+            .unwrap_or_else(|e| e.into_inner());
+        let entries: u64 = guard.map.values().map(|c| c.len() as u64).sum();
+        self.inner
+            .stats
+            .invalidated
+            .fetch_add(entries, Ordering::Relaxed);
+        guard.map.clear();
+        guard.recency.clear();
+    }
+}
+
+impl Default for CacheStore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ns(udf: u64, table: u64, version: u64) -> CacheNamespace {
+        CacheNamespace {
+            udf,
+            table,
+            version,
+        }
+    }
+
+    #[test]
+    fn get_insert_round_trips_and_counts() {
+        let store = CacheStore::new();
+        let h = store.handle(ns(1, 1, 0));
+        assert_eq!(h.get(42), None);
+        h.insert(42, true);
+        assert_eq!(h.get(42), Some(true));
+        h.insert(42, false);
+        assert_eq!(h.get(42), Some(false));
+        let s = store.stats();
+        assert_eq!(s.hits, 2);
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.insertions, 2);
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn namespaces_are_isolated() {
+        let store = CacheStore::new();
+        let a = store.handle(ns(1, 1, 0));
+        let b = store.handle(ns(2, 1, 0));
+        a.insert(7, true);
+        assert_eq!(b.get(7), None);
+        assert_eq!(a.get(7), Some(true));
+        assert_eq!(store.num_namespaces(), 2);
+    }
+
+    #[test]
+    fn handles_share_one_namespace() {
+        let store = CacheStore::new();
+        let a = store.handle(ns(1, 1, 0));
+        let b = store.handle(ns(1, 1, 0));
+        a.insert(5, true);
+        assert_eq!(b.get(5), Some(true));
+        assert_eq!(store.num_namespaces(), 1);
+    }
+
+    #[test]
+    fn version_bump_invalidates_and_old_versions_are_eventually_gced() {
+        let store = CacheStore::new();
+        let v0 = store.handle(ns(1, 9, 100));
+        v0.insert(1, true);
+        v0.insert(2, false);
+        // The bumped version never sees the old state's entries…
+        let v1 = store.handle(ns(1, 9, 101));
+        assert_eq!(v1.get(1), None);
+        // …but the old version stays live (diverged clones coexist) until
+        // it falls off the MAX_LIVE_VERSIONS recency window.
+        assert_eq!(store.num_namespaces(), 2);
+        assert_eq!(store.stats().invalidated, 0);
+        let _v2 = store.handle(ns(1, 9, 102));
+        assert_eq!(store.num_namespaces(), MAX_LIVE_VERSIONS);
+        assert_eq!(store.stats().invalidated, 2, "v100's entries dropped");
+        // The orphaned handle still works (its Arc is alive) but new
+        // borrowers of v100 start empty.
+        assert_eq!(v0.get(1), Some(true));
+        assert_eq!(store.handle(ns(1, 9, 100)).get(1), None);
+    }
+
+    #[test]
+    fn alternating_diverged_clones_do_not_thrash_each_other() {
+        // Two live versions of one (udf, table) — e.g. diverged clones —
+        // queried alternately must keep their caches intact.
+        let store = CacheStore::new();
+        store.handle(ns(1, 9, 7)).insert(1, true);
+        store.handle(ns(1, 9, 8)).insert(2, false);
+        for _ in 0..10 {
+            assert_eq!(store.handle(ns(1, 9, 7)).get(1), Some(true));
+            assert_eq!(store.handle(ns(1, 9, 8)).get(2), Some(false));
+        }
+        assert_eq!(store.stats().invalidated, 0);
+        assert_eq!(store.num_namespaces(), 2);
+    }
+
+    #[test]
+    fn invalidate_table_drops_all_its_namespaces() {
+        let store = CacheStore::new();
+        store.handle(ns(1, 3, 0)).insert(0, true);
+        store.handle(ns(2, 3, 0)).insert(0, true);
+        store.handle(ns(1, 4, 0)).insert(0, true);
+        store.invalidate_table(3);
+        assert_eq!(store.num_namespaces(), 1);
+        assert_eq!(store.stats().invalidated, 2);
+        store.invalidate(ns(1, 4, 0));
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn capacity_bounds_entries_and_counts_evictions() {
+        // Tiny capacity: 64 shards * 1 entry.
+        let store = CacheStore::with_capacity(1);
+        let h = store.handle(ns(1, 1, 0));
+        for key in 0..1_000 {
+            h.insert(key, key % 2 == 0);
+        }
+        assert!(h.len() <= NAMESPACE_SHARDS, "len {} over bound", h.len());
+        let s = store.stats();
+        assert_eq!(s.insertions, 1_000);
+        assert!(s.evictions >= 1_000 - NAMESPACE_SHARDS as u64);
+    }
+
+    #[test]
+    fn second_chance_protects_hot_entries() {
+        let store = CacheStore::with_capacity(NAMESPACE_SHARDS * 4);
+        let h = store.handle(ns(1, 1, 0));
+        // A hot key that is re-read between every burst of cold inserts.
+        h.insert(0, true);
+        for cold in 1..5_000usize {
+            assert_eq!(h.get(0), Some(true), "hot key evicted at {cold}");
+            h.insert(cold, false);
+        }
+    }
+
+    #[test]
+    fn clear_empties_but_keeps_stats() {
+        let store = CacheStore::new();
+        let h = store.handle(ns(1, 1, 0));
+        h.insert(1, true);
+        store.clear();
+        assert!(store.is_empty());
+        assert_eq!(store.stats().insertions, 1);
+        assert_eq!(store.stats().invalidated, 1);
+    }
+
+    #[test]
+    fn clones_share_storage() {
+        let store = CacheStore::new();
+        let view = store.clone();
+        store.handle(ns(1, 1, 0)).insert(3, true);
+        assert_eq!(view.handle(ns(1, 1, 0)).get(3), Some(true));
+    }
+
+    #[test]
+    fn concurrent_borrowers_land_every_entry() {
+        let store = CacheStore::new();
+        std::thread::scope(|scope| {
+            for worker in 0..8usize {
+                let store = store.clone();
+                scope.spawn(move || {
+                    let h = store.handle(ns(1, 1, 0));
+                    for i in 0..500 {
+                        h.insert(worker * 500 + i, true);
+                    }
+                });
+            }
+        });
+        assert_eq!(store.len(), 4_000);
+    }
+}

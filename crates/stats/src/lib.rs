@@ -23,12 +23,15 @@
 //! * [`histogram`] — equi-depth bucketing of probability scores, used to
 //!   turn a classifier's output into a *virtual* correlated column
 //!   (paper §4.4, §6.3.2).
+//! * [`hash`] — deterministic FNV-1a fingerprinting shared by the
+//!   table/UDF/engine cache-key layers.
 
 pub mod beta;
 pub mod binomial;
 pub mod bounds;
 pub mod descriptive;
 pub mod estimator;
+pub mod hash;
 pub mod histogram;
 pub mod rng;
 pub mod special;

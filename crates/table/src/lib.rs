@@ -23,5 +23,5 @@ pub mod value;
 pub use column::Column;
 pub use datasets::{Dataset, DatasetSpec, LABEL_COLUMN};
 pub use schema::{Field, Schema};
-pub use table::{GroupBy, Table};
+pub use table::{GroupBy, Table, TableId};
 pub use value::{DataType, Value};

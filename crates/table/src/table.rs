@@ -10,13 +10,48 @@ use crate::column::Column;
 use crate::schema::Schema;
 use crate::value::{Value, ValueKey};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-unique identity of one [`Table`] instance.
+///
+/// Cache layers key entries by `(TableId, version)`: the id distinguishes
+/// *instances* (two independently built tables never share cache entries,
+/// even with identical content), while [`Table::version`] distinguishes
+/// *states* of one instance across mutations. Clones share the id — they
+/// start as the same logical table — and diverge by version as soon as
+/// their contents diverge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TableId(u64);
+
+impl TableId {
+    /// The raw id, for embedding into cache namespace keys.
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+/// Source of fresh [`TableId`]s. Starts at 1 so 0 can mean "no table" in
+/// downstream key encodings.
+static NEXT_TABLE_ID: AtomicU64 = AtomicU64::new(1);
 
 /// An immutable-after-build, columnar, in-memory relation.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct Table {
     schema: Schema,
     columns: Vec<Column>,
     num_rows: usize,
+    id: TableId,
+    version: u64,
+}
+
+impl PartialEq for Table {
+    /// Content equality: identity (id, version) is deliberately excluded,
+    /// so two tables built independently from the same rows compare equal.
+    fn eq(&self, other: &Self) -> bool {
+        self.schema == other.schema
+            && self.columns == other.columns
+            && self.num_rows == other.num_rows
+    }
 }
 
 impl Table {
@@ -31,6 +66,8 @@ impl Table {
             schema,
             columns,
             num_rows: 0,
+            id: TableId(NEXT_TABLE_ID.fetch_add(1, Ordering::Relaxed)),
+            version: 0,
         }
     }
 
@@ -59,11 +96,41 @@ impl Table {
                 return Err(format!("NULL in non-nullable field {:?}", field.name()));
             }
         }
+        // Fold the row into the version fingerprint *after* validation, so
+        // failed pushes leave the version (and hence cache keys) untouched.
+        let mut row_hash = 0xcbf2_9ce4_8422_2325u64;
+        for value in &row {
+            row_hash = row_hash
+                .rotate_left(5)
+                .wrapping_mul(0x100_0000_01b3)
+                .wrapping_add(value.fingerprint());
+        }
         for (idx, value) in row.into_iter().enumerate() {
             self.columns[idx].push(value)?;
         }
         self.num_rows += 1;
+        self.version = self
+            .version
+            .rotate_left(1)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(row_hash)
+            | 1; // never 0, so "mutated at least once" is observable
         Ok(())
+    }
+
+    /// This instance's stable identity (shared by clones).
+    pub fn id(&self) -> TableId {
+        self.id
+    }
+
+    /// Content fingerprint of the table's current state.
+    ///
+    /// Deterministic in the sequence of pushed rows: every mutation bumps
+    /// it, equal construction histories produce equal versions, and
+    /// diverging clones diverge. Cache entries keyed by `(id, version)`
+    /// are therefore invalidated wholesale by any mutation.
+    pub fn version(&self) -> u64 {
+        self.version
     }
 
     /// The table's schema.
@@ -329,6 +396,55 @@ mod tests {
         assert_eq!(g.rows(1), &[1, 2]);
         assert_eq!(g.key(0), &Value::Int(0));
         assert_eq!(g.key(1), &Value::Int(2));
+    }
+
+    #[test]
+    fn ids_are_unique_and_clones_share_them() {
+        let a = sample_table();
+        let b = sample_table();
+        assert_ne!(a.id(), b.id(), "independent tables get distinct ids");
+        assert_eq!(a, b, "identity must not leak into content equality");
+        let c = a.clone();
+        assert_eq!(a.id(), c.id());
+        assert_eq!(a.version(), c.version());
+    }
+
+    #[test]
+    fn version_tracks_content() {
+        let mut a = sample_table();
+        let mut b = sample_table();
+        assert_eq!(a.version(), b.version(), "same build history, same version");
+        let before = a.version();
+        a.push_row(vec![Value::Int(9), Value::from("q"), Value::Bool(true)])
+            .unwrap();
+        assert_ne!(a.version(), before, "mutation must bump the version");
+        // Same mutation on an equal table converges to the same version…
+        b.push_row(vec![Value::Int(9), Value::from("q"), Value::Bool(true)])
+            .unwrap();
+        assert_eq!(a.version(), b.version());
+        // …while a different row diverges.
+        let mut c = sample_table();
+        c.push_row(vec![Value::Int(9), Value::from("q"), Value::Bool(false)])
+            .unwrap();
+        assert_ne!(a.version(), c.version());
+    }
+
+    #[test]
+    fn failed_push_leaves_version_unchanged() {
+        let mut t = sample_table();
+        let before = t.version();
+        assert!(t.push_row(vec![Value::Int(1)]).is_err());
+        assert!(t
+            .push_row(vec![Value::Null, Value::from("q"), Value::Bool(true)])
+            .is_err());
+        assert_eq!(t.version(), before);
+    }
+
+    #[test]
+    fn empty_table_version_is_zero() {
+        let schema = Schema::new(vec![Field::new("a", DataType::Int)]);
+        let t = Table::empty(schema);
+        assert_eq!(t.version(), 0);
     }
 
     #[test]

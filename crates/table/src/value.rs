@@ -92,6 +92,24 @@ impl Value {
         }
     }
 
+    /// A 64-bit content fingerprint, stable across processes.
+    ///
+    /// Feeds [`crate::table::Table`]'s version fingerprint: equal values
+    /// (including NaN payload and type, so `Int(1)` ≠ `Float(1.0)`) hash
+    /// equal, and the type tag keeps cross-type collisions structural
+    /// rather than accidental.
+    pub fn fingerprint(&self) -> u64 {
+        const GOLDEN: u64 = 0x9E37_79B9_7F4A_7C15;
+        let (tag, body) = match self {
+            Value::Null => (0u64, 0u64),
+            Value::Bool(b) => (1, *b as u64),
+            Value::Int(i) => (2, *i as u64),
+            Value::Float(f) => (3, total_order_bits(*f)),
+            Value::Str(s) => (4, expred_stats::hash::fnv1a(s.as_bytes())),
+        };
+        splitmix(tag.wrapping_mul(GOLDEN) ^ body)
+    }
+
     /// A total-order key usable for grouping and sorting.
     ///
     /// NULLs sort first; floats order by IEEE total ordering so NaNs are
@@ -105,6 +123,13 @@ impl Value {
             Value::Str(s) => ValueKey::Str(s),
         }
     }
+}
+
+/// SplitMix64 finalizer: diffuses a 64-bit word into a fingerprint.
+fn splitmix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 /// Maps a float to bits that order identically to IEEE total order.

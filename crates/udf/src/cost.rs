@@ -5,6 +5,7 @@
 //! use `o_e = 3, o_r = 1` ("evaluating the UDF is a factor of three more
 //! expensive than retrieving the tuple", §6.1).
 
+use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -47,17 +48,43 @@ impl Default for CostModel {
 pub struct CostCounts {
     /// Tuples retrieved from storage.
     pub retrieved: u64,
-    /// UDF evaluations actually performed (cache misses).
+    /// UDF evaluations actually performed (fresh external calls).
     pub evaluated: u64,
-    /// Evaluations answered from the memo without invoking the UDF.
+    /// Evaluations answered from this query's own memo without invoking
+    /// the UDF.
     pub cache_hits: u64,
+    /// Evaluations answered from the *cross-query* cache: rows some
+    /// earlier query in the session already paid `o_e` for. Counted once
+    /// per row and query (subsequent re-reads are `cache_hits`).
+    pub reuse_hits: u64,
 }
 
 impl CostCounts {
-    /// Total monetary/latency cost under `model`. Cache hits are free: a
-    /// memoized answer does not re-invoke the external service.
+    /// Total monetary/latency cost under `model`. Cache and reuse hits
+    /// are free: a cached answer does not re-invoke the external service.
     pub fn cost(&self, model: &CostModel) -> f64 {
         model.total(self.retrieved, self.evaluated)
+    }
+
+    /// Evaluation *demand*: how many `o_e` charges a cache-less run of
+    /// the same request stream would have paid. (Pipelines that *branch*
+    /// on cached knowledge — e.g. sampling that counts session-known
+    /// rows toward its target — reduce their stream itself, so their
+    /// demand is not comparable across warm and cold runs.)
+    pub fn demanded(&self) -> u64 {
+        self.evaluated + self.cache_hits + self.reuse_hits
+    }
+}
+
+impl fmt::Display for CostCounts {
+    /// Breaks the bill out so the reuse win is visible at a glance:
+    /// `retrieved 120 | fresh evals 75 | memo hits 30 | cross-query reuse 15`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "retrieved {} | fresh evals {} | memo hits {} | cross-query reuse {}",
+            self.retrieved, self.evaluated, self.cache_hits, self.reuse_hits
+        )
     }
 }
 
@@ -80,6 +107,7 @@ struct AtomicCounts {
     retrieved: AtomicU64,
     evaluated: AtomicU64,
     cache_hits: AtomicU64,
+    reuse_hits: AtomicU64,
 }
 
 impl CostTracker {
@@ -113,13 +141,33 @@ impl CostTracker {
         self.counts.cache_hits.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Records one evaluation answered from the cross-query cache.
+    pub fn add_reuse_hit(&self) {
+        self.add_reuse_hits(1);
+    }
+
+    /// Records `n` evaluations answered from the cross-query cache.
+    pub fn add_reuse_hits(&self, n: u64) {
+        self.counts.reuse_hits.fetch_add(n, Ordering::Relaxed);
+    }
+
     /// Current counts.
     pub fn snapshot(&self) -> CostCounts {
         CostCounts {
             retrieved: self.counts.retrieved.load(Ordering::Relaxed),
             evaluated: self.counts.evaluated.load(Ordering::Relaxed),
             cache_hits: self.counts.cache_hits.load(Ordering::Relaxed),
+            reuse_hits: self.counts.reuse_hits.load(Ordering::Relaxed),
         }
+    }
+
+    /// Adds another snapshot's counts onto this tracker (session-level
+    /// aggregation over per-query trackers).
+    pub fn absorb(&self, counts: &CostCounts) {
+        self.add_retrievals(counts.retrieved);
+        self.add_evaluations(counts.evaluated);
+        self.add_cache_hits(counts.cache_hits);
+        self.add_reuse_hits(counts.reuse_hits);
     }
 
     /// Resets all counters to zero.
@@ -127,6 +175,7 @@ impl CostTracker {
         self.counts.retrieved.store(0, Ordering::Relaxed);
         self.counts.evaluated.store(0, Ordering::Relaxed);
         self.counts.cache_hits.store(0, Ordering::Relaxed);
+        self.counts.reuse_hits.store(0, Ordering::Relaxed);
     }
 }
 
@@ -178,8 +227,48 @@ mod tests {
             retrieved: 0,
             evaluated: 0,
             cache_hits: 100,
+            reuse_hits: 40,
         };
         assert_eq!(c.cost(&CostModel::PAPER_DEFAULT), 0.0);
+        assert_eq!(c.demanded(), 140);
+    }
+
+    #[test]
+    fn display_breaks_out_the_bill() {
+        let c = CostCounts {
+            retrieved: 120,
+            evaluated: 75,
+            cache_hits: 30,
+            reuse_hits: 15,
+        };
+        assert_eq!(
+            c.to_string(),
+            "retrieved 120 | fresh evals 75 | memo hits 30 | cross-query reuse 15"
+        );
+    }
+
+    #[test]
+    fn absorb_aggregates_snapshots() {
+        let session = CostTracker::new();
+        let q1 = CostCounts {
+            retrieved: 10,
+            evaluated: 5,
+            cache_hits: 2,
+            reuse_hits: 0,
+        };
+        let q2 = CostCounts {
+            retrieved: 4,
+            evaluated: 0,
+            cache_hits: 1,
+            reuse_hits: 5,
+        };
+        session.absorb(&q1);
+        session.absorb(&q2);
+        let total = session.snapshot();
+        assert_eq!(total.retrieved, 14);
+        assert_eq!(total.evaluated, 5);
+        assert_eq!(total.cache_hits, 3);
+        assert_eq!(total.reuse_hits, 5);
     }
 
     #[test]

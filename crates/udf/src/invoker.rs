@@ -14,20 +14,46 @@
 
 use crate::cost::{CostCounts, CostModel, CostTracker};
 use crate::udf::BooleanUdf;
-use expred_exec::{Executor, ShardedMemo};
+use expred_exec::{CacheHandle, CacheNamespace, ExecContext, Executor, ShardedMemo};
 use expred_table::Table;
 use std::collections::HashMap;
 
+/// The cross-query cache namespace for `udf` over `table`'s current
+/// state, or `None` when the UDF opted out of identity
+/// ([`BooleanUdf::fingerprint`]).
+pub fn cache_namespace(udf: &dyn BooleanUdf, table: &Table) -> Option<CacheNamespace> {
+    udf.fingerprint().map(|id| CacheNamespace {
+        udf: id.as_u64(),
+        table: table.id().as_u64(),
+        version: table.version(),
+    })
+}
+
 /// Counted, memoized access to a UDF over one table.
 ///
-/// The memo is a lock-striped [`ShardedMemo`], so concurrent executor
-/// workers sharing one invoker do not serialize on a single lock, and the
-/// cost tracker is atomic, so charges stay exact under parallelism.
+/// The per-query memo is a lock-striped [`ShardedMemo`], so concurrent
+/// executor workers sharing one invoker do not serialize on a single
+/// lock, and the cost tracker is atomic, so charges stay exact under
+/// parallelism.
+///
+/// # Cross-query reuse
+///
+/// Built via [`UdfInvoker::with_context`] against a session's
+/// [`expred_exec::CacheStore`], the invoker additionally *borrows* a
+/// [`CacheHandle`] scoped to `(udf fingerprint, table id, table
+/// version)`. Lookups layer local-memo-first, then the shared store: a
+/// shared hit is *promoted* into the local memo (so this query keeps a
+/// stable view even if the store later evicts the entry) and charged
+/// exactly once as a [`CostCounts::reuse_hits`] — the row's `o_e` was
+/// paid by an earlier query, not this one. Fresh evaluations are written
+/// through to both layers. Without a context (or for UDFs with no
+/// fingerprint) behavior is bit-identical to the pre-session invoker.
 pub struct UdfInvoker<'a> {
     udf: &'a dyn BooleanUdf,
     table: &'a Table,
     tracker: CostTracker,
     memo: ShardedMemo<bool>,
+    shared: Option<CacheHandle>,
 }
 
 impl<'a> UdfInvoker<'a> {
@@ -44,12 +70,61 @@ impl<'a> UdfInvoker<'a> {
             table,
             tracker,
             memo: ShardedMemo::new(),
+            shared: None,
+        }
+    }
+
+    /// Creates an invoker for one query of a session: if the context
+    /// carries a cache store and the UDF has a stable fingerprint, a
+    /// [`CacheHandle`] is borrowed so answers outlive this query.
+    pub fn with_context(udf: &'a dyn BooleanUdf, table: &'a Table, ctx: &ExecContext<'_>) -> Self {
+        Self::with_tracker_and_context(udf, table, CostTracker::new(), ctx)
+    }
+
+    /// [`UdfInvoker::with_context`] charging to an existing tracker.
+    pub fn with_tracker_and_context(
+        udf: &'a dyn BooleanUdf,
+        table: &'a Table,
+        tracker: CostTracker,
+        ctx: &ExecContext<'_>,
+    ) -> Self {
+        let shared = ctx
+            .cache
+            .and_then(|store| cache_namespace(udf, table).map(|ns| store.handle(ns)));
+        Self {
+            udf,
+            table,
+            tracker,
+            memo: ShardedMemo::new(),
+            shared,
         }
     }
 
     /// The table this invoker answers over.
     pub fn table(&self) -> &Table {
         self.table
+    }
+
+    /// Whether this invoker shares a cross-query cache namespace.
+    pub fn is_session_cached(&self) -> bool {
+        self.shared.is_some()
+    }
+
+    /// Shared-store lookup with promotion: copies a hit into the local
+    /// memo and charges it (once per row) as a cross-query reuse.
+    fn reuse_from_shared(&self, row: usize) -> Option<bool> {
+        let answer = self.shared.as_ref()?.get(row)?;
+        self.memo.insert(row, answer);
+        self.tracker.add_reuse_hit();
+        Some(answer)
+    }
+
+    /// Writes a freshly evaluated answer through both cache layers.
+    fn commit(&self, row: usize, answer: bool) {
+        self.memo.insert(row, answer);
+        if let Some(shared) = &self.shared {
+            shared.insert(row, answer);
+        }
     }
 
     /// Charges `n` tuple retrievals.
@@ -67,9 +142,12 @@ impl<'a> UdfInvoker<'a> {
             self.tracker.add_cache_hit();
             return answer;
         }
+        if let Some(answer) = self.reuse_from_shared(row) {
+            return answer;
+        }
         let answer = self.udf.evaluate(self.table, row);
         self.tracker.add_evaluation();
-        self.memo.insert(row, answer);
+        self.commit(row, answer);
         answer
     }
 
@@ -95,6 +173,10 @@ impl<'a> UdfInvoker<'a> {
             if let Some(answer) = self.memo.get(row) {
                 answers[i] = answer;
                 hits += 1;
+            } else if let Some(answer) = self.reuse_from_shared(row) {
+                // Paid for by an earlier query; promotion makes any later
+                // occurrence in this batch a plain memo hit.
+                answers[i] = answer;
             } else if let Some(&slot) = fresh_slot.get(&row) {
                 // Duplicate within the batch: evaluated once, re-read free.
                 fills.push((i, slot));
@@ -112,7 +194,7 @@ impl<'a> UdfInvoker<'a> {
             let fresh_answers = executor.evaluate_batch(&probe, &fresh);
             self.tracker.add_evaluations(fresh.len() as u64);
             for (&row, &answer) in fresh.iter().zip(&fresh_answers) {
-                self.memo.insert(row, answer);
+                self.commit(row, answer);
             }
             for (position, slot) in fills {
                 answers[position] = fresh_answers[slot];
@@ -121,14 +203,18 @@ impl<'a> UdfInvoker<'a> {
         answers
     }
 
-    /// Whether `row` has already been evaluated (a free lookup).
+    /// Whether `row`'s answer is already known — to this query's memo or
+    /// to the session cache. A free lookup cost-wise; a session-cache hit
+    /// is promoted (and counted once as a reuse) so the answer stays
+    /// available for the rest of the query even under store eviction.
     pub fn is_evaluated(&self, row: usize) -> bool {
-        self.memo.contains(row)
+        self.memoized(row).is_some()
     }
 
-    /// The memoized answer for `row`, if it has been evaluated.
+    /// The known answer for `row`, if this query or an earlier one in the
+    /// session evaluated it (session hits promote, as above).
     pub fn memoized(&self, row: usize) -> Option<bool> {
-        self.memo.get(row)
+        self.memo.get(row).or_else(|| self.reuse_from_shared(row))
     }
 
     /// Retrieves and evaluates `row` in one step (charges both actions).
@@ -284,6 +370,100 @@ mod tests {
         assert_eq!(c.retrieved, 3);
         assert_eq!(c.evaluated, 3);
         assert_eq!(inv.cost(&CostModel::PAPER_DEFAULT), 3.0 + 9.0);
+    }
+
+    #[test]
+    fn context_without_store_matches_plain_invoker() {
+        let t = table_with_labels(&[true, false, true]);
+        let udf = OracleUdf::new("good");
+        let ctx = expred_exec::ExecContext::sequential();
+        let inv = UdfInvoker::with_context(&udf, &t, &ctx);
+        assert!(!inv.is_session_cached());
+        inv.evaluate(0);
+        inv.evaluate(0);
+        let c = inv.counts();
+        assert_eq!((c.evaluated, c.cache_hits, c.reuse_hits), (1, 1, 0));
+    }
+
+    #[test]
+    fn second_query_reuses_the_sessions_answers() {
+        let t = table_with_labels(&[true, false, true, false]);
+        let udf = OracleUdf::new("good");
+        let store = expred_exec::CacheStore::new();
+        let ctx = expred_exec::ExecContext::sequential().with_cache(&store);
+
+        let q1 = UdfInvoker::with_context(&udf, &t, &ctx);
+        assert!(q1.is_session_cached());
+        q1.evaluate_batch(&expred_exec::Sequential, &[0, 1, 2]);
+        assert_eq!(q1.counts().evaluated, 3);
+        assert_eq!(q1.counts().reuse_hits, 0, "a cold session has no reuse");
+
+        let q2 = UdfInvoker::with_context(&udf, &t, &ctx);
+        let answers = q2.evaluate_batch(&expred_exec::Sequential, &[0, 1, 2, 3, 0]);
+        assert_eq!(answers, vec![true, false, true, false, true]);
+        let c = q2.counts();
+        assert_eq!(c.evaluated, 1, "only row 3 is new to the session");
+        assert_eq!(c.reuse_hits, 3, "rows 0-2 were paid for by query 1");
+        assert_eq!(c.cache_hits, 1, "the repeated row 0 is a plain memo hit");
+        assert_eq!(c.demanded(), 5);
+    }
+
+    #[test]
+    fn memoized_promotes_session_answers_once() {
+        let t = table_with_labels(&[true, false]);
+        let udf = OracleUdf::new("good");
+        let store = expred_exec::CacheStore::new();
+        let ctx = expred_exec::ExecContext::sequential().with_cache(&store);
+        UdfInvoker::with_context(&udf, &t, &ctx).evaluate(0);
+
+        let q2 = UdfInvoker::with_context(&udf, &t, &ctx);
+        assert!(q2.is_evaluated(0));
+        assert_eq!(q2.memoized(0), Some(true));
+        assert!(q2.evaluate(0));
+        let c = q2.counts();
+        assert_eq!(c.reuse_hits, 1, "promotion charges exactly once");
+        assert_eq!(c.evaluated, 0);
+        assert_eq!(c.cache_hits, 1, "post-promotion reads are memo hits");
+        assert!(!q2.is_evaluated(1), "unknown rows stay unknown");
+    }
+
+    #[test]
+    fn distinct_udfs_and_tables_do_not_share() {
+        let t = table_with_labels(&[true, false]);
+        let other_table = table_with_labels(&[true, false]);
+        let udf = OracleUdf::new("good");
+        let store = expred_exec::CacheStore::new();
+        let ctx = expred_exec::ExecContext::sequential().with_cache(&store);
+        UdfInvoker::with_context(&udf, &t, &ctx).evaluate(0);
+
+        // Same content, different table instance: no sharing.
+        let cross = UdfInvoker::with_context(&udf, &other_table, &ctx);
+        cross.evaluate(0);
+        assert_eq!(cross.counts().evaluated, 1);
+        assert_eq!(cross.counts().reuse_hits, 0);
+    }
+
+    #[test]
+    fn table_mutation_invalidates_session_answers() {
+        let mut t = table_with_labels(&[true, false]);
+        let udf = OracleUdf::new("good");
+        let store = expred_exec::CacheStore::new();
+        {
+            let ctx = expred_exec::ExecContext::sequential().with_cache(&store);
+            let q1 = UdfInvoker::with_context(&udf, &t, &ctx);
+            q1.evaluate(0);
+            q1.evaluate(1);
+        }
+        t.push_row(vec![Value::Bool(true)]).unwrap();
+        let ctx = expred_exec::ExecContext::sequential().with_cache(&store);
+        let q2 = UdfInvoker::with_context(&udf, &t, &ctx);
+        q2.evaluate(0);
+        let c = q2.counts();
+        assert_eq!(c.evaluated, 1, "stale version must not serve answers");
+        assert_eq!(c.reuse_hits, 0);
+        // The old version stays live until MAX_LIVE_VERSIONS newer ones
+        // supersede it (diverged clones may still be using it).
+        assert_eq!(store.num_namespaces(), 2);
     }
 
     #[test]

@@ -12,12 +12,15 @@
 //!   [`CostTracker`].
 //! * [`invoker`] — [`UdfInvoker`], the only gateway algorithm code may use:
 //!   it charges every retrieval/evaluation and memoizes answers so sampled
-//!   tuples are never paid for twice.
+//!   tuples are never paid for twice — within a query through its own
+//!   memo, and across queries through a borrowed
+//!   [`expred_exec::CacheHandle`] when running inside a session
+//!   ([`UdfInvoker::with_context`]).
 
 pub mod cost;
 pub mod invoker;
 pub mod udf;
 
 pub use cost::{CostCounts, CostModel, CostTracker};
-pub use invoker::UdfInvoker;
-pub use udf::{BooleanUdf, ConjunctionUdf, NoisyUdf, OracleUdf, SlowUdf};
+pub use invoker::{cache_namespace, UdfInvoker};
+pub use udf::{BooleanUdf, ConjunctionUdf, NoisyUdf, OracleUdf, SlowUdf, UdfId};

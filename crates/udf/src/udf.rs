@@ -10,6 +10,40 @@
 use expred_table::Table;
 use std::time::Duration;
 
+/// A stable identity for one UDF *semantics*: two UDFs with the same id
+/// must answer identically on every `(table, row)`.
+///
+/// Cross-query caching keys entries by `(UdfId, table id, table version)`
+/// — a wrong id silently serves one predicate's answers to another, so
+/// implementors must fold every answer-affecting parameter into it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct UdfId(u64);
+
+impl UdfId {
+    /// Builds an id by hashing a kind tag and the answer-affecting
+    /// parameters (FNV-1a, via the workspace's shared deterministic
+    /// hasher).
+    pub fn from_parts(kind: &str, parts: &[u64]) -> Self {
+        let mut h = expred_stats::hash::Fnv64::new();
+        h.write_str(kind);
+        for &p in parts {
+            h.write_u64(p);
+        }
+        Self(h.finish())
+    }
+
+    /// Hashes a string parameter into a part suitable for
+    /// [`UdfId::from_parts`].
+    pub fn str_part(s: &str) -> u64 {
+        expred_stats::hash::fnv1a(s.as_bytes())
+    }
+
+    /// The raw id, for embedding into cache namespace keys.
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
 /// A boolean predicate over rows of a table — the expensive `f(ID) = 1`.
 ///
 /// Implementations must be deterministic per `(table, row)` within one
@@ -22,6 +56,16 @@ pub trait BooleanUdf: Send + Sync {
     /// Short human-readable name for diagnostics.
     fn name(&self) -> &str {
         "udf"
+    }
+
+    /// Stable identity for cross-query caching, or `None` to opt out.
+    ///
+    /// The default opts out: an anonymous UDF never shares cached answers
+    /// across queries (its per-query memo still works). Implementations
+    /// whose answers are a pure function of declared parameters should
+    /// return a [`UdfId`] folding in *all* of those parameters.
+    fn fingerprint(&self) -> Option<UdfId> {
+        None
     }
 }
 
@@ -57,6 +101,13 @@ impl BooleanUdf for OracleUdf {
     fn name(&self) -> &str {
         "oracle"
     }
+
+    fn fingerprint(&self) -> Option<UdfId> {
+        Some(UdfId::from_parts(
+            "oracle",
+            &[UdfId::str_part(&self.column)],
+        ))
+    }
 }
 
 /// Wraps a UDF with simulated per-call latency, for wall-clock experiments
@@ -81,6 +132,12 @@ impl<U: BooleanUdf> BooleanUdf for SlowUdf<U> {
 
     fn name(&self) -> &str {
         "slow"
+    }
+
+    /// Latency does not change answers, so a slow UDF shares its inner
+    /// UDF's cache namespace — a warmed cache even absorbs the delay.
+    fn fingerprint(&self) -> Option<UdfId> {
+        self.inner.fingerprint()
     }
 }
 
@@ -132,6 +189,17 @@ impl<U: BooleanUdf> BooleanUdf for NoisyUdf<U> {
     fn name(&self) -> &str {
         "noisy"
     }
+
+    /// Flips are a deterministic function of `(seed, row)`, so the noisy
+    /// view is cacheable — under an id folding in both noise parameters,
+    /// keeping it distinct from the clean UDF and from other noise seeds.
+    fn fingerprint(&self) -> Option<UdfId> {
+        let inner = self.inner.fingerprint()?;
+        Some(UdfId::from_parts(
+            "noisy",
+            &[inner.as_u64(), self.flip_probability.to_bits(), self.seed],
+        ))
+    }
 }
 
 /// Conjunction of several UDFs — the "multiple predicates" extension
@@ -165,6 +233,17 @@ impl BooleanUdf for ConjunctionUdf {
 
     fn name(&self) -> &str {
         "conjunction"
+    }
+
+    /// Identified iff every conjunct is; order matters for identity (it
+    /// does not change answers, but keeping it avoids claiming an
+    /// equivalence the ids cannot prove).
+    fn fingerprint(&self) -> Option<UdfId> {
+        let mut parts = Vec::with_capacity(self.parts.len());
+        for p in &self.parts {
+            parts.push(p.fingerprint()?.as_u64());
+        }
+        Some(UdfId::from_parts("conjunction", &parts))
     }
 }
 
@@ -243,6 +322,46 @@ mod tests {
         assert!(!udf.evaluate(&t, 1));
         assert_eq!(udf.arity(), 2);
         assert!(udf.evaluate_part(0, &t, 0));
+    }
+
+    #[test]
+    fn fingerprints_separate_semantics_not_latency() {
+        let clean = OracleUdf::new("good");
+        let other = OracleUdf::new("bad");
+        assert_ne!(clean.fingerprint(), other.fingerprint());
+        assert_eq!(
+            OracleUdf::new("good").fingerprint(),
+            clean.fingerprint(),
+            "same column, same identity"
+        );
+        // Latency wrapping keeps the identity; noise changes it.
+        let slow = SlowUdf::new(OracleUdf::new("good"), Duration::from_millis(1));
+        assert_eq!(slow.fingerprint(), clean.fingerprint());
+        let noisy_a = NoisyUdf::new(OracleUdf::new("good"), 0.1, 1);
+        let noisy_b = NoisyUdf::new(OracleUdf::new("good"), 0.1, 2);
+        assert_ne!(noisy_a.fingerprint(), clean.fingerprint());
+        assert_ne!(noisy_a.fingerprint(), noisy_b.fingerprint());
+        // Conjunctions identify iff all parts do; order is significant.
+        let ab = ConjunctionUdf::new(vec![
+            Box::new(OracleUdf::new("good")),
+            Box::new(OracleUdf::new("bad")),
+        ]);
+        let ba = ConjunctionUdf::new(vec![
+            Box::new(OracleUdf::new("bad")),
+            Box::new(OracleUdf::new("good")),
+        ]);
+        assert!(ab.fingerprint().is_some());
+        assert_ne!(ab.fingerprint(), ba.fingerprint());
+        // An anonymous UDF opts out, and poisons any conjunction.
+        struct Anon;
+        impl BooleanUdf for Anon {
+            fn evaluate(&self, _: &Table, _: usize) -> bool {
+                true
+            }
+        }
+        assert_eq!(Anon.fingerprint(), None);
+        let poisoned = ConjunctionUdf::new(vec![Box::new(Anon), Box::new(OracleUdf::new("good"))]);
+        assert_eq!(poisoned.fingerprint(), None);
     }
 
     #[test]

@@ -128,6 +128,7 @@ fn main() {
         rows.len(),
         passed
     );
+    println!("bill breakdown: {counts}");
     println!(
         "conjunct invocations: {} (vs {} without stage-wise short-circuiting)",
         counts.evaluated,

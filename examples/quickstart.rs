@@ -99,6 +99,7 @@ fn main() {
         counts.evaluated,
         table.num_rows()
     );
+    println!("bill breakdown: {counts}");
     println!(
         "total cost: {} (vs {} for evaluate-everything)",
         counts.cost(&spec.cost),

@@ -1,0 +1,75 @@
+//! Sessions: many queries, one cache — the second query is (nearly) free.
+//!
+//! ```text
+//! cargo run --release --example sessions [-- --parallel]
+//! ```
+//!
+//! A `QueryEngine` owns an executor backend and a cross-query
+//! `CacheStore`. This demo serves four requests against one Prosper-like
+//! dataset and prints each bill, broken out into fresh evaluations (paid
+//! `o_e`), within-query memo hits, and cross-query reuse (paid by an
+//! *earlier* query):
+//!
+//! 1. an Intel-Sample query — pays full freight;
+//! 2. the identical request again — answered from the result memo,
+//!    charging zero additional `o_e`;
+//! 3. the same contract under a different seed — overlapping rows arrive
+//!    as reuse;
+//! 4. a Naive query over the same table — its β-fraction is largely
+//!    pre-paid.
+
+use expred::core::{IntelSampleConfig, PredictorChoice, Query, QueryEngine, QuerySpec, RunOutcome};
+use expred::exec::Parallel;
+use expred::table::datasets::{Dataset, DatasetSpec, PROSPER};
+
+fn report(label: &str, out: &RunOutcome) {
+    println!(
+        "{label}\n  answer: {} tuples (precision {:.3}, recall {:.3}), cost {}\n  bill:   {}",
+        out.returned.len(),
+        out.summary.precision,
+        out.summary.recall,
+        out.cost,
+        out.counts,
+    );
+}
+
+fn main() {
+    let mut engine = if std::env::args().any(|a| a == "--parallel") {
+        let backend = Parallel::new();
+        println!("engine backend: parallel ({} threads)", backend.threads());
+        QueryEngine::with_executor(Box::new(backend))
+    } else {
+        println!("engine backend: sequential (pass --parallel to fan out)");
+        QueryEngine::new()
+    };
+    let ds = Dataset::generate(
+        DatasetSpec {
+            rows: 10_000,
+            ..PROSPER
+        },
+        3,
+    );
+    let intel = Query::IntelSample(IntelSampleConfig::experiment1(PredictorChoice::Fixed(
+        "grade".into(),
+    )));
+
+    let first = engine.run(&ds, &intel, 42);
+    report("query 1: intel-sample, cold session", &first);
+
+    let repeat = engine.run(&ds, &intel, 42);
+    report("query 2: the identical request", &repeat);
+    println!(
+        "  -> served from the result memo; session evaluations still {}",
+        engine.session_counts().evaluated
+    );
+
+    let reseeded = engine.run(&ds, &intel, 43);
+    report("query 3: same contract, new seed", &reseeded);
+
+    let naive = engine.run(&ds, &Query::Naive(QuerySpec::paper_default()), 7);
+    report("query 4: naive over the warmed table", &naive);
+
+    println!("\nsession totals: {}", engine.session_counts());
+    println!("row cache:      {:?}", engine.cache_stats());
+    println!("engine:         {:?}", engine.stats());
+}
