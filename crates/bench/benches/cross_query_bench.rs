@@ -42,12 +42,12 @@ fn bench_repeated_query(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function(BenchmarkId::from_parameter("cold_engine_each_time"), |b| {
         b.iter(|| {
-            let mut engine = QueryEngine::new();
+            let engine = QueryEngine::new();
             black_box(engine.run(&ds, &Query::Naive(spec), 7))
         })
     });
     group.bench_function(BenchmarkId::from_parameter("one_session"), |b| {
-        let mut engine = QueryEngine::new();
+        let engine = QueryEngine::new();
         engine.run(&ds, &Query::Naive(spec), 7); // warm once
         b.iter(|| black_box(engine.run(&ds, &Query::Naive(spec), 7)))
     });
@@ -112,7 +112,7 @@ fn overlap_speedup_report(c: &mut Criterion) {
 fn session_stats_report(c: &mut Criterion) {
     let ds = dataset();
     let spec = QuerySpec::paper_default();
-    let mut engine = QueryEngine::new();
+    let engine = QueryEngine::new();
     for seed in 0..4 {
         engine.run(&ds, &Query::Naive(spec), seed);
     }

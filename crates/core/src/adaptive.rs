@@ -21,7 +21,7 @@ use expred_exec::{ExecContext, Executor};
 use expred_ml::metrics::precision_recall;
 use expred_stats::rng::Prng;
 use expred_table::datasets::{Dataset, LABEL_COLUMN};
-use expred_udf::{OracleUdf, UdfInvoker};
+use expred_udf::UdfInvoker;
 use std::time::Instant;
 
 /// §4.3's adaptive pipeline: no sampling parameter needs to be supplied.
@@ -58,8 +58,8 @@ pub fn run_intel_sample_adaptive_ctx(
 ) -> RunOutcome {
     let start = Instant::now();
     let table = &ds.table;
-    let udf = OracleUdf::new(LABEL_COLUMN);
-    let invoker = UdfInvoker::with_context(&udf, table, ctx);
+    let udf = crate::pipeline::label_udf(ctx);
+    let invoker = UdfInvoker::with_context(udf.as_ref(), table, ctx);
     let mut rng = Prng::seeded(seed);
     let groups = table.group_by(predictor).expect("predictor column");
 
@@ -153,8 +153,8 @@ pub fn run_intel_sample_iterative_ctx(
     assert!(rounds >= 1, "need at least one round");
     let start = Instant::now();
     let table = &ds.table;
-    let udf = OracleUdf::new(LABEL_COLUMN);
-    let invoker = UdfInvoker::with_context(&udf, table, ctx);
+    let udf = crate::pipeline::label_udf(ctx);
+    let invoker = UdfInvoker::with_context(udf.as_ref(), table, ctx);
     let mut rng = Prng::seeded(seed);
     let groups = table.group_by(predictor).expect("predictor column");
     let k = groups.num_groups();

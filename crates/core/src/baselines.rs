@@ -26,7 +26,7 @@ use expred_ml::semisupervised::{
 };
 use expred_stats::rng::Prng;
 use expred_table::datasets::{Dataset, LABEL_COLUMN};
-use expred_udf::{CostModel, OracleUdf, UdfInvoker};
+use expred_udf::{CostModel, UdfInvoker};
 use std::time::Instant;
 
 /// Training-set sizes to probe, as fractions of the table. The grid is
@@ -121,8 +121,8 @@ pub fn run_learning_ctx(
     let truth = crate::execute::truth_vector(table, LABEL_COLUMN);
     let features = extract_features(table, &[LABEL_COLUMN, "row_id"], FeatureSpec::default());
     let n = table.num_rows();
-    let udf = OracleUdf::new(LABEL_COLUMN);
-    let invoker = UdfInvoker::with_context(&udf, table, ctx);
+    let udf = crate::pipeline::label_udf(ctx);
+    let invoker = UdfInvoker::with_context(udf.as_ref(), table, ctx);
     let mut rng = Prng::seeded(seed);
     let mut perm: Vec<usize> = (0..n).collect();
     rng.shuffle(&mut perm);
@@ -181,8 +181,8 @@ pub fn run_multiple_ctx(
     let truth = crate::execute::truth_vector(table, LABEL_COLUMN);
     let features = extract_features(table, &[LABEL_COLUMN, "row_id"], FeatureSpec::default());
     let n = table.num_rows();
-    let udf = OracleUdf::new(LABEL_COLUMN);
-    let invoker = UdfInvoker::with_context(&udf, table, ctx);
+    let udf = crate::pipeline::label_udf(ctx);
+    let invoker = UdfInvoker::with_context(udf.as_ref(), table, ctx);
     let mut rng = Prng::seeded(seed);
     let mut perm: Vec<usize> = (0..n).collect();
     rng.shuffle(&mut perm);

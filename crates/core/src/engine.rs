@@ -22,18 +22,54 @@
 //! that table automatically (row namespaces are GCed on next borrow;
 //! result keys simply never match again).
 //!
+//! # Concurrency: one engine, many worker threads
+//!
+//! [`QueryEngine::run`] takes `&self` and the engine is `Send + Sync`:
+//! one long-lived engine — one executor, one [`CacheStore`], one result
+//! memo — serves any number of worker threads directly, no outer mutex.
+//! Every shared structure is internally synchronized:
+//!
+//! * the result memo is a lock-striped, capacity-bounded
+//!   [`crate::result_memo::ShardedResultMemo`] whose lookups verify the
+//!   *full* request identity, so a hash collision (or a racing writer)
+//!   can never serve one query's answer as another's;
+//! * [`EngineStats`] is kept in atomic counters; [`QueryEngine::stats`]
+//!   returns a consistent snapshot (see the type's docs);
+//! * the session bill is an atomic [`CostTracker`], so charges from
+//!   interleaved queries each land exactly once.
+//!
+//! **Answer stability.** Cached row answers are always *correct* — the
+//! row tier is keyed by `(udf, table id, table version)` and a UDF is
+//! deterministic per `(row, version)` — so pipelines whose demand stream
+//! is independent of cache state (e.g. [`Query::Naive`]) return
+//! byte-identical answers no matter how queries interleave. Pipelines
+//! that *branch* on session-known rows (sampling counts them toward its
+//! target) remain correct under concurrency but may legitimately pick
+//! different sample sets depending on what earlier/overlapping queries
+//! already paid for, exactly as they already did across serial session
+//! orderings.
+//!
+//! **Racing duplicates.** Two threads submitting the identical fresh
+//! request may both miss the memo and both execute; each pays its own
+//! (correct) bill and the memo settles last-writer-wins. This trades a
+//! little duplicated work on a cold race for a completely lock-free read
+//! path — the memo never holds a lock across a pipeline run.
+//!
 //! ```
 //! use expred_core::engine::{Query, QueryEngine};
 //! use expred_core::{IntelSampleConfig, PredictorChoice};
 //! use expred_table::datasets::{Dataset, DatasetSpec, PROSPER};
 //!
 //! let ds = Dataset::generate(DatasetSpec { rows: 2_000, ..PROSPER }, 7);
-//! let mut engine = QueryEngine::new();
+//! let engine = QueryEngine::new();
 //! let query = Query::IntelSample(IntelSampleConfig::experiment1(
 //!     PredictorChoice::Fixed("grade".into()),
 //! ));
 //! let first = engine.run(&ds, &query, 42);
-//! let again = engine.run(&ds, &query, 42);
+//! // `run` takes `&self`: worker threads share the engine directly.
+//! let again = std::thread::scope(|s| {
+//!     s.spawn(|| engine.run(&ds, &query, 42)).join().unwrap()
+//! });
 //! assert_eq!(first.returned, again.returned);
 //! // The repeat was answered from the result memo: zero new UDF calls.
 //! assert_eq!(engine.session_counts().evaluated, first.counts.evaluated);
@@ -48,12 +84,14 @@ use crate::pipeline::{
     RunOutcome,
 };
 use crate::query::QuerySpec;
+use crate::result_memo::{ResultMemoStats, ShardedResultMemo};
 use crate::sampling::SampleSizeRule;
 use expred_exec::{CacheStats, CacheStore, ExecContext, Executor, Sequential};
 use expred_stats::hash::Fnv64;
 use expred_table::datasets::Dataset;
 use expred_udf::{CostCounts, CostTracker};
-use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
 
 /// Default bound on memoized whole-query outcomes.
 pub const DEFAULT_RESULT_MEMO_CAPACITY: usize = 1024;
@@ -109,12 +147,41 @@ pub enum Query {
 }
 
 /// Session-level statistics beyond the cost counters.
+///
+/// # Snapshot consistency
+///
+/// [`QueryEngine::stats`] reads the underlying atomics in an order that
+/// guarantees `result_hits <= queries` in every snapshot, even while
+/// other threads are mid-`run`: the hit counter is incremented *after*
+/// its query counter (release), and the snapshot loads `result_hits`
+/// *before* `queries` (acquire), so any observed hit's query increment is
+/// observed too. Both counters are monotone; a snapshot may trail
+/// in-flight queries but never invents or loses events.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct EngineStats {
     /// Queries served, including memoized repeats.
     pub queries: u64,
     /// Queries answered entirely from the result memo.
     pub result_hits: u64,
+}
+
+/// The engine's live counters behind [`EngineStats`] snapshots.
+#[derive(Debug, Default)]
+struct AtomicEngineStats {
+    queries: AtomicU64,
+    result_hits: AtomicU64,
+}
+
+impl AtomicEngineStats {
+    fn snapshot(&self) -> EngineStats {
+        // Load order is the consistency guarantee: see [`EngineStats`].
+        let result_hits = self.result_hits.load(Ordering::Acquire);
+        let queries = self.queries.load(Ordering::Acquire);
+        EngineStats {
+            queries,
+            result_hits,
+        }
+    }
 }
 
 /// The full identity of one memoized request. Stored alongside the
@@ -129,20 +196,27 @@ struct ResultKey {
 }
 
 /// A long-lived query session: one executor, one cross-query cache, one
-/// result memo, many queries.
+/// result memo, many queries — and many worker threads.
 ///
-/// Not `Sync` by design (the result memo is plain state); a serving tier
-/// wraps one engine per worker or behind a mutex. Making the engine
-/// itself shareable is a ROADMAP follow-on.
+/// `Send + Sync` with `run(&self)`: share one engine behind an `Arc` (or
+/// a scoped-thread borrow) and call it from every worker directly. See
+/// the module docs for the exact concurrency guarantees.
 pub struct QueryEngine {
     executor: Box<dyn Executor>,
     store: CacheStore,
     session: CostTracker,
-    results: HashMap<u64, (ResultKey, RunOutcome)>,
-    result_order: VecDeque<u64>,
-    result_capacity: usize,
-    stats: EngineStats,
+    results: ShardedResultMemo<ResultKey, RunOutcome>,
+    udf_latency: Option<Duration>,
+    stats: AtomicEngineStats,
 }
+
+// The `&self + Sync` contract is the point of the engine; if a field
+// change ever silently broke it, every serving deployment would stop
+// compiling somewhere far less obvious than here.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<QueryEngine>()
+};
 
 impl QueryEngine {
     /// An engine on the [`Sequential`] backend with default capacities.
@@ -156,10 +230,9 @@ impl QueryEngine {
             executor,
             store: CacheStore::new(),
             session: CostTracker::new(),
-            results: HashMap::new(),
-            result_order: VecDeque::new(),
-            result_capacity: DEFAULT_RESULT_MEMO_CAPACITY,
-            stats: EngineStats::default(),
+            results: ShardedResultMemo::with_capacity(DEFAULT_RESULT_MEMO_CAPACITY),
+            udf_latency: None,
+            stats: AtomicEngineStats::default(),
         }
     }
 
@@ -170,28 +243,47 @@ impl QueryEngine {
         self
     }
 
-    /// Bounds the query-tier result memo (0 disables it).
+    /// Bounds the query-tier result memo (0 disables it). The effective
+    /// bound may round down slightly to divide evenly across stripes
+    /// ([`ShardedResultMemo::with_capacity`]).
     pub fn with_result_capacity(mut self, capacity: usize) -> Self {
-        self.result_capacity = capacity;
+        self.results = ShardedResultMemo::with_capacity(capacity);
+        self
+    }
+
+    /// Adds an artificial latency to every fresh UDF evaluation this
+    /// engine performs — a load-testing knob: answers, cache identities,
+    /// and audited counts are all unaffected.
+    pub fn with_udf_latency(mut self, latency: Duration) -> Self {
+        self.udf_latency = (!latency.is_zero()).then_some(latency);
         self
     }
 
     /// The execution context this engine runs queries under — exposed so
     /// callers can drive the lower-level `*_ctx` entry points (or their
-    /// own invokers) inside this session's cache.
+    /// own invokers) inside this session's cache, from any thread.
     pub fn context(&self) -> ExecContext<'_> {
-        ExecContext::new(self.executor.as_ref()).with_cache(&self.store)
+        let ctx = ExecContext::new(self.executor.as_ref()).with_cache(&self.store);
+        match self.udf_latency {
+            Some(latency) => ctx.with_udf_latency(latency),
+            None => ctx,
+        }
     }
 
-    /// Serves one query.
+    /// Serves one query. Callable from any thread — `&self` is the whole
+    /// point; see the module docs for concurrency semantics.
     ///
     /// An identical request — same dataset state, same [`Query`], same
     /// seed — returns the memoized [`RunOutcome`] (its `counts` describe
     /// the original run) and charges nothing new to the session. A fresh
     /// request runs the pipeline against the shared row cache and folds
-    /// its bill into [`QueryEngine::session_counts`].
-    pub fn run(&mut self, ds: &Dataset, query: &Query, seed: u64) -> RunOutcome {
-        self.stats.queries += 1;
+    /// its bill into [`QueryEngine::session_counts`]. Two threads racing
+    /// on the identical fresh request may both execute it (each bill is
+    /// absorbed; the memo keeps one outcome).
+    pub fn run(&self, ds: &Dataset, query: &Query, seed: u64) -> RunOutcome {
+        // `queries` before the memo probe, `result_hits` after the hit:
+        // this increment order is what makes stats snapshots consistent.
+        self.stats.queries.fetch_add(1, Ordering::AcqRel);
         let key = query_key(ds, query, seed);
         let identity = ResultKey {
             table: ds.table.id().as_u64(),
@@ -199,15 +291,11 @@ impl QueryEngine {
             seed,
             query: query.clone(),
         };
-        if self.result_capacity > 0 {
-            // Hash first, then verify the full identity: a colliding key
-            // is treated as a miss, never served.
-            if let Some((stored, hit)) = self.results.get(&key) {
-                if *stored == identity {
-                    self.stats.result_hits += 1;
-                    return hit.clone();
-                }
-            }
+        // The memo verifies the full identity: a colliding key is
+        // treated as a miss, never served.
+        if let Some(hit) = self.results.get(key, &identity) {
+            self.stats.result_hits.fetch_add(1, Ordering::AcqRel);
+            return hit;
         }
         let outcome = {
             let ctx = self.context();
@@ -238,22 +326,7 @@ impl QueryEngine {
             }
         };
         self.session.absorb(&outcome.counts);
-        if self.result_capacity > 0 {
-            // A colliding occupant (different identity, same hash) is
-            // replaced in place — its order slot carries over.
-            if self
-                .results
-                .insert(key, (identity, outcome.clone()))
-                .is_none()
-            {
-                self.result_order.push_back(key);
-                while self.result_order.len() > self.result_capacity {
-                    if let Some(evicted) = self.result_order.pop_front() {
-                        self.results.remove(&evicted);
-                    }
-                }
-            }
-        }
+        self.results.insert(key, identity, outcome.clone());
         outcome
     }
 
@@ -267,9 +340,16 @@ impl QueryEngine {
         self.store.stats()
     }
 
-    /// Session statistics (queries served, result-memo hits).
+    /// Session statistics (queries served, result-memo hits) as a
+    /// consistent snapshot — see [`EngineStats`].
     pub fn stats(&self) -> EngineStats {
-        self.stats
+        self.stats.snapshot()
+    }
+
+    /// Query-tier result-memo statistics (hits, misses, collision
+    /// rejects, evictions).
+    pub fn result_memo_stats(&self) -> ResultMemoStats {
+        self.results.stats()
     }
 
     /// The shared row-tier store (e.g. for explicit invalidation).
@@ -278,10 +358,23 @@ impl QueryEngine {
     }
 
     /// Drops both reuse tiers, keeping the executor and counters.
-    pub fn clear_caches(&mut self) {
+    ///
+    /// # Semantics under concurrent `run`s
+    ///
+    /// Safe to call from any thread at any time. Every entry present in
+    /// either tier when the call starts is dropped. Queries in flight are
+    /// unaffected beyond losing cheap answers: an invoker that already
+    /// borrowed its [`expred_exec::CacheHandle`] keeps a private `Arc` to
+    /// the detached namespace (its own read-your-writes view stays
+    /// intact), and whatever an in-flight query inserts *after* the clear
+    /// is a freshly computed, correct entry for the current table
+    /// version — never a resurrection of cleared state. There is no
+    /// staleness hazard to begin with: both tiers key by table version
+    /// and full request identity, so the worst post-clear outcome is
+    /// paying full price once more.
+    pub fn clear_caches(&self) {
         self.store.clear();
         self.results.clear();
-        self.result_order.clear();
     }
 }
 
@@ -424,7 +517,7 @@ mod tests {
     #[test]
     fn identical_query_is_memoized_and_free() {
         let ds = small_prosper(1);
-        let mut engine = QueryEngine::new();
+        let engine = QueryEngine::new();
         let first = engine.run(&ds, &intel_query(), 5);
         let after_first = engine.session_counts();
         let again = engine.run(&ds, &intel_query(), 5);
@@ -442,7 +535,7 @@ mod tests {
     #[test]
     fn first_run_matches_the_legacy_pipeline_exactly() {
         let ds = small_prosper(2);
-        let mut engine = QueryEngine::new();
+        let engine = QueryEngine::new();
         let engine_out = engine.run(&ds, &intel_query(), 9);
         let legacy = crate::pipeline::run_intel_sample(
             &ds,
@@ -459,7 +552,7 @@ mod tests {
     #[test]
     fn overlapping_queries_reuse_rows() {
         let ds = small_prosper(3);
-        let mut engine = QueryEngine::new();
+        let engine = QueryEngine::new();
         let spec = QuerySpec::paper_default();
         engine.run(&ds, &Query::Naive(spec), 1);
         // Same query, different seed: different random β-fraction, heavy
@@ -490,7 +583,7 @@ mod tests {
     #[test]
     fn different_seeds_and_specs_are_distinct_memo_keys() {
         let ds = small_prosper(4);
-        let mut engine = QueryEngine::new();
+        let engine = QueryEngine::new();
         let spec = QuerySpec::paper_default();
         engine.run(&ds, &Query::Naive(spec), 1);
         engine.run(&ds, &Query::Naive(spec), 2);
@@ -503,7 +596,7 @@ mod tests {
     #[test]
     fn result_capacity_zero_disables_the_memo() {
         let ds = small_prosper(5);
-        let mut engine = QueryEngine::new().with_result_capacity(0);
+        let engine = QueryEngine::new().with_result_capacity(0);
         let spec = QuerySpec::paper_default();
         let a = engine.run(&ds, &Query::Naive(spec), 1);
         let b = engine.run(&ds, &Query::Naive(spec), 1);
@@ -518,7 +611,7 @@ mod tests {
     fn every_query_kind_runs_through_the_engine() {
         let ds = small_prosper(6);
         let spec = QuerySpec::paper_default();
-        let mut engine = QueryEngine::new();
+        let engine = QueryEngine::new();
         let queries = [
             intel_query(),
             Query::Naive(spec),
@@ -553,7 +646,7 @@ mod tests {
     fn clear_caches_forces_full_price_again() {
         let ds = small_prosper(7);
         let spec = QuerySpec::paper_default();
-        let mut engine = QueryEngine::new();
+        let engine = QueryEngine::new();
         let first = engine.run(&ds, &Query::Naive(spec), 1);
         engine.clear_caches();
         let again = engine.run(&ds, &Query::Naive(spec), 1);

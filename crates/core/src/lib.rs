@@ -21,7 +21,9 @@
 //!   selection-before-join weighting.
 //! * [`engine`] — the session layer: [`QueryEngine`] runs many queries
 //!   against one executor, one cross-query [`expred_exec::CacheStore`],
-//!   and a memo of whole query outcomes.
+//!   and a memo of whole query outcomes. The engine is `Send + Sync`
+//!   with `run(&self)`, so one session serves many worker threads
+//!   directly ([`result_memo`] holds the lock-striped memo behind it).
 //!
 //! Every pipeline entry point comes in three flavors: the legacy bare
 //! name (sequential, cache-less — the original audited behavior), a
@@ -39,6 +41,7 @@ pub mod optimize;
 pub mod pipeline;
 pub mod plan;
 pub mod query;
+pub mod result_memo;
 pub mod sampling;
 
 pub use adaptive::{
@@ -62,6 +65,7 @@ pub use pipeline::{
 };
 pub use plan::Plan;
 pub use query::QuerySpec;
+pub use result_memo::{ResultMemoStats, ShardedResultMemo};
 pub use sampling::{
     adaptive_num_search, adaptive_num_search_ctx, adaptive_num_search_with, sample_groups,
     sample_groups_ctx, sample_groups_with, GroupSample, SampleSizeRule,

@@ -22,8 +22,20 @@ use expred_ml::metrics::{precision_recall, PrSummary};
 use expred_stats::rng::Prng;
 use expred_table::datasets::{Dataset, LABEL_COLUMN};
 use expred_table::GroupBy;
-use expred_udf::{CostCounts, OracleUdf, UdfInvoker};
+use expred_udf::{BooleanUdf, CostCounts, OracleUdf, SlowUdf, UdfInvoker};
 use std::time::Instant;
+
+/// The label oracle every pipeline evaluates, wrapped in the context's
+/// artificial latency when one is set. Answers, audited counts, and
+/// cache identities are unchanged — [`SlowUdf`] shares its inner UDF's
+/// fingerprint — so a latency-injected session is byte-identical to a
+/// plain one, only slower.
+pub(crate) fn label_udf(ctx: &ExecContext<'_>) -> Box<dyn BooleanUdf> {
+    match ctx.udf_latency {
+        Some(latency) => Box::new(SlowUdf::new(OracleUdf::new(LABEL_COLUMN), latency)),
+        None => Box::new(OracleUdf::new(LABEL_COLUMN)),
+    }
+}
 
 /// How the correlated column is obtained.
 #[derive(Debug, Clone, PartialEq)]
@@ -126,8 +138,8 @@ pub fn run_intel_sample_ctx(
 ) -> RunOutcome {
     let start = Instant::now();
     let table = &ds.table;
-    let udf = OracleUdf::new(LABEL_COLUMN);
-    let invoker = UdfInvoker::with_context(&udf, table, ctx);
+    let udf = label_udf(ctx);
+    let invoker = UdfInvoker::with_context(udf.as_ref(), table, ctx);
     let mut rng = Prng::seeded(seed);
 
     // Step 0: obtain the correlated (possibly virtual) grouping.
@@ -225,8 +237,8 @@ pub fn run_optimal_ctx(
 ) -> RunOutcome {
     let start = Instant::now();
     let table = &ds.table;
-    let udf = OracleUdf::new(LABEL_COLUMN);
-    let invoker = UdfInvoker::with_context(&udf, table, ctx);
+    let udf = label_udf(ctx);
+    let invoker = UdfInvoker::with_context(udf.as_ref(), table, ctx);
     let mut rng = Prng::seeded(seed);
     let groups = table.group_by(predictor).expect("predictor column");
     let truth = truth_vector(table, LABEL_COLUMN);
@@ -283,8 +295,8 @@ pub fn run_naive_ctx(
 ) -> RunOutcome {
     let start = Instant::now();
     let table = &ds.table;
-    let udf = OracleUdf::new(LABEL_COLUMN);
-    let invoker = UdfInvoker::with_context(&udf, table, ctx);
+    let udf = label_udf(ctx);
+    let invoker = UdfInvoker::with_context(udf.as_ref(), table, ctx);
     let mut rng = Prng::seeded(seed);
     let n = table.num_rows();
     let k = ((spec.beta * n as f64).ceil() as usize).min(n);

@@ -12,6 +12,7 @@
 use crate::executor::{Executor, Sequential};
 use crate::planner::{BatchPlanner, DEFAULT_MAX_IN_FLIGHT};
 use crate::store::CacheStore;
+use std::time::Duration;
 
 /// The sequential backend as a `'static` borrow for default contexts.
 static SEQUENTIAL: Sequential = Sequential;
@@ -29,6 +30,12 @@ pub struct ExecContext<'a> {
     pub cache: Option<&'a CacheStore>,
     /// Cap on rows handed to one `evaluate_batch` call.
     pub max_in_flight: usize,
+    /// Artificial per-evaluation latency pipelines should add to their
+    /// UDFs — `None` for the real (instantaneous oracle) predicate.
+    /// Benchmarks and load tests use this to serve a genuinely expensive
+    /// workload through the full session stack; answers and audited
+    /// counts are unaffected (latency is not part of any cache identity).
+    pub udf_latency: Option<Duration>,
 }
 
 impl<'a> ExecContext<'a> {
@@ -38,6 +45,7 @@ impl<'a> ExecContext<'a> {
             executor,
             cache: None,
             max_in_flight: DEFAULT_MAX_IN_FLIGHT,
+            udf_latency: None,
         }
     }
 
@@ -55,6 +63,13 @@ impl<'a> ExecContext<'a> {
     /// Overrides the per-batch in-flight budget (at least 1).
     pub fn with_max_in_flight(mut self, max_in_flight: usize) -> Self {
         self.max_in_flight = max_in_flight.max(1);
+        self
+    }
+
+    /// Asks pipelines to add `latency` to every fresh UDF evaluation
+    /// (a zero duration means no delay).
+    pub fn with_udf_latency(mut self, latency: Duration) -> Self {
+        self.udf_latency = (!latency.is_zero()).then_some(latency);
         self
     }
 

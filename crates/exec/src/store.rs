@@ -335,7 +335,36 @@ impl CacheStore {
     /// from the new version immediately — retention only delays memory
     /// reclamation, never serves stale answers — while two diverged
     /// clones of one table can alternate without thrashing each other.
+    ///
+    /// Concurrent borrows of the same namespace are the common case for a
+    /// shared engine and return clones of one `Arc`'d cache; the steady
+    /// state (namespace exists and is already the most recently borrowed
+    /// version of its pair) takes only the shared read lock, so worker
+    /// threads starting queries do not serialize on each other. Racing
+    /// borrows of *diverging* versions settle under the write lock, and
+    /// a handle borrowed before its namespace is GCed keeps a private
+    /// `Arc` — its query's read-your-writes view stays intact; only new
+    /// borrowers start empty.
     pub fn handle(&self, namespace: CacheNamespace) -> CacheHandle {
+        {
+            // Fast path: borrowing the freshest version changes neither
+            // the recency list nor the namespace table.
+            let guard = self
+                .inner
+                .namespaces
+                .read()
+                .unwrap_or_else(|e| e.into_inner());
+            if let Some(cache) = guard.map.get(&namespace) {
+                let pair = (namespace.udf, namespace.table);
+                let freshest = guard.recency.get(&pair).and_then(|v| v.last());
+                if freshest == Some(&namespace.version) {
+                    return CacheHandle {
+                        namespace,
+                        cache: Arc::clone(cache),
+                    };
+                }
+            }
+        }
         let mut guard = self
             .inner
             .namespaces

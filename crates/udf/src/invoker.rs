@@ -48,6 +48,19 @@ pub fn cache_namespace(udf: &dyn BooleanUdf, table: &Table) -> Option<CacheNames
 /// paid by an earlier query, not this one. Fresh evaluations are written
 /// through to both layers. Without a context (or for UDFs with no
 /// fingerprint) behavior is bit-identical to the pre-session invoker.
+///
+/// # Cost exactness under concurrent sessions
+///
+/// Many invokers on many threads may borrow the same store namespace at
+/// once (a `Sync` query engine does exactly this). Each invoker still
+/// charges every row it demands exactly once — as a fresh `evaluated`, a
+/// local `cache_hit`, or a promoted `reuse_hit` — because the local memo
+/// is consulted first and is private to the query. Interleavings only
+/// shift *which* bucket a row lands in (two queries racing on a
+/// session-cold row may both pay `o_e` fresh where a serial ordering
+/// would have let the second reuse), never the per-query total
+/// [`CostCounts::demanded`]. Answers are unaffected either way: the
+/// store is keyed by table version and UDFs are row-deterministic.
 pub struct UdfInvoker<'a> {
     udf: &'a dyn BooleanUdf,
     table: &'a Table,
@@ -464,6 +477,36 @@ mod tests {
         // The old version stays live until MAX_LIVE_VERSIONS newer ones
         // supersede it (diverged clones may still be using it).
         assert_eq!(store.num_namespaces(), 2);
+    }
+
+    #[test]
+    fn concurrent_session_invokers_charge_each_demanded_row_exactly_once() {
+        // 8 threads, one store, one invoker per thread over the same
+        // namespace: whatever the interleaving, every thread's bill must
+        // satisfy evaluated + cache_hits + reuse_hits == demands, and
+        // answers must match the oracle.
+        let labels: Vec<bool> = (0..256).map(|i| i % 3 == 0).collect();
+        let t = table_with_labels(&labels);
+        let udf = OracleUdf::new("good");
+        let store = expred_exec::CacheStore::new();
+        let rows: Vec<usize> = (0..256).collect();
+        std::thread::scope(|scope| {
+            for worker in 0..8usize {
+                let (store, udf, t, rows, labels) = (&store, &udf, &t, &rows, &labels);
+                scope.spawn(move || {
+                    let ctx = expred_exec::ExecContext::sequential().with_cache(store);
+                    let inv = UdfInvoker::with_context(udf, t, &ctx);
+                    // Offset start so threads race on different fronts.
+                    let mut order = rows.clone();
+                    order.rotate_left(worker * 32);
+                    let answers = inv.evaluate_batch(&expred_exec::Sequential, &order);
+                    for (&row, &answer) in order.iter().zip(&answers) {
+                        assert_eq!(answer, labels[row], "wrong answer for row {row}");
+                    }
+                    assert_eq!(inv.counts().demanded(), order.len() as u64);
+                });
+            }
+        });
     }
 
     #[test]

@@ -34,7 +34,7 @@ fn report(label: &str, out: &RunOutcome) {
 }
 
 fn main() {
-    let mut engine = if std::env::args().any(|a| a == "--parallel") {
+    let engine = if std::env::args().any(|a| a == "--parallel") {
         let backend = Parallel::new();
         println!("engine backend: parallel ({} threads)", backend.threads());
         QueryEngine::with_executor(Box::new(backend))

@@ -35,7 +35,7 @@ fn intel(predictor: &str) -> Query {
 #[test]
 fn identical_query_twice_charges_zero_additional_oe() {
     let ds = small_prosper(1);
-    let mut engine = QueryEngine::new();
+    let engine = QueryEngine::new();
     let first = engine.run(&ds, &intel("grade"), 42);
     let evals_after_first = engine.session_counts().evaluated;
     assert!(
@@ -58,7 +58,7 @@ fn identical_query_twice_charges_zero_additional_oe() {
 fn row_tier_alone_also_makes_identical_naive_queries_free() {
     // Disable the result memo: reuse must come from the CacheStore.
     let ds = small_prosper(2);
-    let mut engine = QueryEngine::new().with_result_capacity(0);
+    let engine = QueryEngine::new().with_result_capacity(0);
     let spec = QuerySpec::paper_default();
     let first = engine.run(&ds, &Query::Naive(spec), 7);
     let second = engine.run(&ds, &Query::Naive(spec), 7);
@@ -71,7 +71,7 @@ fn row_tier_alone_also_makes_identical_naive_queries_free() {
 #[test]
 fn overlapping_workload_pays_only_for_fresh_rows() {
     let ds = small_prosper(3);
-    let mut engine = QueryEngine::new();
+    let engine = QueryEngine::new();
     let spec = QuerySpec::paper_default();
     engine.run(&ds, &Query::Naive(spec), 1);
 
@@ -100,7 +100,7 @@ fn cold_engine_is_byte_identical_to_legacy_pipelines() {
     let ds = small_prosper(4);
     let cfg = IntelSampleConfig::experiment1(PredictorChoice::Fixed("grade".into()));
     for seed in [3u64, 19] {
-        let mut engine = QueryEngine::new();
+        let engine = QueryEngine::new();
         let engine_out = engine.run(&ds, &intel("grade"), seed);
         let legacy = run_intel_sample(&ds, &cfg, seed);
         assert_eq!(engine_out.returned, legacy.returned);
@@ -118,15 +118,15 @@ fn session_reuse_is_backend_invariant() {
     // produce identical outcomes and identical bills.
     let ds = small_prosper(5);
     let spec = QuerySpec::paper_default();
-    let run_session = |engine: &mut QueryEngine| {
+    let run_session = |engine: &QueryEngine| {
         let a = engine.run(&ds, &Query::Naive(spec), 1);
         let b = engine.run(&ds, &intel("grade"), 2);
         (a, b)
     };
-    let mut seq = QueryEngine::new();
-    let mut par = QueryEngine::with_executor(Box::new(Parallel::with_threads(4)));
-    let (a_seq, b_seq) = run_session(&mut seq);
-    let (a_par, b_par) = run_session(&mut par);
+    let seq = QueryEngine::new();
+    let par = QueryEngine::with_executor(Box::new(Parallel::with_threads(4)));
+    let (a_seq, b_seq) = run_session(&seq);
+    let (a_par, b_par) = run_session(&par);
     assert_eq!(a_seq.returned, a_par.returned);
     assert_eq!(a_seq.counts, a_par.counts);
     assert_eq!(b_seq.returned, b_par.returned);
@@ -142,7 +142,7 @@ fn ml_baseline_reuses_labels_from_earlier_queries() {
     let spec = QuerySpec::paper_default();
     let cold = run_learning(&ds, &spec, 11);
 
-    let mut engine = QueryEngine::new();
+    let engine = QueryEngine::new();
     engine.run(&ds, &Query::Naive(spec), 1); // warms ~80% of the table
     let warm = engine.run(&ds, &Query::Learning(spec), 11);
     assert_eq!(warm.returned, cold.returned, "labels are labels");
@@ -160,7 +160,7 @@ fn ml_baseline_reuses_labels_from_earlier_queries() {
 fn mutating_the_table_invalidates_the_session() {
     let mut ds = small_prosper(7);
     let spec = QuerySpec::paper_default();
-    let mut engine = QueryEngine::new();
+    let engine = QueryEngine::new();
     let first = engine.run(&ds, &Query::Naive(spec), 3);
 
     // Append one row: same DatasetSpec, new table version.
