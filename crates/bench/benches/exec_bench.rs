@@ -9,6 +9,7 @@
 //! too); `speedup_report` prints the measured ratio directly.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use expred_bench::BenchReport;
 use expred_core::execute::execute_plan_with;
 use expred_core::plan::Plan;
 use expred_exec::{Executor, Parallel, Sequential};
@@ -117,6 +118,25 @@ fn speedup_report(c: &mut Criterion) {
         threads = parallel.threads(),
         ratio = seq_secs / par_secs
     );
+    // Persist the trajectory: BENCH_exec.json alongside the text report.
+    let per_probe = |secs: f64| secs * 1e9 / batch.len() as f64;
+    let mut report = BenchReport::new("exec");
+    report.record(
+        "invoker_batch_1024_udf_100us",
+        "sequential",
+        per_probe(seq_secs),
+        1.0,
+    );
+    report.record(
+        "invoker_batch_1024_udf_100us",
+        "parallel",
+        per_probe(par_secs),
+        seq_secs / par_secs,
+    );
+    match report.write() {
+        Ok(path) => println!("results written to {}", path.display()),
+        Err(err) => eprintln!("could not write bench report: {err}"),
+    }
     // Keep the shim's reporting shape consistent.
     c.bench_function("speedup_report/noop", |b| b.iter(|| black_box(0)));
 }

@@ -6,5 +6,7 @@
 
 pub mod experiments;
 pub mod harness;
+pub mod report;
 
 pub use harness::{HarnessConfig, TextTable};
+pub use report::{BenchRecord, BenchReport};

@@ -1,0 +1,210 @@
+//! Machine-readable benchmark reports: `BENCH_<name>.json`.
+//!
+//! The text a bench prints is for humans watching one run; the JSON file
+//! is for the *perf trajectory* — every PR's bench run leaves a
+//! comparable artifact, so a regression is a diff, not an anecdote. The
+//! schema is deliberately flat (one record per `(scenario, backend)`
+//! measurement) and hand-serialized, because the workspace builds
+//! offline with no serde:
+//!
+//! ```json
+//! {
+//!   "bench": "pool",
+//!   "results": [
+//!     {
+//!       "scenario": "batch_512_udf_100us",
+//!       "backend": "worker_pool",
+//!       "ns_per_probe": 13441.7,
+//!       "speedup_vs_baseline": 7.6
+//!     }
+//!   ]
+//! }
+//! ```
+//!
+//! `speedup_vs_baseline` is relative to whichever backend the bench
+//! declares as its baseline for the scenario (by convention
+//! `sequential`; the baseline row itself reports `1.0`).
+
+use std::io::Write as _;
+use std::path::PathBuf;
+
+/// One measurement row of a bench report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRecord {
+    /// Which workload shape was measured (e.g. `batch_512_udf_100us`).
+    pub scenario: String,
+    /// Which executor/backend ran it.
+    pub backend: String,
+    /// Mean wall-clock nanoseconds per probe.
+    pub ns_per_probe: f64,
+    /// Wall-clock ratio baseline/this for the same scenario (1.0 for the
+    /// baseline itself; >1 is faster than baseline).
+    pub speedup_vs_baseline: f64,
+}
+
+/// A bench's accumulated records, flushed to `BENCH_<name>.json`.
+#[derive(Debug, Clone)]
+pub struct BenchReport {
+    name: String,
+    records: Vec<BenchRecord>,
+}
+
+impl BenchReport {
+    /// An empty report for the bench called `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            records: Vec::new(),
+        }
+    }
+
+    /// Appends one measurement row.
+    pub fn record(
+        &mut self,
+        scenario: impl Into<String>,
+        backend: impl Into<String>,
+        ns_per_probe: f64,
+        speedup_vs_baseline: f64,
+    ) {
+        self.records.push(BenchRecord {
+            scenario: scenario.into(),
+            backend: backend.into(),
+            ns_per_probe,
+            speedup_vs_baseline,
+        });
+    }
+
+    /// The rows recorded so far.
+    pub fn records(&self) -> &[BenchRecord] {
+        &self.records
+    }
+
+    /// Renders the report as JSON (stable field order, two-space indent).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"bench\": \"{}\",\n", escape(&self.name)));
+        out.push_str("  \"results\": [\n");
+        for (i, r) in self.records.iter().enumerate() {
+            out.push_str("    {\n");
+            out.push_str(&format!(
+                "      \"scenario\": \"{}\",\n",
+                escape(&r.scenario)
+            ));
+            out.push_str(&format!("      \"backend\": \"{}\",\n", escape(&r.backend)));
+            out.push_str(&format!(
+                "      \"ns_per_probe\": {},\n",
+                fmt_f64(r.ns_per_probe)
+            ));
+            out.push_str(&format!(
+                "      \"speedup_vs_baseline\": {}\n",
+                fmt_f64(r.speedup_vs_baseline)
+            ));
+            out.push_str(if i + 1 == self.records.len() {
+                "    }\n"
+            } else {
+                "    },\n"
+            });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// The file the report writes to: `BENCH_<name>.json`, placed in the
+    /// workspace root when the bench runs under cargo (so artifacts from
+    /// different benches land side by side), else the working directory.
+    /// The root is found by walking up from the crate's manifest to the
+    /// first ancestor holding a `Cargo.lock` — the depth of the calling
+    /// crate inside the workspace doesn't matter.
+    pub fn path(&self) -> PathBuf {
+        let dir = std::env::var("CARGO_MANIFEST_DIR")
+            .ok()
+            .and_then(|manifest| {
+                let mut dir = PathBuf::from(manifest);
+                loop {
+                    if dir.join("Cargo.lock").is_file() {
+                        return Some(dir);
+                    }
+                    if !dir.pop() {
+                        return None;
+                    }
+                }
+            })
+            .unwrap_or_else(|| PathBuf::from("."));
+        dir.join(format!("BENCH_{}.json", self.name))
+    }
+
+    /// Writes `BENCH_<name>.json`, returning the path written.
+    pub fn write(&self) -> std::io::Result<PathBuf> {
+        let path = self.path();
+        let mut file = std::fs::File::create(&path)?;
+        file.write_all(self.to_json().as_bytes())?;
+        Ok(path)
+    }
+}
+
+/// JSON has no NaN/Inf; a failed measurement serializes as null.
+fn fmt_f64(value: f64) -> String {
+    if value.is_finite() {
+        format!("{value:.1}")
+    } else {
+        "null".to_owned()
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_shape_is_stable() {
+        let mut report = BenchReport::new("demo");
+        report.record("batch_8_udf_1us", "sequential", 1000.0, 1.0);
+        report.record("batch_8_udf_1us", "worker_pool", 250.0, 4.0);
+        let json = report.to_json();
+        assert!(json.contains("\"bench\": \"demo\""));
+        assert!(json.contains("\"scenario\": \"batch_8_udf_1us\""));
+        assert!(json.contains("\"ns_per_probe\": 250.0"));
+        assert!(json.contains("\"speedup_vs_baseline\": 4.0"));
+        assert_eq!(json.matches("\"backend\"").count(), 2);
+        // Exactly one trailing-comma-free closing per record list.
+        assert!(json.trim_end().ends_with('}'));
+        assert_eq!(report.records().len(), 2);
+    }
+
+    #[test]
+    fn non_finite_values_serialize_as_null() {
+        let mut report = BenchReport::new("demo");
+        report.record("s", "b", f64::NAN, f64::INFINITY);
+        let json = report.to_json();
+        assert!(json.contains("\"ns_per_probe\": null"));
+        assert!(json.contains("\"speedup_vs_baseline\": null"));
+    }
+
+    #[test]
+    fn names_are_escaped() {
+        let mut report = BenchReport::new("we\"ird");
+        report.record("a\\b", "c\nd", 1.0, 1.0);
+        let json = report.to_json();
+        assert!(json.contains("we\\\"ird"));
+        assert!(json.contains("a\\\\b"));
+        assert!(json.contains("c\\u000ad"));
+    }
+
+    #[test]
+    fn path_lands_in_the_workspace_root() {
+        let report = BenchReport::new("demo");
+        let path = report.path();
+        assert!(path.ends_with("BENCH_demo.json"));
+    }
+}

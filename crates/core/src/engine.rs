@@ -49,11 +49,17 @@
 //! already paid for, exactly as they already did across serial session
 //! orderings.
 //!
-//! **Racing duplicates.** Two threads submitting the identical fresh
-//! request may both miss the memo and both execute; each pays its own
-//! (correct) bill and the memo settles last-writer-wins. This trades a
-//! little duplicated work on a cold race for a completely lock-free read
-//! path — the memo never holds a lock across a pipeline run.
+//! **Racing duplicates (cold-race suppression).** Two threads submitting
+//! the identical fresh request used to both execute it; now the first
+//! becomes the *leader* and registers the request in a small in-flight
+//! waiter table (keyed by the result-memo hash, identity-verified), and
+//! every later identical arrival parks on its condvar and shares the
+//! leader's outcome — the session is billed exactly once, reported as
+//! [`EngineStats::dedup_joins`]. The memo read path stays lock-free; the
+//! waiter table is touched only after a memo miss, and a leader that
+//! panics wakes its followers, who then execute for themselves. Requests
+//! that merely *collide* on the 64-bit hash are never deduplicated (the
+//! stored identity is compared), they just run side by side.
 //!
 //! ```
 //! use expred_core::engine::{Query, QueryEngine};
@@ -86,11 +92,14 @@ use crate::pipeline::{
 use crate::query::QuerySpec;
 use crate::result_memo::{ResultMemoStats, ShardedResultMemo};
 use crate::sampling::SampleSizeRule;
-use expred_exec::{CacheStats, CacheStore, ExecContext, Executor, Sequential};
+use expred_exec::{AdaptiveController, CacheStats, CacheStore, ExecContext, Executor, Sequential};
 use expred_stats::hash::Fnv64;
 use expred_table::datasets::Dataset;
 use expred_udf::{CostCounts, CostTracker};
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
 /// Default bound on memoized whole-query outcomes.
@@ -163,6 +172,10 @@ pub struct EngineStats {
     pub queries: u64,
     /// Queries answered entirely from the result memo.
     pub result_hits: u64,
+    /// Queries answered by joining an identical in-flight run (cold-race
+    /// suppression): the arrival parked until the leader finished and
+    /// shared its outcome, charging the session nothing.
+    pub dedup_joins: u64,
 }
 
 /// The engine's live counters behind [`EngineStats`] snapshots.
@@ -170,16 +183,20 @@ pub struct EngineStats {
 struct AtomicEngineStats {
     queries: AtomicU64,
     result_hits: AtomicU64,
+    dedup_joins: AtomicU64,
 }
 
 impl AtomicEngineStats {
     fn snapshot(&self) -> EngineStats {
-        // Load order is the consistency guarantee: see [`EngineStats`].
+        // Load order is the consistency guarantee: see [`EngineStats`] —
+        // both free-ride counters load before their query increments.
+        let dedup_joins = self.dedup_joins.load(Ordering::Acquire);
         let result_hits = self.result_hits.load(Ordering::Acquire);
         let queries = self.queries.load(Ordering::Acquire);
         EngineStats {
             queries,
             result_hits,
+            dedup_joins,
         }
     }
 }
@@ -195,6 +212,87 @@ struct ResultKey {
     query: Query,
 }
 
+/// Where one in-flight request stands, as seen by its followers.
+#[derive(Debug)]
+enum FlightState {
+    /// The leader is still executing the pipeline.
+    Running,
+    /// The leader finished; followers clone this outcome.
+    Done(RunOutcome),
+    /// The leader unwound without an outcome; followers run themselves.
+    Aborted,
+}
+
+/// One entry of the cold-race waiter table: the leader's registration
+/// that identical arrivals park on.
+#[derive(Debug)]
+struct InFlight {
+    /// Full request identity — a hash-colliding *different* request must
+    /// never join this flight.
+    identity: ResultKey,
+    state: Mutex<FlightState>,
+    finished: Condvar,
+}
+
+impl InFlight {
+    fn new(identity: ResultKey) -> Self {
+        Self {
+            identity,
+            state: Mutex::new(FlightState::Running),
+            finished: Condvar::new(),
+        }
+    }
+
+    /// Parks until the leader resolves the flight; `None` means the
+    /// leader aborted and the caller should execute for itself.
+    fn wait(&self) -> Option<RunOutcome> {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            match &*state {
+                FlightState::Running => {
+                    state = self.finished.wait(state).unwrap_or_else(|e| e.into_inner());
+                }
+                FlightState::Done(outcome) => return Some(outcome.clone()),
+                FlightState::Aborted => return None,
+            }
+        }
+    }
+
+    fn resolve(&self, resolution: FlightState) {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if matches!(*state, FlightState::Running) {
+            *state = resolution;
+        }
+        drop(state);
+        self.finished.notify_all();
+    }
+}
+
+/// Unregisters a leader's flight when its `run` frame ends — normally
+/// *after* the outcome is published, but also on unwind, where it flips
+/// the flight to `Aborted` so followers never park forever.
+struct FlightGuard<'a> {
+    waiters: &'a Mutex<HashMap<u64, Arc<InFlight>>>,
+    key: u64,
+    flight: Arc<InFlight>,
+}
+
+impl Drop for FlightGuard<'_> {
+    fn drop(&mut self) {
+        {
+            let mut waiters = self.waiters.lock().unwrap_or_else(|e| e.into_inner());
+            if let Entry::Occupied(entry) = waiters.entry(self.key) {
+                if Arc::ptr_eq(entry.get(), &self.flight) {
+                    entry.remove();
+                }
+            }
+        }
+        // No-op if the leader already resolved `Done`; on unwind this is
+        // what releases the followers.
+        self.flight.resolve(FlightState::Aborted);
+    }
+}
+
 /// A long-lived query session: one executor, one cross-query cache, one
 /// result memo, many queries — and many worker threads.
 ///
@@ -208,6 +306,11 @@ pub struct QueryEngine {
     results: ShardedResultMemo<ResultKey, RunOutcome>,
     udf_latency: Option<Duration>,
     stats: AtomicEngineStats,
+    /// Shared per-probe latency EWMA: every query's drains teach it, and
+    /// it sizes every planner's slices (see [`AdaptiveController`]).
+    adaptive: AdaptiveController,
+    /// Cold-race waiter table: result-memo hash -> in-flight run.
+    inflight: Mutex<HashMap<u64, Arc<InFlight>>>,
 }
 
 // The `&self + Sync` contract is the point of the engine; if a field
@@ -233,7 +336,17 @@ impl QueryEngine {
             results: ShardedResultMemo::with_capacity(DEFAULT_RESULT_MEMO_CAPACITY),
             udf_latency: None,
             stats: AtomicEngineStats::default(),
+            adaptive: AdaptiveController::new(),
+            inflight: Mutex::new(HashMap::new()),
         }
+    }
+
+    /// An engine on a machine-sized persistent [`expred_exec::WorkerPool`]
+    /// — the serving default: no per-batch thread spawns, work-stealing
+    /// chunking, and the adaptive batch window sized by this engine's
+    /// latency model.
+    pub fn pooled() -> Self {
+        Self::with_executor(Box::new(expred_exec::WorkerPool::new()))
     }
 
     /// Replaces the row-tier cache with one bounded at `capacity` entries
@@ -263,11 +376,19 @@ impl QueryEngine {
     /// callers can drive the lower-level `*_ctx` entry points (or their
     /// own invokers) inside this session's cache, from any thread.
     pub fn context(&self) -> ExecContext<'_> {
-        let ctx = ExecContext::new(self.executor.as_ref()).with_cache(&self.store);
+        let ctx = ExecContext::new(self.executor.as_ref())
+            .with_cache(&self.store)
+            .with_adaptive(&self.adaptive);
         match self.udf_latency {
             Some(latency) => ctx.with_udf_latency(latency),
             None => ctx,
         }
+    }
+
+    /// The engine's shared batch-window controller (diagnostics: its
+    /// latency estimate and the window it would size today).
+    pub fn adaptive(&self) -> &AdaptiveController {
+        &self.adaptive
     }
 
     /// Serves one query. Callable from any thread — `&self` is the whole
@@ -278,8 +399,9 @@ impl QueryEngine {
     /// the original run) and charges nothing new to the session. A fresh
     /// request runs the pipeline against the shared row cache and folds
     /// its bill into [`QueryEngine::session_counts`]. Two threads racing
-    /// on the identical fresh request may both execute it (each bill is
-    /// absorbed; the memo keeps one outcome).
+    /// on the identical fresh request execute it once: the first becomes
+    /// the leader, the second parks on the in-flight waiter table and
+    /// shares the leader's outcome ([`EngineStats::dedup_joins`]).
     pub fn run(&self, ds: &Dataset, query: &Query, seed: u64) -> RunOutcome {
         // `queries` before the memo probe, `result_hits` after the hit:
         // this increment order is what makes stats snapshots consistent.
@@ -297,6 +419,74 @@ impl QueryEngine {
             self.stats.result_hits.fetch_add(1, Ordering::AcqRel);
             return hit;
         }
+        // Cold-race suppression: register as leader, or join an
+        // identity-verified identical in-flight run as a follower. A hash
+        // collision with a *different* in-flight request runs solo —
+        // duplicated work can only be saved, never substituted.
+        let flight = {
+            let mut waiters = self.inflight.lock().unwrap_or_else(|e| e.into_inner());
+            match waiters.entry(key) {
+                Entry::Occupied(entry) if entry.get().identity == identity => {
+                    Err(Some(Arc::clone(entry.get())))
+                }
+                Entry::Occupied(_) => Err(None),
+                Entry::Vacant(slot) => {
+                    let flight = Arc::new(InFlight::new(identity.clone()));
+                    slot.insert(Arc::clone(&flight));
+                    Ok(flight)
+                }
+            }
+        };
+        match flight {
+            Ok(flight) => {
+                // Leader. The guard unregisters the flight when this
+                // frame ends — and aborts it if the pipeline unwinds, so
+                // followers never park forever.
+                let guard = FlightGuard {
+                    waiters: &self.inflight,
+                    key,
+                    flight: Arc::clone(&flight),
+                };
+                // Re-probe the memo: our earlier miss may be stale (a
+                // previous leader published and unregistered between our
+                // probe and our registration), and re-running a memoized
+                // request would waste the whole pipeline.
+                if let Some(hit) = self.results.get(key, &identity) {
+                    self.stats.result_hits.fetch_add(1, Ordering::AcqRel);
+                    flight.resolve(FlightState::Done(hit.clone()));
+                    drop(guard);
+                    return hit;
+                }
+                let outcome = self.execute_fresh(ds, query, seed, key, identity);
+                // Publish to the memo first, then release followers,
+                // then (via the guard) unregister: an arrival in any
+                // window finds the answer somewhere.
+                flight.resolve(FlightState::Done(outcome.clone()));
+                drop(guard);
+                outcome
+            }
+            Err(Some(flight)) => match flight.wait() {
+                Some(outcome) => {
+                    self.stats.dedup_joins.fetch_add(1, Ordering::AcqRel);
+                    outcome
+                }
+                // The leader aborted; pay full price ourselves.
+                None => self.execute_fresh(ds, query, seed, key, identity),
+            },
+            Err(None) => self.execute_fresh(ds, query, seed, key, identity),
+        }
+    }
+
+    /// Runs the pipeline for one non-memoized request, folds its bill
+    /// into the session, and publishes the outcome to the result memo.
+    fn execute_fresh(
+        &self,
+        ds: &Dataset,
+        query: &Query,
+        seed: u64,
+        key: u64,
+        identity: ResultKey,
+    ) -> RunOutcome {
         let outcome = {
             let ctx = self.context();
             match query {
@@ -640,6 +830,91 @@ mod tests {
         assert!(engine.cache_stats().insertions > 0);
         // Later queries benefit from earlier ones' evaluations.
         assert!(engine.session_counts().reuse_hits > 0);
+    }
+
+    #[test]
+    fn identical_query_storm_is_billed_once() {
+        // 8 threads, one engine, the identical fresh request: cold-race
+        // suppression must let exactly one thread execute (one o_e bill)
+        // while everyone returns the identical outcome.
+        let ds = small_prosper(8);
+        let spec = QuerySpec::paper_default();
+        // 100µs per fresh evaluation keeps the leader in flight long
+        // enough that the storm genuinely races instead of serially
+        // hitting the result memo.
+        let engine = QueryEngine::new().with_udf_latency(Duration::from_micros(100));
+        let reference = {
+            let probe = QueryEngine::new();
+            probe.run(&ds, &Query::Naive(spec), 3)
+        };
+        // A barrier makes the storm simultaneous: every thread misses the
+        // memo together, one becomes leader, seven park on its flight.
+        let barrier = std::sync::Barrier::new(8);
+        let outcomes: Vec<RunOutcome> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    scope.spawn(|| {
+                        barrier.wait();
+                        engine.run(&ds, &Query::Naive(spec), 3)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for outcome in &outcomes {
+            assert_eq!(outcome.returned, reference.returned);
+            assert_eq!(outcome.counts, reference.counts);
+        }
+        assert_eq!(
+            engine.session_counts().evaluated,
+            reference.counts.evaluated,
+            "the storm must be billed exactly one run's o_e"
+        );
+        let stats = engine.stats();
+        assert_eq!(stats.queries, 8);
+        assert_eq!(
+            stats.result_hits + stats.dedup_joins,
+            7,
+            "every non-leader must ride the memo or the waiter table"
+        );
+        assert!(
+            engine.inflight.lock().unwrap().is_empty(),
+            "the waiter table must drain"
+        );
+    }
+
+    #[test]
+    fn dedup_survives_a_disabled_result_memo() {
+        // With the result memo off, the waiter table is the only dedup
+        // tier — concurrent identical requests still bill once; serial
+        // repeats legitimately re-execute (their row-tier reuse makes
+        // them cheap, not free).
+        let ds = small_prosper(9);
+        let spec = QuerySpec::paper_default();
+        let engine = QueryEngine::new()
+            .with_result_capacity(0)
+            .with_udf_latency(Duration::from_micros(100));
+        let outcomes: Vec<RunOutcome> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| scope.spawn(|| engine.run(&ds, &Query::Naive(spec), 5)))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for outcome in &outcomes[1..] {
+            assert_eq!(outcome.returned, outcomes[0].returned);
+        }
+        let stats = engine.stats();
+        assert_eq!(stats.result_hits, 0, "the memo is off");
+        // Exactly one run paid fresh evaluations: concurrent identical
+        // arrivals joined the leader, and any post-completion arrival
+        // re-ran against the warm row tier (zero fresh, all reuse).
+        let fresh = outcomes.iter().map(|o| o.counts.evaluated).max().unwrap();
+        assert!(fresh > 0, "someone must have paid the cold run");
+        assert_eq!(
+            engine.session_counts().evaluated,
+            fresh,
+            "the storm's total fresh o_e is one cold run's"
+        );
     }
 
     #[test]

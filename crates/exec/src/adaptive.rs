@@ -1,0 +1,206 @@
+//! [`AdaptiveController`]: a shared, lock-free EWMA of observed per-probe
+//! latency that tunes the effective in-flight window.
+//!
+//! The ROADMAP's "Adaptive `max_in_flight`" item: a fixed
+//! [`crate::planner::DEFAULT_MAX_IN_FLIGHT`] is wrong at both ends of the
+//! latency spectrum. For µs-probes the fixed per-slice costs (planner
+//! bookkeeping, memo lookups, executor dispatch) are comparable to the
+//! probe work itself, so a *small* window keeps the materialized batch in
+//! cache and bounds latency with nothing to amortize; for ms-probes a
+//! *deep* window is what keeps every pool worker busy across the
+//! straggler tail of a drain. The controller learns which regime it is in
+//! from the drains themselves and suggests a window between a floor and
+//! the context's `max_in_flight` ceiling.
+//!
+//! One controller is shared by every planner of a session (the engine
+//! owns it and [`crate::ExecContext::planner`] attaches it), so the
+//! latency learned by one query's drains immediately shapes the next
+//! query's batching. Observations and reads are single atomics —
+//! concurrent queries never serialize on the controller.
+//!
+//! **Answers and bills are unaffected by construction.** The window only
+//! decides how a drain is *sliced*; the planner's output order and the
+//! invoker's accounting are slice-invariant (see
+//! [`crate::BatchPlanner::drain_with`]), which is what lets the window
+//! float freely while the equivalence suite pins outcomes bit for bit.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Default smallest window the controller will suggest.
+pub const DEFAULT_WINDOW_FLOOR: usize = 64;
+
+/// EWMA smoothing factor: each drain contributes a quarter of the new
+/// estimate, so a latency regime change settles within a few drains
+/// without one outlier slice (page cache miss, scheduler hiccup) whipping
+/// the window around.
+const EWMA_ALPHA: f64 = 0.25;
+
+/// Per-probe latency (ns) at or below which the floor window is used;
+/// the suggested window scales linearly above it. At 1µs/probe a floor
+/// window of 64 rows already carries ~64µs of work per slice — far above
+/// the per-slice fixed costs — while 1ms/probe saturates any ceiling.
+const FLOOR_LATENCY_NS: f64 = 1_000.0;
+
+/// The shared latency model: clone freely, all clones observe and read
+/// one estimate.
+#[derive(Debug, Clone, Default)]
+pub struct AdaptiveController {
+    inner: Arc<Inner>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    /// `f64` bits of the EWMA ns-per-probe estimate; `0` means "no
+    /// observation yet" (a real measurement of exactly 0.0 ns cannot
+    /// occur: `observe` floors at a fraction of a nanosecond).
+    ewma_ns_bits: AtomicU64,
+    /// Smallest window ever suggested (`0` in `Default` is normalized to
+    /// [`DEFAULT_WINDOW_FLOOR`] on read).
+    floor: AtomicU64,
+}
+
+impl AdaptiveController {
+    /// A controller with the default window floor.
+    pub fn new() -> Self {
+        Self::with_floor(DEFAULT_WINDOW_FLOOR)
+    }
+
+    /// A controller whose suggested window never drops below `floor`
+    /// (clamped to at least 1).
+    pub fn with_floor(floor: usize) -> Self {
+        let controller = Self::default();
+        controller
+            .inner
+            .floor
+            .store(floor.max(1) as u64, Ordering::Relaxed);
+        controller
+    }
+
+    /// The configured window floor.
+    pub fn floor(&self) -> usize {
+        match self.inner.floor.load(Ordering::Relaxed) {
+            0 => DEFAULT_WINDOW_FLOOR,
+            f => f as usize,
+        }
+    }
+
+    /// Folds one drained slice into the latency estimate.
+    ///
+    /// Racing observers may each fold against the same prior value —
+    /// losing one update's weight is harmless for a heuristic, and the
+    /// alternative (a CAS loop) would put a contended retry on every
+    /// drain of every worker thread.
+    pub fn observe(&self, rows: usize, elapsed: Duration) {
+        if rows == 0 {
+            return;
+        }
+        let per_probe = (elapsed.as_nanos() as f64 / rows as f64).max(0.1);
+        let prior = self.inner.ewma_ns_bits.load(Ordering::Relaxed);
+        let next = if prior == 0 {
+            per_probe
+        } else {
+            let prior = f64::from_bits(prior);
+            prior + EWMA_ALPHA * (per_probe - prior)
+        };
+        self.inner
+            .ewma_ns_bits
+            .store(next.to_bits(), Ordering::Relaxed);
+    }
+
+    /// The current per-probe latency estimate, if any drain has been
+    /// observed yet.
+    pub fn latency_estimate(&self) -> Option<Duration> {
+        match self.inner.ewma_ns_bits.load(Ordering::Relaxed) {
+            0 => None,
+            bits => Some(Duration::from_nanos(f64::from_bits(bits) as u64)),
+        }
+    }
+
+    /// The suggested in-flight window under `ceiling`: the floor while
+    /// the latency estimate is at or below 1µs per probe (or unknown —
+    /// the first drain runs conservatively and teaches the controller),
+    /// scaling linearly with latency above that, clamped to
+    /// `[min(floor, ceiling), ceiling]`.
+    pub fn window(&self, ceiling: usize) -> usize {
+        let ceiling = ceiling.max(1);
+        let floor = self.floor().min(ceiling);
+        let bits = self.inner.ewma_ns_bits.load(Ordering::Relaxed);
+        if bits == 0 {
+            return floor;
+        }
+        let latency_ns = f64::from_bits(bits);
+        if latency_ns <= FLOOR_LATENCY_NS {
+            return floor;
+        }
+        let scaled = (floor as f64) * (latency_ns / FLOOR_LATENCY_NS);
+        if scaled >= ceiling as f64 {
+            ceiling
+        } else {
+            (scaled as usize).clamp(floor, ceiling)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unobserved_controller_suggests_the_floor() {
+        let c = AdaptiveController::new();
+        assert_eq!(c.latency_estimate(), None);
+        assert_eq!(c.floor(), DEFAULT_WINDOW_FLOOR);
+        assert_eq!(c.window(4096), DEFAULT_WINDOW_FLOOR);
+        assert_eq!(c.window(16), 16, "ceiling below floor wins");
+        assert_eq!(AdaptiveController::default().floor(), DEFAULT_WINDOW_FLOOR);
+    }
+
+    #[test]
+    fn cheap_probes_stay_at_the_floor() {
+        let c = AdaptiveController::with_floor(32);
+        // 1000 rows in 1µs: ~1ns per probe.
+        c.observe(1000, Duration::from_micros(1));
+        assert_eq!(c.window(4096), 32);
+    }
+
+    #[test]
+    fn expensive_probes_deepen_the_window() {
+        let c = AdaptiveController::with_floor(64);
+        // 100µs per probe: window wants 64 * 100 = 6400, capped at 4096.
+        for _ in 0..32 {
+            c.observe(10, Duration::from_millis(1));
+        }
+        assert_eq!(c.window(4096), 4096);
+        // A mid-latency estimate lands between floor and ceiling.
+        let mid = AdaptiveController::with_floor(64);
+        for _ in 0..32 {
+            mid.observe(100, Duration::from_micros(1000)); // 10µs per probe
+        }
+        let w = mid.window(4096);
+        assert!(w > 64 && w < 4096, "window {w} should be intermediate");
+    }
+
+    #[test]
+    fn ewma_converges_and_clones_share_state() {
+        let c = AdaptiveController::new();
+        let view = c.clone();
+        for _ in 0..64 {
+            c.observe(1, Duration::from_micros(500));
+        }
+        let estimate = view.latency_estimate().unwrap();
+        let ns = estimate.as_nanos() as f64;
+        assert!(
+            (ns - 500_000.0).abs() < 50_000.0,
+            "estimate {ns} should settle near 500µs"
+        );
+    }
+
+    #[test]
+    fn zero_row_observations_are_ignored() {
+        let c = AdaptiveController::new();
+        c.observe(0, Duration::from_secs(1));
+        assert_eq!(c.latency_estimate(), None);
+    }
+}

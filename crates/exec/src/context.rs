@@ -9,6 +9,7 @@
 //! [`ExecContext::sequential`], which reproduces the original
 //! one-at-a-time, cache-less behavior bit for bit.
 
+use crate::adaptive::AdaptiveController;
 use crate::executor::{Executor, Sequential};
 use crate::planner::{BatchPlanner, DEFAULT_MAX_IN_FLIGHT};
 use crate::store::CacheStore;
@@ -36,6 +37,12 @@ pub struct ExecContext<'a> {
     /// workload through the full session stack; answers and audited
     /// counts are unaffected (latency is not part of any cache identity).
     pub udf_latency: Option<Duration>,
+    /// The session's shared latency model, if batching should adapt:
+    /// planners built by [`ExecContext::planner`] feed it and size their
+    /// drain slices from it (between the controller's floor and
+    /// `max_in_flight`). `None` keeps the fixed `max_in_flight` slicing.
+    /// Answers and bills are identical either way.
+    pub adaptive: Option<&'a AdaptiveController>,
 }
 
 impl<'a> ExecContext<'a> {
@@ -46,6 +53,7 @@ impl<'a> ExecContext<'a> {
             cache: None,
             max_in_flight: DEFAULT_MAX_IN_FLIGHT,
             udf_latency: None,
+            adaptive: None,
         }
     }
 
@@ -73,9 +81,21 @@ impl<'a> ExecContext<'a> {
         self
     }
 
-    /// A batch planner honoring this context's in-flight budget.
+    /// Attaches a shared [`AdaptiveController`]: every planner built
+    /// from this context learns from and is sized by it.
+    pub fn with_adaptive(mut self, controller: &'a AdaptiveController) -> Self {
+        self.adaptive = Some(controller);
+        self
+    }
+
+    /// A batch planner honoring this context's in-flight budget (and its
+    /// adaptive controller, when one is attached).
     pub fn planner(&self) -> BatchPlanner {
-        BatchPlanner::with_max_in_flight(self.max_in_flight)
+        let planner = BatchPlanner::with_max_in_flight(self.max_in_flight);
+        match self.adaptive {
+            Some(controller) => planner.adaptive(controller.clone()),
+            None => planner,
+        }
     }
 }
 
@@ -85,6 +105,7 @@ impl std::fmt::Debug for ExecContext<'_> {
             .field("executor", &self.executor.name())
             .field("cached", &self.cache.is_some())
             .field("max_in_flight", &self.max_in_flight)
+            .field("adaptive", &self.adaptive.is_some())
             .finish()
     }
 }
@@ -113,5 +134,24 @@ mod tests {
         let copy = ctx; // Copy must hold: contexts are passed around freely.
         assert_eq!(copy.planner().max_in_flight(), 1);
         assert!(format!("{ctx:?}").contains("sequential"));
+    }
+
+    #[test]
+    fn adaptive_controller_threads_into_planners() {
+        let controller = AdaptiveController::with_floor(8);
+        let ctx = ExecContext::new(&Sequential)
+            .with_max_in_flight(512)
+            .with_adaptive(&controller);
+        let planner = ctx.planner();
+        assert_eq!(planner.effective_in_flight(), 8, "floor before learning");
+        for _ in 0..16 {
+            controller.observe(1, Duration::from_millis(1));
+        }
+        assert_eq!(
+            ctx.planner().effective_in_flight(),
+            512,
+            "ms-probes deepen to the budget"
+        );
+        assert!(ExecContext::sequential().adaptive.is_none());
     }
 }

@@ -12,6 +12,12 @@
 //!   behavior bit for bit;
 //! * [`parallel`] — the [`Parallel`] backend: shards a batch across
 //!   scoped OS threads, deterministic answer order;
+//! * [`pool`] — the [`WorkerPool`] backend: persistent work-stealing
+//!   workers with an atomic chunk cursor (no per-batch thread spawns, no
+//!   straggler-bound chunking) and a latency-aware inline fast path;
+//! * [`adaptive`] — [`AdaptiveController`], the shared per-probe latency
+//!   EWMA that sizes planner drain slices between a floor and the
+//!   context's `max_in_flight`;
 //! * [`cache`] — [`ShardedMemo`], a lock-striped concurrent memo table so
 //!   workers sharing one result cache do not serialize on a single lock;
 //! * [`store`] — [`CacheStore`], the generalization of the memo to a
@@ -46,18 +52,22 @@
 //! arbitrarily within a batch — the paper's cost model is indifferent to
 //! *when* an evaluation happens, only to *how many* happen.
 
+pub mod adaptive;
 pub mod cache;
 pub mod context;
 pub mod executor;
 pub mod parallel;
 pub mod planner;
+pub mod pool;
 pub mod store;
 
+pub use adaptive::{AdaptiveController, DEFAULT_WINDOW_FLOOR};
 pub use cache::ShardedMemo;
 pub use context::ExecContext;
 pub use executor::{BatchProbe, Executor, Sequential};
 pub use parallel::Parallel;
 pub use planner::{BatchPlanner, GroupedAnswer, DEFAULT_MAX_IN_FLIGHT};
+pub use pool::WorkerPool;
 pub use store::{
     CacheHandle, CacheNamespace, CacheStats, CacheStore, DEFAULT_CACHE_CAPACITY, MAX_LIVE_VERSIONS,
 };

@@ -7,8 +7,19 @@
 //! one correlation group tend to touch the same columns and caches), in
 //! slices of at most `max_in_flight` rows, so a plan that wants a million
 //! evaluations never materializes a million concurrent probes.
+//!
+//! With an [`AdaptiveController`] attached ([`BatchPlanner::adaptive`]),
+//! the *effective* slice size floats between the controller's floor and
+//! `max_in_flight`, steered by an EWMA of the per-probe latency each
+//! drained slice observes — tiny slices for µs-probes (nothing to
+//! amortize, less materialized at once), deep slices for ms-probes (keep
+//! a worker pool saturated through the straggler tail). Slicing is
+//! invisible to answers and bills: output order and invoker accounting
+//! are slice-invariant, which the equivalence suite pins bit for bit.
 
+use crate::adaptive::AdaptiveController;
 use crate::executor::{BatchProbe, Executor};
+use std::time::Instant;
 
 /// Default cap on rows handed to one `evaluate_batch` call.
 pub const DEFAULT_MAX_IN_FLIGHT: usize = 4096;
@@ -29,6 +40,7 @@ pub struct GroupedAnswer {
 pub struct BatchPlanner {
     max_in_flight: usize,
     pending: Vec<(usize, usize)>,
+    adaptive: Option<AdaptiveController>,
 }
 
 impl BatchPlanner {
@@ -43,6 +55,24 @@ impl BatchPlanner {
         Self {
             max_in_flight: max_in_flight.max(1),
             pending: Vec::new(),
+            adaptive: None,
+        }
+    }
+
+    /// Attaches a shared latency model: drained slices feed its EWMA and
+    /// the effective slice size becomes [`AdaptiveController::window`]
+    /// (still capped by this planner's `max_in_flight`).
+    pub fn adaptive(mut self, controller: AdaptiveController) -> Self {
+        self.adaptive = Some(controller);
+        self
+    }
+
+    /// The slice size the next drained batch will use: the adaptive
+    /// window when a controller is attached, `max_in_flight` otherwise.
+    pub fn effective_in_flight(&self) -> usize {
+        match &self.adaptive {
+            Some(controller) => controller.window(self.max_in_flight),
+            None => self.max_in_flight,
         }
     }
 
@@ -86,9 +116,19 @@ impl BatchPlanner {
         // Stable: enqueue order survives within a group.
         pending.sort_by_key(|&(group, _)| group);
         let mut out = Vec::with_capacity(pending.len());
-        for slice in pending.chunks(self.max_in_flight) {
+        let mut index = 0;
+        while index < pending.len() {
+            // Re-read per slice: within one long drain the window deepens
+            // as the controller learns the probes are expensive.
+            let window = self.effective_in_flight().max(1);
+            let slice = &pending[index..(index + window).min(pending.len())];
+            index += slice.len();
             let rows: Vec<usize> = slice.iter().map(|&(_, row)| row).collect();
+            let began = Instant::now();
             let answers = evaluate(&rows);
+            if let Some(controller) = &self.adaptive {
+                controller.observe(rows.len(), began.elapsed());
+            }
             assert_eq!(
                 answers.len(),
                 rows.len(),
@@ -177,5 +217,43 @@ mod tests {
         let mut planner = BatchPlanner::new();
         let probe = |_row: usize| true;
         assert!(planner.drain(&probe, &Sequential).is_empty());
+    }
+
+    #[test]
+    fn adaptive_drain_matches_fixed_budget_drain_exactly() {
+        let probe = |row: usize| row.is_multiple_of(3);
+        let fill = |planner: &mut BatchPlanner| {
+            for i in 0..500 {
+                planner.enqueue(i % 11, 7 * i + 1);
+            }
+        };
+        let mut fixed = BatchPlanner::with_max_in_flight(64);
+        fill(&mut fixed);
+        let controller = crate::AdaptiveController::with_floor(3);
+        let mut adaptive = BatchPlanner::with_max_in_flight(64).adaptive(controller.clone());
+        fill(&mut adaptive);
+        assert_eq!(
+            fixed.drain(&probe, &Sequential),
+            adaptive.drain(&probe, &Sequential),
+            "slicing must never leak into answers"
+        );
+        assert!(
+            controller.latency_estimate().is_some(),
+            "the drain must feed the controller"
+        );
+    }
+
+    #[test]
+    fn adaptive_window_starts_at_floor_and_respects_ceiling() {
+        let controller = crate::AdaptiveController::with_floor(16);
+        let planner = BatchPlanner::with_max_in_flight(256).adaptive(controller.clone());
+        assert_eq!(planner.effective_in_flight(), 16);
+        // Teach the controller the probes are slow: window deepens.
+        for _ in 0..16 {
+            controller.observe(1, std::time::Duration::from_millis(2));
+        }
+        assert_eq!(planner.effective_in_flight(), 256, "capped by the budget");
+        let plain = BatchPlanner::with_max_in_flight(256);
+        assert_eq!(plain.effective_in_flight(), 256);
     }
 }

@@ -136,9 +136,16 @@ impl NamespaceCache {
         }
     }
 
-    fn shard(&self, key: usize) -> &RwLock<Shard> {
+    /// Fibonacci-spreads `key` onto a shard index — the single source of
+    /// truth for key placement (`get`, `get_many`, and `insert` must all
+    /// agree, or batched lookups would probe the wrong shard).
+    fn shard_index(&self, key: usize) -> usize {
         let spread = (key as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32;
-        &self.shards[(spread as usize) & self.mask]
+        (spread as usize) & self.mask
+    }
+
+    fn shard(&self, key: usize) -> &RwLock<Shard> {
+        &self.shards[self.shard_index(key)]
     }
 
     fn get(&self, key: usize) -> Option<bool> {
@@ -156,6 +163,47 @@ impl NamespaceCache {
                 self.stats.misses.fetch_add(1, Ordering::Relaxed);
                 None
             }
+        }
+    }
+
+    /// Batched lookup: one read-lock acquisition per *touched shard*
+    /// instead of one per key. Accounting is identical to `keys.len()`
+    /// individual `get`s (one hit or miss each).
+    fn get_many(&self, keys: &[usize], out: &mut [Option<bool>]) {
+        debug_assert_eq!(keys.len(), out.len());
+        // Group key positions by shard so each lock is taken once. A
+        // shard index per key is cheap; the win is dropping per-key lock
+        // traffic on the batch path.
+        let mut by_shard: Vec<Vec<usize>> = vec![Vec::new(); self.shards.len()];
+        for (position, &key) in keys.iter().enumerate() {
+            by_shard[self.shard_index(key)].push(position);
+        }
+        let mut hits = 0u64;
+        let mut misses = 0u64;
+        for (shard, positions) in self.shards.iter().zip(&by_shard) {
+            if positions.is_empty() {
+                continue;
+            }
+            let guard = shard.read().unwrap_or_else(|e| e.into_inner());
+            for &position in positions {
+                match guard.map.get(&keys[position]) {
+                    Some(entry) => {
+                        entry.referenced.store(true, Ordering::Relaxed);
+                        out[position] = Some(entry.answer);
+                        hits += 1;
+                    }
+                    None => {
+                        out[position] = None;
+                        misses += 1;
+                    }
+                }
+            }
+        }
+        if hits > 0 {
+            self.stats.hits.fetch_add(hits, Ordering::Relaxed);
+        }
+        if misses > 0 {
+            self.stats.misses.fetch_add(misses, Ordering::Relaxed);
         }
     }
 
@@ -233,6 +281,18 @@ impl CacheHandle {
     /// The cached answer for `key`, if present (counts a hit or miss).
     pub fn get(&self, key: usize) -> Option<bool> {
         self.cache.get(key)
+    }
+
+    /// Batched lookup for the invoker's batch path: answers for every
+    /// key, in input order, taking each touched shard's read lock once
+    /// instead of once per key. Hit/miss accounting is exactly what the
+    /// equivalent sequence of [`CacheHandle::get`] calls would record.
+    pub fn get_many(&self, keys: &[usize]) -> Vec<Option<bool>> {
+        let mut out = vec![None; keys.len()];
+        if !keys.is_empty() {
+            self.cache.get_many(keys, &mut out);
+        }
+        out
     }
 
     /// Caches `value` for `key`, possibly evicting under the capacity
@@ -526,6 +586,43 @@ mod tests {
         assert_eq!(s.misses, 1);
         assert_eq!(s.insertions, 2);
         assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn get_many_matches_per_key_gets_including_stats() {
+        let store = CacheStore::new();
+        let h = store.handle(ns(1, 1, 0));
+        for key in (0..200).step_by(2) {
+            h.insert(key, key % 4 == 0);
+        }
+        let keys: Vec<usize> = (0..200).collect();
+        let batched = h.get_many(&keys);
+        let batched_stats = store.stats();
+
+        let twin = CacheStore::new();
+        let th = twin.handle(ns(1, 1, 0));
+        for key in (0..200).step_by(2) {
+            th.insert(key, key % 4 == 0);
+        }
+        let individual: Vec<Option<bool>> = keys.iter().map(|&k| th.get(k)).collect();
+        assert_eq!(batched, individual);
+        assert_eq!(batched_stats, twin.stats());
+        assert_eq!(batched_stats.hits, 100);
+        assert_eq!(batched_stats.misses, 100);
+        assert!(h.get_many(&[]).is_empty());
+    }
+
+    #[test]
+    fn get_many_marks_entries_referenced_for_eviction() {
+        // A key read through get_many must survive a second-chance sweep
+        // exactly like one read through get.
+        let store = CacheStore::with_capacity(NAMESPACE_SHARDS * 4);
+        let h = store.handle(ns(1, 1, 0));
+        h.insert(0, true);
+        for cold in 1..5_000usize {
+            assert_eq!(h.get_many(&[0]), vec![Some(true)], "evicted at {cold}");
+            h.insert(cold, false);
+        }
     }
 
     #[test]

@@ -16,7 +16,7 @@ use crate::cost::{CostCounts, CostModel, CostTracker};
 use crate::udf::BooleanUdf;
 use expred_exec::{CacheHandle, CacheNamespace, ExecContext, Executor, ShardedMemo};
 use expred_table::Table;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// The cross-query cache namespace for `udf` over `table`'s current
 /// state, or `None` when the UDF opted out of identity
@@ -174,6 +174,15 @@ impl<'a> UdfInvoker<'a> {
     /// memoized. With the [`expred_exec::Sequential`] backend this is
     /// action-for-action identical to calling [`UdfInvoker::evaluate`] in
     /// a loop.
+    ///
+    /// Session-cached invokers probe the shared store *batched*: every
+    /// distinct not-yet-memoized row goes through one
+    /// [`CacheHandle::get_many`] call — one read-lock acquisition per
+    /// touched store shard — instead of a per-row lock round-trip. The
+    /// prefetch touches exactly the keys a per-row walk would have (each
+    /// distinct memo-miss row is probed once; duplicates resolve against
+    /// the promoted memo or the fresh-slot table), so reuse accounting
+    /// and store hit/miss statistics are unchanged to the action.
     pub fn evaluate_batch(&self, executor: &dyn Executor, rows: &[usize]) -> Vec<bool> {
         let mut answers = vec![false; rows.len()];
         let mut fresh: Vec<usize> = Vec::new();
@@ -182,13 +191,38 @@ impl<'a> UdfInvoker<'a> {
         // (position in `answers`, slot in `fresh`) to fill after the batch.
         let mut fills: Vec<(usize, usize)> = Vec::new();
         let mut hits = 0u64;
+        // Batched shared-store probe: collect each distinct row the local
+        // memo cannot answer, look them all up in one call, and serve the
+        // main walk from the prefetched map. The walk below then promotes
+        // a prefetched hit the first time it is used, exactly where the
+        // per-row path would have probed the store.
+        let prefetched: HashMap<usize, bool> = match &self.shared {
+            Some(shared) => {
+                let mut candidates: Vec<usize> = Vec::new();
+                let mut seen: HashSet<usize> = HashSet::new();
+                for &row in rows {
+                    if self.memo.get(row).is_none() && seen.insert(row) {
+                        candidates.push(row);
+                    }
+                }
+                candidates
+                    .iter()
+                    .zip(shared.get_many(&candidates))
+                    .filter_map(|(&row, answer)| answer.map(|a| (row, a)))
+                    .collect()
+            }
+            None => HashMap::new(),
+        };
         for (i, &row) in rows.iter().enumerate() {
             if let Some(answer) = self.memo.get(row) {
                 answers[i] = answer;
                 hits += 1;
-            } else if let Some(answer) = self.reuse_from_shared(row) {
-                // Paid for by an earlier query; promotion makes any later
-                // occurrence in this batch a plain memo hit.
+            } else if let Some(&answer) = prefetched.get(&row) {
+                // Paid for by an earlier query; promote into the local
+                // memo (charged once as a reuse) so any later occurrence
+                // in this batch is a plain memo hit.
+                self.memo.insert(row, answer);
+                self.tracker.add_reuse_hit();
                 answers[i] = answer;
             } else if let Some(&slot) = fresh_slot.get(&row) {
                 // Duplicate within the batch: evaluated once, re-read free.
@@ -419,6 +453,48 @@ mod tests {
         assert_eq!(c.reuse_hits, 3, "rows 0-2 were paid for by query 1");
         assert_eq!(c.cache_hits, 1, "the repeated row 0 is a plain memo hit");
         assert_eq!(c.demanded(), 5);
+    }
+
+    #[test]
+    fn batched_store_probe_matches_per_row_path_action_for_action() {
+        // The batch path prefetches the shared store via get_many; the
+        // per-row path (`evaluate` in a loop) takes a lock per row. Both
+        // must produce identical answers, identical invoker bills, and
+        // identical store hit/miss statistics.
+        let labels: Vec<bool> = (0..96).map(|i| i % 5 < 2).collect();
+        let t = table_with_labels(&labels);
+        let udf = OracleUdf::new("good");
+        // Duplicate-heavy request over a half-warmed session.
+        let warm: Vec<usize> = (0..48).collect();
+        let request: Vec<usize> = (0..96).chain(24..72).chain(0..8).rev().collect();
+
+        let run = |batched: bool| {
+            let store = expred_exec::CacheStore::new();
+            let ctx = expred_exec::ExecContext::sequential().with_cache(&store);
+            UdfInvoker::with_context(&udf, &t, &ctx)
+                .evaluate_batch(&expred_exec::Sequential, &warm);
+            let warm_stats = store.stats();
+            let inv = UdfInvoker::with_context(&udf, &t, &ctx);
+            let answers = if batched {
+                inv.evaluate_batch(&expred_exec::Sequential, &request)
+            } else {
+                request.iter().map(|&r| inv.evaluate(r)).collect()
+            };
+            let stats = store.stats();
+            (
+                answers,
+                inv.counts(),
+                stats.hits - warm_stats.hits,
+                stats.misses - warm_stats.misses,
+            )
+        };
+        let (batch_answers, batch_counts, batch_hits, batch_misses) = run(true);
+        let (loop_answers, loop_counts, loop_hits, loop_misses) = run(false);
+        assert_eq!(batch_answers, loop_answers);
+        assert_eq!(batch_counts, loop_counts, "invoker bills must match");
+        assert_eq!(batch_hits, loop_hits, "store hits must match");
+        assert_eq!(batch_misses, loop_misses, "store misses must match");
+        assert!(batch_counts.reuse_hits > 0, "the warm rows must be reused");
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Two chained expensive predicates (§5): trading accuracy between UDFs.
 //!
 //! ```text
-//! cargo run --release --example multi_predicate [-- --parallel]
+//! cargo run --release --example multi_predicate [-- --parallel | --pool]
 //! ```
 //!
 //! `SELECT * FROM listings WHERE is_fraud_free(id) = 1 AND
@@ -11,23 +11,31 @@
 //! predicate and assume the other, or evaluate both (short-circuited).
 //! The demo then runs the conjunction over a synthetic table through the
 //! `expred-exec` runtime — staged, batched short-circuiting; with
-//! `--parallel` each stage fans out across worker threads.
+//! `--parallel` each stage fans out across scoped worker threads, and
+//! with `--pool` through a persistent work-stealing `WorkerPool`.
 
 use expred::core::extensions::{
     evaluate_conjunction_batch, solve_multi_predicate, MultiAction, MultiCost, PredicatePairGroup,
 };
-use expred::exec::{Executor, Parallel, Sequential};
+use expred::exec::{Executor, Parallel, Sequential, WorkerPool};
 use expred::stats::Prng;
 use expred::table::{DataType, Field, Schema, Table, Value};
 use expred::udf::{ConjunctionUdf, CostTracker, OracleUdf};
 
 fn main() {
-    let executor: Box<dyn Executor> = if std::env::args().any(|a| a == "--parallel") {
+    let executor: Box<dyn Executor> = if std::env::args().any(|a| a == "--pool") {
+        let backend = WorkerPool::new();
+        println!(
+            "executor backend: worker_pool ({} persistent workers)",
+            backend.threads()
+        );
+        Box::new(backend)
+    } else if std::env::args().any(|a| a == "--parallel") {
         let backend = Parallel::new();
         println!("executor backend: parallel ({} threads)", backend.threads());
         Box::new(backend)
     } else {
-        println!("executor backend: sequential (pass --parallel to fan out)");
+        println!("executor backend: sequential (pass --parallel or --pool to fan out)");
         Box::new(Sequential)
     };
     // Groups from a hypothetical correlated attribute: (size, s1, s2).

@@ -2,7 +2,7 @@
 //! hand-built table.
 //!
 //! ```text
-//! cargo run --release --example quickstart [-- --parallel]
+//! cargo run --release --example quickstart [-- --parallel | --pool]
 //! ```
 //!
 //! The query is the paper's running example: `SELECT * FROM R WHERE
@@ -17,19 +17,26 @@ use expred::core::{
     execute_plan_with, sample_groups_with, solve_estimated, truth_vector, CorrelationModel,
     QuerySpec, SampleSizeRule,
 };
-use expred::exec::{Executor, Parallel, Sequential};
+use expred::exec::{Executor, Parallel, Sequential, WorkerPool};
 use expred::ml::metrics::precision_recall;
 use expred::stats::Prng;
 use expred::table::{DataType, Field, Schema, Table, Value};
 use expred::udf::{CostModel, OracleUdf, UdfInvoker};
 
 fn main() {
-    let executor: Box<dyn Executor> = if std::env::args().any(|a| a == "--parallel") {
+    let executor: Box<dyn Executor> = if std::env::args().any(|a| a == "--pool") {
+        let backend = WorkerPool::new();
+        println!(
+            "executor backend: worker_pool ({} persistent workers)",
+            backend.threads()
+        );
+        Box::new(backend)
+    } else if std::env::args().any(|a| a == "--parallel") {
         let backend = Parallel::new();
         println!("executor backend: parallel ({} threads)", backend.threads());
         Box::new(backend)
     } else {
-        println!("executor backend: sequential (pass --parallel to fan out)");
+        println!("executor backend: sequential (pass --parallel or --pool to fan out)");
         Box::new(Sequential)
     };
     // Build the example relation: 3000 tuples, attribute A in {1,2,3} with

@@ -18,6 +18,9 @@
 //!    cold row may both pay it before either can share).
 //! 3. **Repeat storm** — identical requests from every worker are
 //!    absorbed by the result memo for free.
+//! 4. **Cold storm** — the identical *fresh* request from every worker
+//!    at once: cold-race suppression elects one leader, everyone else
+//!    joins its in-flight run, and the session is billed exactly once.
 
 use expred::core::{Query, QueryEngine, QuerySpec};
 use expred::table::datasets::{Dataset, DatasetSpec, PROSPER};
@@ -116,5 +119,31 @@ fn main() {
     println!(
         "\nrepeat storm: {} queries served, {} result-memo hits, zero new o_e",
         stats.queries, stats.result_hits
+    );
+
+    // 4. A *cold* identical storm: nothing is memoized yet, every thread
+    // submits the same fresh request at once. Cold-race suppression makes
+    // one thread the leader; the rest park on the in-flight waiter table
+    // and share its outcome — the session bills exactly one run.
+    let ds = dataset(2_000, 77);
+    let engine = QueryEngine::pooled().with_udf_latency(Duration::from_micros(100));
+    let barrier = std::sync::Barrier::new(THREADS);
+    std::thread::scope(|scope| {
+        for _ in 0..THREADS {
+            let (engine, ds, barrier) = (&engine, &ds, &barrier);
+            scope.spawn(move || {
+                barrier.wait();
+                engine.run(ds, &Query::Naive(spec), 123);
+            });
+        }
+    });
+    let stats = engine.stats();
+    println!(
+        "\ncold identical storm ({THREADS} threads): {} queries, {} joined the \
+         in-flight leader, {} memo hits; session billed {} fresh o_e (one run's worth)",
+        stats.queries,
+        stats.dedup_joins,
+        stats.result_hits,
+        engine.session_counts().evaluated
     );
 }

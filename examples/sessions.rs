@@ -1,7 +1,7 @@
 //! Sessions: many queries, one cache — the second query is (nearly) free.
 //!
 //! ```text
-//! cargo run --release --example sessions [-- --parallel]
+//! cargo run --release --example sessions [-- --parallel | --pool]
 //! ```
 //!
 //! A `QueryEngine` owns an executor backend and a cross-query
@@ -19,7 +19,7 @@
 //!    pre-paid.
 
 use expred::core::{IntelSampleConfig, PredictorChoice, Query, QueryEngine, QuerySpec, RunOutcome};
-use expred::exec::Parallel;
+use expred::exec::{Parallel, WorkerPool};
 use expred::table::datasets::{Dataset, DatasetSpec, PROSPER};
 
 fn report(label: &str, out: &RunOutcome) {
@@ -34,12 +34,19 @@ fn report(label: &str, out: &RunOutcome) {
 }
 
 fn main() {
-    let engine = if std::env::args().any(|a| a == "--parallel") {
+    let engine = if std::env::args().any(|a| a == "--pool") {
+        let backend = WorkerPool::new();
+        println!(
+            "engine backend: worker_pool ({} persistent workers)",
+            backend.threads()
+        );
+        QueryEngine::with_executor(Box::new(backend))
+    } else if std::env::args().any(|a| a == "--parallel") {
         let backend = Parallel::new();
         println!("engine backend: parallel ({} threads)", backend.threads());
         QueryEngine::with_executor(Box::new(backend))
     } else {
-        println!("engine backend: sequential (pass --parallel to fan out)");
+        println!("engine backend: sequential (pass --parallel or --pool to fan out)");
         QueryEngine::new()
     };
     let ds = Dataset::generate(

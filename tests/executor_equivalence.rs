@@ -1,25 +1,32 @@
-//! Backend-equivalence suite: the `Parallel` executor must be an exact
-//! drop-in for `Sequential` — identical result sets, identical accuracy
-//! metrics, identical audited costs — for every pipeline, on the bundled
-//! datasets, under fixed seeds. Only wall-clock time may differ.
+//! Backend-equivalence suite: the `Parallel` and `WorkerPool` executors
+//! must be exact drop-ins for `Sequential` — identical result sets,
+//! identical accuracy metrics, identical audited costs — for every
+//! pipeline, on the bundled datasets, under fixed seeds, and regardless
+//! of how the adaptive controller slices drains. Only wall-clock time
+//! may differ.
 
 use expred::core::{
-    run_intel_sample_adaptive_with, run_intel_sample_with, run_naive_with, run_optimal_with,
-    CorrelationModel, IntelSampleConfig, PredictorChoice, QuerySpec, RunOutcome,
+    run_intel_sample_adaptive_with, run_intel_sample_ctx, run_intel_sample_with, run_naive_ctx,
+    run_naive_with, run_optimal_ctx, run_optimal_with, CorrelationModel, IntelSampleConfig,
+    PredictorChoice, QuerySpec, RunOutcome,
 };
-use expred::exec::{Executor, Parallel, Sequential};
+use expred::exec::{AdaptiveController, ExecContext, Executor, Parallel, Sequential, WorkerPool};
 use expred::table::datasets::{Dataset, DatasetSpec, LENDING_CLUB, PROSPER};
 
 fn small(spec: DatasetSpec, rows: usize, seed: u64) -> Dataset {
     Dataset::generate(DatasetSpec { rows, ..spec }, seed)
 }
 
-/// Backends under test: inline, oversubscribed, and machine-sized.
+/// Backends under test: inline, oversubscribed, machine-sized, and the
+/// persistent work-stealing pool at several widths.
 fn backends() -> Vec<Box<dyn Executor>> {
     vec![
         Box::new(Parallel::with_threads(2)),
         Box::new(Parallel::with_threads(7)),
         Box::new(Parallel::new()),
+        Box::new(WorkerPool::with_threads(2)),
+        Box::new(WorkerPool::with_threads(5)),
+        Box::new(WorkerPool::new()),
     ]
 }
 
@@ -160,6 +167,88 @@ fn iterative_pipeline_is_backend_invariant() {
         let got = run(backend.as_ref());
         assert_identical(&want, &got, "iterative");
     }
+}
+
+#[test]
+fn adaptive_planner_is_outcome_invariant() {
+    // The adaptive window may slice drains any way it likes — a tiny
+    // floor, a shared controller already convinced the probes are slow,
+    // any backend — without moving a single byte of the outcome or bill.
+    let ds = small(PROSPER, 4_000, 9);
+    let spec = QuerySpec::paper_default();
+    let cfg = IntelSampleConfig::experiment1(PredictorChoice::Fixed("grade".into()));
+    let pool = WorkerPool::with_threads(4);
+    let fresh = AdaptiveController::with_floor(3);
+    let convinced = AdaptiveController::with_floor(16);
+    for _ in 0..16 {
+        convinced.observe(1, std::time::Duration::from_millis(2));
+    }
+    for seed in [2u64, 31] {
+        let want_naive = run_naive_with(&ds, &spec, seed, &Sequential);
+        let want_intel = run_intel_sample_with(&ds, &cfg, seed, &Sequential);
+        let want_optimal = run_optimal_with(&ds, &spec, "grade", seed, &Sequential);
+        for (name, ctx) in [
+            (
+                "fresh floor-3 sequential",
+                ExecContext::new(&Sequential).with_adaptive(&fresh),
+            ),
+            (
+                "fresh floor-3 pool",
+                ExecContext::new(&pool).with_adaptive(&fresh),
+            ),
+            (
+                "deep-window pool",
+                ExecContext::new(&pool).with_adaptive(&convinced),
+            ),
+            (
+                "deep-window tiny budget",
+                ExecContext::new(&pool)
+                    .with_adaptive(&convinced)
+                    .with_max_in_flight(11),
+            ),
+        ] {
+            let what = format!("adaptive {name} seed {seed}");
+            assert_identical(&want_naive, &run_naive_ctx(&ds, &spec, seed, &ctx), &what);
+            assert_identical(
+                &want_intel,
+                &run_intel_sample_ctx(&ds, &cfg, seed, &ctx),
+                &what,
+            );
+            assert_identical(
+                &want_optimal,
+                &run_optimal_ctx(&ds, &spec, "grade", seed, &ctx),
+                &what,
+            );
+        }
+    }
+}
+
+#[test]
+fn engine_on_worker_pool_matches_sequential_engine() {
+    // The full session stack — engine, adaptive controller, row cache,
+    // result memo — on the pool backend must bill and answer exactly
+    // like the sequential engine, query for query.
+    use expred::core::{Query, QueryEngine};
+    let ds = small(PROSPER, 3_000, 10);
+    let spec = QuerySpec::paper_default();
+    let queries = [
+        Query::Naive(spec),
+        Query::IntelSample(IntelSampleConfig::experiment1(PredictorChoice::Fixed(
+            "grade".into(),
+        ))),
+        Query::Optimal {
+            spec,
+            predictor: "grade".into(),
+        },
+    ];
+    let sequential = QueryEngine::new();
+    let pooled = QueryEngine::pooled();
+    for (i, query) in queries.iter().enumerate() {
+        let want = sequential.run(&ds, query, 40 + i as u64);
+        let got = pooled.run(&ds, query, 40 + i as u64);
+        assert_identical(&want, &got, &format!("engine query {i}"));
+    }
+    assert_eq!(sequential.session_counts(), pooled.session_counts());
 }
 
 #[test]
