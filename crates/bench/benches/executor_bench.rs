@@ -1,7 +1,16 @@
 //! Probabilistic-executor throughput: tuples processed per second for
 //! deterministic and fractional plans, with and without memoized samples.
+//!
+//! ```text
+//! cargo bench --bench executor_bench            # full run
+//! cargo bench --bench executor_bench -- --smoke # CI: compile-and-run proof
+//! ```
+//!
+//! Results land in `BENCH_executor.json`: one `execute_plan_<plan>` row
+//! per plan shape (ns per table row, sequential backend, free oracle
+//! probes — this measures the executor's own bookkeeping, not UDF cost).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use expred_bench::{report::measure_ns_per_unit, BenchReport};
 use expred_core::execute::execute_plan;
 use expred_core::plan::Plan;
 use expred_stats::rng::Prng;
@@ -9,8 +18,18 @@ use expred_table::datasets::{Dataset, DatasetSpec, LENDING_CLUB};
 use expred_udf::{OracleUdf, UdfInvoker};
 use std::hint::black_box;
 
-fn bench_executor(c: &mut Criterion) {
-    let rows = 50_000usize;
+fn main() {
+    if std::env::args().any(|a| a == "--test") {
+        return;
+    }
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let mut report = BenchReport::new("executor");
+    println!(
+        "executor_bench ({} mode)",
+        if smoke { "smoke" } else { "full" }
+    );
+
+    let rows = if smoke { 10_000 } else { 50_000 };
     let ds = Dataset::generate(
         DatasetSpec {
             rows,
@@ -21,10 +40,7 @@ fn bench_executor(c: &mut Criterion) {
     let groups = ds.table.group_by("grade").unwrap();
     let k = groups.num_groups();
     let udf = OracleUdf::new(expred_table::datasets::LABEL_COLUMN);
-
-    let mut group = c.benchmark_group("executor");
-    group.throughput(Throughput::Elements(rows as u64));
-    group.sample_size(20);
+    let reps = if smoke { 3 } else { 20 };
 
     let plans = [
         ("evaluate_all", Plan::evaluate_all(k)),
@@ -32,35 +48,38 @@ fn bench_executor(c: &mut Criterion) {
         ("fractional", Plan::new(vec![0.7; k], vec![0.35; k])),
     ];
     for (name, plan) in &plans {
-        group.bench_with_input(BenchmarkId::from_parameter(name), plan, |b, plan| {
-            let mut seed = 0u64;
-            b.iter(|| {
-                seed += 1;
-                // Fresh invoker per iteration so memoization does not warp
-                // the measurement.
-                let invoker = UdfInvoker::new(&udf, &ds.table);
-                let mut rng = Prng::seeded(seed);
-                black_box(execute_plan(plan, &groups, &invoker, &mut rng))
-            })
+        let mut seed = 0u64;
+        let ns = measure_ns_per_unit(rows as u64, reps, || {
+            seed += 1;
+            // Fresh invoker per iteration so memoization does not warp
+            // the measurement.
+            let invoker = UdfInvoker::new(&udf, &ds.table);
+            let mut rng = Prng::seeded(seed);
+            black_box(execute_plan(plan, &groups, &invoker, &mut rng));
         });
+        let scenario = format!("execute_plan_{name}");
+        report.record(&scenario, "sequential", ns, 1.0);
+        println!("{scenario:<30} {ns:>8.1} ns/row");
     }
 
     // With a warm memo covering 10% of rows (the sampling-reuse path).
-    group.bench_function("fractional_with_memo", |b| {
-        let plan = Plan::new(vec![0.7; k], vec![0.35; k]);
-        let mut seed = 0u64;
-        b.iter(|| {
-            seed += 1;
-            let invoker = UdfInvoker::new(&udf, &ds.table);
-            let mut rng = Prng::seeded(seed);
-            for r in 0..rows / 10 {
-                invoker.retrieve_and_evaluate(r * 10);
-            }
-            black_box(execute_plan(&plan, &groups, &invoker, &mut rng))
-        })
+    let plan = Plan::new(vec![0.7; k], vec![0.35; k]);
+    let mut seed = 0u64;
+    let ns = measure_ns_per_unit(rows as u64, reps, || {
+        seed += 1;
+        let invoker = UdfInvoker::new(&udf, &ds.table);
+        let mut rng = Prng::seeded(seed);
+        for r in 0..rows / 10 {
+            invoker.retrieve_and_evaluate(r * 10);
+        }
+        black_box(execute_plan(&plan, &groups, &invoker, &mut rng));
     });
-    group.finish();
-}
+    let scenario = "execute_plan_fractional_with_memo";
+    report.record(scenario, "sequential", ns, 1.0);
+    println!("{scenario:<30} {ns:>8.1} ns/row");
 
-criterion_group!(benches, bench_executor);
-criterion_main!(benches);
+    match report.write() {
+        Ok(path) => println!("results written to {}", path.display()),
+        Err(err) => eprintln!("could not write bench report: {err}"),
+    }
+}

@@ -1,11 +1,18 @@
 //! Solver micro-benchmarks: the paper's `O(|A| log |A|)` BiGreedy
 //! algorithm against the general simplex, across group counts.
 //!
+//! ```text
+//! cargo bench --bench solver_bench            # full run
+//! cargo bench --bench solver_bench -- --smoke # CI: compile-and-run proof
+//! ```
+//!
 //! Expected shape: BiGreedy stays microseconds out to thousands of groups
 //! while the dense simplex grows superlinearly — the reason Theorem 3.8
-//! matters.
+//! matters. Results land in `BENCH_solver.json` (`ns_per_probe` is ns per
+//! group; `bigreedy` is the per-scenario baseline, so the simplex rows'
+//! `speedup_vs_baseline` is BiGreedy's advantage inverted — well under 1).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use expred_bench::{report::measure_ns_per_unit, BenchReport};
 use expred_solver::bigreedy::GreedyProblem;
 use expred_stats::rng::Prng;
 use std::hint::black_box;
@@ -33,36 +40,61 @@ fn instance(k: usize, seed: u64) -> GreedyProblem {
     )
 }
 
-fn bench_bigreedy_vs_simplex(c: &mut Criterion) {
-    let mut group = c.benchmark_group("structured_lp");
-    group.sample_size(20);
-    for &k in &[16usize, 64, 256, 1024] {
+fn main() {
+    if std::env::args().any(|a| a == "--test") {
+        return;
+    }
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let mut report = BenchReport::new("solver");
+    println!(
+        "solver_bench ({} mode)",
+        if smoke { "smoke" } else { "full" }
+    );
+
+    let sizes: &[usize] = if smoke {
+        &[16, 256]
+    } else {
+        &[16, 64, 256, 1024]
+    };
+    let reps = if smoke { 5 } else { 20 };
+    for &k in sizes {
         let problem = instance(k, 42);
-        group.bench_with_input(BenchmarkId::new("bigreedy", k), &problem, |b, p| {
-            b.iter(|| black_box(p.solve()))
+        let scenario = format!("structured_lp_{k}");
+        let greedy_ns = measure_ns_per_unit(k as u64, reps, || {
+            let _ = black_box(problem.solve());
         });
+        report.record(&scenario, "bigreedy", greedy_ns, 1.0);
         // The simplex path is only affordable at smaller sizes.
         if k <= 256 {
             let lp = problem.to_linear_program();
-            group.bench_with_input(BenchmarkId::new("simplex", k), &lp, |b, p| {
-                b.iter(|| black_box(p.solve()))
+            let simplex_ns = measure_ns_per_unit(k as u64, reps, || {
+                black_box(lp.solve());
             });
+            report.record(&scenario, "simplex", simplex_ns, greedy_ns / simplex_ns);
+            println!(
+                "{scenario:<22} bigreedy {greedy_ns:>10.0} ns/group | simplex \
+                 {simplex_ns:>12.0} ns/group ({:.0}x slower)",
+                simplex_ns / greedy_ns
+            );
+        } else {
+            println!("{scenario:<22} bigreedy {greedy_ns:>10.0} ns/group");
         }
     }
-    group.finish();
-}
 
-fn bench_bigreedy_scaling(c: &mut Criterion) {
-    let mut group = c.benchmark_group("bigreedy_scaling");
-    group.sample_size(20);
-    for &k in &[4096usize, 16384] {
+    // BiGreedy alone at scale: near-linear ns/group is the claim.
+    let scaling: &[usize] = if smoke { &[4096] } else { &[4096, 16384] };
+    for &k in scaling {
         let problem = instance(k, 7);
-        group.bench_with_input(BenchmarkId::from_parameter(k), &problem, |b, p| {
-            b.iter(|| black_box(p.solve()))
+        let scenario = format!("bigreedy_scaling_{k}");
+        let ns = measure_ns_per_unit(k as u64, reps.min(10), || {
+            let _ = black_box(problem.solve());
         });
+        report.record(&scenario, "bigreedy", ns, 1.0);
+        println!("{scenario:<22} bigreedy {ns:>10.0} ns/group");
     }
-    group.finish();
-}
 
-criterion_group!(benches, bench_bigreedy_vs_simplex, bench_bigreedy_scaling);
-criterion_main!(benches);
+    match report.write() {
+        Ok(path) => println!("results written to {}", path.display()),
+        Err(err) => eprintln!("could not write bench report: {err}"),
+    }
+}

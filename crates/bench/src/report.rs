@@ -140,6 +140,206 @@ impl BenchReport {
         file.write_all(self.to_json().as_bytes())?;
         Ok(path)
     }
+
+    /// Parses a report previously rendered by [`BenchReport::to_json`]
+    /// (the schema in the module docs; field order within a record does
+    /// not matter). The workspace builds offline with no serde, so this
+    /// is a small hand-rolled parser for exactly that shape — `bench-diff`
+    /// uses it to compare artifacts across PRs.
+    pub fn from_json(json: &str) -> Result<Self, String> {
+        let mut p = JsonParser::new(json);
+        p.expect('{')?;
+        let mut name: Option<String> = None;
+        let mut records: Option<Vec<BenchRecord>> = None;
+        loop {
+            let key = p.parse_string()?;
+            p.expect(':')?;
+            match key.as_str() {
+                "bench" => name = Some(p.parse_string()?),
+                "results" => {
+                    let mut rows = Vec::new();
+                    p.expect('[')?;
+                    if !p.try_consume(']') {
+                        loop {
+                            rows.push(p.parse_record()?);
+                            if p.try_consume(']') {
+                                break;
+                            }
+                            p.expect(',')?;
+                        }
+                    }
+                    records = Some(rows);
+                }
+                other => return Err(format!("unexpected top-level field {other:?}")),
+            }
+            if p.try_consume('}') {
+                break;
+            }
+            p.expect(',')?;
+        }
+        Ok(Self {
+            name: name.ok_or("missing \"bench\" field")?,
+            records: records.ok_or("missing \"results\" field")?,
+        })
+    }
+}
+
+/// Mean wall-clock nanoseconds per unit of work: runs `f` once as a
+/// warm-up, then `reps` timed repetitions over `units` logical units
+/// each. The shared measurement loop behind the `BENCH_<name>.json`
+/// emitters.
+pub fn measure_ns_per_unit(units: u64, reps: usize, mut f: impl FnMut()) -> f64 {
+    assert!(units > 0 && reps > 0, "measure over at least one unit/rep");
+    f();
+    let begin = std::time::Instant::now();
+    for _ in 0..reps {
+        f();
+    }
+    begin.elapsed().as_nanos() as f64 / (reps as u64 * units) as f64
+}
+
+/// Character-level parser for the report's JSON subset (strings with
+/// escapes, numbers, `null`).
+struct JsonParser<'a> {
+    chars: Vec<char>,
+    pos: usize,
+    source: &'a str,
+}
+
+impl<'a> JsonParser<'a> {
+    fn new(source: &'a str) -> Self {
+        Self {
+            chars: source.chars().collect(),
+            pos: 0,
+            source,
+        }
+    }
+
+    fn fail(&self, what: &str) -> String {
+        format!(
+            "{what} at offset {} of {}-char report",
+            self.pos,
+            self.source.chars().count()
+        )
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.chars.len() && self.chars[self.pos].is_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.skip_ws();
+        self.chars.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, want: char) -> Result<(), String> {
+        if self.try_consume(want) {
+            Ok(())
+        } else {
+            Err(self.fail(&format!("expected {want:?}")))
+        }
+    }
+
+    fn try_consume(&mut self, want: char) -> bool {
+        if self.peek() == Some(want) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, String> {
+        self.expect('"')?;
+        let mut out = String::new();
+        loop {
+            let c = *self
+                .chars
+                .get(self.pos)
+                .ok_or_else(|| self.fail("unterminated string"))?;
+            self.pos += 1;
+            match c {
+                '"' => return Ok(out),
+                '\\' => {
+                    let escape = *self
+                        .chars
+                        .get(self.pos)
+                        .ok_or_else(|| self.fail("unterminated escape"))?;
+                    self.pos += 1;
+                    match escape {
+                        '"' | '\\' | '/' => out.push(escape),
+                        'n' => out.push('\n'),
+                        't' => out.push('\t'),
+                        'r' => out.push('\r'),
+                        'u' => {
+                            let hex: String = self
+                                .chars
+                                .get(self.pos..self.pos + 4)
+                                .map(|w| w.iter().collect())
+                                .ok_or_else(|| self.fail("truncated \\u escape"))?;
+                            self.pos += 4;
+                            let code = u32::from_str_radix(&hex, 16)
+                                .map_err(|_| self.fail("bad \\u escape"))?;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.fail("non-scalar \\u escape"))?,
+                            );
+                        }
+                        other => return Err(self.fail(&format!("bad escape \\{other}"))),
+                    }
+                }
+                other => out.push(other),
+            }
+        }
+    }
+
+    /// A number, or `null` (a failed measurement) as NaN.
+    fn parse_number_or_null(&mut self) -> Result<f64, String> {
+        self.skip_ws();
+        if self.chars[self.pos..].starts_with(&['n', 'u', 'l', 'l']) {
+            self.pos += 4;
+            return Ok(f64::NAN);
+        }
+        let start = self.pos;
+        while self
+            .chars
+            .get(self.pos)
+            .is_some_and(|c| c.is_ascii_digit() || matches!(c, '-' | '+' | '.' | 'e' | 'E'))
+        {
+            self.pos += 1;
+        }
+        let text: String = self.chars[start..self.pos].iter().collect();
+        text.parse().map_err(|_| self.fail("expected a number"))
+    }
+
+    fn parse_record(&mut self) -> Result<BenchRecord, String> {
+        self.expect('{')?;
+        let (mut scenario, mut backend) = (None, None);
+        let (mut ns_per_probe, mut speedup) = (None, None);
+        loop {
+            let key = self.parse_string()?;
+            self.expect(':')?;
+            match key.as_str() {
+                "scenario" => scenario = Some(self.parse_string()?),
+                "backend" => backend = Some(self.parse_string()?),
+                "ns_per_probe" => ns_per_probe = Some(self.parse_number_or_null()?),
+                "speedup_vs_baseline" => speedup = Some(self.parse_number_or_null()?),
+                other => return Err(self.fail(&format!("unexpected record field {other:?}"))),
+            }
+            if self.try_consume('}') {
+                break;
+            }
+            self.expect(',')?;
+        }
+        Ok(BenchRecord {
+            scenario: scenario.ok_or("record missing \"scenario\"")?,
+            backend: backend.ok_or("record missing \"backend\"")?,
+            ns_per_probe: ns_per_probe.ok_or("record missing \"ns_per_probe\"")?,
+            speedup_vs_baseline: speedup.ok_or("record missing \"speedup_vs_baseline\"")?,
+        })
+    }
 }
 
 /// JSON has no NaN/Inf; a failed measurement serializes as null.
@@ -206,5 +406,52 @@ mod tests {
         let report = BenchReport::new("demo");
         let path = report.path();
         assert!(path.ends_with("BENCH_demo.json"));
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let mut report = BenchReport::new("we\"ird");
+        report.record("batch_8_udf_1us", "sequential", 1000.5, 1.0);
+        report.record("a\\b", "c\nd", 250.0, 4.0);
+        report.record("failed", "b", f64::NAN, f64::INFINITY);
+        let parsed = BenchReport::from_json(&report.to_json()).expect("own output parses");
+        assert_eq!(parsed.name, report.name);
+        assert_eq!(parsed.records().len(), 3);
+        assert_eq!(parsed.records()[0], report.records()[0]);
+        assert_eq!(parsed.records()[1].scenario, "a\\b");
+        assert_eq!(parsed.records()[1].backend, "c\nd");
+        // null (failed measurement) round-trips as NaN.
+        assert!(parsed.records()[2].ns_per_probe.is_nan());
+        assert!(parsed.records()[2].speedup_vs_baseline.is_nan());
+    }
+
+    #[test]
+    fn parser_rejects_malformed_reports() {
+        for bad in [
+            "",
+            "{",
+            "{\"bench\": \"x\"}",
+            "{\"results\": []}",
+            "{\"bench\": \"x\", \"results\": [{\"scenario\": \"s\"}]}",
+            "{\"bench\": \"x\", \"results\": [{\"scenario\": \"s\", \"backend\": \"b\", \
+             \"ns_per_probe\": oops, \"speedup_vs_baseline\": 1.0}]}",
+        ] {
+            assert!(BenchReport::from_json(bad).is_err(), "accepted: {bad}");
+        }
+    }
+
+    #[test]
+    fn empty_results_parse() {
+        let report = BenchReport::new("empty");
+        let parsed = BenchReport::from_json(&report.to_json()).unwrap();
+        assert!(parsed.records().is_empty());
+    }
+
+    #[test]
+    fn measure_counts_units() {
+        let mut calls = 0u64;
+        let ns = measure_ns_per_unit(10, 3, || calls += 1);
+        assert_eq!(calls, 4, "one warm-up + three timed reps");
+        assert!(ns >= 0.0);
     }
 }

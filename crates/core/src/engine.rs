@@ -62,36 +62,35 @@
 //! stored identity is compared), they just run side by side.
 //!
 //! ```
-//! use expred_core::engine::{Query, QueryEngine};
-//! use expred_core::{IntelSampleConfig, PredictorChoice};
+//! use expred_core::{IntelSampleConfig, PredictorChoice, QueryEngine, QueryRequest};
 //! use expred_table::datasets::{Dataset, DatasetSpec, PROSPER};
 //!
 //! let ds = Dataset::generate(DatasetSpec { rows: 2_000, ..PROSPER }, 7);
 //! let engine = QueryEngine::new();
-//! let query = Query::IntelSample(IntelSampleConfig::experiment1(
+//! let request = QueryRequest::intel_sample(IntelSampleConfig::experiment1(
 //!     PredictorChoice::Fixed("grade".into()),
-//! ));
-//! let first = engine.run(&ds, &query, 42);
-//! // `run` takes `&self`: worker threads share the engine directly.
+//! ))
+//! .with_seed(42);
+//! let first = engine.submit(&ds, &request)?;
+//! // `submit` takes `&self`: worker threads share the engine directly.
 //! let again = std::thread::scope(|s| {
-//!     s.spawn(|| engine.run(&ds, &query, 42)).join().unwrap()
-//! });
+//!     s.spawn(|| engine.submit(&ds, &request)).join().unwrap()
+//! })?;
 //! assert_eq!(first.returned, again.returned);
 //! // The repeat was answered from the result memo: zero new UDF calls.
 //! assert_eq!(engine.session_counts().evaluated, first.counts.evaluated);
 //! assert_eq!(engine.stats().result_hits, 1);
+//! # Ok::<(), expred_core::EngineError>(())
 //! ```
 
-use crate::adaptive::{run_intel_sample_adaptive_ctx, run_intel_sample_iterative_ctx};
-use crate::baselines::{run_learning_ctx, run_multiple_ctx};
+use crate::error::EngineError;
 use crate::optimize::CorrelationModel;
-use crate::pipeline::{
-    run_intel_sample_ctx, run_naive_ctx, run_optimal_ctx, IntelSampleConfig, PredictorChoice,
-    RunOutcome,
-};
+use crate::pipeline::{IntelSampleConfig, RunOutcome};
 use crate::query::QuerySpec;
+use crate::request::{InfeasiblePolicy, QueryRequest};
 use crate::result_memo::{ResultMemoStats, ShardedResultMemo};
 use crate::sampling::SampleSizeRule;
+use crate::strategy::StrategyIdentity;
 use expred_exec::{AdaptiveController, CacheStats, CacheStore, ExecContext, Executor, Sequential};
 use expred_stats::hash::Fnv64;
 use expred_table::datasets::Dataset;
@@ -105,15 +104,22 @@ use std::time::Duration;
 /// Default bound on memoized whole-query outcomes.
 pub const DEFAULT_RESULT_MEMO_CAPACITY: usize = 1024;
 
-/// One query request an engine can serve — every pipeline the workspace
-/// offers, in a hashable, memoizable form.
+/// The legacy closed-world request enum — every built-in pipeline in a
+/// hashable form.
+///
+/// **Deprecated as the primary surface:** new code should construct a
+/// [`QueryRequest`] (open [`crate::strategy::Strategy`] set, typed
+/// errors) and call [`QueryEngine::submit`]. The enum remains as the
+/// [`QueryEngine::run`] compatibility surface and converts loss-lessly
+/// via [`QueryRequest::from_query`]; both routes produce the same memo
+/// identity, so mixed legacy/new traffic shares one result memo.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Query {
-    /// The paper's main algorithm ([`run_intel_sample_ctx`]).
+    /// The paper's main algorithm ([`crate::pipeline::run_intel_sample_ctx`]).
     IntelSample(IntelSampleConfig),
-    /// The naive β-fraction baseline ([`run_naive_ctx`]).
+    /// The naive β-fraction baseline ([`crate::pipeline::run_naive_ctx`]).
     Naive(QuerySpec),
-    /// The perfect-information lower bound ([`run_optimal_ctx`]).
+    /// The perfect-information lower bound ([`crate::pipeline::run_optimal_ctx`]).
     Optimal {
         /// Accuracy contract.
         spec: QuerySpec,
@@ -121,7 +127,7 @@ pub enum Query {
         predictor: String,
     },
     /// The parameter-free adaptive pipeline
-    /// ([`run_intel_sample_adaptive_ctx`]).
+    /// ([`crate::adaptive::run_intel_sample_adaptive_ctx`]).
     Adaptive {
         /// Accuracy contract.
         spec: QuerySpec,
@@ -131,7 +137,7 @@ pub enum Query {
         predictor: String,
     },
     /// The §4.2 iterative estimate/exploit pipeline
-    /// ([`run_intel_sample_iterative_ctx`]).
+    /// ([`crate::adaptive::run_intel_sample_iterative_ctx`]).
     Iterative {
         /// Accuracy contract.
         spec: QuerySpec,
@@ -144,9 +150,9 @@ pub enum Query {
         /// Number of estimate/exploit rounds.
         rounds: usize,
     },
-    /// The `Learning` ML baseline ([`run_learning_ctx`]).
+    /// The `Learning` ML baseline ([`crate::baselines::run_learning_ctx`]).
     Learning(QuerySpec),
-    /// The `Multiple` ML baseline ([`run_multiple_ctx`]).
+    /// The `Multiple` ML baseline ([`crate::baselines::run_multiple_ctx`]).
     Multiple {
         /// Accuracy contract.
         spec: QuerySpec,
@@ -203,13 +209,27 @@ impl AtomicEngineStats {
 
 /// The full identity of one memoized request. Stored alongside the
 /// outcome and compared on every hit, so a 64-bit hash collision can
-/// never serve one query's answers as another's.
+/// never serve one query's answers as another's. Strategy identity is
+/// the full [`StrategyIdentity`] byte stream, so open (out-of-crate)
+/// strategies get the same collision-proof verification as built-ins.
 #[derive(Debug, Clone, PartialEq)]
 struct ResultKey {
     table: u64,
     version: u64,
     seed: u64,
-    query: Query,
+    strategy: StrategyIdentity,
+}
+
+impl ResultKey {
+    /// The 64-bit memo/waiter-table key for this identity.
+    fn hash64(&self) -> u64 {
+        let mut h = Fnv64::new();
+        h.write_u64(self.table);
+        h.write_u64(self.version);
+        h.write_u64(self.seed);
+        h.write_u64(self.strategy.digest64());
+        h.finish()
+    }
 }
 
 /// Where one in-flight request stands, as seen by its followers.
@@ -391,33 +411,60 @@ impl QueryEngine {
         &self.adaptive
     }
 
-    /// Serves one query. Callable from any thread — `&self` is the whole
-    /// point; see the module docs for concurrency semantics.
+    /// Serves one request — the engine's primary entry point. Callable
+    /// from any thread; see the module docs for concurrency semantics.
     ///
-    /// An identical request — same dataset state, same [`Query`], same
-    /// seed — returns the memoized [`RunOutcome`] (its `counts` describe
-    /// the original run) and charges nothing new to the session. A fresh
-    /// request runs the pipeline against the shared row cache and folds
-    /// its bill into [`QueryEngine::session_counts`]. Two threads racing
-    /// on the identical fresh request execute it once: the first becomes
-    /// the leader, the second parks on the in-flight waiter table and
-    /// shares the leader's outcome ([`EngineStats::dedup_joins`]).
-    pub fn run(&self, ds: &Dataset, query: &Query, seed: u64) -> RunOutcome {
+    /// The request's [`crate::strategy::Strategy`] is validated first
+    /// (bad input surfaces as [`EngineError`] before any UDF money is
+    /// spent and before the request is counted). An identical request —
+    /// same dataset state, same strategy identity, same seed — returns
+    /// the memoized [`RunOutcome`] (its `counts` describe the original
+    /// run) and charges nothing new to the session. A fresh request runs
+    /// the strategy against the shared row cache and folds its bill into
+    /// [`QueryEngine::session_counts`]. Two threads racing on the
+    /// identical fresh request execute it once: the first becomes the
+    /// leader, the second parks on the in-flight waiter table and shares
+    /// the leader's outcome ([`EngineStats::dedup_joins`]).
+    ///
+    /// Under [`InfeasiblePolicy::Error`], an outcome whose plan fell back
+    /// to evaluate-everything is reported as [`EngineError::Infeasible`]
+    /// (the fallback outcome itself is still memoized — see the policy's
+    /// docs).
+    pub fn submit(&self, ds: &Dataset, req: &QueryRequest) -> Result<RunOutcome, EngineError> {
+        let strategy = req.strategy();
+        strategy.validate(ds)?;
         // `queries` before the memo probe, `result_hits` after the hit:
         // this increment order is what makes stats snapshots consistent.
         self.stats.queries.fetch_add(1, Ordering::AcqRel);
-        let key = query_key(ds, query, seed);
         let identity = ResultKey {
             table: ds.table.id().as_u64(),
             version: ds.table.version(),
-            seed,
-            query: query.clone(),
+            seed: req.seed(),
+            strategy: StrategyIdentity::of(strategy),
         };
+        let key = identity.hash64();
+        let outcome = self.serve(ds, req, key, identity)?;
+        if req.infeasible_policy() == InfeasiblePolicy::Error && !outcome.plan_feasible {
+            return Err(EngineError::Infeasible {
+                strategy: strategy.name().to_owned(),
+            });
+        }
+        Ok(outcome)
+    }
+
+    /// The memo / cold-race / fresh-execution core of [`QueryEngine::submit`].
+    fn serve(
+        &self,
+        ds: &Dataset,
+        req: &QueryRequest,
+        key: u64,
+        identity: ResultKey,
+    ) -> Result<RunOutcome, EngineError> {
         // The memo verifies the full identity: a colliding key is
         // treated as a miss, never served.
         if let Some(hit) = self.results.get(key, &identity) {
             self.stats.result_hits.fetch_add(1, Ordering::AcqRel);
-            return hit;
+            return Ok(hit);
         }
         // Cold-race suppression: register as leader, or join an
         // identity-verified identical in-flight run as a follower. A hash
@@ -440,8 +487,8 @@ impl QueryEngine {
         match flight {
             Ok(flight) => {
                 // Leader. The guard unregisters the flight when this
-                // frame ends — and aborts it if the pipeline unwinds, so
-                // followers never park forever.
+                // frame ends — and aborts it if the pipeline unwinds (or
+                // the strategy errors), so followers never park forever.
                 let guard = FlightGuard {
                     waiters: &self.inflight,
                     key,
@@ -455,69 +502,57 @@ impl QueryEngine {
                     self.stats.result_hits.fetch_add(1, Ordering::AcqRel);
                     flight.resolve(FlightState::Done(hit.clone()));
                     drop(guard);
-                    return hit;
+                    return Ok(hit);
                 }
-                let outcome = self.execute_fresh(ds, query, seed, key, identity);
+                let outcome = self.execute_fresh(ds, req, key, identity)?;
                 // Publish to the memo first, then release followers,
                 // then (via the guard) unregister: an arrival in any
                 // window finds the answer somewhere.
                 flight.resolve(FlightState::Done(outcome.clone()));
                 drop(guard);
-                outcome
+                Ok(outcome)
             }
             Err(Some(flight)) => match flight.wait() {
                 Some(outcome) => {
                     self.stats.dedup_joins.fetch_add(1, Ordering::AcqRel);
-                    outcome
+                    Ok(outcome)
                 }
                 // The leader aborted; pay full price ourselves.
-                None => self.execute_fresh(ds, query, seed, key, identity),
+                None => self.execute_fresh(ds, req, key, identity),
             },
-            Err(None) => self.execute_fresh(ds, query, seed, key, identity),
+            Err(None) => self.execute_fresh(ds, req, key, identity),
         }
     }
 
-    /// Runs the pipeline for one non-memoized request, folds its bill
+    /// Serves one query through the legacy closed [`Query`] enum.
+    ///
+    /// **Deprecated (panicking variant):** a thin wrapper over
+    /// [`QueryEngine::submit`] via [`QueryRequest::from_query`] —
+    /// byte-identical outcomes, same memo identities — that panics where
+    /// `submit` would return an [`EngineError`]. Kept for source
+    /// compatibility; new code should call `submit`.
+    pub fn run(&self, ds: &Dataset, query: &Query, seed: u64) -> RunOutcome {
+        self.submit(ds, &QueryRequest::from_query(query).with_seed(seed))
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Runs the strategy for one non-memoized request, folds its bill
     /// into the session, and publishes the outcome to the result memo.
+    /// A strategy error is propagated without billing or memoizing.
     fn execute_fresh(
         &self,
         ds: &Dataset,
-        query: &Query,
-        seed: u64,
+        req: &QueryRequest,
         key: u64,
         identity: ResultKey,
-    ) -> RunOutcome {
+    ) -> Result<RunOutcome, EngineError> {
         let outcome = {
             let ctx = self.context();
-            match query {
-                Query::IntelSample(cfg) => run_intel_sample_ctx(ds, cfg, seed, &ctx),
-                Query::Naive(spec) => run_naive_ctx(ds, spec, seed, &ctx),
-                Query::Optimal { spec, predictor } => {
-                    run_optimal_ctx(ds, spec, predictor, seed, &ctx)
-                }
-                Query::Adaptive {
-                    spec,
-                    corr,
-                    predictor,
-                } => run_intel_sample_adaptive_ctx(ds, spec, *corr, predictor, seed, &ctx),
-                Query::Iterative {
-                    spec,
-                    corr,
-                    predictor,
-                    rule,
-                    rounds,
-                } => run_intel_sample_iterative_ctx(
-                    ds, spec, *corr, predictor, *rule, *rounds, seed, &ctx,
-                ),
-                Query::Learning(spec) => run_learning_ctx(ds, spec, seed, &ctx),
-                Query::Multiple { spec, imputations } => {
-                    run_multiple_ctx(ds, spec, *imputations, seed, &ctx)
-                }
-            }
+            req.strategy().execute(ds, req.seed(), &ctx)?
         };
         self.session.absorb(&outcome.counts);
         self.results.insert(key, identity, outcome.clone());
-        outcome
+        Ok(outcome)
     }
 
     /// Cumulative audited counts across every non-memoized query served.
@@ -574,118 +609,10 @@ impl Default for QueryEngine {
     }
 }
 
-/// Fingerprints one request: dataset state + query shape + seed.
-fn query_key(ds: &Dataset, query: &Query, seed: u64) -> u64 {
-    let mut h = Fnv64::new();
-    h.write_u64(ds.table.id().as_u64());
-    h.write_u64(ds.table.version());
-    h.write_u64(seed);
-    match query {
-        Query::IntelSample(cfg) => {
-            h.write_u64(1);
-            spec_key(&mut h, &cfg.spec);
-            rule_key(&mut h, cfg.rule);
-            corr_key(&mut h, cfg.corr);
-            match &cfg.predictor {
-                PredictorChoice::Fixed(col) => {
-                    h.write_u64(1);
-                    h.write_str(col);
-                }
-                PredictorChoice::Auto { label_fraction } => {
-                    h.write_u64(2);
-                    h.write_u64(label_fraction.to_bits());
-                }
-                PredictorChoice::Virtual {
-                    buckets,
-                    label_fraction,
-                } => {
-                    h.write_u64(3);
-                    h.write_u64(*buckets as u64);
-                    h.write_u64(label_fraction.to_bits());
-                }
-            }
-        }
-        Query::Naive(spec) => {
-            h.write_u64(2);
-            spec_key(&mut h, spec);
-        }
-        Query::Optimal { spec, predictor } => {
-            h.write_u64(3);
-            spec_key(&mut h, spec);
-            h.write_str(predictor);
-        }
-        Query::Adaptive {
-            spec,
-            corr,
-            predictor,
-        } => {
-            h.write_u64(4);
-            spec_key(&mut h, spec);
-            corr_key(&mut h, *corr);
-            h.write_str(predictor);
-        }
-        Query::Iterative {
-            spec,
-            corr,
-            predictor,
-            rule,
-            rounds,
-        } => {
-            h.write_u64(5);
-            spec_key(&mut h, spec);
-            corr_key(&mut h, *corr);
-            h.write_str(predictor);
-            rule_key(&mut h, *rule);
-            h.write_u64(*rounds as u64);
-        }
-        Query::Learning(spec) => {
-            h.write_u64(6);
-            spec_key(&mut h, spec);
-        }
-        Query::Multiple { spec, imputations } => {
-            h.write_u64(7);
-            spec_key(&mut h, spec);
-            h.write_u64(*imputations as u64);
-        }
-    }
-    h.finish()
-}
-
-fn spec_key(h: &mut Fnv64, spec: &QuerySpec) {
-    h.write_u64(spec.alpha.to_bits());
-    h.write_u64(spec.beta.to_bits());
-    h.write_u64(spec.rho.to_bits());
-    h.write_u64(spec.cost.retrieve.to_bits());
-    h.write_u64(spec.cost.evaluate.to_bits());
-}
-
-fn rule_key(h: &mut Fnv64, rule: SampleSizeRule) {
-    match rule {
-        SampleSizeRule::Fraction(f) => {
-            h.write_u64(1);
-            h.write_u64(f.to_bits());
-        }
-        SampleSizeRule::Constant(c) => {
-            h.write_u64(2);
-            h.write_u64(c as u64);
-        }
-        SampleSizeRule::TwoThirdPower(p) => {
-            h.write_u64(3);
-            h.write_u64(p.to_bits());
-        }
-    }
-}
-
-fn corr_key(h: &mut Fnv64, corr: CorrelationModel) {
-    h.write_u64(match corr {
-        CorrelationModel::Independent => 1,
-        CorrelationModel::Unknown => 2,
-    });
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::pipeline::PredictorChoice;
     use expred_table::datasets::{DatasetSpec, PROSPER};
 
     fn small_prosper(seed: u64) -> Dataset {

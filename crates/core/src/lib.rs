@@ -22,27 +22,38 @@
 //! * [`engine`] — the session layer: [`QueryEngine`] runs many queries
 //!   against one executor, one cross-query [`expred_exec::CacheStore`],
 //!   and a memo of whole query outcomes. The engine is `Send + Sync`
-//!   with `run(&self)`, so one session serves many worker threads
+//!   with `submit(&self)`, so one session serves many worker threads
 //!   directly ([`result_memo`] holds the lock-striped memo behind it).
+//! * [`request`] / [`strategy`] / [`error`] — the primary query surface:
+//!   a [`QueryRequest`] builder over an open, object-safe
+//!   [`Strategy`] trait (the seven pipelines ship as built-in
+//!   implementations, plus [`strategy::ExprScan`] for
+//!   [`expred_udf::PredicateExpr`] multi-predicate requests), submitted
+//!   via the fallible [`QueryEngine::submit`] — invalid input surfaces
+//!   as a typed [`EngineError`] instead of a panic.
 //!
 //! Every pipeline entry point comes in three flavors: the legacy bare
 //! name (sequential, cache-less — the original audited behavior), a
 //! `*_with(executor)` variant, and the primary `*_ctx(ctx)` variant
 //! taking one [`expred_exec::ExecContext`]. The first two are thin
-//! wrappers over the third.
+//! wrappers over the third; [`QueryEngine::submit`] is the session-level
+//! entry point over all of them.
 
 pub mod adaptive;
 pub mod baselines;
 pub mod column_select;
 pub mod engine;
+pub mod error;
 pub mod execute;
 pub mod extensions;
 pub mod optimize;
 pub mod pipeline;
 pub mod plan;
 pub mod query;
+pub mod request;
 pub mod result_memo;
 pub mod sampling;
+pub mod strategy;
 
 pub use adaptive::{
     run_intel_sample_adaptive, run_intel_sample_adaptive_ctx, run_intel_sample_adaptive_with,
@@ -50,6 +61,7 @@ pub use adaptive::{
 };
 pub use baselines::{run_learning, run_learning_ctx, run_multiple, run_multiple_ctx};
 pub use engine::{EngineStats, Query, QueryEngine};
+pub use error::EngineError;
 pub use execute::{
     execute_plan, execute_plan_ctx, execute_plan_with, execute_plan_with_planner, truth_vector,
     ExecutionResult,
@@ -65,8 +77,10 @@ pub use pipeline::{
 };
 pub use plan::Plan;
 pub use query::QuerySpec;
+pub use request::{InfeasiblePolicy, QueryRequest};
 pub use result_memo::{ResultMemoStats, ShardedResultMemo};
 pub use sampling::{
     adaptive_num_search, adaptive_num_search_ctx, adaptive_num_search_with, sample_groups,
     sample_groups_ctx, sample_groups_with, GroupSample, SampleSizeRule,
 };
+pub use strategy::{Fingerprint, Strategy, StrategyIdentity};

@@ -1,0 +1,581 @@
+//! [`PredicateExpr`]: boolean expressions over expensive UDFs.
+//!
+//! The paper's §5 "multiple predicates" extension — and the natural
+//! serving workload behind it (Kim et al., *Optimizing Query Predicates
+//! with Disjunctions for Column-Oriented Engines*) — is a query whose
+//! `WHERE` clause combines several expensive predicates:
+//! `f1(...) = 1 AND (f2(...) = 1 OR NOT f3(...) = 1)`. This module makes
+//! that a first-class value:
+//!
+//! ```
+//! use expred_udf::{OracleUdf, Pred};
+//!
+//! let expr = Pred::udf(OracleUdf::new("fraud_free"))
+//!     .and(Pred::udf(OracleUdf::new("image_ok")).or(Pred::udf(OracleUdf::new("vip"))));
+//! assert_eq!(expr.leaf_count(), 3);
+//! assert!(expr.fingerprint().is_some(), "oracle leaves are identifiable");
+//! ```
+//!
+//! Three properties make expressions serving-grade:
+//!
+//! * **Derived identity** — [`PredicateExpr::fingerprint`] folds the
+//!   operator tree and every leaf's [`UdfId`] into one id, so a whole
+//!   expression is cacheable/memoizable exactly like a single UDF (it
+//!   even implements [`BooleanUdf`] itself).
+//! * **Session-cached evaluation** — [`evaluate_expr_batch_ctx`] gives
+//!   every *leaf* its own audited [`UdfInvoker`] over the shared
+//!   [`expred_exec::CacheStore`] namespace, so a leaf some earlier query
+//!   already paid for arrives as a free
+//!   [`crate::CostCounts::reuse_hits`], whatever expression it appeared
+//!   in back then.
+//! * **Cost-ordered short-circuiting** — inside each `AND`/`OR`, child
+//!   subtrees are evaluated cheapest-first ([`PredicateExpr::cost`]) in
+//!   staged batches: survivors of one stage form the next stage's batch,
+//!   exactly like the column-store disjunction evaluation strategy.
+//!   Answers are independent of the order (the predicates are
+//!   deterministic); only the bill changes.
+
+use crate::cost::CostTracker;
+use crate::invoker::UdfInvoker;
+use crate::udf::{BooleanUdf, UdfId};
+use expred_exec::{ExecContext, Executor};
+use expred_table::Table;
+use std::sync::Arc;
+
+/// Short alias so expressions read as predicates:
+/// `Pred::udf(...).and(...).not()`.
+pub type Pred = PredicateExpr;
+
+/// Default per-evaluation cost of a leaf, when none is declared.
+pub const DEFAULT_LEAF_COST: f64 = 1.0;
+
+/// A boolean expression over expensive UDF predicates — see the module
+/// docs. Opaque on purpose: the only way to build one is through the
+/// combinators, which maintain the tree invariants (`AND`/`OR` nodes
+/// always have at least one child).
+#[derive(Clone)]
+pub struct PredicateExpr {
+    node: Node,
+}
+
+#[derive(Clone)]
+enum Node {
+    Leaf { udf: Arc<dyn BooleanUdf>, cost: f64 },
+    Not(Box<Node>),
+    And(Vec<Node>),
+    Or(Vec<Node>),
+}
+
+impl PredicateExpr {
+    /// A leaf predicate with the default evaluation cost.
+    pub fn udf(udf: impl BooleanUdf + 'static) -> Self {
+        Self::udf_with_cost(udf, DEFAULT_LEAF_COST)
+    }
+
+    /// A leaf predicate with a declared per-evaluation cost, used only to
+    /// order short-circuit stages (cheap predicates run first). The cost
+    /// does not enter the expression's identity: evaluation order cannot
+    /// change answers.
+    pub fn udf_with_cost(udf: impl BooleanUdf + 'static, cost: f64) -> Self {
+        Self::shared_with_cost(Arc::new(udf), cost)
+    }
+
+    /// A leaf over an already-shared UDF.
+    pub fn shared_with_cost(udf: Arc<dyn BooleanUdf>, cost: f64) -> Self {
+        Self {
+            node: Node::Leaf { udf, cost },
+        }
+    }
+
+    /// `self AND other` (flattens nested conjunctions).
+    pub fn and(self, other: PredicateExpr) -> Self {
+        let mut parts = match self.node {
+            Node::And(parts) => parts,
+            node => vec![node],
+        };
+        match other.node {
+            Node::And(mut more) => parts.append(&mut more),
+            node => parts.push(node),
+        }
+        Self {
+            node: Node::And(parts),
+        }
+    }
+
+    /// `self OR other` (flattens nested disjunctions).
+    pub fn or(self, other: PredicateExpr) -> Self {
+        let mut parts = match self.node {
+            Node::Or(parts) => parts,
+            node => vec![node],
+        };
+        match other.node {
+            Node::Or(mut more) => parts.append(&mut more),
+            node => parts.push(node),
+        }
+        Self {
+            node: Node::Or(parts),
+        }
+    }
+
+    /// `NOT self` (double negation cancels). Also available as the `!`
+    /// operator via the `std::ops::Not` impl.
+    #[allow(clippy::should_implement_trait)] // it does — this is the no-import combinator spelling
+    pub fn not(self) -> Self {
+        !self
+    }
+
+    /// Number of leaf predicates in the tree.
+    pub fn leaf_count(&self) -> usize {
+        fn walk(node: &Node) -> usize {
+            match node {
+                Node::Leaf { .. } => 1,
+                Node::Not(inner) => walk(inner),
+                Node::And(parts) | Node::Or(parts) => parts.iter().map(walk).sum(),
+            }
+        }
+        walk(&self.node)
+    }
+
+    /// Static per-row cost estimate: a leaf's declared cost; a
+    /// negation's inner cost; a conjunction/disjunction's *sum* of child
+    /// costs (the worst case, before short-circuiting). Used to order
+    /// siblings cheapest-first.
+    pub fn cost(&self) -> f64 {
+        node_cost(&self.node)
+    }
+
+    /// Whether every leaf cost is finite and nonnegative.
+    pub fn costs_valid(&self) -> bool {
+        fn walk(node: &Node) -> bool {
+            match node {
+                Node::Leaf { cost, .. } => cost.is_finite() && *cost >= 0.0,
+                Node::Not(inner) => walk(inner),
+                Node::And(parts) | Node::Or(parts) => parts.iter().all(walk),
+            }
+        }
+        walk(&self.node)
+    }
+
+    /// The derived identity of the whole expression, or `None` if any
+    /// leaf UDF opted out of identity ([`BooleanUdf::fingerprint`]).
+    ///
+    /// Sibling order is significant (as for [`crate::ConjunctionUdf`]):
+    /// `a.and(b)` and `b.and(a)` answer identically but carry distinct
+    /// ids — the id never claims an equivalence it cannot prove. Leaf
+    /// costs are excluded: ordering cannot change answers.
+    pub fn fingerprint(&self) -> Option<UdfId> {
+        fn walk(node: &Node) -> Option<UdfId> {
+            match node {
+                Node::Leaf { udf, .. } => udf.fingerprint(),
+                Node::Not(inner) => Some(UdfId::from_parts("expr.not", &[walk(inner)?.as_u64()])),
+                Node::And(parts) => {
+                    let ids = part_ids(parts)?;
+                    Some(UdfId::from_parts("expr.and", &ids))
+                }
+                Node::Or(parts) => {
+                    let ids = part_ids(parts)?;
+                    Some(UdfId::from_parts("expr.or", &ids))
+                }
+            }
+        }
+        fn part_ids(parts: &[Node]) -> Option<Vec<u64>> {
+            parts
+                .iter()
+                .map(|p| walk(p).map(|id| id.as_u64()))
+                .collect()
+        }
+        walk(&self.node)
+    }
+}
+
+/// `NOT expr` (double negation cancels). `std::ops::Not` is in the
+/// prelude, so this is both `!expr` and the combinator `expr.not()`.
+impl std::ops::Not for PredicateExpr {
+    type Output = PredicateExpr;
+
+    fn not(self) -> PredicateExpr {
+        Self {
+            node: match self.node {
+                Node::Not(inner) => *inner,
+                node => Node::Not(Box::new(node)),
+            },
+        }
+    }
+}
+
+fn node_cost(node: &Node) -> f64 {
+    match node {
+        Node::Leaf { cost, .. } => *cost,
+        Node::Not(inner) => node_cost(inner),
+        Node::And(parts) | Node::Or(parts) => parts.iter().map(node_cost).sum(),
+    }
+}
+
+/// Child evaluation order: cheapest subtree first, original order on
+/// ties (stable sort), so evaluation is deterministic.
+fn cost_order(parts: &[Node]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..parts.len()).collect();
+    order.sort_by(|&a, &b| {
+        node_cost(&parts[a])
+            .partial_cmp(&node_cost(&parts[b]))
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    order
+}
+
+impl BooleanUdf for PredicateExpr {
+    /// Per-row evaluation with short-circuiting in *stored* sibling
+    /// order (no caching, no auditing — the expression acts as one
+    /// opaque UDF, and this path is a hot loop, so it skips the
+    /// cost-ordering bookkeeping, which cannot change answers anyway).
+    /// Batched, audited, session-cached, cost-ordered evaluation is
+    /// [`evaluate_expr_batch_ctx`].
+    fn evaluate(&self, table: &Table, row: usize) -> bool {
+        fn walk(node: &Node, table: &Table, row: usize) -> bool {
+            match node {
+                Node::Leaf { udf, .. } => udf.evaluate(table, row),
+                Node::Not(inner) => !walk(inner, table, row),
+                Node::And(parts) => parts.iter().all(|p| walk(p, table, row)),
+                Node::Or(parts) => parts.iter().any(|p| walk(p, table, row)),
+            }
+        }
+        walk(&self.node, table, row)
+    }
+
+    fn name(&self) -> &str {
+        "expr"
+    }
+
+    fn fingerprint(&self) -> Option<UdfId> {
+        PredicateExpr::fingerprint(self)
+    }
+
+    fn required_columns(&self) -> Vec<String> {
+        fn walk(node: &Node, out: &mut Vec<String>) {
+            match node {
+                Node::Leaf { udf, .. } => out.extend(udf.required_columns()),
+                Node::Not(inner) => walk(inner, out),
+                Node::And(parts) | Node::Or(parts) => parts.iter().for_each(|p| walk(p, out)),
+            }
+        }
+        let mut out = Vec::new();
+        walk(&self.node, &mut out);
+        out
+    }
+}
+
+impl std::fmt::Debug for PredicateExpr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        fn walk(node: &Node, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match node {
+                Node::Leaf { udf, cost } => write!(f, "{}@{cost}", udf.name()),
+                Node::Not(inner) => {
+                    write!(f, "not(")?;
+                    walk(inner, f)?;
+                    write!(f, ")")
+                }
+                Node::And(parts) | Node::Or(parts) => {
+                    let op = if matches!(node, Node::And(_)) {
+                        "and"
+                    } else {
+                        "or"
+                    };
+                    write!(f, "{op}(")?;
+                    for (i, p) in parts.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, ", ")?;
+                        }
+                        walk(p, f)?;
+                    }
+                    write!(f, ")")
+                }
+            }
+        }
+        walk(&self.node, f)
+    }
+}
+
+/// Evaluates `expr` over `rows` in staged, audited batches: every leaf
+/// gets its own [`UdfInvoker`] charging to `tracker` (and borrowing the
+/// context's session cache, when present); inside each `AND`/`OR`,
+/// children run cheapest-first over the surviving/undecided rows only.
+/// Answers come back in input order and are identical across executor
+/// backends and orderings.
+///
+/// Retrieval is *not* charged here — the caller decided to touch the
+/// rows; each leaf invocation is charged one evaluation (or arrives as a
+/// memo/reuse hit).
+pub fn evaluate_expr_batch_ctx(
+    expr: &PredicateExpr,
+    table: &Table,
+    rows: &[usize],
+    tracker: &CostTracker,
+    ctx: &ExecContext<'_>,
+) -> Vec<bool> {
+    eval_node(&expr.node, table, rows, tracker, ctx)
+}
+
+/// [`evaluate_expr_batch_ctx`] on a bare executor (no session cache).
+pub fn evaluate_expr_batch(
+    expr: &PredicateExpr,
+    table: &Table,
+    rows: &[usize],
+    tracker: &CostTracker,
+    executor: &dyn Executor,
+) -> Vec<bool> {
+    evaluate_expr_batch_ctx(expr, table, rows, tracker, &ExecContext::new(executor))
+}
+
+fn eval_node(
+    node: &Node,
+    table: &Table,
+    rows: &[usize],
+    tracker: &CostTracker,
+    ctx: &ExecContext<'_>,
+) -> Vec<bool> {
+    match node {
+        Node::Leaf { udf, .. } => {
+            let invoker =
+                UdfInvoker::with_tracker_and_context(udf.as_ref(), table, tracker.clone(), ctx);
+            invoker.evaluate_batch(ctx.executor, rows)
+        }
+        Node::Not(inner) => eval_node(inner, table, rows, tracker, ctx)
+            .into_iter()
+            .map(|v| !v)
+            .collect(),
+        Node::And(parts) => {
+            // Positions (into `rows`) still alive after the stages so far.
+            let mut alive: Vec<usize> = (0..rows.len()).collect();
+            for part in cost_order(parts) {
+                if alive.is_empty() {
+                    break;
+                }
+                let batch: Vec<usize> = alive.iter().map(|&pos| rows[pos]).collect();
+                let verdicts = eval_node(&parts[part], table, &batch, tracker, ctx);
+                alive = alive
+                    .into_iter()
+                    .zip(verdicts)
+                    .filter(|&(_, passed)| passed)
+                    .map(|(pos, _)| pos)
+                    .collect();
+            }
+            let mut answers = vec![false; rows.len()];
+            for pos in alive {
+                answers[pos] = true;
+            }
+            answers
+        }
+        Node::Or(parts) => {
+            // Positions not yet accepted by any earlier (cheaper) child.
+            let mut undecided: Vec<usize> = (0..rows.len()).collect();
+            let mut answers = vec![false; rows.len()];
+            for part in cost_order(parts) {
+                if undecided.is_empty() {
+                    break;
+                }
+                let batch: Vec<usize> = undecided.iter().map(|&pos| rows[pos]).collect();
+                let verdicts = eval_node(&parts[part], table, &batch, tracker, ctx);
+                let mut rest = Vec::with_capacity(undecided.len());
+                for (pos, passed) in undecided.into_iter().zip(verdicts) {
+                    if passed {
+                        answers[pos] = true;
+                    } else {
+                        rest.push(pos);
+                    }
+                }
+                undecided = rest;
+            }
+            answers
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::udf::OracleUdf;
+    use expred_table::{DataType, Field, Schema, Value};
+
+    fn table(cols: &[(&str, &[bool])]) -> Table {
+        let schema = Schema::new(
+            cols.iter()
+                .map(|(name, _)| Field::new(*name, DataType::Bool))
+                .collect(),
+        );
+        let n = cols[0].1.len();
+        let rows = (0..n)
+            .map(|r| cols.iter().map(|(_, vals)| Value::Bool(vals[r])).collect())
+            .collect();
+        Table::from_rows(schema, rows).unwrap()
+    }
+
+    fn leaf(col: &str) -> PredicateExpr {
+        Pred::udf(OracleUdf::new(col))
+    }
+
+    #[test]
+    fn combinators_compute_boolean_semantics() {
+        let a = [true, true, false, false];
+        let b = [true, false, true, false];
+        let t = table(&[("a", &a), ("b", &b)]);
+        let rows: Vec<usize> = (0..4).collect();
+        let tracker = CostTracker::new();
+        type Semantics = Box<dyn Fn(bool, bool) -> bool>;
+        let cases: Vec<(PredicateExpr, Semantics)> = vec![
+            (leaf("a").and(leaf("b")), Box::new(|x, y| x && y)),
+            (leaf("a").or(leaf("b")), Box::new(|x, y| x || y)),
+            (leaf("a").not(), Box::new(|x, _| !x)),
+            (leaf("a").and(leaf("b").not()), Box::new(|x, y| x && !y)),
+            (leaf("a").or(leaf("b")).not(), Box::new(|x, y| !(x || y))),
+        ];
+        for (expr, want) in cases {
+            let got = evaluate_expr_batch(&expr, &t, &rows, &tracker, &expred_exec::Sequential);
+            let expect: Vec<bool> = a.iter().zip(&b).map(|(&x, &y)| want(x, y)).collect();
+            assert_eq!(got, expect, "{expr:?}");
+            // Per-row evaluation (the BooleanUdf view) agrees.
+            for (&row, &e) in rows.iter().zip(&expect) {
+                assert_eq!(expr.evaluate(&t, row), e, "{expr:?} row {row}");
+            }
+        }
+    }
+
+    #[test]
+    fn and_short_circuits_cheapest_first() {
+        // `cheap` rejects half the rows; `pricey` must only be invoked on
+        // the survivors, whichever side of the AND it was written on.
+        let cheap_vals = [true, false, true, false, true, false];
+        let pricey_vals = [true, true, false, false, true, true];
+        let t = table(&[("cheap", &cheap_vals), ("pricey", &pricey_vals)]);
+        let rows: Vec<usize> = (0..6).collect();
+        for expr in [
+            Pred::udf_with_cost(OracleUdf::new("pricey"), 10.0)
+                .and(Pred::udf_with_cost(OracleUdf::new("cheap"), 1.0)),
+            Pred::udf_with_cost(OracleUdf::new("cheap"), 1.0)
+                .and(Pred::udf_with_cost(OracleUdf::new("pricey"), 10.0)),
+        ] {
+            let tracker = CostTracker::new();
+            let answers = evaluate_expr_batch(&expr, &t, &rows, &tracker, &expred_exec::Sequential);
+            let want: Vec<bool> = cheap_vals
+                .iter()
+                .zip(&pricey_vals)
+                .map(|(&c, &p)| c && p)
+                .collect();
+            assert_eq!(answers, want);
+            // 6 cheap probes + 3 survivors' pricey probes.
+            assert_eq!(tracker.snapshot().evaluated, 6 + 3, "{expr:?}");
+        }
+    }
+
+    #[test]
+    fn or_skips_rows_an_earlier_child_accepted() {
+        let cheap_vals = [true, false, true, false];
+        let pricey_vals = [false, true, true, false];
+        let t = table(&[("cheap", &cheap_vals), ("pricey", &pricey_vals)]);
+        let rows: Vec<usize> = (0..4).collect();
+        let expr = Pred::udf_with_cost(OracleUdf::new("pricey"), 10.0)
+            .or(Pred::udf_with_cost(OracleUdf::new("cheap"), 1.0));
+        let tracker = CostTracker::new();
+        let answers = evaluate_expr_batch(&expr, &t, &rows, &tracker, &expred_exec::Sequential);
+        assert_eq!(answers, vec![true, true, true, false]);
+        // 4 cheap probes; only the 2 cheap-rejected rows reach pricey.
+        assert_eq!(tracker.snapshot().evaluated, 4 + 2);
+    }
+
+    #[test]
+    fn fingerprints_derive_and_poison() {
+        let a = leaf("a");
+        let b = leaf("b");
+        let ab = a.clone().and(b.clone());
+        let ba = b.clone().and(a.clone());
+        assert!(ab.fingerprint().is_some());
+        assert_ne!(ab.fingerprint(), ba.fingerprint(), "order is identity");
+        assert_ne!(
+            a.clone().and(b.clone()).fingerprint(),
+            a.clone().or(b.clone()).fingerprint(),
+            "operator is identity"
+        );
+        assert_ne!(a.clone().not().fingerprint(), a.fingerprint());
+        assert_eq!(
+            a.clone().not().not().fingerprint(),
+            a.fingerprint(),
+            "double negation cancels"
+        );
+        // Costs are not identity: reordering cannot change answers.
+        assert_eq!(
+            Pred::udf_with_cost(OracleUdf::new("a"), 5.0)
+                .and(leaf("b"))
+                .fingerprint(),
+            ab.fingerprint()
+        );
+        struct Anon;
+        impl BooleanUdf for Anon {
+            fn evaluate(&self, _: &Table, _: usize) -> bool {
+                true
+            }
+        }
+        assert_eq!(leaf("a").and(Pred::udf(Anon)).fingerprint(), None);
+    }
+
+    #[test]
+    fn flattening_and_counts() {
+        let e = leaf("a").and(leaf("b")).and(leaf("c").or(leaf("d")));
+        assert_eq!(e.leaf_count(), 4);
+        assert_eq!(e.cost(), 4.0);
+        assert!(e.costs_valid());
+        assert!(!Pred::udf_with_cost(OracleUdf::new("a"), f64::NAN).costs_valid());
+        assert!(!Pred::udf_with_cost(OracleUdf::new("a"), -1.0).costs_valid());
+        let debug = format!("{e:?}");
+        assert!(debug.starts_with("and("), "{debug}");
+        assert!(debug.contains("or("), "{debug}");
+    }
+
+    #[test]
+    fn session_cache_reuses_leaves_across_expressions() {
+        let a = [true, false, true, false];
+        let b = [true, true, false, false];
+        let t = table(&[("a", &a), ("b", &b)]);
+        let rows: Vec<usize> = (0..4).collect();
+        let store = expred_exec::CacheStore::new();
+        let ctx = expred_exec::ExecContext::sequential().with_cache(&store);
+
+        let first = CostTracker::new();
+        evaluate_expr_batch_ctx(&leaf("a").and(leaf("b")), &t, &rows, &first, &ctx);
+        assert_eq!(first.snapshot().reuse_hits, 0, "cold session");
+
+        // A *different* expression over the same leaves: every leaf probe
+        // the conjunction already paid for arrives as reuse.
+        let second = CostTracker::new();
+        let answers =
+            evaluate_expr_batch_ctx(&leaf("b").or(leaf("a").not()), &t, &rows, &second, &ctx);
+        let want: Vec<bool> = a.iter().zip(&b).map(|(&x, &y)| y || !x).collect();
+        assert_eq!(answers, want);
+        let counts = second.snapshot();
+        assert!(counts.reuse_hits > 0, "leaves must be shared: {counts:?}");
+        // The AND evaluated `a` on all 4 rows and `b` on the 2 survivors;
+        // the second expression demands b on 4 and a on the b-rejected 2.
+        assert_eq!(counts.evaluated + counts.reuse_hits, 4 + 2);
+    }
+
+    #[test]
+    fn backends_agree() {
+        let n = 200;
+        let a: Vec<bool> = (0..n).map(|i| i % 3 != 0).collect();
+        let b: Vec<bool> = (0..n).map(|i| i % 5 != 0).collect();
+        let c: Vec<bool> = (0..n).map(|i| i % 7 == 0).collect();
+        let t = table(&[("a", &a), ("b", &b), ("c", &c)]);
+        let rows: Vec<usize> = (0..n).rev().collect();
+        let expr = leaf("a").and(leaf("b").or(leaf("c").not())).or(leaf("c"));
+        let seq_tracker = CostTracker::new();
+        let want = evaluate_expr_batch(&expr, &t, &rows, &seq_tracker, &expred_exec::Sequential);
+        let par_tracker = CostTracker::new();
+        let got = evaluate_expr_batch(
+            &expr,
+            &t,
+            &rows,
+            &par_tracker,
+            &expred_exec::Parallel::with_threads(4),
+        );
+        assert_eq!(want, got);
+        assert_eq!(seq_tracker.snapshot(), par_tracker.snapshot());
+    }
+}

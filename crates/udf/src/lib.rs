@@ -16,11 +16,17 @@
 //!   memo, and across queries through a borrowed
 //!   [`expred_exec::CacheHandle`] when running inside a session
 //!   ([`UdfInvoker::with_context`]).
+//! * [`expr`] — [`PredicateExpr`] (alias [`Pred`]): and/or/not
+//!   expressions over UDFs with derived cache identities, evaluated in
+//!   staged batches with cost-ordered short-circuiting through the
+//!   session cache ([`evaluate_expr_batch_ctx`]).
 
 pub mod cost;
+pub mod expr;
 pub mod invoker;
 pub mod udf;
 
 pub use cost::{CostCounts, CostModel, CostTracker};
+pub use expr::{evaluate_expr_batch, evaluate_expr_batch_ctx, Pred, PredicateExpr};
 pub use invoker::{cache_namespace, UdfInvoker};
 pub use udf::{BooleanUdf, ConjunctionUdf, NoisyUdf, OracleUdf, SlowUdf, UdfId};

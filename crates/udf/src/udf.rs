@@ -67,6 +67,14 @@ pub trait BooleanUdf: Send + Sync {
     fn fingerprint(&self) -> Option<UdfId> {
         None
     }
+
+    /// Table columns this UDF reads, if it can declare them — lets a
+    /// fallible surface reject a mistyped column as a typed error before
+    /// any money is spent, instead of panicking mid-evaluation. The
+    /// default declares nothing (no pre-validation possible).
+    fn required_columns(&self) -> Vec<String> {
+        Vec::new()
+    }
 }
 
 /// The evaluation-protocol UDF: answers from a hidden boolean column.
@@ -108,6 +116,10 @@ impl BooleanUdf for OracleUdf {
             &[UdfId::str_part(&self.column)],
         ))
     }
+
+    fn required_columns(&self) -> Vec<String> {
+        vec![self.column.clone()]
+    }
 }
 
 /// Wraps a UDF with simulated per-call latency, for wall-clock experiments
@@ -138,6 +150,10 @@ impl<U: BooleanUdf> BooleanUdf for SlowUdf<U> {
     /// UDF's cache namespace — a warmed cache even absorbs the delay.
     fn fingerprint(&self) -> Option<UdfId> {
         self.inner.fingerprint()
+    }
+
+    fn required_columns(&self) -> Vec<String> {
+        self.inner.required_columns()
     }
 }
 
@@ -200,6 +216,10 @@ impl<U: BooleanUdf> BooleanUdf for NoisyUdf<U> {
             &[inner.as_u64(), self.flip_probability.to_bits(), self.seed],
         ))
     }
+
+    fn required_columns(&self) -> Vec<String> {
+        self.inner.required_columns()
+    }
 }
 
 /// Conjunction of several UDFs — the "multiple predicates" extension
@@ -244,6 +264,13 @@ impl BooleanUdf for ConjunctionUdf {
             parts.push(p.fingerprint()?.as_u64());
         }
         Some(UdfId::from_parts("conjunction", &parts))
+    }
+
+    fn required_columns(&self) -> Vec<String> {
+        self.parts
+            .iter()
+            .flat_map(|p| p.required_columns())
+            .collect()
     }
 }
 

@@ -9,6 +9,7 @@
 //! contestants on the calibrated Lending-Club clone and then show the §5
 //! budget extension: how much recall a fixed spend buys.
 
+use expred::cli::ExampleCli;
 use expred::core::extensions::maximize_recall_under_budget;
 use expred::core::{
     run_intel_sample, run_naive, run_optimal, IntelSampleConfig, PredictorChoice, QuerySpec,
@@ -17,6 +18,11 @@ use expred::table::datasets::{Dataset, LENDING_CLUB};
 use expred::udf::CostModel;
 
 fn main() {
+    ExampleCli::without_backend_flags(
+        "credit_screening",
+        "the paper's Lending-Club scenario: three contestants + the budget extension",
+    )
+    .parse_backend();
     let ds = Dataset::generate(LENDING_CLUB, 2026);
     let spec = QuerySpec::paper_default();
     println!(

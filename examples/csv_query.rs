@@ -22,6 +22,16 @@ use std::io::BufReader;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!(
+            "approximate UDF selection over a CSV file\n\n\
+             usage: cargo run --release --example csv_query -- \\\n\
+             \x20   [path.csv label_column [alpha beta rho]]\n\n\
+             With no arguments, writes the Prosper clone to a temporary CSV\n\
+             first, then queries it."
+        );
+        return;
+    }
     let (path, label, alpha, beta, rho) = match args.len() {
         0 => {
             // Self-contained demo: materialize a clone as CSV.
@@ -85,7 +95,14 @@ fn main() {
         seed: 0,
     };
 
-    let spec = QuerySpec::new(alpha, beta, rho, CostModel::PAPER_DEFAULT);
+    // User-supplied contract: validate fallibly instead of panicking.
+    let spec = match QuerySpec::try_new(alpha, beta, rho, CostModel::PAPER_DEFAULT) {
+        Ok(spec) => spec,
+        Err(err) => {
+            eprintln!("{err}");
+            std::process::exit(2);
+        }
+    };
     if label != LABEL_COLUMN {
         eprintln!(
             "note: this demo expects the UDF answers in a column named {LABEL_COLUMN:?}; \

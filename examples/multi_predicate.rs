@@ -9,35 +9,30 @@
 //! image check costs twice the fraud check. The joint optimizer decides,
 //! per correlation group, whether to return blindly, evaluate one
 //! predicate and assume the other, or evaluate both (short-circuited).
-//! The demo then runs the conjunction over a synthetic table through the
-//! `expred-exec` runtime — staged, batched short-circuiting; with
-//! `--parallel` each stage fans out across scoped worker threads, and
-//! with `--pool` through a persistent work-stealing `WorkerPool`.
+//!
+//! The demo then runs the predicates themselves as first-class
+//! [`PredicateExpr`] requests through a `QueryEngine` session: the
+//! conjunction is submitted as one `QueryRequest::expr_scan`, evaluated
+//! in staged batches with the cheap predicate first; a follow-up
+//! *disjunction* over the same predicates reuses every leaf answer the
+//! conjunction already paid for, straight from the session cache.
 
-use expred::core::extensions::{
-    evaluate_conjunction_batch, solve_multi_predicate, MultiAction, MultiCost, PredicatePairGroup,
-};
-use expred::exec::{Executor, Parallel, Sequential, WorkerPool};
+use expred::cli::ExampleCli;
+use expred::core::extensions::{solve_multi_predicate, MultiAction, MultiCost, PredicatePairGroup};
+use expred::core::QueryRequest;
 use expred::stats::Prng;
+use expred::table::datasets::DatasetSpec;
+use expred::table::datasets::PROSPER;
 use expred::table::{DataType, Field, Schema, Table, Value};
-use expred::udf::{ConjunctionUdf, CostTracker, OracleUdf};
+use expred::udf::{CostModel, OracleUdf, Pred};
 
 fn main() {
-    let executor: Box<dyn Executor> = if std::env::args().any(|a| a == "--pool") {
-        let backend = WorkerPool::new();
-        println!(
-            "executor backend: worker_pool ({} persistent workers)",
-            backend.threads()
-        );
-        Box::new(backend)
-    } else if std::env::args().any(|a| a == "--parallel") {
-        let backend = Parallel::new();
-        println!("executor backend: parallel ({} threads)", backend.threads());
-        Box::new(backend)
-    } else {
-        println!("executor backend: sequential (pass --parallel or --pool to fan out)");
-        Box::new(Sequential)
-    };
+    let backend = ExampleCli::new(
+        "multi_predicate",
+        "two chained expensive predicates: joint planning + expression requests",
+    )
+    .parse_backend();
+    println!("{}", backend.banner());
     // Groups from a hypothetical correlated attribute: (size, s1, s2).
     let groups = vec![
         PredicatePairGroup {
@@ -102,8 +97,7 @@ fn main() {
         100.0 * (1.0 - plan.expected_cost / naive)
     );
 
-    // Runtime demo: evaluate the conjunction itself over a synthetic
-    // table, stage by stage, through the chosen executor backend.
+    // Runtime demo: the conjunction as a first-class expression request.
     let schema = Schema::new(vec![
         Field::new("fraud_free", DataType::Bool),
         Field::new("image_ok", DataType::Bool),
@@ -121,25 +115,56 @@ fn main() {
                 .unwrap();
         }
     }
-    let conjunction = ConjunctionUdf::new(vec![
-        Box::new(OracleUdf::new("fraud_free")),
-        Box::new(OracleUdf::new("image_ok")),
-    ]);
-    let tracker = CostTracker::new();
-    let rows: Vec<usize> = (0..table.num_rows()).collect();
-    let answers =
-        evaluate_conjunction_batch(&conjunction, &table, &rows, &tracker, executor.as_ref());
-    let passed = answers.iter().filter(|&&a| a).count();
-    let counts = tracker.snapshot();
+    let num_rows = table.num_rows();
+    let ds = expred::table::datasets::Dataset {
+        spec: DatasetSpec {
+            rows: num_rows,
+            ..PROSPER
+        },
+        table,
+        seed: 7,
+    };
+    let engine = backend.engine();
+    // Declared costs order the stages: the 2x-cheaper fraud check runs
+    // first, the image check only on its survivors.
+    let fraud_free = || Pred::udf_with_cost(OracleUdf::new("fraud_free"), 2.0);
+    let image_ok = || Pred::udf_with_cost(OracleUdf::new("image_ok"), 4.0);
+
+    let conjunction = engine
+        .submit(
+            &ds,
+            &QueryRequest::expr_scan(fraud_free().and(image_ok()), CostModel::PAPER_DEFAULT),
+        )
+        .expect("a fingerprinted expression over existing columns");
     println!(
-        "\nstaged batched evaluation over {} tuples: {} passed both predicates",
-        rows.len(),
-        passed
+        "\nexpression request 1: fraud_free AND image_ok over {num_rows} tuples \
+         -> {} passed",
+        conjunction.returned.len()
     );
-    println!("bill breakdown: {counts}");
+    println!("  bill: {}", conjunction.counts);
     println!(
-        "conjunct invocations: {} (vs {} without stage-wise short-circuiting)",
-        counts.evaluated,
-        2 * rows.len()
+        "  conjunct invocations: {} (vs {} without stage-wise short-circuiting)",
+        conjunction.counts.evaluated,
+        2 * num_rows
     );
+
+    // A different expression over the same predicates: every leaf answer
+    // the conjunction paid for arrives as free cross-query reuse.
+    let disjunction = engine
+        .submit(
+            &ds,
+            &QueryRequest::expr_scan(fraud_free().or(image_ok()), CostModel::PAPER_DEFAULT),
+        )
+        .expect("valid request");
+    println!(
+        "expression request 2: fraud_free OR image_ok -> {} passed",
+        disjunction.returned.len()
+    );
+    println!(
+        "  bill: {}  <- the session cache pre-paid the shared leaves",
+        disjunction.counts
+    );
+
+    println!("\nsession totals: {}", engine.session_counts());
+    println!("engine:         {:?}", engine.stats());
 }

@@ -13,32 +13,24 @@
 //! through the `expred-exec` parallel backend — same answer and same
 //! bill, batched across worker threads.
 
+use expred::cli::ExampleCli;
 use expred::core::{
     execute_plan_with, sample_groups_with, solve_estimated, truth_vector, CorrelationModel,
     QuerySpec, SampleSizeRule,
 };
-use expred::exec::{Executor, Parallel, Sequential, WorkerPool};
 use expred::ml::metrics::precision_recall;
 use expred::stats::Prng;
 use expred::table::{DataType, Field, Schema, Table, Value};
 use expred::udf::{CostModel, OracleUdf, UdfInvoker};
 
 fn main() {
-    let executor: Box<dyn Executor> = if std::env::args().any(|a| a == "--pool") {
-        let backend = WorkerPool::new();
-        println!(
-            "executor backend: worker_pool ({} persistent workers)",
-            backend.threads()
-        );
-        Box::new(backend)
-    } else if std::env::args().any(|a| a == "--parallel") {
-        let backend = Parallel::new();
-        println!("executor backend: parallel ({} threads)", backend.threads());
-        Box::new(backend)
-    } else {
-        println!("executor backend: sequential (pass --parallel or --pool to fan out)");
-        Box::new(Sequential)
-    };
+    let backend = ExampleCli::new(
+        "quickstart",
+        "the paper's running example: approximate an expensive-predicate selection",
+    )
+    .parse_backend();
+    println!("{}", backend.banner());
+    let executor = backend.executor();
     // Build the example relation: 3000 tuples, attribute A in {1,2,3} with
     // selectivities 0.9 / 0.5 / 0.1 for the hidden predicate.
     let schema = Schema::new(vec![
@@ -60,7 +52,8 @@ fn main() {
     // audited by the invoker (every retrieval and evaluation is charged).
     let udf = OracleUdf::new("good_credit");
     let invoker = UdfInvoker::new(&udf, &table);
-    let spec = QuerySpec::new(0.9, 0.9, 0.9, CostModel::PAPER_DEFAULT);
+    let spec =
+        QuerySpec::try_new(0.9, 0.9, 0.9, CostModel::PAPER_DEFAULT).expect("contract in range");
 
     // Step 1 — estimate correlations: group by A and sample 5%.
     let groups = table.group_by("a").expect("column a exists");

@@ -1,10 +1,10 @@
 //! Concurrent sessions: one engine, eight worker threads, one bill.
 //!
 //! ```text
-//! cargo run --release --example run_concurrent
+//! cargo run --release --example run_concurrent [-- --parallel | --pool]
 //! ```
 //!
-//! `QueryEngine::run` takes `&self` and the engine is `Sync`, so a
+//! `QueryEngine::submit` takes `&self` and the engine is `Sync`, so a
 //! serving tier shares one engine — one executor, one row cache, one
 //! result memo — across all of its worker threads directly. Three
 //! serving shapes, one engine each:
@@ -22,7 +22,8 @@
 //!    at once: cold-race suppression elects one leader, everyone else
 //!    joins its in-flight run, and the session is billed exactly once.
 
-use expred::core::{Query, QueryEngine, QuerySpec};
+use expred::cli::{Backend, ExampleCli};
+use expred::core::{QueryEngine, QueryRequest, QuerySpec};
 use expred::table::datasets::{Dataset, DatasetSpec, PROSPER};
 use std::time::{Duration, Instant};
 
@@ -33,22 +34,33 @@ fn dataset(rows: usize, seed: u64) -> Dataset {
 }
 
 fn main() {
+    let backend = ExampleCli::new(
+        "run_concurrent",
+        "one Sync QueryEngine serving eight worker threads",
+    )
+    .parse_backend();
+    println!("{}", backend.banner());
     let spec = QuerySpec::paper_default();
+    let naive = |seed: u64| QueryRequest::naive(spec).with_seed(seed);
 
     // 1. Scaling: one tenant table per worker, 100µs per fresh o_e.
     let tenants: Vec<Dataset> = (0..THREADS as u64).map(|s| dataset(1_000, s)).collect();
-    let serial_engine = QueryEngine::new().with_udf_latency(Duration::from_micros(100));
+    let serial_engine = backend
+        .engine()
+        .with_udf_latency(Duration::from_micros(100));
     let start = Instant::now();
     for ds in &tenants {
-        serial_engine.run(ds, &Query::Naive(spec), 7);
+        serial_engine.submit(ds, &naive(7)).unwrap();
     }
     let serial = start.elapsed();
-    let engine = QueryEngine::new().with_udf_latency(Duration::from_micros(100));
+    let engine = backend
+        .engine()
+        .with_udf_latency(Duration::from_micros(100));
     let start = Instant::now();
     std::thread::scope(|scope| {
         for ds in &tenants {
-            let engine = &engine;
-            scope.spawn(move || engine.run(ds, &Query::Naive(spec), 7));
+            let (engine, naive) = (&engine, &naive);
+            scope.spawn(move || engine.submit(ds, &naive(7)).unwrap());
         }
     });
     let concurrent = start.elapsed();
@@ -71,17 +83,21 @@ fn main() {
             (s, i)
         })
         .collect();
-    let serial_engine = QueryEngine::new();
+    let serial_engine = backend.engine();
     for (s, seed) in &mix {
-        serial_engine.run(&ds, &Query::Naive(*s), *seed);
+        serial_engine
+            .submit(&ds, &QueryRequest::naive(*s).with_seed(*seed))
+            .unwrap();
     }
-    let engine = QueryEngine::new();
+    let engine = backend.engine();
     std::thread::scope(|scope| {
         for chunk in mix.chunks(mix.len().div_ceil(THREADS)) {
             let (engine, ds) = (&engine, &ds);
             scope.spawn(move || {
                 for (s, seed) in chunk {
-                    engine.run(ds, &Query::Naive(*s), *seed);
+                    engine
+                        .submit(ds, &QueryRequest::naive(*s).with_seed(*seed))
+                        .unwrap();
                 }
             });
         }
@@ -106,10 +122,10 @@ fn main() {
     let before = engine.session_counts();
     std::thread::scope(|scope| {
         for _ in 0..THREADS {
-            let (engine, ds) = (&engine, &ds);
+            let (engine, ds, naive) = (&engine, &ds, &naive);
             scope.spawn(move || {
                 for _ in 0..100 {
-                    engine.run(ds, &Query::Naive(spec), 0);
+                    engine.submit(ds, &naive(0)).unwrap();
                 }
             });
         }
@@ -126,24 +142,29 @@ fn main() {
     // one thread the leader; the rest park on the in-flight waiter table
     // and share its outcome — the session bills exactly one run.
     let ds = dataset(2_000, 77);
-    let engine = QueryEngine::pooled().with_udf_latency(Duration::from_micros(100));
+    let storm_engine = match backend {
+        // Default run: show the serving configuration (worker pool).
+        Backend::Sequential => QueryEngine::pooled(),
+        other => other.engine(),
+    }
+    .with_udf_latency(Duration::from_micros(100));
     let barrier = std::sync::Barrier::new(THREADS);
     std::thread::scope(|scope| {
         for _ in 0..THREADS {
-            let (engine, ds, barrier) = (&engine, &ds, &barrier);
+            let (engine, ds, barrier, naive) = (&storm_engine, &ds, &barrier, &naive);
             scope.spawn(move || {
                 barrier.wait();
-                engine.run(ds, &Query::Naive(spec), 123);
+                engine.submit(ds, &naive(123)).unwrap();
             });
         }
     });
-    let stats = engine.stats();
+    let stats = storm_engine.stats();
     println!(
         "\ncold identical storm ({THREADS} threads): {} queries, {} joined the \
          in-flight leader, {} memo hits; session billed {} fresh o_e (one run's worth)",
         stats.queries,
         stats.dedup_joins,
         stats.result_hits,
-        engine.session_counts().evaluated
+        storm_engine.session_counts().evaluated
     );
 }

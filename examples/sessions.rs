@@ -5,21 +5,26 @@
 //! ```
 //!
 //! A `QueryEngine` owns an executor backend and a cross-query
-//! `CacheStore`. This demo serves four requests against one Prosper-like
-//! dataset and prints each bill, broken out into fresh evaluations (paid
-//! `o_e`), within-query memo hits, and cross-query reuse (paid by an
-//! *earlier* query):
+//! `CacheStore`. This demo serves four *requests* — the composable,
+//! fallible [`QueryRequest`] surface — against one Prosper-like dataset
+//! and prints each bill, broken out into fresh evaluations (paid `o_e`),
+//! within-query memo hits, and cross-query reuse (paid by an *earlier*
+//! query):
 //!
-//! 1. an Intel-Sample query — pays full freight;
+//! 1. an Intel-Sample request — pays full freight;
 //! 2. the identical request again — answered from the result memo,
 //!    charging zero additional `o_e`;
 //! 3. the same contract under a different seed — overlapping rows arrive
 //!    as reuse;
-//! 4. a Naive query over the same table — its β-fraction is largely
+//! 4. a Naive request over the same table — its β-fraction is largely
 //!    pre-paid.
+//!
+//! Bad input never panics the engine: the demo closes by submitting a
+//! request for a predictor column the table does not have and printing
+//! the typed `EngineError` it gets back.
 
-use expred::core::{IntelSampleConfig, PredictorChoice, Query, QueryEngine, QuerySpec, RunOutcome};
-use expred::exec::{Parallel, WorkerPool};
+use expred::cli::ExampleCli;
+use expred::core::{IntelSampleConfig, PredictorChoice, QueryRequest, QuerySpec, RunOutcome};
 use expred::table::datasets::{Dataset, DatasetSpec, PROSPER};
 
 fn report(label: &str, out: &RunOutcome) {
@@ -34,21 +39,13 @@ fn report(label: &str, out: &RunOutcome) {
 }
 
 fn main() {
-    let engine = if std::env::args().any(|a| a == "--pool") {
-        let backend = WorkerPool::new();
-        println!(
-            "engine backend: worker_pool ({} persistent workers)",
-            backend.threads()
-        );
-        QueryEngine::with_executor(Box::new(backend))
-    } else if std::env::args().any(|a| a == "--parallel") {
-        let backend = Parallel::new();
-        println!("engine backend: parallel ({} threads)", backend.threads());
-        QueryEngine::with_executor(Box::new(backend))
-    } else {
-        println!("engine backend: sequential (pass --parallel or --pool to fan out)");
-        QueryEngine::new()
-    };
+    let backend = ExampleCli::new(
+        "sessions",
+        "one QueryEngine session serving several requests against one cache",
+    )
+    .parse_backend();
+    println!("{}", backend.banner());
+    let engine = backend.engine();
     let ds = Dataset::generate(
         DatasetSpec {
             rows: 10_000,
@@ -56,25 +53,40 @@ fn main() {
         },
         3,
     );
-    let intel = Query::IntelSample(IntelSampleConfig::experiment1(PredictorChoice::Fixed(
+    let intel = QueryRequest::intel_sample(IntelSampleConfig::experiment1(PredictorChoice::Fixed(
         "grade".into(),
-    )));
+    )))
+    .with_seed(42);
 
-    let first = engine.run(&ds, &intel, 42);
+    let first = engine.submit(&ds, &intel).expect("valid request");
     report("query 1: intel-sample, cold session", &first);
 
-    let repeat = engine.run(&ds, &intel, 42);
+    let repeat = engine.submit(&ds, &intel).expect("valid request");
     report("query 2: the identical request", &repeat);
     println!(
         "  -> served from the result memo; session evaluations still {}",
         engine.session_counts().evaluated
     );
 
-    let reseeded = engine.run(&ds, &intel, 43);
+    let reseeded = engine
+        .submit(&ds, &intel.clone().with_seed(43))
+        .expect("valid request");
     report("query 3: same contract, new seed", &reseeded);
 
-    let naive = engine.run(&ds, &Query::Naive(QuerySpec::paper_default()), 7);
+    let naive = engine
+        .submit(
+            &ds,
+            &QueryRequest::naive(QuerySpec::paper_default()).with_seed(7),
+        )
+        .expect("valid request");
     report("query 4: naive over the warmed table", &naive);
+
+    // Invalid input is a typed error, not a worker-killing panic.
+    let bad = QueryRequest::optimal(QuerySpec::paper_default(), "no_such_column");
+    match engine.submit(&ds, &bad) {
+        Ok(_) => unreachable!("the column does not exist"),
+        Err(err) => println!("\nquery 5: rejected as expected -> {err}"),
+    }
 
     println!("\nsession totals: {}", engine.session_counts());
     println!("row cache:      {:?}", engine.cache_stats());

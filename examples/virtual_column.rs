@@ -10,10 +10,16 @@
 //! its scores into a 10-valued *virtual* column, and compare the resulting
 //! plan against the fixed real predictor.
 
+use expred::cli::ExampleCli;
 use expred::core::{run_intel_sample, truth_vector, IntelSampleConfig, PredictorChoice};
 use expred::table::datasets::{Dataset, LABEL_COLUMN, MARKETING};
 
 fn main() {
+    ExampleCli::without_backend_flags(
+        "virtual_column",
+        "learn a virtual predictor column when no real column predicts the UDF",
+    )
+    .parse_backend();
     let ds = Dataset::generate(MARKETING, 99);
     println!(
         "dataset: {} ({} rows, selectivity {:.2})",

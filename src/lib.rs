@@ -9,6 +9,8 @@
 //! assert!(rng.f64() < 1.0);
 //! ```
 
+pub mod cli;
+
 pub use expred_core as core;
 pub use expred_exec as exec;
 pub use expred_ml as ml;

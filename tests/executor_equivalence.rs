@@ -260,3 +260,108 @@ fn legacy_entry_points_equal_sequential_with() {
     let explicit = run_intel_sample_with(&ds, &cfg, 11, &Sequential);
     assert_identical(&legacy, &explicit, "legacy intel-sample");
 }
+
+/// All seven built-in strategies as legacy `Query` values for a given
+/// contract.
+fn all_seven(spec: QuerySpec) -> Vec<expred::core::Query> {
+    use expred::core::Query;
+    vec![
+        Query::IntelSample(IntelSampleConfig::experiment1(PredictorChoice::Fixed(
+            "grade".into(),
+        ))),
+        Query::Naive(spec),
+        Query::Optimal {
+            spec,
+            predictor: "grade".into(),
+        },
+        Query::Adaptive {
+            spec,
+            corr: CorrelationModel::Independent,
+            predictor: "grade".into(),
+        },
+        Query::Iterative {
+            spec,
+            corr: CorrelationModel::Independent,
+            predictor: "grade".into(),
+            rule: expred::core::SampleSizeRule::Fraction(0.05),
+            rounds: 2,
+        },
+        Query::Learning(spec),
+        Query::Multiple {
+            spec,
+            imputations: 3,
+        },
+    ]
+}
+
+#[test]
+fn submit_is_byte_identical_to_legacy_run_for_all_seven_strategies() {
+    // The redesigned surface (QueryRequest + Strategy + submit) must be
+    // an exact drop-in for the legacy Query-enum run(): identical
+    // answers, bills, summaries — and identical memo identities, so a
+    // submit after a run is a result-memo hit, not a re-execution.
+    use expred::core::{QueryEngine, QueryRequest};
+    let ds = small(PROSPER, 2_000, 11);
+    let spec = QuerySpec::paper_default();
+    for (i, query) in all_seven(spec).iter().enumerate() {
+        let seed = 70 + i as u64;
+        let legacy_engine = QueryEngine::new();
+        let builder_engine = QueryEngine::new();
+        let legacy = legacy_engine.run(&ds, query, seed);
+        let request = QueryRequest::from_query(query).with_seed(seed);
+        let built = builder_engine
+            .submit(&ds, &request)
+            .expect("valid request must be accepted");
+        assert_identical(&legacy, &built, &format!("strategy {i} submit vs run"));
+        assert_eq!(
+            legacy_engine.session_counts(),
+            builder_engine.session_counts(),
+            "strategy {i}: identical session bills"
+        );
+        // Same memo identity: replaying the request on the legacy engine
+        // must hit its memo (zero new charges), and vice versa.
+        let replay = legacy_engine.submit(&ds, &request).unwrap();
+        assert_identical(
+            &legacy,
+            &replay,
+            &format!("strategy {i} cross-route replay"),
+        );
+        assert_eq!(
+            legacy_engine.stats().result_hits,
+            1,
+            "strategy {i}: submit must hit the memo entry run() wrote"
+        );
+        let replay = builder_engine.run(&ds, query, seed);
+        assert_identical(&built, &replay, &format!("strategy {i} run-after-submit"));
+        assert_eq!(builder_engine.stats().result_hits, 1);
+    }
+}
+
+// Property: for random contracts and seeds, every builder-constructed
+// request answers byte-identically to the legacy enum route (fresh
+// engines on both sides; the non-ML strategies run per case — the ML
+// baselines are covered by the deterministic seven-way test above,
+// their training loops are too slow for a property sweep).
+proptest::proptest! {
+    #![proptest_config(proptest::prelude::ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn random_requests_match_legacy_run(
+        alpha in 0.55f64..0.9,
+        beta in 0.55f64..0.9,
+        rho in 0.5f64..0.9,
+        seed in 0u64..1_000,
+        strategy_index in 0usize..5,
+    ) {
+        use expred::core::{QueryEngine, QueryRequest};
+        let ds = small(PROSPER, 1_500, 13);
+        let spec = QuerySpec::try_new(alpha, beta, rho, expred::udf::CostModel::PAPER_DEFAULT)
+            .expect("generated specs are in range");
+        let query = all_seven(spec).swap_remove(strategy_index);
+        let legacy = QueryEngine::new().run(&ds, &query, seed);
+        let built = QueryEngine::new()
+            .submit(&ds, &QueryRequest::from_query(&query).with_seed(seed))
+            .expect("valid request must be accepted");
+        assert_identical(&legacy, &built, &format!("proptest strategy {strategy_index}"));
+    }
+}
