@@ -19,8 +19,8 @@
 //!   band as single-threaded instead of collapsing.
 
 use expred_bench::{report::measure_ns_per_unit, BenchReport};
-use expred_core::engine::{Query, QueryEngine};
-use expred_core::QuerySpec;
+use expred_core::engine::QueryEngine;
+use expred_core::{QueryRequest, QuerySpec};
 use expred_table::datasets::{Dataset, DatasetSpec, PROSPER};
 use std::hint::black_box;
 use std::time::{Duration, Instant};
@@ -54,10 +54,12 @@ fn main() {
         .map(|ds| (spec.beta * ds.table.num_rows() as f64).ceil() as u64)
         .sum();
 
+    // One request, built outside every timed region.
+    let naive = QueryRequest::naive(spec).with_seed(7);
     let serial_engine = QueryEngine::new().with_udf_latency(UDF_LATENCY);
     let start = Instant::now();
     for ds in &datasets {
-        black_box(serial_engine.run(ds, &Query::Naive(spec), 7));
+        black_box(serial_engine.submit(ds, &naive).expect("serial submit"));
     }
     let serial = start.elapsed().as_secs_f64();
 
@@ -65,8 +67,8 @@ fn main() {
     let start = Instant::now();
     std::thread::scope(|scope| {
         for ds in &datasets {
-            let engine = &engine;
-            scope.spawn(move || black_box(engine.run(ds, &Query::Naive(spec), 7)));
+            let (engine, naive) = (&engine, &naive);
+            scope.spawn(move || black_box(engine.submit(ds, naive).expect("concurrent submit")));
         }
     });
     let concurrent = start.elapsed().as_secs_f64();
@@ -103,9 +105,11 @@ fn main() {
     // Eight warmed identities — each "user" repeats their own request,
     // so concurrent hits spread across memo stripes instead of fighting
     // over one entry's lock and cache line.
-    let seeds: Vec<u64> = (0..THREADS as u64).map(|t| 7 + t).collect();
-    for &seed in &seeds {
-        engine.run(&ds, &Query::Naive(spec), seed);
+    let requests: Vec<QueryRequest> = (0..THREADS as u64)
+        .map(|t| QueryRequest::naive(spec).with_seed(7 + t))
+        .collect();
+    for req in &requests {
+        engine.submit(&ds, req).expect("warm identity");
     }
 
     // Enough hits per iteration that thread spawn cost amortizes away.
@@ -113,17 +117,17 @@ fn main() {
     let reps = if smoke { 3 } else { 10 };
     let one_ns = measure_ns_per_unit(hits as u64, reps, || {
         for i in 0..hits {
-            let seed = seeds[i % seeds.len()];
-            black_box(engine.run(&ds, &Query::Naive(spec), seed));
+            let req = &requests[i % requests.len()];
+            black_box(engine.submit(&ds, req).expect("memo hit"));
         }
     });
     let eight_ns = measure_ns_per_unit(hits as u64, reps, || {
         std::thread::scope(|scope| {
-            for &seed in &seeds {
+            for req in &requests {
                 let (engine, ds) = (&engine, &ds);
                 scope.spawn(move || {
                     for _ in 0..hits / THREADS {
-                        black_box(engine.run(ds, &Query::Naive(spec), seed));
+                        black_box(engine.submit(ds, req).expect("memo hit"));
                     }
                 });
             }

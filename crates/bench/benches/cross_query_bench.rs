@@ -17,8 +17,8 @@
 //!   in full mode), with the reuse ledger verified exactly.
 
 use expred_bench::{report::measure_ns_per_unit, BenchReport};
-use expred_core::engine::{Query, QueryEngine};
-use expred_core::QuerySpec;
+use expred_core::engine::QueryEngine;
+use expred_core::{QueryRequest, QuerySpec};
 use expred_exec::{CacheStore, ExecContext, Sequential};
 use expred_table::datasets::{Dataset, DatasetSpec, LABEL_COLUMN, PROSPER};
 use expred_udf::{OracleUdf, SlowUdf, UdfInvoker};
@@ -59,15 +59,17 @@ fn main() {
     let rows = ds.table.num_rows() as u64;
 
     // Repeated identical query: cold engine each time vs one session.
+    // The request is built once, outside the timed loops.
+    let naive = QueryRequest::naive(spec).with_seed(7);
     let reps = if smoke { 3 } else { 10 };
     let cold_ns = measure_ns_per_unit(rows, reps, || {
         let engine = QueryEngine::new();
-        black_box(engine.run(&ds, &Query::Naive(spec), 7));
+        black_box(engine.submit(&ds, &naive).expect("naive submit"));
     });
     let warm_engine = QueryEngine::new();
-    warm_engine.run(&ds, &Query::Naive(spec), 7); // warm once
+    warm_engine.submit(&ds, &naive).expect("warm once");
     let warm_ns = measure_ns_per_unit(rows, reps, || {
-        black_box(warm_engine.run(&ds, &Query::Naive(spec), 7));
+        black_box(warm_engine.submit(&ds, &naive).expect("memoized submit"));
     });
     report.record(
         "repeated_naive_query",
@@ -140,16 +142,13 @@ fn main() {
     // in hit rate are visible in bench logs.
     let engine = QueryEngine::new();
     for seed in 0..4 {
-        engine.run(&ds, &Query::Naive(spec), seed);
+        engine
+            .submit(&ds, &QueryRequest::naive(spec).with_seed(seed))
+            .expect("naive submit");
     }
-    engine.run(
-        &ds,
-        &Query::Optimal {
-            spec,
-            predictor: "grade".into(),
-        },
-        0,
-    );
+    engine
+        .submit(&ds, &QueryRequest::optimal(spec, "grade"))
+        .expect("optimal submit");
     let counts = engine.session_counts();
     println!(
         "session_stats: {counts}; cache {:?}; engine {:?}",

@@ -25,6 +25,7 @@
 //! declares as its baseline for the scenario (by convention
 //! `sequential`; the baseline row itself reports `1.0`).
 
+use expred_stats::json::{escape, fmt_f64, JsonValue};
 use std::io::Write as _;
 use std::path::PathBuf;
 
@@ -144,44 +145,90 @@ impl BenchReport {
     /// Parses a report previously rendered by [`BenchReport::to_json`]
     /// (the schema in the module docs; field order within a record does
     /// not matter). The workspace builds offline with no serde, so this
-    /// is a small hand-rolled parser for exactly that shape — `bench-diff`
-    /// uses it to compare artifacts across PRs.
+    /// rides the shared [`expred_stats::json`] parser — `bench-diff` uses
+    /// it to compare artifacts across PRs. The schema stays strict:
+    /// unknown fields are rejected, so a typo in a hand-edited artifact
+    /// fails loudly instead of vanishing.
     pub fn from_json(json: &str) -> Result<Self, String> {
-        let mut p = JsonParser::new(json);
-        p.expect('{')?;
+        let doc = JsonValue::parse(json).map_err(|e| e.to_string())?;
         let mut name: Option<String> = None;
         let mut records: Option<Vec<BenchRecord>> = None;
-        loop {
-            let key = p.parse_string()?;
-            p.expect(':')?;
-            match key.as_str() {
-                "bench" => name = Some(p.parse_string()?),
+        for key in doc.keys() {
+            let value = doc.get(key).expect("listed key is present");
+            match key {
+                "bench" => {
+                    name = Some(
+                        value
+                            .as_str()
+                            .ok_or("\"bench\" must be a string")?
+                            .to_owned(),
+                    )
+                }
                 "results" => {
-                    let mut rows = Vec::new();
-                    p.expect('[')?;
-                    if !p.try_consume(']') {
-                        loop {
-                            rows.push(p.parse_record()?);
-                            if p.try_consume(']') {
-                                break;
-                            }
-                            p.expect(',')?;
-                        }
-                    }
-                    records = Some(rows);
+                    let rows = value.as_array().ok_or("\"results\" must be an array")?;
+                    records = Some(
+                        rows.iter()
+                            .map(record_from_json)
+                            .collect::<Result<Vec<_>, _>>()?,
+                    );
                 }
                 other => return Err(format!("unexpected top-level field {other:?}")),
             }
-            if p.try_consume('}') {
-                break;
-            }
-            p.expect(',')?;
+        }
+        if !matches!(doc, JsonValue::Object(_)) {
+            return Err("a report must be a JSON object".to_owned());
         }
         Ok(Self {
             name: name.ok_or("missing \"bench\" field")?,
             records: records.ok_or("missing \"results\" field")?,
         })
     }
+}
+
+/// Extracts one measurement row, strictly: all four fields required,
+/// unknown fields rejected, `null` measurements surfaced as NaN.
+fn record_from_json(row: &JsonValue) -> Result<BenchRecord, String> {
+    if !matches!(row, JsonValue::Object(_)) {
+        return Err("each result row must be a JSON object".to_owned());
+    }
+    let (mut scenario, mut backend) = (None, None);
+    let (mut ns_per_probe, mut speedup) = (None, None);
+    let number_or_null = |value: &JsonValue, field: &str| match value {
+        JsonValue::Null => Ok(f64::NAN),
+        other => other
+            .as_f64()
+            .ok_or(format!("{field:?} must be a number or null")),
+    };
+    for key in row.keys() {
+        let value = row.get(key).expect("listed key is present");
+        match key {
+            "scenario" => {
+                scenario = Some(
+                    value
+                        .as_str()
+                        .ok_or("\"scenario\" must be a string")?
+                        .to_owned(),
+                )
+            }
+            "backend" => {
+                backend = Some(
+                    value
+                        .as_str()
+                        .ok_or("\"backend\" must be a string")?
+                        .to_owned(),
+                )
+            }
+            "ns_per_probe" => ns_per_probe = Some(number_or_null(value, "ns_per_probe")?),
+            "speedup_vs_baseline" => speedup = Some(number_or_null(value, "speedup_vs_baseline")?),
+            other => return Err(format!("unexpected record field {other:?}")),
+        }
+    }
+    Ok(BenchRecord {
+        scenario: scenario.ok_or("record missing \"scenario\"")?,
+        backend: backend.ok_or("record missing \"backend\"")?,
+        ns_per_probe: ns_per_probe.ok_or("record missing \"ns_per_probe\"")?,
+        speedup_vs_baseline: speedup.ok_or("record missing \"speedup_vs_baseline\"")?,
+    })
 }
 
 /// Mean wall-clock nanoseconds per unit of work: runs `f` once as a
@@ -196,170 +243,6 @@ pub fn measure_ns_per_unit(units: u64, reps: usize, mut f: impl FnMut()) -> f64 
         f();
     }
     begin.elapsed().as_nanos() as f64 / (reps as u64 * units) as f64
-}
-
-/// Character-level parser for the report's JSON subset (strings with
-/// escapes, numbers, `null`).
-struct JsonParser<'a> {
-    chars: Vec<char>,
-    pos: usize,
-    source: &'a str,
-}
-
-impl<'a> JsonParser<'a> {
-    fn new(source: &'a str) -> Self {
-        Self {
-            chars: source.chars().collect(),
-            pos: 0,
-            source,
-        }
-    }
-
-    fn fail(&self, what: &str) -> String {
-        format!(
-            "{what} at offset {} of {}-char report",
-            self.pos,
-            self.source.chars().count()
-        )
-    }
-
-    fn skip_ws(&mut self) {
-        while self.pos < self.chars.len() && self.chars[self.pos].is_whitespace() {
-            self.pos += 1;
-        }
-    }
-
-    fn peek(&mut self) -> Option<char> {
-        self.skip_ws();
-        self.chars.get(self.pos).copied()
-    }
-
-    fn expect(&mut self, want: char) -> Result<(), String> {
-        if self.try_consume(want) {
-            Ok(())
-        } else {
-            Err(self.fail(&format!("expected {want:?}")))
-        }
-    }
-
-    fn try_consume(&mut self, want: char) -> bool {
-        if self.peek() == Some(want) {
-            self.pos += 1;
-            true
-        } else {
-            false
-        }
-    }
-
-    fn parse_string(&mut self) -> Result<String, String> {
-        self.expect('"')?;
-        let mut out = String::new();
-        loop {
-            let c = *self
-                .chars
-                .get(self.pos)
-                .ok_or_else(|| self.fail("unterminated string"))?;
-            self.pos += 1;
-            match c {
-                '"' => return Ok(out),
-                '\\' => {
-                    let escape = *self
-                        .chars
-                        .get(self.pos)
-                        .ok_or_else(|| self.fail("unterminated escape"))?;
-                    self.pos += 1;
-                    match escape {
-                        '"' | '\\' | '/' => out.push(escape),
-                        'n' => out.push('\n'),
-                        't' => out.push('\t'),
-                        'r' => out.push('\r'),
-                        'u' => {
-                            let hex: String = self
-                                .chars
-                                .get(self.pos..self.pos + 4)
-                                .map(|w| w.iter().collect())
-                                .ok_or_else(|| self.fail("truncated \\u escape"))?;
-                            self.pos += 4;
-                            let code = u32::from_str_radix(&hex, 16)
-                                .map_err(|_| self.fail("bad \\u escape"))?;
-                            out.push(
-                                char::from_u32(code)
-                                    .ok_or_else(|| self.fail("non-scalar \\u escape"))?,
-                            );
-                        }
-                        other => return Err(self.fail(&format!("bad escape \\{other}"))),
-                    }
-                }
-                other => out.push(other),
-            }
-        }
-    }
-
-    /// A number, or `null` (a failed measurement) as NaN.
-    fn parse_number_or_null(&mut self) -> Result<f64, String> {
-        self.skip_ws();
-        if self.chars[self.pos..].starts_with(&['n', 'u', 'l', 'l']) {
-            self.pos += 4;
-            return Ok(f64::NAN);
-        }
-        let start = self.pos;
-        while self
-            .chars
-            .get(self.pos)
-            .is_some_and(|c| c.is_ascii_digit() || matches!(c, '-' | '+' | '.' | 'e' | 'E'))
-        {
-            self.pos += 1;
-        }
-        let text: String = self.chars[start..self.pos].iter().collect();
-        text.parse().map_err(|_| self.fail("expected a number"))
-    }
-
-    fn parse_record(&mut self) -> Result<BenchRecord, String> {
-        self.expect('{')?;
-        let (mut scenario, mut backend) = (None, None);
-        let (mut ns_per_probe, mut speedup) = (None, None);
-        loop {
-            let key = self.parse_string()?;
-            self.expect(':')?;
-            match key.as_str() {
-                "scenario" => scenario = Some(self.parse_string()?),
-                "backend" => backend = Some(self.parse_string()?),
-                "ns_per_probe" => ns_per_probe = Some(self.parse_number_or_null()?),
-                "speedup_vs_baseline" => speedup = Some(self.parse_number_or_null()?),
-                other => return Err(self.fail(&format!("unexpected record field {other:?}"))),
-            }
-            if self.try_consume('}') {
-                break;
-            }
-            self.expect(',')?;
-        }
-        Ok(BenchRecord {
-            scenario: scenario.ok_or("record missing \"scenario\"")?,
-            backend: backend.ok_or("record missing \"backend\"")?,
-            ns_per_probe: ns_per_probe.ok_or("record missing \"ns_per_probe\"")?,
-            speedup_vs_baseline: speedup.ok_or("record missing \"speedup_vs_baseline\"")?,
-        })
-    }
-}
-
-/// JSON has no NaN/Inf; a failed measurement serializes as null.
-fn fmt_f64(value: f64) -> String {
-    if value.is_finite() {
-        format!("{value:.1}")
-    } else {
-        "null".to_owned()
-    }
-}
-
-fn escape(s: &str) -> String {
-    s.chars()
-        .flat_map(|c| match c {
-            '"' => "\\\"".chars().collect::<Vec<_>>(),
-            '\\' => "\\\\".chars().collect(),
-            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
-            c => vec![c],
-        })
-        .collect()
 }
 
 #[cfg(test)]

@@ -184,6 +184,20 @@ pub struct EngineStats {
     pub dedup_joins: u64,
 }
 
+impl EngineStats {
+    /// The snapshot as named counters, in stable declaration order — the
+    /// serialization-ready view the `/metrics` endpoint and the bench
+    /// artifacts share (render with [`expred_stats::json::counters_to_json`]
+    /// or [`expred_stats::json::counters_to_text`]).
+    pub fn fields(&self) -> [(&'static str, u64); 3] {
+        [
+            ("queries", self.queries),
+            ("result_hits", self.result_hits),
+            ("dedup_joins", self.dedup_joins),
+        ]
+    }
+}
+
 /// The engine's live counters behind [`EngineStats`] snapshots.
 #[derive(Debug, Default)]
 struct AtomicEngineStats {

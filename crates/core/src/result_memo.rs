@@ -53,6 +53,22 @@ pub struct ResultMemoStats {
     pub evictions: u64,
 }
 
+impl ResultMemoStats {
+    /// The snapshot as named counters, in stable declaration order — the
+    /// serialization-ready view the serving `/metrics` endpoint consumes
+    /// (render with [`expred_stats::json::counters_to_json`] /
+    /// [`expred_stats::json::counters_to_text`]).
+    pub fn fields(&self) -> [(&'static str, u64); 5] {
+        [
+            ("hits", self.hits),
+            ("misses", self.misses),
+            ("collision_rejects", self.collision_rejects),
+            ("insertions", self.insertions),
+            ("evictions", self.evictions),
+        ]
+    }
+}
+
 #[derive(Debug, Default)]
 struct AtomicMemoStats {
     hits: AtomicU64,

@@ -76,6 +76,22 @@ pub struct CacheStats {
     pub invalidated: u64,
 }
 
+impl CacheStats {
+    /// The snapshot as named counters, in stable declaration order — the
+    /// serialization-ready view shared by the serving `/metrics` endpoint
+    /// and the bench artifacts (render with
+    /// `expred_stats::json::counters_to_json` / `counters_to_text`).
+    pub fn fields(&self) -> [(&'static str, u64); 5] {
+        [
+            ("hits", self.hits),
+            ("misses", self.misses),
+            ("insertions", self.insertions),
+            ("evictions", self.evictions),
+            ("invalidated", self.invalidated),
+        ]
+    }
+}
+
 #[derive(Debug, Default)]
 struct AtomicStats {
     hits: AtomicU64,

@@ -1,0 +1,649 @@
+//! The serving tier's JSON wire schema: request bodies in,
+//! [`RunOutcome`] bodies out, [`EngineError`] → HTTP status.
+//!
+//! A query request body names a tenant-local table and a strategy:
+//!
+//! ```json
+//! {
+//!   "tenant": "alice",
+//!   "table": {"spec": "prosper", "rows": 2000, "seed": 7},
+//!   "query": {"kind": "naive", "alpha": 0.8, "beta": 0.8, "rho": 0.8},
+//!   "seed": 42,
+//!   "on_infeasible": "fallback"
+//! }
+//! ```
+//!
+//! `table.spec` picks a calibrated generator (`"prosper"` or `"lc"`);
+//! each tenant materializes (and caches) its own instance, so tenants
+//! never share cache state even on identical specs. `query.kind` selects
+//! a built-in [`Strategy`]; every kind accepts the accuracy-contract
+//! fields `alpha`/`beta`/`rho` and a `cost` object, all defaulting to
+//! the paper's `0.8` / `{o_r: 1, o_e: 3}`. Kind-specific fields are
+//! documented on [`parse_query_body`]. Unknown fields anywhere are a
+//! 400: a misspelled knob must not silently fall back to a default.
+//!
+//! A 200 body is the outcome, minus `compute_seconds` (a wall-clock
+//! diagnostic that would break the serving contract that an HTTP answer
+//! is byte-identical to a direct [`QueryEngine::submit`]):
+//!
+//! ```json
+//! {"tenant": "alice", "returned": [3, 17], "counts": {"retrieved": 2000,
+//!  "evaluated": 512, "cache_hits": 0, "reuse_hits": 40}, "cost": 3536.0,
+//!  "precision": 0.93, "recall": 0.91, "num_groups": 7,
+//!  "plan_feasible": true}
+//! ```
+//!
+//! Every error body is `{"error": "<kind>", "detail": "<message>"}`.
+//!
+//! [`Strategy`]: expred_core::strategy::Strategy
+//! [`QueryEngine::submit`]: expred_core::QueryEngine::submit
+
+use expred_core::optimize::CorrelationModel;
+use expred_core::pipeline::{IntelSampleConfig, PredictorChoice, RunOutcome};
+use expred_core::sampling::SampleSizeRule;
+use expred_core::{EngineError, InfeasiblePolicy, QueryRequest, QuerySpec};
+use expred_stats::json::{escape, JsonValue};
+use expred_udf::CostModel;
+
+/// A failed API call: the HTTP status to answer with, a stable
+/// machine-readable kind, and a human-readable detail message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ApiError {
+    /// HTTP status code.
+    pub status: u16,
+    /// Stable error kind (`"bad_request"`, `"unknown_column"`, …).
+    pub kind: &'static str,
+    /// What went wrong.
+    pub detail: String,
+}
+
+impl ApiError {
+    /// A 400 with kind `bad_request`.
+    pub fn bad_request(detail: impl Into<String>) -> Self {
+        Self {
+            status: 400,
+            kind: "bad_request",
+            detail: detail.into(),
+        }
+    }
+
+    /// The error's JSON body.
+    pub fn body(&self) -> String {
+        format!(
+            "{{\"error\":\"{}\",\"detail\":\"{}\"}}",
+            escape(self.kind),
+            escape(&self.detail)
+        )
+    }
+}
+
+/// The HTTP status each [`EngineError`] variant maps to.
+///
+/// * `InvalidSpec`, `BadExpression`, `InvalidRequest` → **400**: the
+///   request itself is malformed.
+/// * `UnknownColumn` → **404**: the request is well-formed but names a
+///   column the table does not have.
+/// * `Infeasible` → **422**: the request parsed and validated, but its
+///   contract is unsatisfiable under the declared policy.
+pub fn engine_error_status(error: &EngineError) -> u16 {
+    match error {
+        EngineError::InvalidSpec { .. } => 400,
+        EngineError::BadExpression { .. } => 400,
+        EngineError::InvalidRequest { .. } => 400,
+        EngineError::UnknownColumn { .. } => 404,
+        EngineError::Infeasible { .. } => 422,
+    }
+}
+
+/// The stable `error` kind string for each [`EngineError`] variant.
+pub fn engine_error_kind(error: &EngineError) -> &'static str {
+    match error {
+        EngineError::InvalidSpec { .. } => "invalid_spec",
+        EngineError::BadExpression { .. } => "bad_expression",
+        EngineError::InvalidRequest { .. } => "invalid_request",
+        EngineError::UnknownColumn { .. } => "unknown_column",
+        EngineError::Infeasible { .. } => "infeasible",
+    }
+}
+
+impl From<EngineError> for ApiError {
+    fn from(error: EngineError) -> Self {
+        ApiError {
+            status: engine_error_status(&error),
+            kind: engine_error_kind(&error),
+            detail: error.to_string(),
+        }
+    }
+}
+
+/// Which tenant-local table a query targets: a named calibrated
+/// generator plus size and generation seed. Equal keys generate
+/// byte-identical tables (modulo the process-unique instance id).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct TableKey {
+    /// Generator name (`"prosper"` or `"lc"`).
+    pub spec: String,
+    /// Number of rows to generate.
+    pub rows: usize,
+    /// Generation seed.
+    pub seed: u64,
+}
+
+/// One fully parsed `/query` call.
+#[derive(Debug)]
+pub struct ApiQuery {
+    /// Tenant named in the body (the `X-Tenant` header, when present,
+    /// wins over this).
+    pub tenant: Option<String>,
+    /// Which table to run over.
+    pub table: TableKey,
+    /// The engine request to submit.
+    pub request: QueryRequest,
+}
+
+/// Parses a `/query` body. `max_rows` bounds `table.rows` (admission
+/// control over memory, not just concurrency).
+///
+/// Per-kind fields of the `query` object (beyond
+/// `alpha`/`beta`/`rho`/`cost`):
+///
+/// * `"naive"`, `"learning"` — none.
+/// * `"intel_sample"` — `predictor` (column name; omit for auto-ranking),
+///   `label_fraction` (auto-ranking budget, default 0.01),
+///   `sample_fraction` (default 0.05), `corr`
+///   (`"independent"`/`"unknown"`, default independent).
+/// * `"optimal"`, `"adaptive"` — `predictor` (required);
+///   adaptive also takes `corr`.
+/// * `"iterative"` — `predictor` (required), `corr`, `sample_fraction`,
+///   `rounds` (default 2).
+/// * `"multiple"` — `imputations` (default 5).
+pub fn parse_query_body(body: &[u8], max_rows: usize) -> Result<ApiQuery, ApiError> {
+    let text = std::str::from_utf8(body).map_err(|_| ApiError::bad_request("body is not UTF-8"))?;
+    let doc = JsonValue::parse(text)
+        .map_err(|e| ApiError::bad_request(format!("body is not valid JSON: {e}")))?;
+    if !matches!(doc, JsonValue::Object(_)) {
+        return Err(ApiError::bad_request("body must be a JSON object"));
+    }
+    let mut tenant = None;
+    let mut table = None;
+    let mut query = None;
+    let mut seed = 0u64;
+    let mut policy = InfeasiblePolicy::FallbackEvaluateAll;
+    for key in doc.keys() {
+        let value = doc.get(key).expect("listed key is present");
+        match key {
+            "tenant" => {
+                tenant = Some(
+                    value
+                        .as_str()
+                        .ok_or_else(|| ApiError::bad_request("\"tenant\" must be a string"))?
+                        .to_owned(),
+                )
+            }
+            "table" => table = Some(parse_table(value, max_rows)?),
+            "query" => query = Some(value),
+            "seed" => {
+                seed = value.as_u64().ok_or_else(|| {
+                    ApiError::bad_request("\"seed\" must be a non-negative integer")
+                })?
+            }
+            "on_infeasible" => {
+                policy = match value.as_str() {
+                    Some("fallback") => InfeasiblePolicy::FallbackEvaluateAll,
+                    Some("error") => InfeasiblePolicy::Error,
+                    _ => {
+                        return Err(ApiError::bad_request(
+                            "\"on_infeasible\" must be \"fallback\" or \"error\"",
+                        ))
+                    }
+                }
+            }
+            other => return Err(ApiError::bad_request(format!("unknown field {other:?}"))),
+        }
+    }
+    let table = table.ok_or_else(|| ApiError::bad_request("missing \"table\""))?;
+    let query = query.ok_or_else(|| ApiError::bad_request("missing \"query\""))?;
+    let request = parse_query(query)?
+        .with_seed(seed)
+        .with_on_infeasible(policy);
+    Ok(ApiQuery {
+        tenant,
+        table,
+        request,
+    })
+}
+
+fn parse_table(value: &JsonValue, max_rows: usize) -> Result<TableKey, ApiError> {
+    if !matches!(value, JsonValue::Object(_)) {
+        return Err(ApiError::bad_request("\"table\" must be an object"));
+    }
+    let (mut spec, mut rows, mut seed) = (None, None, 0u64);
+    for key in value.keys() {
+        let field = value.get(key).expect("listed key is present");
+        match key {
+            "spec" => {
+                spec = Some(
+                    field
+                        .as_str()
+                        .ok_or_else(|| ApiError::bad_request("\"table.spec\" must be a string"))?
+                        .to_owned(),
+                )
+            }
+            "rows" => {
+                rows = Some(field.as_u64().ok_or_else(|| {
+                    ApiError::bad_request("\"table.rows\" must be a non-negative integer")
+                })? as usize)
+            }
+            "seed" => {
+                seed = field.as_u64().ok_or_else(|| {
+                    ApiError::bad_request("\"table.seed\" must be a non-negative integer")
+                })?
+            }
+            other => {
+                return Err(ApiError::bad_request(format!(
+                    "unknown table field {other:?}"
+                )))
+            }
+        }
+    }
+    let spec = spec.ok_or_else(|| ApiError::bad_request("missing \"table.spec\""))?;
+    let rows = rows.ok_or_else(|| ApiError::bad_request("missing \"table.rows\""))?;
+    if !crate::tenant::known_spec(&spec) {
+        return Err(ApiError::bad_request(format!(
+            "unknown table spec {spec:?} (available: prosper, lc)"
+        )));
+    }
+    if rows == 0 || rows > max_rows {
+        return Err(ApiError::bad_request(format!(
+            "\"table.rows\" must be in 1..={max_rows}, got {rows}"
+        )));
+    }
+    Ok(TableKey { spec, rows, seed })
+}
+
+/// The `query` object's shared contract fields, collected before the
+/// kind-specific interpretation.
+struct QueryFields<'a> {
+    kind: &'a str,
+    alpha: f64,
+    beta: f64,
+    rho: f64,
+    cost: CostModel,
+    predictor: Option<String>,
+    label_fraction: f64,
+    sample_fraction: f64,
+    corr: CorrelationModel,
+    imputations: usize,
+    rounds: usize,
+}
+
+fn parse_query(value: &JsonValue) -> Result<QueryRequest, ApiError> {
+    if !matches!(value, JsonValue::Object(_)) {
+        return Err(ApiError::bad_request("\"query\" must be an object"));
+    }
+    let mut f = QueryFields {
+        kind: "",
+        alpha: 0.8,
+        beta: 0.8,
+        rho: 0.8,
+        cost: CostModel::PAPER_DEFAULT,
+        predictor: None,
+        label_fraction: 0.01,
+        sample_fraction: 0.05,
+        corr: CorrelationModel::Independent,
+        imputations: 5,
+        rounds: 2,
+    };
+    let number = |field: &JsonValue, name: &str| {
+        field
+            .as_f64()
+            .ok_or_else(|| ApiError::bad_request(format!("{name:?} must be a number")))
+    };
+    for key in value.keys() {
+        let field = value.get(key).expect("listed key is present");
+        match key {
+            "kind" => {
+                f.kind = field
+                    .as_str()
+                    .ok_or_else(|| ApiError::bad_request("\"query.kind\" must be a string"))?
+            }
+            "alpha" => f.alpha = number(field, "alpha")?,
+            "beta" => f.beta = number(field, "beta")?,
+            "rho" => f.rho = number(field, "rho")?,
+            "cost" => f.cost = parse_cost(field)?,
+            "predictor" => {
+                f.predictor = Some(
+                    field
+                        .as_str()
+                        .ok_or_else(|| ApiError::bad_request("\"predictor\" must be a string"))?
+                        .to_owned(),
+                )
+            }
+            "label_fraction" => f.label_fraction = number(field, "label_fraction")?,
+            "sample_fraction" => f.sample_fraction = number(field, "sample_fraction")?,
+            "corr" => {
+                f.corr = match field.as_str() {
+                    Some("independent") => CorrelationModel::Independent,
+                    Some("unknown") => CorrelationModel::Unknown,
+                    _ => {
+                        return Err(ApiError::bad_request(
+                            "\"corr\" must be \"independent\" or \"unknown\"",
+                        ))
+                    }
+                }
+            }
+            "imputations" => {
+                f.imputations = field
+                    .as_u64()
+                    .ok_or_else(|| ApiError::bad_request("\"imputations\" must be an integer"))?
+                    as usize
+            }
+            "rounds" => {
+                f.rounds = field
+                    .as_u64()
+                    .ok_or_else(|| ApiError::bad_request("\"rounds\" must be an integer"))?
+                    as usize
+            }
+            other => {
+                return Err(ApiError::bad_request(format!(
+                    "unknown query field {other:?}"
+                )))
+            }
+        }
+    }
+    // The contract is validated here (fallibly) so a bad request is a 400
+    // at the door; the engine re-validates on submit regardless.
+    let spec = QuerySpec::try_new(f.alpha, f.beta, f.rho, f.cost).map_err(ApiError::from)?;
+    let needs_predictor = || {
+        f.predictor.clone().ok_or_else(|| {
+            ApiError::bad_request(format!("query kind {:?} requires \"predictor\"", f.kind))
+        })
+    };
+    match f.kind {
+        "naive" => Ok(QueryRequest::naive(spec)),
+        "learning" => Ok(QueryRequest::learning(spec)),
+        "multiple" => Ok(QueryRequest::multiple(spec, f.imputations)),
+        "optimal" => Ok(QueryRequest::optimal(spec, needs_predictor()?)),
+        "adaptive" => Ok(QueryRequest::adaptive(spec, f.corr, needs_predictor()?)),
+        "iterative" => Ok(QueryRequest::iterative(
+            spec,
+            f.corr,
+            needs_predictor()?,
+            SampleSizeRule::Fraction(f.sample_fraction),
+            f.rounds,
+        )),
+        "intel_sample" => {
+            let predictor = match f.predictor {
+                Some(column) => PredictorChoice::Fixed(column),
+                None => PredictorChoice::Auto {
+                    label_fraction: f.label_fraction,
+                },
+            };
+            Ok(QueryRequest::intel_sample(IntelSampleConfig {
+                spec,
+                rule: SampleSizeRule::Fraction(f.sample_fraction),
+                corr: f.corr,
+                predictor,
+            }))
+        }
+        "" => Err(ApiError::bad_request("missing \"query.kind\"")),
+        other => Err(ApiError::bad_request(format!(
+            "unknown query kind {other:?} (available: naive, intel_sample, optimal, \
+             adaptive, iterative, learning, multiple)"
+        ))),
+    }
+}
+
+fn parse_cost(value: &JsonValue) -> Result<CostModel, ApiError> {
+    if !matches!(value, JsonValue::Object(_)) {
+        return Err(ApiError::bad_request("\"cost\" must be an object"));
+    }
+    let mut cost = CostModel::PAPER_DEFAULT;
+    for key in value.keys() {
+        let field = value.get(key).expect("listed key is present");
+        let n = field
+            .as_f64()
+            .ok_or_else(|| ApiError::bad_request(format!("cost field {key:?} must be a number")))?;
+        match key {
+            "retrieve" => cost.retrieve = n,
+            "evaluate" => cost.evaluate = n,
+            other => {
+                return Err(ApiError::bad_request(format!(
+                    "unknown cost field {other:?}"
+                )))
+            }
+        }
+    }
+    Ok(cost)
+}
+
+/// Renders a 200 body for one outcome. Deliberately *excludes*
+/// `compute_seconds` (wall-clock noise) so the body is a pure function
+/// of the outcome the engine memoizes — the end-to-end tests assert an
+/// HTTP answer is byte-identical to a direct submit rendered the same
+/// way.
+pub fn render_outcome(tenant: &str, outcome: &RunOutcome) -> String {
+    let n = JsonValue::Number;
+    JsonValue::Object(vec![
+        ("tenant".into(), JsonValue::String(tenant.to_owned())),
+        (
+            "returned".into(),
+            JsonValue::Array(outcome.returned.iter().map(|&id| n(id as f64)).collect()),
+        ),
+        (
+            "counts".into(),
+            JsonValue::Object(vec![
+                ("retrieved".into(), n(outcome.counts.retrieved as f64)),
+                ("evaluated".into(), n(outcome.counts.evaluated as f64)),
+                ("cache_hits".into(), n(outcome.counts.cache_hits as f64)),
+                ("reuse_hits".into(), n(outcome.counts.reuse_hits as f64)),
+            ]),
+        ),
+        ("cost".into(), n(outcome.cost)),
+        ("precision".into(), n(outcome.summary.precision)),
+        ("recall".into(), n(outcome.summary.recall)),
+        ("num_groups".into(), n(outcome.num_groups as f64)),
+        (
+            "plan_feasible".into(),
+            JsonValue::Bool(outcome.plan_feasible),
+        ),
+    ])
+    .render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(body: &str) -> Result<ApiQuery, ApiError> {
+        parse_query_body(body.as_bytes(), 100_000)
+    }
+
+    #[test]
+    fn parses_a_full_request() {
+        let q = parse(
+            r#"{"tenant": "alice",
+                "table": {"spec": "prosper", "rows": 2000, "seed": 7},
+                "query": {"kind": "optimal", "alpha": 0.9, "predictor": "grade"},
+                "seed": 42, "on_infeasible": "error"}"#,
+        )
+        .expect("parses");
+        assert_eq!(q.tenant.as_deref(), Some("alice"));
+        assert_eq!(
+            q.table,
+            TableKey {
+                spec: "prosper".into(),
+                rows: 2000,
+                seed: 7
+            }
+        );
+        assert_eq!(q.request.seed(), 42);
+        assert_eq!(q.request.infeasible_policy(), InfeasiblePolicy::Error);
+        assert_eq!(q.request.strategy().name(), "optimal");
+    }
+
+    #[test]
+    fn defaults_are_the_paper_defaults() {
+        let q = parse(
+            r#"{"table": {"spec": "lc", "rows": 100},
+                "query": {"kind": "naive"}}"#,
+        )
+        .unwrap();
+        assert!(q.tenant.is_none());
+        assert_eq!(q.request.seed(), 0);
+        assert_eq!(
+            q.request.infeasible_policy(),
+            InfeasiblePolicy::FallbackEvaluateAll
+        );
+        assert_eq!(q.request.strategy().name(), "naive");
+    }
+
+    #[test]
+    fn every_kind_parses() {
+        for (kind, extra) in [
+            ("naive", ""),
+            ("learning", ""),
+            ("multiple", r#", "imputations": 3"#),
+            ("optimal", r#", "predictor": "grade""#),
+            ("adaptive", r#", "predictor": "grade", "corr": "unknown""#),
+            (
+                "iterative",
+                r#", "predictor": "grade", "rounds": 3, "sample_fraction": 0.1"#,
+            ),
+            ("intel_sample", ""),
+            ("intel_sample", r#", "predictor": "grade""#),
+        ] {
+            let body = format!(
+                r#"{{"table": {{"spec": "prosper", "rows": 50}},
+                     "query": {{"kind": "{kind}"{extra}}}}}"#
+            );
+            let q = parse(&body).unwrap_or_else(|e| panic!("kind {kind}: {e:?}"));
+            assert_eq!(q.request.strategy().name(), kind);
+        }
+    }
+
+    #[test]
+    fn rejections_are_400s_with_reasons() {
+        for (body, needle) in [
+            ("not json", "not valid JSON"),
+            ("[1]", "must be a JSON object"),
+            (
+                r#"{"table": {"spec": "prosper", "rows": 10}}"#,
+                "missing \"query\"",
+            ),
+            (r#"{"query": {"kind": "naive"}}"#, "missing \"table\""),
+            (
+                r#"{"table": {"spec": "nope", "rows": 10}, "query": {"kind": "naive"}}"#,
+                "unknown table spec",
+            ),
+            (
+                r#"{"table": {"spec": "prosper", "rows": 0}, "query": {"kind": "naive"}}"#,
+                "table.rows",
+            ),
+            (
+                r#"{"table": {"spec": "prosper", "rows": 10}, "query": {"kind": "zigzag"}}"#,
+                "unknown query kind",
+            ),
+            (
+                r#"{"table": {"spec": "prosper", "rows": 10}, "query": {"kind": "optimal"}}"#,
+                "requires \"predictor\"",
+            ),
+            (
+                r#"{"table": {"spec": "prosper", "rows": 10}, "query": {"kind": "naive"}, "oops": 1}"#,
+                "unknown field",
+            ),
+            (
+                r#"{"table": {"spec": "prosper", "rows": 10}, "query": {"kind": "naive", "turbo": 1}}"#,
+                "unknown query field",
+            ),
+            (
+                r#"{"table": {"spec": "prosper", "rows": 10}, "query": {"kind": "naive"}, "seed": -1}"#,
+                "seed",
+            ),
+        ] {
+            let err = parse(body).expect_err(body);
+            assert_eq!(err.status, 400, "{body}");
+            assert!(
+                err.detail.contains(needle),
+                "{body}: {} !~ {needle}",
+                err.detail
+            );
+        }
+    }
+
+    #[test]
+    fn invalid_contract_surfaces_the_engine_error() {
+        let err = parse(
+            r#"{"table": {"spec": "prosper", "rows": 10},
+                "query": {"kind": "naive", "alpha": 1.5}}"#,
+        )
+        .expect_err("alpha out of range");
+        assert_eq!(err.status, 400);
+        assert_eq!(err.kind, "invalid_spec");
+    }
+
+    #[test]
+    fn row_cap_is_enforced() {
+        let err = parse_query_body(
+            br#"{"table": {"spec": "prosper", "rows": 999}, "query": {"kind": "naive"}}"#,
+            500,
+        )
+        .expect_err("row cap");
+        assert!(err.detail.contains("1..=500"));
+    }
+
+    #[test]
+    fn status_mapping_covers_every_engine_error_variant() {
+        let cases = [
+            (
+                EngineError::InvalidSpec {
+                    field: "alpha",
+                    value: 2.0,
+                    expected: "in [0, 1]",
+                },
+                400,
+                "invalid_spec",
+            ),
+            (
+                EngineError::UnknownColumn {
+                    column: "x".into(),
+                    available: vec![],
+                },
+                404,
+                "unknown_column",
+            ),
+            (
+                EngineError::Infeasible {
+                    strategy: "naive".into(),
+                },
+                422,
+                "infeasible",
+            ),
+            (
+                EngineError::BadExpression { reason: "r".into() },
+                400,
+                "bad_expression",
+            ),
+            (
+                EngineError::InvalidRequest { reason: "r".into() },
+                400,
+                "invalid_request",
+            ),
+        ];
+        for (error, status, kind) in cases {
+            assert_eq!(engine_error_status(&error), status, "{error}");
+            assert_eq!(engine_error_kind(&error), kind, "{error}");
+            let api: ApiError = error.into();
+            assert_eq!(api.status, status);
+            assert!(api.body().contains(kind));
+        }
+    }
+
+    #[test]
+    fn error_bodies_are_json() {
+        let body = ApiError::bad_request("quote \" here").body();
+        let doc = JsonValue::parse(&body).expect("error body parses");
+        assert_eq!(doc.get("error").unwrap().as_str(), Some("bad_request"));
+        assert_eq!(doc.get("detail").unwrap().as_str(), Some("quote \" here"));
+    }
+}

@@ -1,0 +1,63 @@
+//! `expred-serve` — run the serving tier from the command line.
+//!
+//! ```text
+//! expred-serve [--addr HOST:PORT] [--max-in-flight N] [--max-tenants N]
+//!              [--max-rows N] [--pool] [--udf-latency-us MICROS]
+//! ```
+
+use expred_serve::{serve, ServeConfig};
+use std::time::Duration;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: expred-serve [--addr HOST:PORT] [--max-in-flight N] [--max-tenants N]\n\
+         \x20                   [--max-rows N] [--pool] [--udf-latency-us MICROS]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_value<T: std::str::FromStr>(flag: &str, value: Option<String>) -> T {
+    match value.and_then(|v| v.parse().ok()) {
+        Some(parsed) => parsed,
+        None => {
+            eprintln!("expred-serve: {flag} needs a valid value");
+            usage();
+        }
+    }
+}
+
+fn main() {
+    let mut addr = "127.0.0.1:7878".to_owned();
+    let mut config = ServeConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => addr = parse_value(&arg, args.next()),
+            "--max-in-flight" => config.max_in_flight = parse_value(&arg, args.next()),
+            "--max-tenants" => config.max_tenants = parse_value(&arg, args.next()),
+            "--max-rows" => config.max_rows = parse_value(&arg, args.next()),
+            "--pool" => config.pooled = true,
+            "--udf-latency-us" => {
+                config.udf_latency = Duration::from_micros(parse_value(&arg, args.next()))
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("expred-serve: unknown flag {other}");
+                usage();
+            }
+        }
+    }
+    let handle = match serve(&*addr, config) {
+        Ok(handle) => handle,
+        Err(e) => {
+            eprintln!("expred-serve: failed to bind {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("expred-serve listening on http://{}", handle.local_addr());
+    println!("routes: GET /health, GET /metrics, GET /metrics.json, POST /query");
+    // Serve until killed.
+    loop {
+        std::thread::park();
+    }
+}

@@ -1,0 +1,146 @@
+//! A minimal blocking HTTP/1.1 client over one keep-alive connection.
+//!
+//! This exists for the load generator and the integration tests: both
+//! need to speak real TCP to the server without external dependencies.
+//! It reuses the server-side reader ([`crate::http::read_request`] has
+//! its mirror here in [`HttpClient::roundtrip`]) but stays deliberately
+//! small — one connection, sequential requests, no redirects, no TLS.
+
+use crate::http::reason_phrase;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// One parsed response.
+#[derive(Debug)]
+pub struct ClientResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// Headers, names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// Response body bytes.
+    pub body: Vec<u8>,
+}
+
+impl ClientResponse {
+    /// First header with the given (case-insensitive) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Body as UTF-8 (lossy).
+    pub fn body_text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+/// A single keep-alive connection to the server.
+pub struct HttpClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl HttpClient {
+    /// Connects to `addr` with a generous read timeout.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(Duration::from_secs(60)))?;
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Self {
+            reader,
+            writer: stream,
+        })
+    }
+
+    /// Sends one request and reads the response. `content_type` is only
+    /// attached when a body is present.
+    pub fn roundtrip(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: &[u8],
+    ) -> std::io::Result<ClientResponse> {
+        let mut head = format!("{method} {path} HTTP/1.1\r\nhost: localhost\r\n");
+        if !body.is_empty() {
+            head.push_str("content-type: application/json\r\n");
+        }
+        head.push_str(&format!("content-length: {}\r\n\r\n", body.len()));
+        self.writer.write_all(head.as_bytes())?;
+        self.writer.write_all(body)?;
+        self.writer.flush()?;
+        self.read_response()
+    }
+
+    /// `GET path`.
+    pub fn get(&mut self, path: &str) -> std::io::Result<ClientResponse> {
+        self.roundtrip("GET", path, &[])
+    }
+
+    /// `POST path` with a JSON body.
+    pub fn post(&mut self, path: &str, body: &str) -> std::io::Result<ClientResponse> {
+        self.roundtrip("POST", path, body.as_bytes())
+    }
+
+    /// Sends raw bytes down the socket and reads one response — for
+    /// malformed-request tests that must bypass the well-formed writer.
+    pub fn raw(&mut self, bytes: &[u8]) -> std::io::Result<ClientResponse> {
+        self.writer.write_all(bytes)?;
+        self.writer.flush()?;
+        self.read_response()
+    }
+
+    fn read_line(&mut self) -> std::io::Result<String> {
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        while line.ends_with('\n') || line.ends_with('\r') {
+            line.pop();
+        }
+        Ok(line)
+    }
+
+    fn read_response(&mut self) -> std::io::Result<ClientResponse> {
+        let status_line = self.read_line()?;
+        let mut parts = status_line.splitn(3, ' ');
+        let _version = parts.next();
+        let status: u16 = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| std::io::Error::other(format!("bad status line: {status_line}")))?;
+        debug_assert!(!reason_phrase(status).is_empty());
+        let mut headers = Vec::new();
+        let mut content_length = 0usize;
+        loop {
+            let line = self.read_line()?;
+            if line.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = line.split_once(':') {
+                let name = name.trim().to_ascii_lowercase();
+                let value = value.trim().to_owned();
+                if name == "content-length" {
+                    content_length = value
+                        .parse()
+                        .map_err(|_| std::io::Error::other("bad content-length"))?;
+                }
+                headers.push((name, value));
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        self.reader.read_exact(&mut body)?;
+        Ok(ClientResponse {
+            status,
+            headers,
+            body,
+        })
+    }
+}

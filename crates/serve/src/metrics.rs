@@ -1,0 +1,385 @@
+//! Live serving metrics: lock-free counters and latency histograms,
+//! rendered as exposition text (`GET /metrics`) or JSON
+//! (`GET /metrics.json`).
+//!
+//! Everything here is updated on the request path, so it is all atomics:
+//! counters are relaxed `fetch_add`s and the histograms are fixed arrays
+//! of atomic buckets — no locks, no allocation per observation. The
+//! renderers pull the engine-side counters ([`expred_core::EngineStats`],
+//! [`expred_exec::CacheStats`], [`expred_core::ResultMemoStats`]) per
+//! tenant through the same `fields()` → [`counters_to_text`] /
+//! [`counters_to_json`] funnel the bench artifacts use, so both exports
+//! agree on names.
+
+use crate::gate::AdmissionGate;
+use crate::tenant::TenantRegistry;
+use expred_stats::json::{counters_to_json, counters_to_text, escape, fmt_f64};
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Log-scale latency histogram over microseconds.
+///
+/// Bucket `i` covers `[2^(i-1), 2^i)` µs (bucket 0 is `< 1` µs); the
+/// last bucket absorbs everything ≥ ~17 minutes. Quantiles are resolved
+/// to a bucket's upper bound, so they are conservative (never
+/// under-report) with ≤ 2× resolution — plenty for p50/p99 dashboards.
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; Self::BUCKETS],
+    count: AtomicU64,
+    sum_micros: AtomicU64,
+}
+
+impl LatencyHistogram {
+    const BUCKETS: usize = 31;
+
+    /// An empty histogram.
+    pub const fn new() -> Self {
+        #[allow(clippy::declare_interior_mutable_const)]
+        const ZERO: AtomicU64 = AtomicU64::new(0);
+        Self {
+            buckets: [ZERO; Self::BUCKETS],
+            count: AtomicU64::new(0),
+            sum_micros: AtomicU64::new(0),
+        }
+    }
+
+    fn bucket_index(micros: u64) -> usize {
+        let bits = 64 - micros.leading_zeros() as usize;
+        bits.min(Self::BUCKETS - 1)
+    }
+
+    /// Upper bound of bucket `i`, in microseconds.
+    fn bucket_upper_micros(index: usize) -> u64 {
+        if index >= Self::BUCKETS - 1 {
+            u64::MAX
+        } else {
+            1u64 << index
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, latency: Duration) {
+        let micros = latency.as_micros().min(u64::MAX as u128) as u64;
+        self.buckets[Self::bucket_index(micros)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_micros.fetch_add(micros, Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Mean latency in microseconds (0 when empty).
+    pub fn mean_micros(&self) -> f64 {
+        let count = self.count();
+        if count == 0 {
+            0.0
+        } else {
+            self.sum_micros.load(Ordering::Relaxed) as f64 / count as f64
+        }
+    }
+
+    /// The `q`-quantile (`0.0..=1.0`) as a bucket upper bound in
+    /// microseconds; 0 when empty.
+    pub fn quantile_micros(&self, q: f64) -> u64 {
+        let snapshot: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = snapshot.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, bucket) in snapshot.iter().enumerate() {
+            seen += bucket;
+            if seen >= rank {
+                return Self::bucket_upper_micros(i);
+            }
+        }
+        Self::bucket_upper_micros(Self::BUCKETS - 1)
+    }
+
+    /// Median, in microseconds.
+    pub fn p50_micros(&self) -> u64 {
+        self.quantile_micros(0.50)
+    }
+
+    /// 99th percentile, in microseconds.
+    pub fn p99_micros(&self) -> u64 {
+        self.quantile_micros(0.99)
+    }
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// One route's request counter and latency histogram.
+pub struct RouteMetrics {
+    /// Route name as exported (`query`, `metrics`, `health`).
+    pub name: &'static str,
+    /// Requests that reached this route's handler.
+    pub requests: AtomicU64,
+    /// End-to-end handler latency (parse → response built).
+    pub latency: LatencyHistogram,
+}
+
+impl RouteMetrics {
+    const fn new(name: &'static str) -> Self {
+        Self {
+            name,
+            requests: AtomicU64::new(0),
+            latency: LatencyHistogram::new(),
+        }
+    }
+
+    /// Records one handled request.
+    pub fn observe(&self, latency: Duration) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        self.latency.observe(latency);
+    }
+}
+
+/// The server-wide counters backing `GET /metrics`.
+pub struct ServeMetrics {
+    /// Connections accepted by the listener.
+    pub connections_accepted: AtomicU64,
+    /// Requests answered, by status class.
+    pub responses_2xx: AtomicU64,
+    /// 4xx responses (client errors, including 429 sheds).
+    pub responses_4xx: AtomicU64,
+    /// 5xx responses (panics and tenant-capacity refusals).
+    pub responses_5xx: AtomicU64,
+    /// Handler panics converted to 500s.
+    pub panics: AtomicU64,
+    /// `/query` route metrics.
+    pub query: RouteMetrics,
+    /// `/metrics` + `/metrics.json` route metrics.
+    pub metrics: RouteMetrics,
+    /// `/health` route metrics.
+    pub health: RouteMetrics,
+}
+
+impl ServeMetrics {
+    /// Fresh, all-zero metrics.
+    pub const fn new() -> Self {
+        Self {
+            connections_accepted: AtomicU64::new(0),
+            responses_2xx: AtomicU64::new(0),
+            responses_4xx: AtomicU64::new(0),
+            responses_5xx: AtomicU64::new(0),
+            panics: AtomicU64::new(0),
+            query: RouteMetrics::new("query"),
+            metrics: RouteMetrics::new("metrics"),
+            health: RouteMetrics::new("health"),
+        }
+    }
+
+    /// Buckets a response status into its class counter.
+    pub fn record_status(&self, status: u16) {
+        let counter = match status {
+            200..=299 => &self.responses_2xx,
+            500..=599 => &self.responses_5xx,
+            _ => &self.responses_4xx,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn routes(&self) -> [&RouteMetrics; 3] {
+        [&self.query, &self.metrics, &self.health]
+    }
+
+    fn server_counters(&self, gate: &AdmissionGate) -> Vec<(&'static str, u64)> {
+        vec![
+            (
+                "connections_accepted",
+                self.connections_accepted.load(Ordering::Relaxed),
+            ),
+            ("responses_2xx", self.responses_2xx.load(Ordering::Relaxed)),
+            ("responses_4xx", self.responses_4xx.load(Ordering::Relaxed)),
+            ("responses_5xx", self.responses_5xx.load(Ordering::Relaxed)),
+            ("panics", self.panics.load(Ordering::Relaxed)),
+            ("admitted", gate.admitted()),
+            ("shed", gate.shed()),
+            ("in_flight", gate.in_flight() as u64),
+            ("in_flight_capacity", gate.capacity() as u64),
+        ]
+    }
+
+    /// Exposition-format text for `GET /metrics`: serving counters,
+    /// per-route latency summaries, then per-tenant engine counters.
+    pub fn render_text(&self, gate: &AdmissionGate, tenants: &TenantRegistry) -> String {
+        let mut out = counters_to_text("serve", &[], &self.server_counters(gate));
+        for route in self.routes() {
+            let labels = [("route", route.name)];
+            out.push_str(&counters_to_text(
+                "serve_route",
+                &labels,
+                &[
+                    ("requests", route.requests.load(Ordering::Relaxed)),
+                    ("latency_p50_micros", route.latency.p50_micros()),
+                    ("latency_p99_micros", route.latency.p99_micros()),
+                ],
+            ));
+        }
+        for tenant in tenants.snapshot() {
+            let name = tenant.name().to_owned();
+            let labels = [("tenant", name.as_str())];
+            let engine = tenant.engine();
+            out.push_str(&counters_to_text(
+                "engine",
+                &labels,
+                &engine.stats().fields(),
+            ));
+            out.push_str(&counters_to_text(
+                "engine_cache",
+                &labels,
+                &engine.cache_stats().fields(),
+            ));
+            out.push_str(&counters_to_text(
+                "engine_memo",
+                &labels,
+                &engine.result_memo_stats().fields(),
+            ));
+            let _ = writeln!(
+                out,
+                "engine_tables{{tenant=\"{}\"}} {}",
+                escape(&name),
+                tenant.table_count()
+            );
+        }
+        out
+    }
+
+    /// JSON snapshot for `GET /metrics.json` — same numbers, one object.
+    pub fn render_json(&self, gate: &AdmissionGate, tenants: &TenantRegistry) -> String {
+        let mut out = String::from("{\"server\":");
+        out.push_str(&counters_to_json(&self.server_counters(gate)));
+        out.push_str(",\"routes\":{");
+        for (i, route) in self.routes().into_iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\"{}\":{{\"requests\":{},\"latency_p50_micros\":{},\"latency_p99_micros\":{},\"latency_mean_micros\":{}}}",
+                route.name,
+                route.requests.load(Ordering::Relaxed),
+                route.latency.p50_micros(),
+                route.latency.p99_micros(),
+                fmt_f64(route.latency.mean_micros()),
+            );
+        }
+        out.push_str("},\"tenants\":{");
+        for (i, tenant) in tenants.snapshot().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let engine = tenant.engine();
+            let _ = write!(
+                out,
+                "\"{}\":{{\"engine\":{},\"cache\":{},\"result_memo\":{},\"tables\":{}}}",
+                escape(tenant.name()),
+                counters_to_json(&engine.stats().fields()),
+                counters_to_json(&engine.cache_stats().fields()),
+                counters_to_json(&engine.result_memo_stats().fields()),
+                tenant.table_count(),
+            );
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+impl Default for ServeMetrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tenant::EngineConfig;
+    use expred_stats::json::JsonValue;
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.p50_micros(), 0, "empty histogram reads zero");
+        for micros in [3u64, 3, 3, 3, 3, 3, 3, 3, 3, 1000] {
+            h.observe(Duration::from_micros(micros));
+        }
+        assert_eq!(h.count(), 10);
+        // 3 µs lands in (2,4]; its conservative upper bound is 4.
+        assert_eq!(h.p50_micros(), 4);
+        // The single 1 ms outlier owns the p99 rank (ceil(0.99*10)=10).
+        assert_eq!(h.p99_micros(), 1024);
+        assert!((h.mean_micros() - 102.7).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_extremes_stay_in_range() {
+        let h = LatencyHistogram::new();
+        h.observe(Duration::ZERO);
+        assert_eq!(h.p50_micros(), 1, "sub-microsecond bucket upper bound");
+        h.observe(Duration::from_secs(10_000_000));
+        assert_eq!(h.p99_micros(), u64::MAX, "overflow bucket is absorbing");
+    }
+
+    #[test]
+    fn render_text_has_serving_route_and_tenant_lines() {
+        let metrics = ServeMetrics::new();
+        let gate = AdmissionGate::new(4);
+        let tenants = TenantRegistry::new(4, 2, EngineConfig::default());
+        tenants.route("acme").unwrap();
+        metrics.record_status(200);
+        metrics.query.observe(Duration::from_micros(120));
+        let text = metrics.render_text(&gate, &tenants);
+        assert!(text.contains("serve_responses_2xx 1\n"));
+        assert!(text.contains("serve_in_flight_capacity 4\n"));
+        assert!(text.contains("serve_route_requests{route=\"query\"} 1\n"));
+        assert!(text.contains("serve_route_latency_p50_micros{route=\"query\"} 128\n"));
+        assert!(text.contains("engine_queries{tenant=\"acme\"} 0\n"));
+        assert!(text.contains("engine_cache_hits{tenant=\"acme\"} 0\n"));
+        assert!(text.contains("engine_memo_hits{tenant=\"acme\"} 0\n"));
+        assert!(text.contains("engine_tables{tenant=\"acme\"} 0\n"));
+    }
+
+    #[test]
+    fn render_json_is_parseable_and_complete() {
+        let metrics = ServeMetrics::new();
+        let gate = AdmissionGate::new(2);
+        let tenants = TenantRegistry::new(4, 2, EngineConfig::default());
+        tenants.route("a").unwrap();
+        tenants.route("b").unwrap();
+        metrics.record_status(429);
+        metrics.record_status(500);
+        let doc = JsonValue::parse(&metrics.render_json(&gate, &tenants)).expect("valid JSON");
+        let server = doc.get("server").unwrap();
+        assert_eq!(server.get("responses_4xx").unwrap().as_u64(), Some(1));
+        assert_eq!(server.get("responses_5xx").unwrap().as_u64(), Some(1));
+        assert_eq!(server.get("in_flight_capacity").unwrap().as_u64(), Some(2));
+        let routes = doc.get("routes").unwrap();
+        for name in ["query", "metrics", "health"] {
+            assert!(routes.get(name).is_some(), "route {name} exported");
+        }
+        let tenants_obj = doc.get("tenants").unwrap();
+        for name in ["a", "b"] {
+            let t = tenants_obj.get(name).unwrap();
+            assert_eq!(
+                t.get("engine").unwrap().get("queries").unwrap().as_u64(),
+                Some(0)
+            );
+            assert!(t.get("cache").is_some());
+            assert!(t.get("result_memo").is_some());
+        }
+    }
+}

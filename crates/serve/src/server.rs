@@ -1,0 +1,337 @@
+//! The TCP front-end: accept loop, thread-per-connection keep-alive
+//! handling, routing, and failure isolation.
+//!
+//! Request flow for `POST /query`, in admission order:
+//!
+//! 1. **Gate** — take an in-flight slot, or answer `429` immediately
+//!    (with `Retry-After`) without touching any engine state.
+//! 2. **Parse** — decode the JSON body into an [`ApiQuery`]; malformed
+//!    bodies answer `400` (or `413` past the body limit).
+//! 3. **Route** — resolve the tenant session; a full registry answers
+//!    `503` with `Retry-After`.
+//! 4. **Submit** — run on the tenant's engine; [`EngineError`]s map to
+//!    their documented 4xx statuses, and a handler panic is caught and
+//!    answered as `500` without killing the connection thread or the
+//!    accept loop.
+//!
+//! Each connection gets its own thread and serves any number of
+//! pipelined keep-alive requests; the idle read timeout
+//! ([`crate::http::IDLE_TIMEOUT`]) reclaims abandoned sockets.
+//!
+//! [`EngineError`]: expred_core::EngineError
+
+use crate::api::{self, ApiError, ApiQuery};
+use crate::gate::AdmissionGate;
+use crate::http::{read_request, HttpError, HttpRequest, HttpResponse, Limits, IDLE_TIMEOUT};
+use crate::metrics::ServeMetrics;
+use crate::tenant::{EngineConfig, TenantError, TenantRegistry};
+use std::io::{BufReader, Write};
+use std::net::{Shutdown, TcpListener, TcpStream, ToSocketAddrs};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Concurrent `/query` requests allowed past the admission gate.
+    pub max_in_flight: usize,
+    /// Distinct tenant sessions the registry will create.
+    pub max_tenants: usize,
+    /// Materialized tables kept per tenant (LRU past this).
+    pub max_tables_per_tenant: usize,
+    /// Largest `table.rows` a query may ask to generate.
+    pub max_rows: usize,
+    /// Largest accepted request body, in bytes.
+    pub max_body_bytes: usize,
+    /// Build tenant engines on the worker pool instead of sequential.
+    pub pooled: bool,
+    /// Artificial per-evaluation UDF latency (load testing).
+    pub udf_latency: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            max_in_flight: 64,
+            max_tenants: 32,
+            max_tables_per_tenant: 8,
+            max_rows: 1_000_000,
+            max_body_bytes: 1 << 20,
+            pooled: false,
+            udf_latency: Duration::ZERO,
+        }
+    }
+}
+
+struct Shared {
+    config: ServeConfig,
+    gate: AdmissionGate,
+    metrics: ServeMetrics,
+    tenants: TenantRegistry,
+    shutting_down: AtomicBool,
+}
+
+/// A running server. Dropping the handle shuts the listener down.
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    local_addr: std::net::SocketAddr,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+/// Binds `addr` and starts accepting connections on a background
+/// thread. Bind to port 0 to let the OS pick (tests do this).
+pub fn serve(addr: impl ToSocketAddrs, config: ServeConfig) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let local_addr = listener.local_addr()?;
+    let shared = Arc::new(Shared {
+        gate: AdmissionGate::new(config.max_in_flight),
+        tenants: TenantRegistry::new(
+            config.max_tenants,
+            config.max_tables_per_tenant,
+            EngineConfig {
+                pooled: config.pooled,
+                udf_latency: config.udf_latency,
+            },
+        ),
+        metrics: ServeMetrics::new(),
+        shutting_down: AtomicBool::new(false),
+        config,
+    });
+    let accept_shared = Arc::clone(&shared);
+    let accept_thread = std::thread::Builder::new()
+        .name("expred-serve-accept".into())
+        .spawn(move || accept_loop(listener, accept_shared))?;
+    Ok(ServerHandle {
+        shared,
+        local_addr,
+        accept_thread: Some(accept_thread),
+    })
+}
+
+impl ServerHandle {
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> std::net::SocketAddr {
+        self.local_addr
+    }
+
+    /// The live serving metrics.
+    pub fn metrics(&self) -> &ServeMetrics {
+        &self.shared.metrics
+    }
+
+    /// The admission gate (counters: admitted/shed/in-flight).
+    pub fn gate(&self) -> &AdmissionGate {
+        &self.shared.gate
+    }
+
+    /// The tenant registry (inspect engines in tests).
+    pub fn tenants(&self) -> &TenantRegistry {
+        &self.shared.tenants
+    }
+
+    /// Stops the accept loop. In-flight connections finish their current
+    /// request and then close.
+    pub fn shutdown(&mut self) {
+        if self.shared.shutting_down.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Unblock the accept() call with a throwaway connection.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if shared.shutting_down.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if shared.shutting_down.load(Ordering::SeqCst) {
+            return;
+        }
+        shared
+            .metrics
+            .connections_accepted
+            .fetch_add(1, Ordering::Relaxed);
+        let conn_shared = Arc::clone(&shared);
+        let _ = std::thread::Builder::new()
+            .name("expred-serve-conn".into())
+            .spawn(move || connection_loop(stream, conn_shared));
+    }
+}
+
+fn connection_loop(stream: TcpStream, shared: Arc<Shared>) {
+    let _ = stream.set_read_timeout(Some(IDLE_TIMEOUT));
+    let _ = stream.set_nodelay(true);
+    let limits = Limits {
+        max_body_bytes: shared.config.max_body_bytes,
+        ..Limits::default()
+    };
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(clone) => clone,
+        Err(_) => return,
+    });
+    let mut writer = stream;
+    loop {
+        if shared.shutting_down.load(Ordering::SeqCst) {
+            break;
+        }
+        let request = match read_request(&mut reader, &limits) {
+            Ok(request) => request,
+            Err(HttpError::Closed) | Err(HttpError::Io(_)) => break,
+            Err(HttpError::Malformed(reason)) => {
+                let error = ApiError::bad_request(format!("malformed request: {reason}"));
+                let response = HttpResponse::json(error.status, error.body());
+                shared.metrics.record_status(response.status);
+                let _ = response.write_to(&mut writer, false);
+                break;
+            }
+            Err(HttpError::BodyTooLarge { declared, limit }) => {
+                let error = ApiError {
+                    status: 413,
+                    kind: "body_too_large",
+                    detail: format!("declared body of {declared} bytes exceeds limit {limit}"),
+                };
+                let response = HttpResponse::json(error.status, error.body());
+                shared.metrics.record_status(response.status);
+                let _ = response.write_to(&mut writer, false);
+                break;
+            }
+        };
+        let keep_alive = request.keep_alive();
+        let response = dispatch(&request, &shared);
+        shared.metrics.record_status(response.status);
+        if response.write_to(&mut writer, keep_alive).is_err() {
+            break;
+        }
+        if writer.flush().is_err() || !keep_alive {
+            break;
+        }
+    }
+    let _ = writer.shutdown(Shutdown::Both);
+}
+
+fn dispatch(request: &HttpRequest, shared: &Shared) -> HttpResponse {
+    let started = Instant::now();
+    let path = request.path();
+    match (request.method.as_str(), path) {
+        ("GET", "/health") => {
+            let response = HttpResponse::text(200, "ok\n");
+            shared.metrics.health.observe(started.elapsed());
+            response
+        }
+        ("GET", "/metrics") => {
+            let body = shared.metrics.render_text(&shared.gate, &shared.tenants);
+            let response = HttpResponse::text(200, body);
+            shared.metrics.metrics.observe(started.elapsed());
+            response
+        }
+        ("GET", "/metrics.json") => {
+            let body = shared.metrics.render_json(&shared.gate, &shared.tenants);
+            let response = HttpResponse::json(200, body);
+            shared.metrics.metrics.observe(started.elapsed());
+            response
+        }
+        ("POST", "/query") => {
+            let response = query_route(request, shared);
+            shared.metrics.query.observe(started.elapsed());
+            response
+        }
+        (_, "/health" | "/metrics" | "/metrics.json" | "/query") => {
+            let error = ApiError {
+                status: 405,
+                kind: "method_not_allowed",
+                detail: format!("{} is not supported on {path}", request.method),
+            };
+            HttpResponse::json(error.status, error.body())
+        }
+        _ => {
+            let error = ApiError {
+                status: 404,
+                kind: "not_found",
+                detail: format!("no route for {path}"),
+            };
+            HttpResponse::json(error.status, error.body())
+        }
+    }
+}
+
+/// The `/query` route. The gate slot is taken before the body is even
+/// parsed, so shed requests do constant work and provably never reach a
+/// tenant engine.
+fn query_route(request: &HttpRequest, shared: &Shared) -> HttpResponse {
+    let Some(_pass) = shared.gate.try_acquire() else {
+        let error = ApiError {
+            status: 429,
+            kind: "saturated",
+            detail: format!(
+                "all {} in-flight slots are busy; retry shortly",
+                shared.gate.capacity()
+            ),
+        };
+        return HttpResponse::json(error.status, error.body()).with_header("retry-after", "1");
+    };
+    let outcome = catch_unwind(AssertUnwindSafe(|| handle_query(request, shared)));
+    match outcome {
+        Ok(Ok(body)) => HttpResponse::json(200, body),
+        Ok(Err(error)) => {
+            let response = HttpResponse::json(error.status, error.body());
+            if error.status == 503 || error.status == 429 {
+                response.with_header("retry-after", "1")
+            } else {
+                response
+            }
+        }
+        Err(_) => {
+            shared.metrics.panics.fetch_add(1, Ordering::Relaxed);
+            let error = ApiError {
+                status: 500,
+                kind: "internal",
+                detail: "query handler panicked; see server logs".into(),
+            };
+            HttpResponse::json(error.status, error.body())
+        }
+    }
+}
+
+fn handle_query(request: &HttpRequest, shared: &Shared) -> Result<String, ApiError> {
+    let query: ApiQuery = api::parse_query_body(&request.body, shared.config.max_rows)?;
+    let tenant_name = request
+        .header("x-tenant")
+        .map(str::to_owned)
+        .or(query.tenant.clone())
+        .unwrap_or_else(|| "default".to_owned());
+    let tenant =
+        shared
+            .tenants
+            .route(&tenant_name)
+            .map_err(|TenantError::Exhausted { limit }| ApiError {
+                status: 503,
+                kind: "tenants_exhausted",
+                detail: format!(
+                    "tenant registry is at its bound of {limit}; retry an existing tenant"
+                ),
+            })?;
+    let dataset = tenant.dataset(&query.table);
+    let outcome = tenant
+        .engine()
+        .submit(&dataset, &query.request)
+        .map_err(ApiError::from)?;
+    Ok(api::render_outcome(&tenant_name, &outcome))
+}

@@ -1,0 +1,324 @@
+//! Per-tenant session routing: tenant id → one [`QueryEngine`] plus its
+//! materialized tables.
+//!
+//! Each tenant gets an isolated engine — its own cross-query
+//! [`expred_exec::CacheStore`], result memo, and session bill — created
+//! lazily on first request and kept for the server's lifetime. Isolation
+//! is the tenancy model: one tenant's cache churn, bill, or query mix
+//! can never leak into another's answers or accounting (the paper's
+//! amortization story plays out *within* a tenant's query stream). The
+//! registry bounds how many tenants may exist; past the bound, new
+//! tenant ids are refused with a retryable 503 while existing tenants
+//! keep being served.
+//!
+//! Tables are tenant-local too: a [`TableKey`] names a calibrated
+//! generator (`prosper` / `lc`), a row count, and a generation seed, and
+//! each tenant materializes its own instance (bounded per tenant,
+//! evicting the least-recently-used). Generation is deterministic, so
+//! equal keys answer identically across tenants — without sharing any
+//! cache state.
+
+use crate::api::TableKey;
+use expred_core::QueryEngine;
+use expred_table::datasets::{Dataset, DatasetSpec, LENDING_CLUB, PROSPER};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::Duration;
+
+/// Whether `spec` names a known table generator.
+pub fn known_spec(spec: &str) -> bool {
+    matches!(spec, "prosper" | "lc")
+}
+
+fn generator(spec: &str) -> Option<DatasetSpec> {
+    match spec {
+        "prosper" => Some(PROSPER),
+        "lc" => Some(LENDING_CLUB),
+        _ => None,
+    }
+}
+
+/// How a tenant's engine is built (the registry applies this to every
+/// lazily created tenant).
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Run tenant engines on the persistent [`expred_exec::WorkerPool`]
+    /// instead of the sequential backend.
+    pub pooled: bool,
+    /// Artificial latency added to every fresh UDF evaluation — the
+    /// load-testing knob ([`QueryEngine::with_udf_latency`]).
+    pub udf_latency: Duration,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            pooled: false,
+            udf_latency: Duration::ZERO,
+        }
+    }
+}
+
+impl EngineConfig {
+    fn build(&self) -> QueryEngine {
+        let engine = if self.pooled {
+            QueryEngine::pooled()
+        } else {
+            QueryEngine::new()
+        };
+        engine.with_udf_latency(self.udf_latency)
+    }
+}
+
+/// One tenant's session: an engine plus its materialized tables.
+pub struct Tenant {
+    name: String,
+    engine: QueryEngine,
+    /// Materialized tables, LRU-bounded by `max_tables`. The `u64` is a
+    /// logical access clock.
+    tables: Mutex<HashMap<TableKey, (Arc<Dataset>, u64)>>,
+    clock: Mutex<u64>,
+    max_tables: usize,
+}
+
+impl std::fmt::Debug for Tenant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tenant")
+            .field("name", &self.name)
+            .field("tables", &self.table_count())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Tenant {
+    fn new(name: String, config: &EngineConfig, max_tables: usize) -> Self {
+        Self {
+            name,
+            engine: config.build(),
+            tables: Mutex::new(HashMap::new()),
+            clock: Mutex::new(0),
+            max_tables: max_tables.max(1),
+        }
+    }
+
+    /// The tenant's id.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The tenant's engine (callable from any worker thread).
+    pub fn engine(&self) -> &QueryEngine {
+        &self.engine
+    }
+
+    /// The tenant's table for `key`, materializing it on first use.
+    /// Dropping a table past the LRU bound also abandons its cache
+    /// namespaces: a re-materialized instance gets a fresh
+    /// [`expred_table::table::TableId`], so stale entries simply age out
+    /// of the store.
+    pub fn dataset(&self, key: &TableKey) -> Arc<Dataset> {
+        let tick = {
+            let mut clock = self.clock.lock().unwrap_or_else(|e| e.into_inner());
+            *clock += 1;
+            *clock
+        };
+        let mut tables = self.tables.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some((ds, last_used)) = tables.get_mut(key) {
+            *last_used = tick;
+            return Arc::clone(ds);
+        }
+        let spec = generator(&key.spec).expect("key validated by the API layer");
+        let ds = Arc::new(Dataset::generate(
+            DatasetSpec {
+                rows: key.rows,
+                ..spec
+            },
+            key.seed,
+        ));
+        if tables.len() >= self.max_tables {
+            if let Some(evict) = tables
+                .iter()
+                .min_by_key(|(_, (_, last_used))| *last_used)
+                .map(|(k, _)| k.clone())
+            {
+                tables.remove(&evict);
+            }
+        }
+        tables.insert(key.clone(), (Arc::clone(&ds), tick));
+        ds
+    }
+
+    /// How many tables this tenant currently holds.
+    pub fn table_count(&self) -> usize {
+        self.tables.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+}
+
+/// Why a tenant could not be routed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TenantError {
+    /// The registry is at capacity and `name` is not an existing tenant.
+    /// Maps to 503 (retryable: an existing tenant's traffic still flows).
+    Exhausted {
+        /// The configured bound.
+        limit: usize,
+    },
+}
+
+/// The tenant routing table: id → session, lazily created, bounded.
+pub struct TenantRegistry {
+    tenants: RwLock<HashMap<String, Arc<Tenant>>>,
+    max_tenants: usize,
+    max_tables_per_tenant: usize,
+    engine_config: EngineConfig,
+}
+
+impl TenantRegistry {
+    /// A registry admitting at most `max_tenants` distinct tenant ids,
+    /// each holding at most `max_tables_per_tenant` materialized tables.
+    pub fn new(
+        max_tenants: usize,
+        max_tables_per_tenant: usize,
+        engine_config: EngineConfig,
+    ) -> Self {
+        Self {
+            tenants: RwLock::new(HashMap::new()),
+            max_tenants: max_tenants.max(1),
+            max_tables_per_tenant,
+            engine_config,
+        }
+    }
+
+    /// Routes `name` to its session, creating it if the bound allows.
+    /// Existing tenants are resolved under a shared read lock (the
+    /// steady-state path); only a genuinely new tenant takes the write
+    /// lock.
+    pub fn route(&self, name: &str) -> Result<Arc<Tenant>, TenantError> {
+        {
+            let tenants = self.tenants.read().unwrap_or_else(|e| e.into_inner());
+            if let Some(tenant) = tenants.get(name) {
+                return Ok(Arc::clone(tenant));
+            }
+        }
+        let mut tenants = self.tenants.write().unwrap_or_else(|e| e.into_inner());
+        if let Some(tenant) = tenants.get(name) {
+            return Ok(Arc::clone(tenant));
+        }
+        if tenants.len() >= self.max_tenants {
+            return Err(TenantError::Exhausted {
+                limit: self.max_tenants,
+            });
+        }
+        let tenant = Arc::new(Tenant::new(
+            name.to_owned(),
+            &self.engine_config,
+            self.max_tables_per_tenant,
+        ));
+        tenants.insert(name.to_owned(), Arc::clone(&tenant));
+        Ok(tenant)
+    }
+
+    /// Every live tenant, sorted by id (stable `/metrics` output).
+    pub fn snapshot(&self) -> Vec<Arc<Tenant>> {
+        let tenants = self.tenants.read().unwrap_or_else(|e| e.into_inner());
+        let mut all: Vec<Arc<Tenant>> = tenants.values().cloned().collect();
+        all.sort_by(|a, b| a.name().cmp(b.name()));
+        all
+    }
+
+    /// How many tenants exist.
+    pub fn len(&self) -> usize {
+        self.tenants.read().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// True when no tenant has been routed yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(rows: usize, seed: u64) -> TableKey {
+        TableKey {
+            spec: "prosper".into(),
+            rows,
+            seed,
+        }
+    }
+
+    #[test]
+    fn tenants_are_created_lazily_and_bounded() {
+        let registry = TenantRegistry::new(2, 4, EngineConfig::default());
+        assert!(registry.is_empty());
+        let a = registry.route("alice").unwrap();
+        let a2 = registry.route("alice").unwrap();
+        assert!(Arc::ptr_eq(&a, &a2), "same tenant routes to same session");
+        registry.route("bob").unwrap();
+        assert_eq!(registry.len(), 2);
+        match registry.route("carol") {
+            Err(TenantError::Exhausted { limit: 2 }) => {}
+            other => panic!("expected Exhausted, got {other:?}"),
+        }
+        // Existing tenants still route after exhaustion.
+        assert!(registry.route("bob").is_ok());
+        let names: Vec<String> = registry
+            .snapshot()
+            .iter()
+            .map(|t| t.name().to_owned())
+            .collect();
+        assert_eq!(names, ["alice", "bob"]);
+    }
+
+    #[test]
+    fn tenant_engines_are_isolated() {
+        let registry = TenantRegistry::new(4, 4, EngineConfig::default());
+        let a = registry.route("a").unwrap();
+        let b = registry.route("b").unwrap();
+        let ds = a.dataset(&key(200, 1));
+        let req = expred_core::QueryRequest::naive(expred_core::QuerySpec::paper_default());
+        a.engine().submit(&ds, &req).unwrap();
+        assert_eq!(a.engine().stats().queries, 1);
+        assert_eq!(b.engine().stats().queries, 0, "b never ran anything");
+    }
+
+    #[test]
+    fn datasets_are_cached_and_lru_bounded() {
+        let registry = TenantRegistry::new(1, 2, EngineConfig::default());
+        let t = registry.route("t").unwrap();
+        let first = t.dataset(&key(100, 1));
+        let again = t.dataset(&key(100, 1));
+        assert!(Arc::ptr_eq(&first, &again), "same key, same instance");
+        t.dataset(&key(100, 2));
+        assert_eq!(t.table_count(), 2);
+        // Touch key 1 so key 2 is the LRU victim.
+        t.dataset(&key(100, 1));
+        t.dataset(&key(100, 3));
+        assert_eq!(t.table_count(), 2);
+        let kept = t.dataset(&key(100, 1));
+        assert!(Arc::ptr_eq(&first, &kept), "recently used key survived");
+    }
+
+    #[test]
+    fn equal_keys_generate_identical_tables() {
+        let registry = TenantRegistry::new(2, 2, EngineConfig::default());
+        let a = registry.route("a").unwrap().dataset(&key(150, 9));
+        let b = registry.route("b").unwrap().dataset(&key(150, 9));
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_eq!(a.table, b.table, "deterministic generation (content)");
+        assert_ne!(
+            a.table.id(),
+            b.table.id(),
+            "distinct instances: no shared cache namespaces"
+        );
+    }
+
+    #[test]
+    fn spec_names_resolve() {
+        assert!(known_spec("prosper"));
+        assert!(known_spec("lc"));
+        assert!(!known_spec("sentiment"));
+    }
+}

@@ -1,0 +1,443 @@
+//! End-to-end tests over real TCP: a served engine must be
+//! indistinguishable from a direct [`QueryEngine::submit`] — byte-for-byte
+//! on success bodies — while the HTTP edge alone absorbs malformed
+//! input, saturation, and tenant exhaustion.
+
+use expred_core::{QueryEngine, QueryRequest, QuerySpec};
+use expred_serve::{serve, HttpClient, ServeConfig, TableKey};
+use expred_stats::json::JsonValue;
+use expred_table::datasets::{Dataset, DatasetSpec, LENDING_CLUB, PROSPER};
+use expred_udf::CostModel;
+use std::time::Duration;
+
+fn small_config() -> ServeConfig {
+    ServeConfig {
+        max_rows: 5_000,
+        ..ServeConfig::default()
+    }
+}
+
+/// The direct-submit mirror of what the server does for one tenant:
+/// one engine plus one table instance per [`TableKey`], exactly like the
+/// tenant session, so memo hits and cross-query cache reuse line up.
+struct Mirror {
+    engine: QueryEngine,
+    tables: std::collections::HashMap<TableKey, Dataset>,
+}
+
+impl Mirror {
+    fn new() -> Self {
+        Self {
+            engine: QueryEngine::new(),
+            tables: std::collections::HashMap::new(),
+        }
+    }
+
+    /// Submits directly and renders with the same writer the HTTP layer
+    /// uses.
+    fn submit(&mut self, tenant: &str, key: &TableKey, request: &QueryRequest) -> String {
+        let ds = self.tables.entry(key.clone()).or_insert_with(|| {
+            let base = match key.spec.as_str() {
+                "prosper" => PROSPER,
+                "lc" => LENDING_CLUB,
+                other => panic!("unknown spec {other}"),
+            };
+            Dataset::generate(
+                DatasetSpec {
+                    rows: key.rows,
+                    ..base
+                },
+                key.seed,
+            )
+        });
+        let outcome = self
+            .engine
+            .submit(ds, request)
+            .expect("mirror submit succeeds");
+        expred_serve::api::render_outcome(tenant, &outcome)
+    }
+}
+
+#[test]
+fn health_metrics_and_routing() {
+    let handle = serve("127.0.0.1:0", small_config()).unwrap();
+    let mut client = HttpClient::connect(handle.local_addr()).unwrap();
+
+    let health = client.get("/health").unwrap();
+    assert_eq!((health.status, health.body_text().as_str()), (200, "ok\n"));
+
+    let missing = client.get("/no/such/route").unwrap();
+    assert_eq!(missing.status, 404);
+    assert!(missing.body_text().contains("\"error\":\"not_found\""));
+
+    let wrong_method = client.post("/metrics", "{}").unwrap();
+    assert_eq!(wrong_method.status, 405);
+
+    let metrics = client.get("/metrics").unwrap();
+    assert_eq!(metrics.status, 200);
+    let text = metrics.body_text();
+    assert!(text.contains("serve_connections_accepted 1\n"));
+    assert!(text.contains("serve_route_requests{route=\"health\"} 1\n"));
+
+    let json = client.get("/metrics.json").unwrap();
+    let doc = JsonValue::parse(&json.body_text()).expect("metrics.json parses");
+    assert!(doc.get("server").is_some());
+    assert!(doc.get("routes").unwrap().get("query").is_some());
+}
+
+#[test]
+fn concurrent_clients_match_direct_submit_byte_identically() {
+    let handle = serve("127.0.0.1:0", small_config()).unwrap();
+    let addr = handle.local_addr();
+
+    // Each thread is one tenant running a sequence of distinct queries
+    // over its own keep-alive connection. The mirror replays the same
+    // sequence, in the same order, on a private engine — so memo hits,
+    // cache reuse, and bills line up exactly, and every HTTP body must
+    // equal the direct render byte-for-byte.
+    let workers: Vec<_> = (0..4)
+        .map(|worker| {
+            std::thread::spawn(move || {
+                let tenant = format!("tenant-{worker}");
+                let mut mirror = Mirror::new();
+                let mut client = HttpClient::connect(addr).unwrap();
+                for step in 0..6u64 {
+                    // Repeat step 0's query verbatim at step 5: the
+                    // second serve answers from the result memo and must
+                    // still render identically to the mirror's memoized
+                    // outcome.
+                    let (spec_name, rows, table_seed, query_seed) = if step == 5 {
+                        ("prosper", 300, 7, 0)
+                    } else if step % 2 == 0 {
+                        ("prosper", 300, 7, step)
+                    } else {
+                        ("lc", 250, 8, step)
+                    };
+                    let body = format!(
+                        "{{\"tenant\":\"{tenant}\",\
+                         \"table\":{{\"spec\":\"{spec_name}\",\"rows\":{rows},\"seed\":{table_seed}}},\
+                         \"seed\":{query_seed},\
+                         \"query\":{{\"kind\":\"intel_sample\",\"predictor\":\"grade\"}}}}"
+                    );
+                    let response = client.post("/query", &body).unwrap();
+                    assert_eq!(response.status, 200, "worker {worker} step {step}");
+
+                    let key = TableKey {
+                        spec: spec_name.into(),
+                        rows,
+                        seed: table_seed,
+                    };
+                    let request = QueryRequest::intel_sample(expred_core::IntelSampleConfig {
+                        spec: QuerySpec::paper_default(),
+                        rule: expred_core::SampleSizeRule::Fraction(0.05),
+                        corr: expred_core::CorrelationModel::Independent,
+                        predictor: expred_core::PredictorChoice::Fixed("grade".into()),
+                    })
+                    .with_seed(query_seed);
+                    let expected = mirror.submit(&tenant, &key, &request);
+                    assert_eq!(
+                        response.body_text(),
+                        expected,
+                        "worker {worker} step {step}: HTTP body must be byte-identical"
+                    );
+                }
+                mirror.engine.session_counts()
+            })
+        })
+        .collect();
+    let mirror_counts: Vec<_> = workers.into_iter().map(|w| w.join().unwrap()).collect();
+
+    // Bill conservation per tenant: the served engine was charged exactly
+    // what the mirror was.
+    for (worker, expected) in mirror_counts.iter().enumerate() {
+        let tenant = handle.tenants().route(&format!("tenant-{worker}")).unwrap();
+        assert_eq!(
+            tenant.engine().session_counts(),
+            *expected,
+            "tenant-{worker} bill diverged from direct submit"
+        );
+        assert_eq!(tenant.engine().stats().queries, 6);
+        assert_eq!(
+            tenant.engine().stats().result_hits,
+            1,
+            "the repeated step answered from the memo"
+        );
+    }
+}
+
+#[test]
+fn engine_error_variants_map_to_documented_statuses() {
+    let handle = serve("127.0.0.1:0", small_config()).unwrap();
+    let mut client = HttpClient::connect(handle.local_addr()).unwrap();
+    let table = "\"table\":{\"spec\":\"prosper\",\"rows\":200}";
+
+    // InvalidSpec → 400: contract parameters out of range.
+    let r = client
+        .post(
+            "/query",
+            &format!("{{{table},\"query\":{{\"kind\":\"naive\",\"alpha\":1.5}}}}"),
+        )
+        .unwrap();
+    assert_eq!(r.status, 400);
+    assert!(r.body_text().contains("\"error\":\"invalid_spec\""));
+
+    // UnknownColumn → 404: well-formed request, nonexistent predictor.
+    let r = client
+        .post(
+            "/query",
+            &format!(
+                "{{{table},\"query\":{{\"kind\":\"optimal\",\"predictor\":\"no_such_column\"}}}}"
+            ),
+        )
+        .unwrap();
+    assert_eq!(r.status, 404);
+    assert!(r.body_text().contains("\"error\":\"unknown_column\""));
+
+    // InvalidRequest → 400: zero iterative rounds.
+    let r = client
+        .post(
+            "/query",
+            &format!(
+                "{{{table},\"query\":{{\"kind\":\"iterative\",\"predictor\":\"grade\",\"rounds\":0}}}}"
+            ),
+        )
+        .unwrap();
+    assert_eq!(r.status, 400);
+    assert!(r.body_text().contains("\"error\":\"invalid_request\""));
+
+    // Infeasible → 422: near-certain contract under the adversarial
+    // correlation model, with the strict policy requested.
+    let r = client
+        .post(
+            "/query",
+            &format!(
+                "{{{table},\"on_infeasible\":\"error\",\
+                 \"query\":{{\"kind\":\"intel_sample\",\"predictor\":\"grade\",\
+                 \"alpha\":0.999,\"beta\":0.999,\"rho\":0.999,\"corr\":\"unknown\"}}}}"
+            ),
+        )
+        .unwrap();
+    assert_eq!(r.status, 422);
+    assert!(r.body_text().contains("\"error\":\"infeasible\""));
+
+    // BadExpression has no HTTP surface (the wire schema only names
+    // single predicates); its mapping is pinned by the unit test
+    // `status_mapping_covers_every_engine_error_variant`.
+
+    // Only the Infeasible probe counts as an engine query: InvalidSpec
+    // never left the parser, and UnknownColumn failed `validate` before
+    // the engine's query counter.
+    let tenant = handle.tenants().route("default").unwrap();
+    assert_eq!(tenant.engine().stats().queries, 1);
+}
+
+#[test]
+fn malformed_http_and_json_answer_4xx() {
+    let handle = serve("127.0.0.1:0", small_config()).unwrap();
+    let addr = handle.local_addr();
+
+    // Garbage on the wire → 400, connection closed.
+    let mut client = HttpClient::connect(addr).unwrap();
+    let r = client.raw(b"NOT A REQUEST\r\n\r\n").unwrap();
+    assert_eq!(r.status, 400);
+    assert_eq!(r.header("connection"), Some("close"));
+
+    // Invalid JSON body → 400 with offset detail.
+    let mut client = HttpClient::connect(addr).unwrap();
+    let r = client.post("/query", "{\"table\": nope}").unwrap();
+    assert_eq!(r.status, 400);
+    assert!(r.body_text().contains("not valid JSON"));
+
+    // Unknown fields are rejected, not ignored.
+    let r = client
+        .post(
+            "/query",
+            "{\"table\":{\"spec\":\"prosper\",\"rows\":10},\"query\":{\"kind\":\"naive\"},\"frobnicate\":1}",
+        )
+        .unwrap();
+    assert_eq!(r.status, 400);
+    assert!(r.body_text().contains("unknown field"));
+
+    // Missing required pieces.
+    let r = client.post("/query", "{}").unwrap();
+    assert_eq!(r.status, 400);
+    assert!(r.body_text().contains("missing \\\"table\\\"") || r.body_text().contains("missing"));
+
+    // Declared body beyond the limit → 413 before the body is read.
+    let mut client = HttpClient::connect(addr).unwrap();
+    let r = client
+        .raw(b"POST /query HTTP/1.1\r\nhost: x\r\ncontent-length: 99999999\r\n\r\n")
+        .unwrap();
+    assert_eq!(r.status, 413);
+
+    // Rows beyond the configured bound → 400 (admission over memory).
+    let mut client = HttpClient::connect(addr).unwrap();
+    let r = client
+        .post(
+            "/query",
+            "{\"table\":{\"spec\":\"prosper\",\"rows\":999999},\"query\":{\"kind\":\"naive\"}}",
+        )
+        .unwrap();
+    assert_eq!(r.status, 400);
+
+    // None of this ever created a tenant or touched an engine.
+    assert!(handle.tenants().is_empty());
+}
+
+#[test]
+fn saturation_sheds_immediately_and_conserves_the_bill() {
+    // One slot, and every fresh evaluation takes 2ms — a naive query
+    // over 400 rows holds the slot for ~1s.
+    let handle = serve(
+        "127.0.0.1:0",
+        ServeConfig {
+            max_in_flight: 1,
+            udf_latency: Duration::from_millis(2),
+            max_rows: 5_000,
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = handle.local_addr();
+    let body = "{\"table\":{\"spec\":\"prosper\",\"rows\":400},\"query\":{\"kind\":\"naive\"}}";
+
+    let slow = std::thread::spawn(move || {
+        let mut client = HttpClient::connect(addr).unwrap();
+        client.post("/query", body).unwrap()
+    });
+    // Wait until the slow query actually holds the slot.
+    while handle.gate().in_flight() == 0 {
+        std::thread::yield_now();
+    }
+
+    // Everything else is shed in constant time with a retry hint.
+    for _ in 0..5 {
+        let mut client = HttpClient::connect(addr).unwrap();
+        let shed = client.post("/query", body).unwrap();
+        assert_eq!(shed.status, 429);
+        assert_eq!(shed.header("retry-after"), Some("1"));
+        assert!(shed.body_text().contains("\"error\":\"saturated\""));
+    }
+
+    let admitted = slow.join().unwrap();
+    assert_eq!(admitted.status, 200, "in-flight request completed normally");
+    assert_eq!(handle.gate().shed(), 5);
+    assert_eq!(handle.gate().admitted(), 1);
+
+    // Exact bill conservation: the tenant engine was charged for the one
+    // admitted query and nothing else — shed requests never reached it.
+    let mut mirror = Mirror::new();
+    let expected = mirror.submit(
+        "default",
+        &TableKey {
+            spec: "prosper".into(),
+            rows: 400,
+            seed: 0,
+        },
+        &QueryRequest::naive(QuerySpec::try_new(0.8, 0.8, 0.8, CostModel::PAPER_DEFAULT).unwrap()),
+    );
+    assert_eq!(admitted.body_text(), expected);
+    let tenant = handle.tenants().route("default").unwrap();
+    assert_eq!(tenant.engine().stats().queries, 1);
+    assert_eq!(
+        tenant.engine().session_counts(),
+        mirror.engine.session_counts()
+    );
+
+    // The gate recovers once the slot frees.
+    let mut client = HttpClient::connect(addr).unwrap();
+    assert_eq!(client.post("/query", body).unwrap().status, 200);
+
+    // And /metrics saw it all.
+    let metrics = client.get("/metrics").unwrap().body_text();
+    assert!(metrics.contains("serve_shed 5\n"));
+    assert!(metrics.contains("serve_in_flight_capacity 1\n"));
+}
+
+#[test]
+fn tenant_registry_exhaustion_is_503_and_retryable() {
+    let handle = serve(
+        "127.0.0.1:0",
+        ServeConfig {
+            max_tenants: 1,
+            max_rows: 5_000,
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let mut client = HttpClient::connect(handle.local_addr()).unwrap();
+    let query = "\"table\":{\"spec\":\"prosper\",\"rows\":100},\"query\":{\"kind\":\"naive\"}";
+
+    let first = client
+        .post("/query", &format!("{{\"tenant\":\"a\",{query}}}"))
+        .unwrap();
+    assert_eq!(first.status, 200);
+
+    let refused = client
+        .post("/query", &format!("{{\"tenant\":\"b\",{query}}}"))
+        .unwrap();
+    assert_eq!(refused.status, 503);
+    assert_eq!(refused.header("retry-after"), Some("1"));
+    assert!(refused
+        .body_text()
+        .contains("\"error\":\"tenants_exhausted\""));
+
+    // The existing tenant keeps working.
+    let again = client
+        .post("/query", &format!("{{\"tenant\":\"a\",{query}}}"))
+        .unwrap();
+    assert_eq!(again.status, 200);
+}
+
+#[test]
+fn keep_alive_and_connection_close_are_honored() {
+    let handle = serve("127.0.0.1:0", small_config()).unwrap();
+    let mut client = HttpClient::connect(handle.local_addr()).unwrap();
+
+    // Many requests down one connection; the server must answer each
+    // with keep-alive framing.
+    for _ in 0..8 {
+        let r = client.get("/health").unwrap();
+        assert_eq!(r.status, 200);
+        assert_eq!(r.header("connection"), Some("keep-alive"));
+    }
+    assert_eq!(
+        handle
+            .metrics()
+            .connections_accepted
+            .load(std::sync::atomic::Ordering::Relaxed),
+        1,
+        "one connection served all eight requests"
+    );
+
+    // An explicit `Connection: close` is echoed and the socket closes.
+    let r = client
+        .raw(b"GET /health HTTP/1.1\r\nhost: x\r\nconnection: close\r\n\r\n")
+        .unwrap();
+    assert_eq!(r.header("connection"), Some("close"));
+    assert!(
+        client.get("/health").is_err(),
+        "server closed the connection after Connection: close"
+    );
+}
+
+#[test]
+fn tenant_header_overrides_body_tenant() {
+    let handle = serve("127.0.0.1:0", small_config()).unwrap();
+    let mut client = HttpClient::connect(handle.local_addr()).unwrap();
+    let r = client
+        .raw(
+            b"POST /query HTTP/1.1\r\nhost: x\r\nx-tenant: from-header\r\ncontent-length: 79\r\n\r\n\
+              {\"tenant\":\"from-body\",\"table\":{\"spec\":\"lc\",\"rows\":50},\"query\":{\"kind\":\"naive\"}}",
+        )
+        .unwrap();
+    assert_eq!(r.status, 200);
+    assert!(r.body_text().starts_with("{\"tenant\":\"from-header\""));
+    let names: Vec<String> = handle
+        .tenants()
+        .snapshot()
+        .iter()
+        .map(|t| t.name().to_owned())
+        .collect();
+    assert_eq!(names, ["from-header"]);
+}

@@ -1,0 +1,509 @@
+//! A minimal no-serde JSON layer shared across the workspace.
+//!
+//! The build environment is offline, so the workspace cannot pull serde;
+//! everything that speaks JSON — the serving tier's request/response
+//! bodies, the `/metrics` endpoint, and the `BENCH_<name>.json` perf
+//! artifacts — goes through this one module instead of hand-rolling a
+//! parser per call site. It lives in `expred-stats` because that is the
+//! workspace's leaf utility crate (it already hosts the shared
+//! [`crate::hash`]): every other crate can depend on it without cycles.
+//!
+//! [`JsonValue::parse`] accepts the full JSON grammar (objects, arrays,
+//! strings with escapes, numbers, booleans, null); [`JsonValue::render`]
+//! produces compact output with a stable field order (objects preserve
+//! insertion order — no hashing, so output is reproducible byte for
+//! byte). [`escape`] and [`fmt_f64`] are the shared string/number
+//! formatting primitives for callers that emit JSON fragments directly.
+
+use std::fmt::Write as _;
+
+/// One parsed JSON document node.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (always carried as `f64`).
+    Number(f64),
+    /// A string (unescaped).
+    String(String),
+    /// An array.
+    Array(Vec<JsonValue>),
+    /// An object, in insertion order (duplicate keys keep the last).
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Parses one JSON document; trailing non-whitespace is an error.
+    pub fn parse(text: &str) -> Result<JsonValue, JsonError> {
+        let mut p = Parser::new(text);
+        let value = p.parse_value()?;
+        p.skip_ws();
+        if p.pos < p.chars.len() {
+            return Err(p.fail("trailing characters after document"));
+        }
+        Ok(value)
+    }
+
+    /// Object field lookup (first match); `None` on non-objects.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The object's field names, in order (empty for non-objects).
+    pub fn keys(&self) -> Vec<&str> {
+        match self {
+            JsonValue::Object(fields) => fields.iter().map(|(k, _)| k.as_str()).collect(),
+            _ => Vec::new(),
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as a non-negative integer, if it is one
+    /// exactly (rejects fractions, negatives, and overflow).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::Number(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u64::MAX as f64 => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The element list, if this is an array.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// True for `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, JsonValue::Null)
+    }
+
+    /// Renders compact JSON (no whitespace, stable field order).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out);
+        out
+    }
+
+    fn render_into(&self, out: &mut String) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::Number(n) => out.push_str(&fmt_number(*n)),
+            JsonValue::String(s) => {
+                out.push('"');
+                out.push_str(&escape(s));
+                out.push('"');
+            }
+            JsonValue::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.render_into(out);
+                }
+                out.push(']');
+            }
+            JsonValue::Object(fields) => {
+                out.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('"');
+                    out.push_str(&escape(key));
+                    out.push_str("\":");
+                    value.render_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// Why a document failed to parse: a message plus the character offset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JsonError {
+    /// What went wrong.
+    pub message: String,
+    /// Character offset of the failure.
+    pub offset: usize,
+}
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} at offset {}", self.message, self.offset)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+struct Parser {
+    chars: Vec<char>,
+    pos: usize,
+}
+
+impl Parser {
+    fn new(text: &str) -> Self {
+        Self {
+            chars: text.chars().collect(),
+            pos: 0,
+        }
+    }
+
+    fn fail(&self, message: &str) -> JsonError {
+        JsonError {
+            message: message.to_owned(),
+            offset: self.pos,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.chars.get(self.pos).is_some_and(|c| c.is_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.skip_ws();
+        self.chars.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, want: char) -> Result<(), JsonError> {
+        if self.peek() == Some(want) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.fail(&format!("expected {want:?}")))
+        }
+    }
+
+    fn try_consume(&mut self, want: char) -> bool {
+        if self.peek() == Some(want) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn consume_literal(&mut self, literal: &str) -> bool {
+        let chars: Vec<char> = literal.chars().collect();
+        if self.chars.get(self.pos..self.pos + chars.len()) == Some(&chars[..]) {
+            self.pos += chars.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<JsonValue, JsonError> {
+        match self.peek() {
+            Some('{') => self.parse_object(),
+            Some('[') => self.parse_array(),
+            Some('"') => Ok(JsonValue::String(self.parse_string()?)),
+            Some('t') if self.consume_literal("true") => Ok(JsonValue::Bool(true)),
+            Some('f') if self.consume_literal("false") => Ok(JsonValue::Bool(false)),
+            Some('n') if self.consume_literal("null") => Ok(JsonValue::Null),
+            Some(c) if c.is_ascii_digit() || c == '-' => self.parse_number(),
+            Some(_) => Err(self.fail("expected a JSON value")),
+            None => Err(self.fail("unexpected end of document")),
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<JsonValue, JsonError> {
+        self.expect('{')?;
+        let mut fields = Vec::new();
+        if !self.try_consume('}') {
+            loop {
+                let key = self.parse_string()?;
+                self.expect(':')?;
+                let value = self.parse_value()?;
+                fields.push((key, value));
+                if self.try_consume('}') {
+                    break;
+                }
+                self.expect(',')?;
+            }
+        }
+        Ok(JsonValue::Object(fields))
+    }
+
+    fn parse_array(&mut self) -> Result<JsonValue, JsonError> {
+        self.expect('[')?;
+        let mut items = Vec::new();
+        if !self.try_consume(']') {
+            loop {
+                items.push(self.parse_value()?);
+                if self.try_consume(']') {
+                    break;
+                }
+                self.expect(',')?;
+            }
+        }
+        Ok(JsonValue::Array(items))
+    }
+
+    fn parse_string(&mut self) -> Result<String, JsonError> {
+        self.expect('"')?;
+        let mut out = String::new();
+        loop {
+            let c = *self
+                .chars
+                .get(self.pos)
+                .ok_or_else(|| self.fail("unterminated string"))?;
+            self.pos += 1;
+            match c {
+                '"' => return Ok(out),
+                '\\' => {
+                    let escape = *self
+                        .chars
+                        .get(self.pos)
+                        .ok_or_else(|| self.fail("unterminated escape"))?;
+                    self.pos += 1;
+                    match escape {
+                        '"' | '\\' | '/' => out.push(escape),
+                        'n' => out.push('\n'),
+                        't' => out.push('\t'),
+                        'r' => out.push('\r'),
+                        'b' => out.push('\u{0008}'),
+                        'f' => out.push('\u{000c}'),
+                        'u' => {
+                            let hex: String = self
+                                .chars
+                                .get(self.pos..self.pos + 4)
+                                .map(|w| w.iter().collect())
+                                .ok_or_else(|| self.fail("truncated \\u escape"))?;
+                            self.pos += 4;
+                            let code = u32::from_str_radix(&hex, 16)
+                                .map_err(|_| self.fail("bad \\u escape"))?;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.fail("non-scalar \\u escape"))?,
+                            );
+                        }
+                        other => return Err(self.fail(&format!("bad escape \\{other}"))),
+                    }
+                }
+                other => out.push(other),
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<JsonValue, JsonError> {
+        self.skip_ws();
+        let start = self.pos;
+        while self
+            .chars
+            .get(self.pos)
+            .is_some_and(|c| c.is_ascii_digit() || matches!(c, '-' | '+' | '.' | 'e' | 'E'))
+        {
+            self.pos += 1;
+        }
+        let text: String = self.chars[start..self.pos].iter().collect();
+        text.parse()
+            .map(JsonValue::Number)
+            .map_err(|_| self.fail("expected a number"))
+    }
+}
+
+/// Escapes a string for embedding between JSON double quotes.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// One decimal place, or `null` for non-finite values (JSON has no
+/// NaN/Inf; by workspace convention a failed measurement is `null`).
+pub fn fmt_f64(value: f64) -> String {
+    if value.is_finite() {
+        format!("{value:.1}")
+    } else {
+        "null".to_owned()
+    }
+}
+
+/// General-purpose number rendering for [`JsonValue::render`]: integers
+/// print without a fraction, other finite values with full `f64`
+/// round-trip precision, non-finite as `null`.
+fn fmt_number(value: f64) -> String {
+    if !value.is_finite() {
+        "null".to_owned()
+    } else if value.fract() == 0.0 && value.abs() < 1e15 {
+        format!("{}", value as i64)
+    } else {
+        format!("{value}")
+    }
+}
+
+/// Renders named `u64` counters as one compact JSON object — the shared
+/// serializer behind stats snapshots ([`EngineStats`], `CacheStats`, the
+/// serving counters) so the `/metrics` endpoint and the bench artifacts
+/// agree on shape.
+///
+/// [`EngineStats`]: https://docs.rs/expred-core
+pub fn counters_to_json(pairs: &[(&str, u64)]) -> String {
+    JsonValue::Object(
+        pairs
+            .iter()
+            .map(|(k, v)| ((*k).to_owned(), JsonValue::Number(*v as f64)))
+            .collect(),
+    )
+    .render()
+}
+
+/// Renders named `u64` counters as exposition-format text lines:
+/// `prefix_name{label="value",...} 123`, one per counter — the shared
+/// text serializer behind `GET /metrics`.
+pub fn counters_to_text(prefix: &str, labels: &[(&str, &str)], pairs: &[(&str, u64)]) -> String {
+    let mut out = String::new();
+    let rendered_labels = if labels.is_empty() {
+        String::new()
+    } else {
+        let inner: Vec<String> = labels
+            .iter()
+            .map(|(k, v)| format!("{k}=\"{}\"", escape(v)))
+            .collect();
+        format!("{{{}}}", inner.join(","))
+    };
+    for (name, value) in pairs {
+        let _ = writeln!(out, "{prefix}_{name}{rendered_labels} {value}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_full_grammar() {
+        let doc = r#"{
+            "s": "a\"b\\c\ndA",
+            "n": -12.5e1,
+            "i": 42,
+            "t": true, "f": false, "z": null,
+            "arr": [1, "two", {"three": 3}],
+            "nested": {"empty_obj": {}, "empty_arr": []}
+        }"#;
+        let v = JsonValue::parse(doc).expect("parses");
+        assert_eq!(v.get("s").unwrap().as_str(), Some("a\"b\\c\ndA"));
+        assert_eq!(v.get("n").unwrap().as_f64(), Some(-125.0));
+        assert_eq!(v.get("i").unwrap().as_u64(), Some(42));
+        assert_eq!(v.get("t").unwrap().as_bool(), Some(true));
+        assert!(v.get("z").unwrap().is_null());
+        let arr = v.get("arr").unwrap().as_array().unwrap();
+        assert_eq!(arr.len(), 3);
+        assert_eq!(arr[2].get("three").unwrap().as_u64(), Some(3));
+        assert_eq!(
+            v.get("nested").unwrap().get("empty_obj").unwrap(),
+            &JsonValue::Object(vec![])
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\":}",
+            "{\"a\" 1}",
+            "{\"a\": 1} trailing",
+            "\"unterminated",
+            "{\"a\": oops}",
+            "nul",
+            "+5",
+        ] {
+            assert!(JsonValue::parse(bad).is_err(), "accepted: {bad}");
+        }
+    }
+
+    #[test]
+    fn render_round_trips() {
+        let doc = r#"{"a": [1, 2.5, "x\ny"], "b": {"c": null, "d": false}}"#;
+        let v = JsonValue::parse(doc).unwrap();
+        let compact = v.render();
+        assert_eq!(JsonValue::parse(&compact).unwrap(), v);
+        // Field order is preserved: rendering is deterministic.
+        assert_eq!(compact, v.render());
+        // Control characters render in \u form (matching the artifact
+        // convention), and round-trip back to the raw character.
+        assert!(compact.starts_with("{\"a\":[1,2.5,\"x\\u000ay\"]"));
+    }
+
+    #[test]
+    fn numbers_render_cleanly() {
+        assert_eq!(JsonValue::Number(3.0).render(), "3");
+        assert_eq!(JsonValue::Number(3.25).render(), "3.25");
+        assert_eq!(JsonValue::Number(f64::NAN).render(), "null");
+        assert_eq!(fmt_f64(1.25), "1.2");
+        assert_eq!(fmt_f64(f64::INFINITY), "null");
+    }
+
+    #[test]
+    fn as_u64_is_exact() {
+        assert_eq!(JsonValue::Number(7.0).as_u64(), Some(7));
+        assert_eq!(JsonValue::Number(7.5).as_u64(), None);
+        assert_eq!(JsonValue::Number(-1.0).as_u64(), None);
+    }
+
+    #[test]
+    fn counters_serialize_both_ways() {
+        let pairs = [("queries", 5u64), ("result_hits", 2)];
+        assert_eq!(
+            counters_to_json(&pairs),
+            "{\"queries\":5,\"result_hits\":2}"
+        );
+        let text = counters_to_text("engine", &[("tenant", "a\"b")], &pairs);
+        assert_eq!(
+            text,
+            "engine_queries{tenant=\"a\\\"b\"} 5\nengine_result_hits{tenant=\"a\\\"b\"} 2\n"
+        );
+        let bare = counters_to_text("serve", &[], &[("shed", 1)]);
+        assert_eq!(bare, "serve_shed 1\n");
+    }
+}

@@ -25,6 +25,9 @@
 //!   (paper §4.4, §6.3.2).
 //! * [`hash`] — deterministic FNV-1a fingerprinting shared by the
 //!   table/UDF/engine cache-key layers.
+//! * [`json`] — the workspace's one no-serde JSON parser/writer, shared
+//!   by the serving tier's request/response bodies, the `/metrics`
+//!   endpoint, and the `BENCH_<name>.json` perf artifacts.
 
 pub mod beta;
 pub mod binomial;
@@ -33,6 +36,7 @@ pub mod descriptive;
 pub mod estimator;
 pub mod hash;
 pub mod histogram;
+pub mod json;
 pub mod rng;
 pub mod special;
 

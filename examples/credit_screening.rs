@@ -11,9 +11,7 @@
 
 use expred::cli::ExampleCli;
 use expred::core::extensions::maximize_recall_under_budget;
-use expred::core::{
-    run_intel_sample, run_naive, run_optimal, IntelSampleConfig, PredictorChoice, QuerySpec,
-};
+use expred::core::{IntelSampleConfig, PredictorChoice, QueryEngine, QueryRequest, QuerySpec};
 use expred::table::datasets::{Dataset, LENDING_CLUB};
 use expred::udf::CostModel;
 
@@ -32,16 +30,22 @@ fn main() {
         ds.group_stats(ds.predictor()).overall_selectivity
     );
 
-    // The three contestants of Experiment 1.
-    let naive = run_naive(&ds, &spec, 1);
-    let intel = run_intel_sample(
-        &ds,
-        &IntelSampleConfig::experiment1(PredictorChoice::Auto {
+    // The three contestants of Experiment 1, each on its own engine
+    // session so none reuses rows another already paid for.
+    let submit = |req: QueryRequest| match QueryEngine::new().submit(&ds, &req.with_seed(1)) {
+        Ok(outcome) => outcome,
+        Err(err) => {
+            eprintln!("query failed: {err}");
+            std::process::exit(1);
+        }
+    };
+    let naive = submit(QueryRequest::naive(spec));
+    let intel = submit(QueryRequest::intel_sample(IntelSampleConfig::experiment1(
+        PredictorChoice::Auto {
             label_fraction: 0.01,
-        }),
-        1,
-    );
-    let optimal = run_optimal(&ds, &spec, ds.predictor(), 1);
+        },
+    )));
+    let optimal = submit(QueryRequest::optimal(spec, ds.predictor()));
     println!(
         "\n{:<14} {:>12} {:>10} {:>10} {:>8}",
         "strategy", "evaluations", "precision", "recall", "cost"

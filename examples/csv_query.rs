@@ -13,7 +13,7 @@
 
 use expred::core::optimize::CorrelationModel;
 use expred::core::{
-    run_intel_sample, run_naive, IntelSampleConfig, PredictorChoice, QuerySpec, SampleSizeRule,
+    IntelSampleConfig, PredictorChoice, QueryEngine, QueryRequest, QuerySpec, SampleSizeRule,
 };
 use expred::table::csv::{read_csv, write_csv};
 use expred::table::datasets::{Dataset, DatasetSpec, LABEL_COLUMN, PROSPER};
@@ -117,8 +117,18 @@ fn main() {
             label_fraction: 0.01,
         },
     };
-    let intel = run_intel_sample(&ds, &cfg, 1);
-    let naive = run_naive(&ds, &spec, 1);
+    // Each contestant gets its own engine session: sharing one would let
+    // the second query reuse rows the first already paid for and skew
+    // the cost comparison.
+    let submit = |req: QueryRequest| match QueryEngine::new().submit(&ds, &req.with_seed(1)) {
+        Ok(outcome) => outcome,
+        Err(err) => {
+            eprintln!("query failed: {err}");
+            std::process::exit(1);
+        }
+    };
+    let intel = submit(QueryRequest::intel_sample(cfg));
+    let naive = submit(QueryRequest::naive(spec));
 
     println!("\nquery: SELECT * WHERE udf(row) = 1 (alpha={alpha}, beta={beta}, rho={rho})");
     println!(
