@@ -157,6 +157,11 @@ pub struct ApiQuery {
 /// * `"iterative"` — `predictor` (required), `corr`, `sample_fraction`,
 ///   `rounds` (default 2).
 /// * `"multiple"` — `imputations` (default 5).
+///
+/// Work-multiplier fields are admission-controlled here, not just in
+/// the engine: `imputations` ≤ [`MAX_IMPUTATIONS`], `rounds` ≤
+/// [`MAX_ROUNDS`], and both fraction knobs must lie in `(0, 1]` —
+/// anything past a bound is a 400, mirroring the `max_rows` cap.
 pub fn parse_query_body(body: &[u8], max_rows: usize) -> Result<ApiQuery, ApiError> {
     let text = std::str::from_utf8(body).map_err(|_| ApiError::bad_request("body is not UTF-8"))?;
     let doc = JsonValue::parse(text)
@@ -261,6 +266,16 @@ fn parse_table(value: &JsonValue, max_rows: usize) -> Result<TableKey, ApiError>
     Ok(TableKey { spec, rows, seed })
 }
 
+/// Largest accepted `imputations` value. The engine only checks `>= 1`,
+/// so without an API-side ceiling a single admitted request could
+/// command unbounded CPU — the same admission-control hole `max_rows`
+/// closes for table size.
+pub const MAX_IMPUTATIONS: u64 = 100;
+
+/// Largest accepted `rounds` value (same rationale as
+/// [`MAX_IMPUTATIONS`]).
+pub const MAX_ROUNDS: u64 = 64;
+
 /// The `query` object's shared contract fields, collected before the
 /// kind-specific interpretation.
 struct QueryFields<'a> {
@@ -299,6 +314,31 @@ fn parse_query(value: &JsonValue) -> Result<QueryRequest, ApiError> {
             .as_f64()
             .ok_or_else(|| ApiError::bad_request(format!("{name:?} must be a number")))
     };
+    // A fraction knob sizes a sample or labeling budget relative to the
+    // table, so anything outside (0, 1] is either meaningless or a
+    // request for more-than-the-table work.
+    let fraction = |field: &JsonValue, name: &str| {
+        let n = number(field, name)?;
+        if n > 0.0 && n <= 1.0 {
+            Ok(n)
+        } else {
+            Err(ApiError::bad_request(format!(
+                "{name:?} must be in (0, 1], got {n}"
+            )))
+        }
+    };
+    let bounded = |field: &JsonValue, name: &str, max: u64| {
+        let n = field
+            .as_u64()
+            .ok_or_else(|| ApiError::bad_request(format!("{name:?} must be an integer")))?;
+        if (1..=max).contains(&n) {
+            Ok(n as usize)
+        } else {
+            Err(ApiError::bad_request(format!(
+                "{name:?} must be in 1..={max}, got {n}"
+            )))
+        }
+    };
     for key in value.keys() {
         let field = value.get(key).expect("listed key is present");
         match key {
@@ -319,8 +359,8 @@ fn parse_query(value: &JsonValue) -> Result<QueryRequest, ApiError> {
                         .to_owned(),
                 )
             }
-            "label_fraction" => f.label_fraction = number(field, "label_fraction")?,
-            "sample_fraction" => f.sample_fraction = number(field, "sample_fraction")?,
+            "label_fraction" => f.label_fraction = fraction(field, "label_fraction")?,
+            "sample_fraction" => f.sample_fraction = fraction(field, "sample_fraction")?,
             "corr" => {
                 f.corr = match field.as_str() {
                     Some("independent") => CorrelationModel::Independent,
@@ -332,18 +372,8 @@ fn parse_query(value: &JsonValue) -> Result<QueryRequest, ApiError> {
                     }
                 }
             }
-            "imputations" => {
-                f.imputations = field
-                    .as_u64()
-                    .ok_or_else(|| ApiError::bad_request("\"imputations\" must be an integer"))?
-                    as usize
-            }
-            "rounds" => {
-                f.rounds = field
-                    .as_u64()
-                    .ok_or_else(|| ApiError::bad_request("\"rounds\" must be an integer"))?
-                    as usize
-            }
+            "imputations" => f.imputations = bounded(field, "imputations", MAX_IMPUTATIONS)?,
+            "rounds" => f.rounds = bounded(field, "rounds", MAX_ROUNDS)?,
             other => {
                 return Err(ApiError::bad_request(format!(
                     "unknown query field {other:?}"
@@ -559,6 +589,26 @@ mod tests {
             (
                 r#"{"table": {"spec": "prosper", "rows": 10}, "query": {"kind": "naive"}, "seed": -1}"#,
                 "seed",
+            ),
+            (
+                r#"{"table": {"spec": "prosper", "rows": 10}, "query": {"kind": "multiple", "imputations": 10000000000}}"#,
+                "\"imputations\" must be in 1..=",
+            ),
+            (
+                r#"{"table": {"spec": "prosper", "rows": 10}, "query": {"kind": "multiple", "imputations": 0}}"#,
+                "\"imputations\" must be in 1..=",
+            ),
+            (
+                r#"{"table": {"spec": "prosper", "rows": 10}, "query": {"kind": "iterative", "predictor": "grade", "rounds": 9999}}"#,
+                "\"rounds\" must be in 1..=",
+            ),
+            (
+                r#"{"table": {"spec": "prosper", "rows": 10}, "query": {"kind": "intel_sample", "sample_fraction": 1.5}}"#,
+                "\"sample_fraction\" must be in (0, 1]",
+            ),
+            (
+                r#"{"table": {"spec": "prosper", "rows": 10}, "query": {"kind": "intel_sample", "label_fraction": 0}}"#,
+                "\"label_fraction\" must be in (0, 1]",
             ),
         ] {
             let err = parse(body).expect_err(body);

@@ -137,8 +137,18 @@ impl ServerHandle {
         if self.shared.shutting_down.swap(true, Ordering::SeqCst) {
             return;
         }
-        // Unblock the accept() call with a throwaway connection.
-        let _ = TcpStream::connect(self.local_addr);
+        // Unblock the accept() call with a throwaway connection. A
+        // wildcard bind address (0.0.0.0 / [::]) is not reliably
+        // connectable on every platform, so aim the wake-up at the
+        // matching loopback address instead.
+        let mut wake_addr = self.local_addr;
+        if wake_addr.ip().is_unspecified() {
+            wake_addr.set_ip(match wake_addr {
+                std::net::SocketAddr::V4(_) => std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST),
+                std::net::SocketAddr::V6(_) => std::net::IpAddr::V6(std::net::Ipv6Addr::LOCALHOST),
+            });
+        }
+        let _ = TcpStream::connect_timeout(&wake_addr, Duration::from_secs(1));
         if let Some(handle) = self.accept_thread.take() {
             let _ = handle.join();
         }
@@ -159,6 +169,11 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
                 if shared.shutting_down.load(Ordering::SeqCst) {
                     return;
                 }
+                // Transient accept failures (EMFILE under fd
+                // exhaustion, ECONNABORTED) would otherwise busy-spin
+                // this loop at 100% CPU exactly when the server is
+                // already overloaded.
+                std::thread::sleep(Duration::from_millis(20));
                 continue;
             }
         };

@@ -193,17 +193,22 @@ fn engine_error_variants_map_to_documented_statuses() {
     assert_eq!(r.status, 404);
     assert!(r.body_text().contains("\"error\":\"unknown_column\""));
 
-    // InvalidRequest → 400: zero iterative rounds.
-    let r = client
-        .post(
-            "/query",
-            &format!(
-                "{{{table},\"query\":{{\"kind\":\"iterative\",\"predictor\":\"grade\",\"rounds\":0}}}}"
-            ),
-        )
-        .unwrap();
-    assert_eq!(r.status, 400);
-    assert!(r.body_text().contains("\"error\":\"invalid_request\""));
+    // Work-multiplier fields are admission-controlled at the API door,
+    // so requests the engine would reject as InvalidRequest (and
+    // unbounded ones it would happily run) are a 400 before any engine
+    // touch. The InvalidRequest → 400 mapping itself is unit-tested in
+    // `api::tests::status_mapping_covers_every_engine_error_variant`.
+    for query in [
+        "{\"kind\":\"iterative\",\"predictor\":\"grade\",\"rounds\":0}",
+        "{\"kind\":\"multiple\",\"imputations\":10000000000}",
+        "{\"kind\":\"intel_sample\",\"sample_fraction\":2.0}",
+    ] {
+        let r = client
+            .post("/query", &format!("{{{table},\"query\":{query}}}"))
+            .unwrap();
+        assert_eq!(r.status, 400, "{query}");
+        assert!(r.body_text().contains("\"error\":\"bad_request\""), "{query}");
+    }
 
     // Infeasible → 422: near-certain contract under the adversarial
     // correlation model, with the strict policy requested.

@@ -171,9 +171,17 @@ impl std::fmt::Display for JsonError {
 
 impl std::error::Error for JsonError {}
 
+/// Deepest container nesting [`JsonValue::parse`] accepts. The parser
+/// recurses once per level, so this bound is what keeps an adversarial
+/// body of nested `[` from overflowing the calling thread's stack (a
+/// stack overflow aborts the process — `catch_unwind` cannot contain
+/// it). 64 is far beyond any legitimate workspace document.
+const MAX_DEPTH: usize = 64;
+
 struct Parser {
     chars: Vec<char>,
     pos: usize,
+    depth: usize,
 }
 
 impl Parser {
@@ -181,6 +189,16 @@ impl Parser {
         Self {
             chars: text.chars().collect(),
             pos: 0,
+            depth: 0,
+        }
+    }
+
+    fn enter(&mut self) -> Result<(), JsonError> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            Err(self.fail(&format!("nesting deeper than {MAX_DEPTH} levels")))
+        } else {
+            Ok(())
         }
     }
 
@@ -246,6 +264,7 @@ impl Parser {
 
     fn parse_object(&mut self) -> Result<JsonValue, JsonError> {
         self.expect('{')?;
+        self.enter()?;
         let mut fields = Vec::new();
         if !self.try_consume('}') {
             loop {
@@ -259,11 +278,13 @@ impl Parser {
                 self.expect(',')?;
             }
         }
+        self.depth -= 1;
         Ok(JsonValue::Object(fields))
     }
 
     fn parse_array(&mut self) -> Result<JsonValue, JsonError> {
         self.expect('[')?;
+        self.enter()?;
         let mut items = Vec::new();
         if !self.try_consume(']') {
             loop {
@@ -274,6 +295,7 @@ impl Parser {
                 self.expect(',')?;
             }
         }
+        self.depth -= 1;
         Ok(JsonValue::Array(items))
     }
 
@@ -302,14 +324,22 @@ impl Parser {
                         'b' => out.push('\u{0008}'),
                         'f' => out.push('\u{000c}'),
                         'u' => {
-                            let hex: String = self
-                                .chars
-                                .get(self.pos..self.pos + 4)
-                                .map(|w| w.iter().collect())
-                                .ok_or_else(|| self.fail("truncated \\u escape"))?;
-                            self.pos += 4;
-                            let code = u32::from_str_radix(&hex, 16)
-                                .map_err(|_| self.fail("bad \\u escape"))?;
+                            let code = self.parse_hex4()?;
+                            // Non-BMP characters arrive as a UTF-16
+                            // surrogate pair of \u escapes; combine the
+                            // high unit with the mandatory low unit.
+                            let code = if (0xd800..0xdc00).contains(&code) {
+                                if !(self.consume_literal("\\u")) {
+                                    return Err(self.fail("unpaired high surrogate \\u escape"));
+                                }
+                                let low = self.parse_hex4()?;
+                                if !(0xdc00..0xe000).contains(&low) {
+                                    return Err(self.fail("expected a low surrogate \\u escape"));
+                                }
+                                0x10000 + ((code - 0xd800) << 10) + (low - 0xdc00)
+                            } else {
+                                code
+                            };
                             out.push(
                                 char::from_u32(code)
                                     .ok_or_else(|| self.fail("non-scalar \\u escape"))?,
@@ -321,6 +351,18 @@ impl Parser {
                 other => out.push(other),
             }
         }
+    }
+
+    /// The four hex digits of a `\u` escape (the `\u` itself already
+    /// consumed).
+    fn parse_hex4(&mut self) -> Result<u32, JsonError> {
+        let hex: String = self
+            .chars
+            .get(self.pos..self.pos + 4)
+            .map(|w| w.iter().collect())
+            .ok_or_else(|| self.fail("truncated \\u escape"))?;
+        self.pos += 4;
+        u32::from_str_radix(&hex, 16).map_err(|_| self.fail("bad \\u escape"))
     }
 
     fn parse_number(&mut self) -> Result<JsonValue, JsonError> {
@@ -457,6 +499,46 @@ mod tests {
             "{\"a\": oops}",
             "nul",
             "+5",
+        ] {
+            assert!(JsonValue::parse(bad).is_err(), "accepted: {bad}");
+        }
+    }
+
+    #[test]
+    fn nesting_depth_is_bounded() {
+        // One past the bound fails cleanly…
+        let too_deep = format!(
+            "{}{}",
+            "[".repeat(MAX_DEPTH + 1),
+            "]".repeat(MAX_DEPTH + 1)
+        );
+        let err = JsonValue::parse(&too_deep).expect_err("depth bound");
+        assert!(err.message.contains("nesting"), "{err}");
+        // …including a half-megabyte adversarial body, which must not
+        // overflow the stack (an abort no test harness would survive).
+        assert!(JsonValue::parse(&"[".repeat(500_000)).is_err());
+        let mixed = "{\"a\":[".repeat(MAX_DEPTH);
+        assert!(JsonValue::parse(&mixed).is_err());
+        // …while the bound itself still parses.
+        let at_bound = format!("{}{}", "[".repeat(MAX_DEPTH), "]".repeat(MAX_DEPTH));
+        assert!(JsonValue::parse(&at_bound).is_ok());
+        // Depth is nesting, not total container count: many shallow
+        // siblings are fine.
+        let wide = format!("[{}]", vec!["[]"; 1000].join(","));
+        assert!(JsonValue::parse(&wide).is_ok());
+    }
+
+    #[test]
+    fn surrogate_pairs_decode_to_supplementary_characters() {
+        let v = JsonValue::parse("\"\\ud83d\\ude00\"").expect("surrogate pair");
+        assert_eq!(v.as_str(), Some("\u{1f600}"));
+        // Lone or malformed surrogates are rejected, not mangled.
+        for bad in [
+            r#""\ud83d""#,
+            r#""\ud83dx""#,
+            r#""\ud83d\n""#,
+            r#""\ud83dA""#,
+            r#""\ude00""#,
         ] {
             assert!(JsonValue::parse(bad).is_err(), "accepted: {bad}");
         }
