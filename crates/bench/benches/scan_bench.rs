@@ -1,0 +1,180 @@
+//! `scan_bench` — the columnar kernel layer vs the legacy per-cell
+//! paths, in ns/row.
+//!
+//! ```text
+//! cargo bench --bench scan_bench            # full grid
+//! cargo bench --bench scan_bench -- --smoke # CI: compile-and-run proof
+//! ```
+//!
+//! Scenarios (each at table sizes ≥4096 rows):
+//!
+//! * `group_by_<rows>` — `Table::group_by` (the `Column::group_codes`
+//!   kernel) vs `group_by_reference` (the legacy `HashMap<ValueKey>`
+//!   per-cell path) on the PROSPER `grade` column. Both produce the same
+//!   `GroupBy` byte for byte; the kernel skips the per-cell `Value`
+//!   materialization.
+//! * `one_hot_<rows>` — `extract_features` (dictionary-coded one-hot)
+//!   vs `extract_features_reference` (per-cell `to_string` keys) over
+//!   the full PROSPER candidate set.
+//! * `zone_scan_<rows>` — `Table::scan` with a selective `IntRange` on
+//!   value-clustered data (zone maps skip non-matching 1024-row chunks)
+//!   vs the naive full-column filter the scan replaces.
+//! * `derived_group_by_<rows>` — re-deriving the `grade` partition per
+//!   query vs serving it from a warmed session [`DerivedCache`].
+//!
+//! Results land in `BENCH_scan.json` (schema: `expred_bench::report`);
+//! the legacy path is the per-scenario speedup baseline. Full mode
+//! prints a WARNING (it does not panic) if a kernel fails to beat its
+//! baseline — CI smoke runs make no timing claims.
+
+use expred_bench::report::measure_ns_per_unit;
+use expred_bench::BenchReport;
+use expred_ml::features::{extract_features, extract_features_reference, FeatureSpec};
+use expred_table::datasets::{Dataset, DatasetSpec, PROSPER};
+use expred_table::{DerivedCache, ScanPredicate, Table, Value};
+use std::hint::black_box;
+
+/// A one-column Int table whose values are clustered (non-decreasing),
+/// so a selective range predicate can prune whole zones.
+fn clustered_int_table(rows: usize) -> Table {
+    use expred_table::{DataType, Field, Schema};
+    let schema = Schema::new(vec![Field::new("reading", DataType::Int)]);
+    let cells: Vec<Vec<Value>> = (0..rows)
+        .map(|r| vec![Value::Int((r / 64) as i64)])
+        .collect();
+    Table::from_rows(schema, cells).expect("schema matches rows")
+}
+
+/// The naive filter `Table::scan` replaces: materialize every cell,
+/// compare, collect.
+fn naive_int_range(table: &Table, lo: i64, hi: i64) -> Vec<u32> {
+    let n = table.num_rows();
+    let mut hits = Vec::new();
+    for r in 0..n {
+        if let Some(Value::Int(v)) = table.value(r, "reading") {
+            if v >= lo && v <= hi {
+                hits.push(r as u32);
+            }
+        }
+    }
+    hits
+}
+
+fn main() {
+    // `cargo test` probes bench binaries with --test; do nothing.
+    if std::env::args().any(|a| a == "--test") {
+        return;
+    }
+    let smoke = std::env::args().any(|a| a == "--smoke");
+
+    let sizes: &[usize] = if smoke { &[4_096] } else { &[4_096, 30_000] };
+    let reps: usize = if smoke { 2 } else { 30 };
+
+    let mut report = BenchReport::new("scan");
+    println!(
+        "scan_bench ({} mode): columnar kernels vs legacy per-cell paths",
+        if smoke { "smoke" } else { "full" }
+    );
+    let mut warnings = 0usize;
+    let mut check = |scenario: &str, legacy: f64, kernel: f64| {
+        if !smoke && kernel >= legacy {
+            println!("WARNING: {scenario}: kernel ({kernel:.0} ns/row) not faster than legacy ({legacy:.0} ns/row)");
+            warnings += 1;
+        }
+    };
+
+    for &rows in sizes {
+        let ds = Dataset::generate(DatasetSpec { rows, ..PROSPER }, 7);
+        let units = rows as u64;
+
+        // Group-by: legacy HashMap<ValueKey> vs the group_codes kernel.
+        let scenario = format!("group_by_{rows}");
+        let legacy = measure_ns_per_unit(units, reps, || {
+            black_box(ds.table.group_by_reference("grade").unwrap());
+        });
+        let kernel = measure_ns_per_unit(units, reps, || {
+            black_box(ds.table.group_by("grade").unwrap());
+        });
+        report.record(&scenario, "legacy", legacy, 1.0);
+        report.record(&scenario, "kernel", kernel, legacy / kernel);
+        println!(
+            "{scenario:<24} legacy {legacy:>8.1} ns/row | kernel {kernel:>8.1} ({:>5.2}x)",
+            legacy / kernel
+        );
+        check(&scenario, legacy, kernel);
+
+        // One-hot encoding: per-cell to_string keys vs dictionary codes.
+        let scenario = format!("one_hot_{rows}");
+        let exclude = ["label", "row_id"];
+        let legacy = measure_ns_per_unit(units, reps.div_ceil(3), || {
+            black_box(extract_features_reference(
+                &ds.table,
+                &exclude,
+                FeatureSpec::default(),
+            ));
+        });
+        let kernel = measure_ns_per_unit(units, reps.div_ceil(3), || {
+            black_box(extract_features(
+                &ds.table,
+                &exclude,
+                FeatureSpec::default(),
+            ));
+        });
+        report.record(&scenario, "legacy", legacy, 1.0);
+        report.record(&scenario, "kernel", kernel, legacy / kernel);
+        println!(
+            "{scenario:<24} legacy {legacy:>8.1} ns/row | kernel {kernel:>8.1} ({:>5.2}x)",
+            legacy / kernel
+        );
+        check(&scenario, legacy, kernel);
+
+        // Zone-mapped scan: selective range on clustered data.
+        let clustered = clustered_int_table(rows);
+        let hi = (rows / 64) as i64;
+        let (lo, hi) = (hi - hi / 8, hi); // top ~12.5% of the value range
+        let scenario = format!("zone_scan_{rows}");
+        let legacy = measure_ns_per_unit(units, reps, || {
+            black_box(naive_int_range(&clustered, lo, hi));
+        });
+        let pred = ScanPredicate::IntRange { lo, hi };
+        let kernel = measure_ns_per_unit(units, reps, || {
+            black_box(clustered.scan("reading", &pred).unwrap());
+        });
+        let (_, stats) = clustered.scan("reading", &pred).unwrap();
+        report.record(&scenario, "legacy", legacy, 1.0);
+        report.record(&scenario, "kernel", kernel, legacy / kernel);
+        println!(
+            "{scenario:<24} legacy {legacy:>8.1} ns/row | kernel {kernel:>8.1} ({:>5.2}x) \
+             [{}/{} zones skipped]",
+            legacy / kernel,
+            stats.zones_skipped,
+            stats.zones_total,
+        );
+        check(&scenario, legacy, kernel);
+
+        // Derived cache: per-query re-derivation vs a warmed session memo.
+        let scenario = format!("derived_group_by_{rows}");
+        let legacy = measure_ns_per_unit(units, reps, || {
+            black_box(ds.table.group_by("grade").unwrap());
+        });
+        let cache = DerivedCache::new();
+        let kernel = measure_ns_per_unit(units, reps, || {
+            black_box(cache.group_by(&ds.table, "grade").unwrap());
+        });
+        report.record(&scenario, "legacy", legacy, 1.0);
+        report.record(&scenario, "cached", kernel, legacy / kernel);
+        println!(
+            "{scenario:<24} derive {legacy:>8.1} ns/row | cached {kernel:>8.1} ({:>5.2}x)",
+            legacy / kernel
+        );
+        check(&scenario, legacy, kernel);
+    }
+
+    if warnings > 0 {
+        println!("{warnings} scenario(s) below target — see WARNINGs above");
+    }
+    match report.write() {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write report: {e}"),
+    }
+}

@@ -13,7 +13,7 @@
 
 use crate::execute::{execute_plan_ctx, truth_vector};
 use crate::optimize::{solve_estimated, CorrelationModel};
-use crate::pipeline::RunOutcome;
+use crate::pipeline::{session_group_by, RunOutcome};
 use crate::plan::Plan;
 use crate::query::QuerySpec;
 use crate::sampling::{adaptive_num_search_ctx, sample_groups_ctx, SampleSizeRule};
@@ -61,7 +61,7 @@ pub fn run_intel_sample_adaptive_ctx(
     let udf = crate::pipeline::label_udf(ctx);
     let invoker = UdfInvoker::with_context(udf.as_ref(), table, ctx);
     let mut rng = Prng::seeded(seed);
-    let groups = table.group_by(predictor).expect("predictor column");
+    let groups = session_group_by(table, predictor, ctx).expect("predictor column");
 
     let outcome = adaptive_num_search_ctx(&groups, &invoker, spec, corr, &mut rng, ctx);
     let est_groups = outcome.sample.to_estimated_groups(&groups);
@@ -156,7 +156,7 @@ pub fn run_intel_sample_iterative_ctx(
     let udf = crate::pipeline::label_udf(ctx);
     let invoker = UdfInvoker::with_context(udf.as_ref(), table, ctx);
     let mut rng = Prng::seeded(seed);
-    let groups = table.group_by(predictor).expect("predictor column");
+    let groups = session_group_by(table, predictor, ctx).expect("predictor column");
     let k = groups.num_groups();
 
     // Initial estimates.

@@ -18,7 +18,7 @@
 use crate::pipeline::RunOutcome;
 use crate::query::QuerySpec;
 use expred_exec::ExecContext;
-use expred_ml::features::{extract_features, FeatureSpec};
+use expred_ml::features::{extract_features_cached, FeatureSpec};
 use expred_ml::logistic::TrainConfig;
 use expred_ml::metrics::{precision_recall, PrSummary};
 use expred_ml::semisupervised::{
@@ -119,7 +119,12 @@ pub fn run_learning_ctx(
     let start = Instant::now();
     let table = &ds.table;
     let truth = crate::execute::truth_vector(table, LABEL_COLUMN);
-    let features = extract_features(table, &[LABEL_COLUMN, "row_id"], FeatureSpec::default());
+    let features = extract_features_cached(
+        table,
+        &[LABEL_COLUMN, "row_id"],
+        FeatureSpec::default(),
+        ctx.derived,
+    );
     let n = table.num_rows();
     let udf = crate::pipeline::label_udf(ctx);
     let invoker = UdfInvoker::with_context(udf.as_ref(), table, ctx);
@@ -179,7 +184,12 @@ pub fn run_multiple_ctx(
     let start = Instant::now();
     let table = &ds.table;
     let truth = crate::execute::truth_vector(table, LABEL_COLUMN);
-    let features = extract_features(table, &[LABEL_COLUMN, "row_id"], FeatureSpec::default());
+    let features = extract_features_cached(
+        table,
+        &[LABEL_COLUMN, "row_id"],
+        FeatureSpec::default(),
+        ctx.derived,
+    );
     let n = table.num_rows();
     let udf = crate::pipeline::label_udf(ctx);
     let invoker = UdfInvoker::with_context(udf.as_ref(), table, ctx);

@@ -12,9 +12,10 @@
 //!    buckets; the bucket id is the correlated column (§6.3.2).
 
 use crate::optimize::solve_perfect_selectivities;
+use crate::pipeline::session_group_by;
 use crate::query::QuerySpec;
 use expred_exec::{ExecContext, Executor};
-use expred_ml::features::{extract_features, FeatureSpec};
+use expred_ml::features::{extract_features_cached, FeatureSpec};
 use expred_ml::logistic::{train, TrainConfig};
 use expred_stats::estimator::SelectivityEstimate;
 use expred_stats::histogram::bucketize;
@@ -115,12 +116,15 @@ pub fn rank_columns_ctx(
             labelled.extend(batch.into_iter().map(|row| row as u32));
         }
         let limit = (labelled.len() as f64).sqrt().ceil() as usize;
+        // Eligibility reads the memoized per-column stats: the distinct
+        // count is computed once per (column, version), not re-scanned on
+        // every ranking round.
         let eligible: Vec<&String> = candidates
             .iter()
             .filter(|c| {
                 table
-                    .column(c)
-                    .map(|col| col.distinct_count() <= limit.max(2))
+                    .column_stats(c)
+                    .map(|stats| stats.distinct_count <= limit.max(2))
                     .unwrap_or(false)
             })
             .collect();
@@ -135,7 +139,7 @@ pub fn rank_columns_ctx(
         };
         let mut scores: Vec<ColumnScore> = pool
             .into_iter()
-            .map(|c| score_column(table, c, invoker, spec, &labelled))
+            .map(|c| score_column(table, c, invoker, spec, &labelled, ctx))
             .collect();
         scores.sort_by(|a, b| {
             a.estimated_cost
@@ -157,8 +161,9 @@ fn score_column(
     invoker: &UdfInvoker<'_>,
     spec: &QuerySpec,
     labelled: &[u32],
+    ctx: &ExecContext<'_>,
 ) -> ColumnScore {
-    let groups = table.group_by(column).expect("candidate column must exist");
+    let groups = session_group_by(table, column, ctx).expect("candidate column must exist");
     let row_to_group = groups.group_of_rows();
     let mut pos = vec![0u64; groups.num_groups()];
     let mut tot = vec![0u64; groups.num_groups()];
@@ -198,9 +203,10 @@ pub fn virtual_column(
     invoker: &UdfInvoker<'_>,
     labelled: &[u32],
     buckets: usize,
+    ctx: &ExecContext<'_>,
 ) -> GroupBy {
     assert!(!labelled.is_empty(), "virtual column needs labelled rows");
-    let features = extract_features(table, exclude, FeatureSpec::default());
+    let features = extract_features_cached(table, exclude, FeatureSpec::default(), ctx.derived);
     let rows: Vec<usize> = labelled.iter().map(|&r| r as usize).collect();
     let labels: Vec<bool> = rows
         .iter()
@@ -307,6 +313,7 @@ mod tests {
             &invoker,
             &labelled,
             10,
+            &ExecContext::sequential(),
         );
         assert!(
             groups.num_groups() >= 5,

@@ -94,6 +94,7 @@ use crate::strategy::StrategyIdentity;
 use expred_exec::{AdaptiveController, CacheStats, CacheStore, ExecContext, Executor, Sequential};
 use expred_stats::hash::Fnv64;
 use expred_table::datasets::Dataset;
+use expred_table::{DerivedCache, DerivedCacheStats};
 use expred_udf::{CostCounts, CostTracker};
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
@@ -345,6 +346,9 @@ pub struct QueryEngine {
     adaptive: AdaptiveController,
     /// Cold-race waiter table: result-memo hash -> in-flight run.
     inflight: Mutex<HashMap<u64, Arc<InFlight>>>,
+    /// Session memo of derived per-column artifacts (group partitions,
+    /// encoding dictionaries), keyed by `(table id, version, column)`.
+    derived: DerivedCache,
 }
 
 // The `&self + Sync` contract is the point of the engine; if a field
@@ -372,6 +376,7 @@ impl QueryEngine {
             stats: AtomicEngineStats::default(),
             adaptive: AdaptiveController::new(),
             inflight: Mutex::new(HashMap::new()),
+            derived: DerivedCache::new(),
         }
     }
 
@@ -398,6 +403,14 @@ impl QueryEngine {
         self
     }
 
+    /// Bounds the derived-data cache (group partitions, encoding
+    /// dictionaries) at `capacity` entries; 0 disables retention, so
+    /// every query re-derives (useful for measuring the cache's worth).
+    pub fn with_derived_capacity(mut self, capacity: usize) -> Self {
+        self.derived = DerivedCache::with_capacity(capacity);
+        self
+    }
+
     /// Adds an artificial latency to every fresh UDF evaluation this
     /// engine performs — a load-testing knob: answers, cache identities,
     /// and audited counts are all unaffected.
@@ -412,7 +425,8 @@ impl QueryEngine {
     pub fn context(&self) -> ExecContext<'_> {
         let ctx = ExecContext::new(self.executor.as_ref())
             .with_cache(&self.store)
-            .with_adaptive(&self.adaptive);
+            .with_adaptive(&self.adaptive)
+            .with_derived(&self.derived);
         match self.udf_latency {
             Some(latency) => ctx.with_udf_latency(latency),
             None => ctx,
@@ -596,6 +610,17 @@ impl QueryEngine {
         &self.store
     }
 
+    /// Derived-data cache statistics (partition/dictionary reuse).
+    pub fn derived_stats(&self) -> DerivedCacheStats {
+        self.derived.stats()
+    }
+
+    /// The session's derived-data cache (e.g. for warming it outside the
+    /// engine's own entry points).
+    pub fn derived(&self) -> &DerivedCache {
+        &self.derived
+    }
+
     /// Drops both reuse tiers, keeping the executor and counters.
     ///
     /// # Semantics under concurrent `run`s
@@ -614,6 +639,7 @@ impl QueryEngine {
     pub fn clear_caches(&self) {
         self.store.clear();
         self.results.clear();
+        self.derived.clear();
     }
 }
 
@@ -868,5 +894,56 @@ mod tests {
         let again = engine.run(&ds, &Query::Naive(spec), 1);
         assert_eq!(again.counts.evaluated, first.counts.evaluated);
         assert_eq!(again.counts.reuse_hits, 0);
+    }
+
+    #[test]
+    fn repeat_queries_hit_the_derived_cache() {
+        let ds = small_prosper(21);
+        let engine = QueryEngine::new();
+        // Different seeds: the result memo misses, so the pipeline runs in
+        // full both times — but the "grade" partition is derived once.
+        let first = engine.run(&ds, &intel_query(), 1);
+        let after_first = engine.derived_stats();
+        assert!(after_first.misses >= 1, "cold session derives fresh");
+        let again = engine.run(&ds, &intel_query(), 2);
+        let after_second = engine.derived_stats();
+        assert_eq!(
+            after_second.misses, after_first.misses,
+            "the repeat must not re-group"
+        );
+        assert!(after_second.hits > after_first.hits, "the repeat reuses");
+        // Both runs are real answers over the same 3k-row table; the
+        // cache only changed who derived the partition, not the query.
+        assert_eq!(first.num_groups, again.num_groups);
+    }
+
+    #[test]
+    fn push_row_forces_a_derived_miss() {
+        let mut ds = small_prosper(22);
+        let engine = QueryEngine::new();
+        engine.run(&ds, &intel_query(), 1);
+        let warm = engine.derived_stats();
+        // Appending a row bumps the table version: every derived entry
+        // keyed to the old version is dead, so the next run must miss.
+        let row = ds.table.row(0);
+        ds.table.push_row(row).expect("row 0 matches the schema");
+        engine.run(&ds, &intel_query(), 1);
+        let after_push = engine.derived_stats();
+        assert!(
+            after_push.misses > warm.misses,
+            "a version bump must force re-derivation"
+        );
+    }
+
+    #[test]
+    fn derived_capacity_zero_disables_retention() {
+        let ds = small_prosper(23);
+        let engine = QueryEngine::new().with_derived_capacity(0);
+        engine.run(&ds, &intel_query(), 1);
+        engine.run(&ds, &intel_query(), 2);
+        let stats = engine.derived_stats();
+        assert_eq!(stats.hits, 0, "nothing is retained at capacity 0");
+        assert!(stats.misses >= 2);
+        assert_eq!(engine.derived().len(), 0);
     }
 }

@@ -21,8 +21,9 @@ use expred_exec::{ExecContext, Executor};
 use expred_ml::metrics::{precision_recall, PrSummary};
 use expred_stats::rng::Prng;
 use expred_table::datasets::{Dataset, LABEL_COLUMN};
-use expred_table::GroupBy;
+use expred_table::{GroupBy, Table};
 use expred_udf::{BooleanUdf, CostCounts, OracleUdf, SlowUdf, UdfInvoker};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// The label oracle every pipeline evaluates, wrapped in the context's
@@ -34,6 +35,23 @@ pub(crate) fn label_udf(ctx: &ExecContext<'_>) -> Box<dyn BooleanUdf> {
     match ctx.udf_latency {
         Some(latency) => Box::new(SlowUdf::new(OracleUdf::new(LABEL_COLUMN), latency)),
         None => Box::new(OracleUdf::new(LABEL_COLUMN)),
+    }
+}
+
+/// Partitions `table` by `column`, serving the partition from the
+/// context's session [`expred_table::DerivedCache`] when one is attached
+/// (repeat queries over an unchanged table skip the re-group; `push_row`
+/// bumps the version and forces a fresh derivation). Without a cache
+/// this is exactly [`Table::group_by`] — the partition is byte-identical
+/// either way.
+pub(crate) fn session_group_by(
+    table: &Table,
+    column: &str,
+    ctx: &ExecContext<'_>,
+) -> Result<Arc<GroupBy>, String> {
+    match ctx.derived {
+        Some(cache) => cache.group_by(table, column),
+        None => table.group_by(column).map(Arc::new),
     }
 }
 
@@ -143,8 +161,10 @@ pub fn run_intel_sample_ctx(
     let mut rng = Prng::seeded(seed);
 
     // Step 0: obtain the correlated (possibly virtual) grouping.
-    let groups: GroupBy = match &cfg.predictor {
-        PredictorChoice::Fixed(col) => table.group_by(col).expect("predictor column must exist"),
+    let groups: Arc<GroupBy> = match &cfg.predictor {
+        PredictorChoice::Fixed(col) => {
+            session_group_by(table, col, ctx).expect("predictor column must exist")
+        }
         PredictorChoice::Auto { label_fraction } => {
             let candidates = ds.candidate_columns();
             let (scores, _labelled) = rank_columns_ctx(
@@ -157,9 +177,7 @@ pub fn run_intel_sample_ctx(
                 ctx,
             );
             let best = scores.first().expect("at least one candidate");
-            table
-                .group_by(&best.column)
-                .expect("ranked column must exist")
+            session_group_by(table, &best.column, ctx).expect("ranked column must exist")
         }
         PredictorChoice::Virtual {
             buckets,
@@ -170,13 +188,14 @@ pub fn run_intel_sample_ctx(
             let batch = rng.sample_indices(n, want);
             invoker.retrieve_and_evaluate_batch(ctx.executor, &batch);
             let labelled: Vec<u32> = batch.into_iter().map(|r| r as u32).collect();
-            virtual_column(
+            Arc::new(virtual_column(
                 table,
                 &[LABEL_COLUMN, "row_id"],
                 &invoker,
                 &labelled,
                 *buckets,
-            )
+                ctx,
+            ))
         }
     };
 
@@ -240,7 +259,7 @@ pub fn run_optimal_ctx(
     let udf = label_udf(ctx);
     let invoker = UdfInvoker::with_context(udf.as_ref(), table, ctx);
     let mut rng = Prng::seeded(seed);
-    let groups = table.group_by(predictor).expect("predictor column");
+    let groups = session_group_by(table, predictor, ctx).expect("predictor column");
     let truth = truth_vector(table, LABEL_COLUMN);
 
     let sizes: Vec<f64> = groups.sizes().iter().map(|&s| s as f64).collect();

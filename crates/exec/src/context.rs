@@ -13,6 +13,7 @@ use crate::adaptive::AdaptiveController;
 use crate::executor::{Executor, Sequential};
 use crate::planner::{BatchPlanner, DEFAULT_MAX_IN_FLIGHT};
 use crate::store::CacheStore;
+use expred_table::DerivedCache;
 use std::time::Duration;
 
 /// The sequential backend as a `'static` borrow for default contexts.
@@ -43,6 +44,11 @@ pub struct ExecContext<'a> {
     /// `max_in_flight`). `None` keeps the fixed `max_in_flight` slicing.
     /// Answers and bills are identical either way.
     pub adaptive: Option<&'a AdaptiveController>,
+    /// The session's derived-data cache (group partitions, encoding
+    /// dictionaries), if this query runs inside a session. Entries are
+    /// keyed by `(table id, version, column)`, so pipelines may reuse
+    /// them freely: outputs are byte-identical with or without it.
+    pub derived: Option<&'a DerivedCache>,
 }
 
 impl<'a> ExecContext<'a> {
@@ -54,6 +60,7 @@ impl<'a> ExecContext<'a> {
             max_in_flight: DEFAULT_MAX_IN_FLIGHT,
             udf_latency: None,
             adaptive: None,
+            derived: None,
         }
     }
 
@@ -88,6 +95,14 @@ impl<'a> ExecContext<'a> {
         self
     }
 
+    /// Attaches a session [`DerivedCache`]: pipelines serve group
+    /// partitions and encoding dictionaries from it instead of
+    /// re-deriving per query.
+    pub fn with_derived(mut self, derived: &'a DerivedCache) -> Self {
+        self.derived = Some(derived);
+        self
+    }
+
     /// A batch planner honoring this context's in-flight budget (and its
     /// adaptive controller, when one is attached).
     pub fn planner(&self) -> BatchPlanner {
@@ -106,6 +121,7 @@ impl std::fmt::Debug for ExecContext<'_> {
             .field("cached", &self.cache.is_some())
             .field("max_in_flight", &self.max_in_flight)
             .field("adaptive", &self.adaptive.is_some())
+            .field("derived", &self.derived.is_some())
             .finish()
     }
 }
@@ -126,10 +142,14 @@ mod tests {
     #[test]
     fn builders_compose() {
         let store = CacheStore::new();
+        let derived = DerivedCache::new();
         let ctx = ExecContext::new(&Sequential)
             .with_cache(&store)
+            .with_derived(&derived)
             .with_max_in_flight(0);
         assert!(ctx.cache.is_some());
+        assert!(ctx.derived.is_some());
+        assert!(ExecContext::sequential().derived.is_none());
         assert_eq!(ctx.max_in_flight, 1, "budget clamps to >= 1");
         let copy = ctx; // Copy must hold: contexts are passed around freely.
         assert_eq!(copy.planner().max_in_flight(), 1);

@@ -5,9 +5,19 @@
 //! overfitting guard — "we only use columns that are either numeric or
 //! nominal with < 50 different values" — this module standardizes numeric
 //! columns and one-hot encodes low-cardinality categorical columns.
+//!
+//! One-hot encoding consumes dictionary codes from the grouping kernel
+//! ([`expred_table::GroupCodes`]): per row it costs an integer lookup,
+//! and the category strings are rendered once per *distinct* value
+//! rather than once per cell. The historical per-cell-`String` encoder
+//! is kept as [`extract_features_reference`], and the kernel path is
+//! unit-tested to match it byte for byte (the dictionary's value-sorted
+//! codes are remapped to the reference's string-sorted category slots).
 
-use expred_table::{Column, DataType, Table};
+use expred_table::kernels::GroupCodes;
+use expred_table::{Column, DataType, DerivedCache, Table, Value};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Feature-extraction policy.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -70,6 +80,21 @@ impl FeatureMatrix {
 ///   encoded; NULL becomes its own category. Columns whose cardinality
 ///   exceeds the spec's limit are dropped.
 pub fn extract_features(table: &Table, exclude: &[&str], spec: FeatureSpec) -> FeatureMatrix {
+    extract_features_cached(table, exclude, spec, None)
+}
+
+/// [`extract_features`] with an optional session [`DerivedCache`]: the
+/// per-column dictionary codes behind the one-hot encodings are served
+/// from (and populated into) the cache, keyed by `(table id, version,
+/// column)`, so repeat extractions over an unchanged table skip the
+/// dictionary build entirely. Output is identical with or without the
+/// cache.
+pub fn extract_features_cached(
+    table: &Table,
+    exclude: &[&str],
+    spec: FeatureSpec,
+    derived: Option<&DerivedCache>,
+) -> FeatureMatrix {
     let n = table.num_rows();
     let mut columns: Vec<(String, Encoding)> = Vec::new();
     for field in table.schema().fields() {
@@ -77,18 +102,30 @@ pub fn extract_features(table: &Table, exclude: &[&str], spec: FeatureSpec) -> F
             continue;
         }
         let col = table.column(field.name()).expect("schema-listed column");
+        let categorical = |name: &str| {
+            let codes = match derived {
+                Some(cache) => cache
+                    .group_codes(table, name)
+                    .expect("schema-listed column"),
+                None => Arc::new(col.group_codes()),
+            };
+            coded_encoding(codes, spec.max_categorical_cardinality)
+        };
         let enc = match field.data_type() {
             DataType::Float => numeric_encoding(col, n),
             DataType::Int => {
-                if col.distinct_count() <= spec.int_categorical_threshold {
-                    categorical_encoding(col, n, spec.max_categorical_cardinality)
+                // Memoized on the table: eligibility stops re-scanning.
+                let distinct = table
+                    .column_stats(field.name())
+                    .expect("schema-listed column")
+                    .distinct_count;
+                if distinct <= spec.int_categorical_threshold {
+                    categorical(field.name())
                 } else {
                     numeric_encoding(col, n)
                 }
             }
-            DataType::Bool | DataType::Str => {
-                categorical_encoding(col, n, spec.max_categorical_cardinality)
-            }
+            DataType::Bool | DataType::Str => categorical(field.name()),
         };
         if let Some(enc) = enc {
             columns.push((field.name().to_owned(), enc));
@@ -110,7 +147,155 @@ pub fn extract_features(table: &Table, exclude: &[&str], spec: FeatureSpec) -> F
                 }
                 offset += 1;
             }
-            Encoding::OneHot { categories } => {
+            Encoding::OneHot {
+                names,
+                codes,
+                code_slot,
+            } => {
+                for cat in names {
+                    feature_names.push(format!("{name}={cat}"));
+                }
+                for (r, &code) in codes.codes().iter().enumerate() {
+                    data[r * dim + offset + code_slot[code as usize]] = 1.0;
+                }
+                offset += names.len();
+            }
+        }
+    }
+    debug_assert_eq!(offset, dim);
+    FeatureMatrix {
+        rows: n,
+        dim,
+        data,
+        feature_names,
+    }
+}
+
+enum Encoding {
+    Numeric {
+        mean: f64,
+        std: f64,
+    },
+    /// One-hot over kernel dictionary codes: `code_slot[code]` is the
+    /// column slot (categories in string-sorted order, matching the
+    /// reference encoder), `names` the sorted category strings.
+    OneHot {
+        names: Vec<String>,
+        codes: Arc<GroupCodes>,
+        code_slot: Vec<usize>,
+    },
+}
+
+impl Encoding {
+    fn width(&self) -> usize {
+        match self {
+            Encoding::Numeric { .. } => 1,
+            Encoding::OneHot { names, .. } => names.len(),
+        }
+    }
+}
+
+fn numeric_encoding(col: &Column, n: usize) -> Option<Encoding> {
+    let mut acc = expred_stats::descriptive::Accumulator::new();
+    for r in 0..n {
+        if let Some(v) = col.float_at(r) {
+            acc.push(v);
+        }
+    }
+    Some(Encoding::Numeric {
+        mean: acc.mean(),
+        std: acc.std_dev(),
+    })
+}
+
+/// Builds the one-hot layout from dictionary codes. The dictionary is
+/// value-sorted; the reference encoder sorts categories by their
+/// *rendered string*, so each distinct key is rendered once (not once
+/// per cell) and the codes are remapped to string-sorted slots. Distinct
+/// keys with equal renderings collapse into one category, exactly as the
+/// string-keyed reference would.
+fn coded_encoding(codes: Arc<GroupCodes>, max_card: usize) -> Option<Encoding> {
+    let rendered: Vec<String> = codes.keys().iter().map(key_string).collect();
+    let mut sorted: BTreeMap<&str, usize> = BTreeMap::new();
+    for key in &rendered {
+        let next = sorted.len();
+        sorted.entry(key).or_insert(next);
+        if sorted.len() > max_card {
+            return None; // too many distinct values: drop the column
+        }
+    }
+    // Re-index in sorted order; map each code to its category's slot.
+    for (slot, (_, index)) in sorted.iter_mut().enumerate() {
+        *index = slot;
+    }
+    let code_slot: Vec<usize> = rendered.iter().map(|k| sorted[k.as_str()]).collect();
+    let names: Vec<String> = sorted.keys().map(|k| (*k).to_owned()).collect();
+    Some(Encoding::OneHot {
+        names,
+        codes,
+        code_slot,
+    })
+}
+
+/// The rendering the string-keyed reference encoder uses for a cell.
+fn key_string(v: &Value) -> String {
+    if v.is_null() {
+        "\u{0}NULL".to_owned()
+    } else {
+        v.to_string()
+    }
+}
+
+/// The historical per-cell scalar encoder: renders an owned key `String`
+/// per cell and buckets through a `BTreeMap`. Kept as the reference the
+/// kernel-coded path is tested (and benched) against; output is byte-
+/// identical to [`extract_features`].
+pub fn extract_features_reference(
+    table: &Table,
+    exclude: &[&str],
+    spec: FeatureSpec,
+) -> FeatureMatrix {
+    let n = table.num_rows();
+    let mut columns: Vec<(String, ReferenceEncoding)> = Vec::new();
+    for field in table.schema().fields() {
+        if exclude.contains(&field.name()) {
+            continue;
+        }
+        let col = table.column(field.name()).expect("schema-listed column");
+        let enc = match field.data_type() {
+            DataType::Float => reference_numeric(col, n),
+            DataType::Int => {
+                if col.distinct_count() <= spec.int_categorical_threshold {
+                    reference_categorical(col, n, spec.max_categorical_cardinality)
+                } else {
+                    reference_numeric(col, n)
+                }
+            }
+            DataType::Bool | DataType::Str => {
+                reference_categorical(col, n, spec.max_categorical_cardinality)
+            }
+        };
+        if let Some(enc) = enc {
+            columns.push((field.name().to_owned(), enc));
+        }
+    }
+
+    let dim: usize = columns.iter().map(|(_, e)| e.width()).sum();
+    let mut data = vec![0.0; n * dim];
+    let mut feature_names = Vec::with_capacity(dim);
+    let mut offset = 0;
+    for (name, enc) in &columns {
+        match enc {
+            ReferenceEncoding::Numeric { mean, std } => {
+                feature_names.push(name.clone());
+                let col = table.column(name).unwrap();
+                for r in 0..n {
+                    let v = col.float_at(r).unwrap_or(*mean);
+                    data[r * dim + offset] = if *std > 0.0 { (v - mean) / std } else { 0.0 };
+                }
+                offset += 1;
+            }
+            ReferenceEncoding::OneHot { categories } => {
                 for cat in categories.keys() {
                     feature_names.push(format!("{name}={cat}"));
                 }
@@ -134,34 +319,28 @@ pub fn extract_features(table: &Table, exclude: &[&str], spec: FeatureSpec) -> F
     }
 }
 
-enum Encoding {
+enum ReferenceEncoding {
     Numeric { mean: f64, std: f64 },
     OneHot { categories: BTreeMap<String, usize> },
 }
 
-impl Encoding {
+impl ReferenceEncoding {
     fn width(&self) -> usize {
         match self {
-            Encoding::Numeric { .. } => 1,
-            Encoding::OneHot { categories } => categories.len(),
+            ReferenceEncoding::Numeric { .. } => 1,
+            ReferenceEncoding::OneHot { categories } => categories.len(),
         }
     }
 }
 
-fn numeric_encoding(col: &Column, n: usize) -> Option<Encoding> {
-    let mut acc = expred_stats::descriptive::Accumulator::new();
-    for r in 0..n {
-        if let Some(v) = col.float_at(r) {
-            acc.push(v);
-        }
+fn reference_numeric(col: &Column, n: usize) -> Option<ReferenceEncoding> {
+    match numeric_encoding(col, n) {
+        Some(Encoding::Numeric { mean, std }) => Some(ReferenceEncoding::Numeric { mean, std }),
+        _ => None,
     }
-    Some(Encoding::Numeric {
-        mean: acc.mean(),
-        std: acc.std_dev(),
-    })
 }
 
-fn categorical_encoding(col: &Column, n: usize, max_card: usize) -> Option<Encoding> {
+fn reference_categorical(col: &Column, n: usize, max_card: usize) -> Option<ReferenceEncoding> {
     let mut categories: BTreeMap<String, usize> = BTreeMap::new();
     for r in 0..n {
         let key = cell_key(col, r);
@@ -174,7 +353,7 @@ fn categorical_encoding(col: &Column, n: usize, max_card: usize) -> Option<Encod
     // Re-index in sorted order for determinism.
     let keys: Vec<String> = categories.keys().cloned().collect();
     let categories = keys.into_iter().enumerate().map(|(i, k)| (k, i)).collect();
-    Some(Encoding::OneHot { categories })
+    Some(ReferenceEncoding::OneHot { categories })
 }
 
 fn cell_key(col: &Column, r: usize) -> String {
@@ -293,6 +472,62 @@ mod tests {
         let t = Table::from_rows(schema, rows).unwrap();
         let m = extract_features(&t, &[], FeatureSpec::default());
         assert_eq!(m.dim(), 3);
+    }
+
+    /// The kernel-coded encoder must reproduce the string-keyed reference
+    /// byte for byte — including the tricky orderings: string-sorted
+    /// categories (`Int(10)` sorts before `Int(2)` as "10" < "2") and the
+    /// `"\u{0}NULL"` NULL category sorting first.
+    #[test]
+    fn coded_encoding_matches_reference_byte_for_byte() {
+        let schema = Schema::new(vec![
+            Field::nullable("bucket", DataType::Int),
+            Field::nullable("grade", DataType::Str),
+            Field::nullable("flag", DataType::Bool),
+            Field::nullable("x", DataType::Float),
+        ]);
+        let rows = (0..60)
+            .map(|i| {
+                vec![
+                    // Includes 2 vs 10: value order differs from string order.
+                    if i % 7 == 0 {
+                        Value::Null
+                    } else {
+                        Value::Int([2, 10, 1, -3][i % 4])
+                    },
+                    if i % 5 == 0 {
+                        Value::Null
+                    } else {
+                        Value::from(["B", "A", "C"][i % 3])
+                    },
+                    if i % 11 == 0 {
+                        Value::Null
+                    } else {
+                        Value::Bool(i % 2 == 0)
+                    },
+                    Value::Float(i as f64 * 0.5),
+                ]
+            })
+            .collect();
+        let t = Table::from_rows(schema, rows).unwrap();
+        let spec = FeatureSpec::default();
+        let kernel = extract_features(&t, &[], spec);
+        let reference = extract_features_reference(&t, &[], spec);
+        assert_eq!(kernel, reference);
+        assert!(kernel
+            .feature_names()
+            .iter()
+            .any(|n| n == "bucket=\u{0}NULL"));
+
+        // And through the derived cache: identical again, with the codes
+        // dictionaries now retained for reuse.
+        let cache = expred_table::DerivedCache::new();
+        let cached = extract_features_cached(&t, &[], spec, Some(&cache));
+        assert_eq!(cached, reference);
+        assert!(cache.stats().misses >= 1);
+        let again = extract_features_cached(&t, &[], spec, Some(&cache));
+        assert_eq!(again, reference);
+        assert!(cache.stats().hits >= 1, "repeat extraction reuses codes");
     }
 
     #[test]

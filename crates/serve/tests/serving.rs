@@ -207,7 +207,10 @@ fn engine_error_variants_map_to_documented_statuses() {
             .post("/query", &format!("{{{table},\"query\":{query}}}"))
             .unwrap();
         assert_eq!(r.status, 400, "{query}");
-        assert!(r.body_text().contains("\"error\":\"bad_request\""), "{query}");
+        assert!(
+            r.body_text().contains("\"error\":\"bad_request\""),
+            "{query}"
+        );
     }
 
     // Infeasible → 422: near-certain contract under the adversarial

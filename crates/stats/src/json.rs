@@ -507,11 +507,7 @@ mod tests {
     #[test]
     fn nesting_depth_is_bounded() {
         // One past the bound fails cleanly…
-        let too_deep = format!(
-            "{}{}",
-            "[".repeat(MAX_DEPTH + 1),
-            "]".repeat(MAX_DEPTH + 1)
-        );
+        let too_deep = format!("{}{}", "[".repeat(MAX_DEPTH + 1), "]".repeat(MAX_DEPTH + 1));
         let err = JsonValue::parse(&too_deep).expect_err("depth bound");
         assert!(err.message.contains("nesting"), "{err}");
         // …including a half-megabyte adversarial body, which must not

@@ -1,0 +1,348 @@
+//! Session-level cache of derived data: group partitions and encoding
+//! dictionaries.
+//!
+//! Every query that predicts through a real column re-derives the same
+//! [`GroupBy`] over the same table, and every learning baseline re-builds
+//! the same one-hot dictionaries. [`DerivedCache`] is the session-scoped
+//! memo that stops paying that tax: entries are keyed by
+//! `(TableId, version, column, kind)`, mirroring the `CacheStore`
+//! namespacing in `expred-exec` and inheriting its invalidation
+//! semantics — `push_row` bumps the content version, so every stale
+//! entry simply stops being addressable, and diverged clones (same id,
+//! different versions) can never cross-serve.
+//!
+//! The cache is `&self`-safe for the concurrent engine: lookups and
+//! inserts take a single mutex, while the derivation itself runs outside
+//! the lock (racing identical derivations are benign — both compute the
+//! same deterministic value and one wins the insert). Capacity is
+//! bounded with the same second-chance (clock) policy the result memo
+//! uses: a hit marks the entry, the evictor skips marked entries once.
+
+use crate::kernels::GroupCodes;
+use crate::table::{GroupBy, Table};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Default number of derived entries a session retains. A session rarely
+/// touches more than a handful of `(table, column)` pairs at a time;
+/// this leaves generous headroom for multi-table workloads.
+pub const DEFAULT_DERIVED_CAPACITY: usize = 128;
+
+/// What kind of derived artifact an entry holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum DerivedKind {
+    Groups,
+    Codes,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct DerivedKey {
+    table: u64,
+    version: u64,
+    column: String,
+    kind: DerivedKind,
+}
+
+#[derive(Debug, Clone)]
+enum DerivedValue {
+    Groups(Arc<GroupBy>),
+    Codes(Arc<GroupCodes>),
+}
+
+#[derive(Debug)]
+struct CachedEntry {
+    value: DerivedValue,
+    /// Second-chance bit: set on hit, cleared (then evicted) by the clock.
+    touched: bool,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    map: HashMap<DerivedKey, CachedEntry>,
+    clock: VecDeque<DerivedKey>,
+}
+
+/// Counter snapshot for observability (see [`DerivedCache::stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DerivedCacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that had to derive fresh.
+    pub misses: u64,
+    /// Entries evicted by the capacity bound.
+    pub evictions: u64,
+}
+
+impl DerivedCacheStats {
+    /// `(name, value)` pairs in a stable order, for metrics exporters.
+    pub fn fields(&self) -> [(&'static str, u64); 3] {
+        [
+            ("derived_hits", self.hits),
+            ("derived_misses", self.misses),
+            ("derived_evictions", self.evictions),
+        ]
+    }
+}
+
+/// Capacity-bounded, thread-safe cache of derived per-column artifacts.
+#[derive(Debug)]
+pub struct DerivedCache {
+    inner: Mutex<Inner>,
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl Default for DerivedCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DerivedCache {
+    /// A cache with the default capacity.
+    pub fn new() -> Self {
+        Self::with_capacity(DEFAULT_DERIVED_CAPACITY)
+    }
+
+    /// A cache retaining at most `capacity` entries. Capacity 0 disables
+    /// retention entirely: every lookup derives fresh (and counts as a
+    /// miss).
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            inner: Mutex::new(Inner::default()),
+            capacity,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// The configured entry bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Entries currently retained.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("derived cache poisoned").map.len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Hit/miss/eviction counters since construction (or the last
+    /// counter-preserving [`clear`](Self::clear)).
+    pub fn stats(&self) -> DerivedCacheStats {
+        DerivedCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Drops every entry (counters are preserved).
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock().expect("derived cache poisoned");
+        inner.map.clear();
+        inner.clock.clear();
+    }
+
+    /// The partition of `table` by `column`, served from the cache when
+    /// the same `(table id, version, column)` was grouped before.
+    /// Byte-identical to [`Table::group_by`].
+    pub fn group_by(&self, table: &Table, column: &str) -> Result<Arc<GroupBy>, String> {
+        let key = DerivedKey {
+            table: table.id().as_u64(),
+            version: table.version(),
+            column: column.to_owned(),
+            kind: DerivedKind::Groups,
+        };
+        if let Some(DerivedValue::Groups(hit)) = self.lookup(&key) {
+            return Ok(hit);
+        }
+        let fresh = Arc::new(table.group_by(column)?);
+        self.insert(key, DerivedValue::Groups(Arc::clone(&fresh)));
+        Ok(fresh)
+    }
+
+    /// The dictionary codes of `column`, cached per `(table id, version,
+    /// column)`. The substrate for one-hot feature encoding.
+    pub fn group_codes(&self, table: &Table, column: &str) -> Result<Arc<GroupCodes>, String> {
+        let key = DerivedKey {
+            table: table.id().as_u64(),
+            version: table.version(),
+            column: column.to_owned(),
+            kind: DerivedKind::Codes,
+        };
+        if let Some(DerivedValue::Codes(hit)) = self.lookup(&key) {
+            return Ok(hit);
+        }
+        let col = table
+            .column(column)
+            .ok_or_else(|| format!("no column named {column:?}"))?;
+        let fresh = Arc::new(col.group_codes());
+        self.insert(key, DerivedValue::Codes(Arc::clone(&fresh)));
+        Ok(fresh)
+    }
+
+    fn lookup(&self, key: &DerivedKey) -> Option<DerivedValue> {
+        let mut inner = self.inner.lock().expect("derived cache poisoned");
+        match inner.map.get_mut(key) {
+            Some(entry) => {
+                entry.touched = true;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(entry.value.clone())
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    fn insert(&self, key: DerivedKey, value: DerivedValue) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut inner = self.inner.lock().expect("derived cache poisoned");
+        if inner.map.contains_key(&key) {
+            // A racing derivation beat us; keep the incumbent (equal
+            // content) and don't double-queue the key.
+            return;
+        }
+        // Second-chance eviction: recently hit entries get one more lap.
+        while inner.map.len() >= self.capacity {
+            let Some(victim) = inner.clock.pop_front() else {
+                break;
+            };
+            match inner.map.get_mut(&victim) {
+                Some(entry) if entry.touched => {
+                    entry.touched = false;
+                    inner.clock.push_back(victim);
+                }
+                Some(_) => {
+                    inner.map.remove(&victim);
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                }
+                None => {}
+            }
+        }
+        inner.clock.push_back(key.clone());
+        inner.map.insert(
+            key,
+            CachedEntry {
+                value,
+                touched: false,
+            },
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Field, Schema};
+    use crate::value::{DataType, Value};
+
+    fn table_of(values: &[i64]) -> Table {
+        let schema = Schema::new(vec![Field::new("a", DataType::Int)]);
+        Table::from_rows(
+            schema,
+            values.iter().map(|&v| vec![Value::Int(v)]).collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn repeat_lookups_hit() {
+        let cache = DerivedCache::new();
+        let t = table_of(&[1, 2, 1]);
+        let a = cache.group_by(&t, "a").unwrap();
+        let b = cache.group_by(&t, "a").unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "second lookup reuses the partition");
+        assert_eq!(*a, t.group_by("a").unwrap());
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+    }
+
+    #[test]
+    fn push_row_forces_a_miss() {
+        let cache = DerivedCache::new();
+        let mut t = table_of(&[1, 2]);
+        let before = cache.group_by(&t, "a").unwrap();
+        t.push_row(vec![Value::Int(1)]).unwrap();
+        let after = cache.group_by(&t, "a").unwrap();
+        assert!(!Arc::ptr_eq(&before, &after));
+        assert_eq!(*after, t.group_by("a").unwrap());
+        assert_eq!(cache.stats().misses, 2);
+    }
+
+    #[test]
+    fn diverged_clones_never_cross_serve() {
+        let cache = DerivedCache::new();
+        let base = table_of(&[1, 2]);
+        let mut a = base.clone();
+        let mut b = base.clone();
+        a.push_row(vec![Value::Int(10)]).unwrap();
+        b.push_row(vec![Value::Int(20)]).unwrap();
+        assert_eq!(a.id(), b.id(), "clones share an id");
+        let ga = cache.group_by(&a, "a").unwrap();
+        let gb = cache.group_by(&b, "a").unwrap();
+        assert_eq!(*ga, a.group_by("a").unwrap());
+        assert_eq!(*gb, b.group_by("a").unwrap());
+        assert_ne!(*ga, *gb);
+    }
+
+    #[test]
+    fn group_codes_are_cached_too() {
+        let cache = DerivedCache::new();
+        let t = table_of(&[3, 3, 4]);
+        let a = cache.group_codes(&t, "a").unwrap();
+        let b = cache.group_codes(&t, "a").unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(a.codes(), &[0, 0, 1]);
+        assert!(cache.group_codes(&t, "nope").is_err());
+    }
+
+    #[test]
+    fn capacity_bounds_and_second_chance() {
+        let cache = DerivedCache::with_capacity(2);
+        let tables: Vec<Table> = (0..4).map(|v| table_of(&[v])).collect();
+        cache.group_by(&tables[0], "a").unwrap();
+        cache.group_by(&tables[1], "a").unwrap();
+        // Touch table 0 so the clock spares it over table 1.
+        cache.group_by(&tables[0], "a").unwrap();
+        cache.group_by(&tables[2], "a").unwrap();
+        assert_eq!(cache.len(), 2);
+        assert!(cache.stats().evictions >= 1);
+        // Table 0 survived the eviction; looking it up again is a hit.
+        let hits_before = cache.stats().hits;
+        cache.group_by(&tables[0], "a").unwrap();
+        assert_eq!(cache.stats().hits, hits_before + 1);
+    }
+
+    #[test]
+    fn zero_capacity_disables_retention() {
+        let cache = DerivedCache::with_capacity(0);
+        let t = table_of(&[1]);
+        cache.group_by(&t, "a").unwrap();
+        cache.group_by(&t, "a").unwrap();
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats().misses, 2);
+    }
+
+    #[test]
+    fn clear_drops_entries_keeps_counters() {
+        let cache = DerivedCache::new();
+        let t = table_of(&[1]);
+        cache.group_by(&t, "a").unwrap();
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats().misses, 1);
+    }
+}

@@ -3,7 +3,34 @@
 //! The paper's query `SELECT * FROM R(A, ID) WHERE f(ID) = 1` needs a small
 //! relational backbone: typed tables, a group-by over the correlated
 //! attribute, per-column metadata for predictor selection, and ingestion.
-//! This crate provides it from scratch:
+//! This crate provides it from scratch.
+//!
+//! # Storage model
+//!
+//! Storage is **typed-columnar**, not row-oriented: a [`table::Table`] is a
+//! [`schema::Schema`] plus one [`column::Column`] per field, and each
+//! column is a typed vector — `Vec<Option<bool>>`, `Vec<Option<i64>>`,
+//! `Vec<Option<f64>>`, or `Vec<Option<String>>` — with `None` as NULL.
+//! [`value::Value`] is a *cell view* for ingestion, display, and group
+//! keys; it is materialized at the edges, never stored per cell. Hot
+//! paths run on the typed vectors directly:
+//!
+//! * [`kernels`] — vectorized grouping: [`kernels::GroupCodes`] dictionary-
+//!   encodes a column into dense group ids plus a key-sorted dictionary
+//!   in one typed pass (byte-identical output to the scalar reference
+//!   [`table::Table::group_by_reference`]). Also the substrate for
+//!   one-hot feature encoding in `expred-ml`.
+//! * [`stats`] — lazily computed, memoized per-`(column, version)`
+//!   statistics: min/max bounds, NULL census, distinct count, and
+//!   per-chunk *zone maps* that let [`table::Table::scan`] skip chunks a
+//!   cheap predicate cannot match without touching a row.
+//! * [`derived`] — [`derived::DerivedCache`], the session-level memo of
+//!   derived artifacts ([`table::GroupBy`] partitions, encoding
+//!   dictionaries) keyed by `(TableId, version, column)`; `push_row`
+//!   bumps the version, so mutation invalidates by making stale entries
+//!   unaddressable.
+//!
+//! # Modules
 //!
 //! * [`value`] / [`schema`] / [`crate::column`] / [`table`] — the data model.
 //!   [`table::GroupBy`] is the central structure: the partition of rows by
@@ -16,12 +43,18 @@
 pub mod column;
 pub mod csv;
 pub mod datasets;
+pub mod derived;
+pub mod kernels;
 pub mod schema;
+pub mod stats;
 pub mod table;
 pub mod value;
 
 pub use column::Column;
 pub use datasets::{Dataset, DatasetSpec, LABEL_COLUMN};
+pub use derived::{DerivedCache, DerivedCacheStats, DEFAULT_DERIVED_CAPACITY};
+pub use kernels::GroupCodes;
 pub use schema::{Field, Schema};
+pub use stats::{ColumnStats, ScanPredicate, ScanStats, Zone, ZONE_ROWS};
 pub use table::{GroupBy, Table, TableId};
 pub use value::{DataType, Value};

@@ -8,9 +8,11 @@
 
 use crate::column::Column;
 use crate::schema::Schema;
+use crate::stats::{scan_column, ColumnStats, ScanPredicate, ScanStats, StatsCache};
 use crate::value::{Value, ValueKey};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Process-unique identity of one [`Table`] instance.
 ///
@@ -42,6 +44,10 @@ pub struct Table {
     num_rows: usize,
     id: TableId,
     version: u64,
+    /// Lazily computed per-`(column, version)` stats memo, shared by
+    /// clones (entries are version-keyed, so sharing is safe even after
+    /// clones diverge).
+    stats: Arc<StatsCache>,
 }
 
 impl PartialEq for Table {
@@ -68,6 +74,7 @@ impl Table {
             num_rows: 0,
             id: TableId(NEXT_TABLE_ID.fetch_add(1, Ordering::Relaxed)),
             version: 0,
+            stats: Arc::new(StatsCache::default()),
         }
     }
 
@@ -172,8 +179,21 @@ impl Table {
     ///
     /// Group order is deterministic: ascending by the group key's total
     /// order (NULL first), so downstream algorithms and experiments are
-    /// reproducible.
+    /// reproducible. Runs on the vectorized grouping kernel
+    /// ([`Column::group_codes`](crate::kernels::GroupCodes)); output is
+    /// byte-identical to the scalar [`Self::group_by_reference`].
     pub fn group_by(&self, column: &str) -> Result<GroupBy, String> {
+        let col = self
+            .column(column)
+            .ok_or_else(|| format!("no column named {column:?}"))?;
+        Ok(col.group_codes().to_group_by(column))
+    }
+
+    /// The legacy per-[`Value`] group-by: materializes an owned value per
+    /// cell and buckets through a `HashMap<ValueKey, _>`. Kept as the
+    /// scalar reference the kernel path is property-tested (and benched)
+    /// against.
+    pub fn group_by_reference(&self, column: &str) -> Result<GroupBy, String> {
         let col = self
             .column(column)
             .ok_or_else(|| format!("no column named {column:?}"))?;
@@ -196,6 +216,37 @@ impl Table {
             rows.push(group_rows);
         }
         Ok(GroupBy::new(column.to_owned(), keys, rows, self.num_rows))
+    }
+
+    /// Memoized per-column statistics (bounds, NULL census, distinct
+    /// count, zone maps) for the named column. Computed lazily, once per
+    /// `(column, version)`; repeat calls — including across clones at the
+    /// same version — are a map lookup.
+    pub fn column_stats(&self, name: &str) -> Option<Arc<ColumnStats>> {
+        self.schema.index_of(name).map(|i| self.column_stats_at(i))
+    }
+
+    /// [`Self::column_stats`] by column index.
+    pub fn column_stats_at(&self, idx: usize) -> Arc<ColumnStats> {
+        self.stats
+            .get_or_compute(idx, self.version, &self.columns[idx])
+    }
+
+    /// Evaluates a cheap predicate over `column` through its zone maps:
+    /// chunks whose bounds prove no row can match are skipped without any
+    /// per-row work. Returns matching row ids (ascending) and the skip
+    /// accounting.
+    pub fn scan(
+        &self,
+        column: &str,
+        pred: &ScanPredicate,
+    ) -> Result<(Vec<u32>, ScanStats), String> {
+        let idx = self
+            .schema
+            .index_of(column)
+            .ok_or_else(|| format!("no column named {column:?}"))?;
+        let stats = self.column_stats_at(idx);
+        scan_column(&self.columns[idx], &stats, pred)
     }
 }
 

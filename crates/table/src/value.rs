@@ -133,7 +133,11 @@ fn splitmix(mut z: u64) -> u64 {
 }
 
 /// Maps a float to bits that order identically to IEEE total order.
-fn total_order_bits(f: f64) -> u64 {
+///
+/// Shared with the grouping kernels in [`crate::kernels`], which key float
+/// dictionaries by these bits so distinct NaN payloads stay distinct groups
+/// exactly as [`Value::sort_key`] would order them.
+pub(crate) fn total_order_bits(f: f64) -> u64 {
     let bits = f.to_bits();
     if bits >> 63 == 0 {
         bits | (1 << 63)

@@ -2,8 +2,41 @@
 
 use expred_table::csv::{read_csv, write_csv};
 use expred_table::datasets::{all_specs, Dataset, DatasetSpec};
-use expred_table::{DataType, Field, Schema, Table, Value};
+use expred_table::{DataType, DerivedCache, Field, ScanPredicate, Schema, Table, Value};
 use proptest::prelude::*;
+
+/// A single nullable column of `values` as a table.
+fn one_column_table(name: &str, data_type: DataType, values: Vec<Value>) -> Table {
+    let schema = Schema::new(vec![Field::nullable(name, data_type)]);
+    Table::from_rows(schema, values.into_iter().map(|v| vec![v]).collect()).unwrap()
+}
+
+/// Structural grouping equality that treats NaN keys by their bit-level
+/// sort key (derived `PartialEq` on `Value::Float(NaN)` is always false,
+/// which would make NaN-keyed groupings incomparable).
+fn same_grouping(a: &expred_table::GroupBy, b: &expred_table::GroupBy) -> bool {
+    a.column() == b.column()
+        && a.num_rows() == b.num_rows()
+        && a.num_groups() == b.num_groups()
+        && (0..a.num_groups())
+            .all(|g| a.key(g).sort_key() == b.key(g).sort_key() && a.rows(g) == b.rows(g))
+}
+
+/// Decodes a small index into a float drawn from a set that stresses the
+/// grouping kernel's total-order contract: signed zeros, infinities, and
+/// two distinct NaN payloads.
+fn float_from_index(i: u8) -> f64 {
+    match i % 8 {
+        0 => 0.0,
+        1 => -0.0,
+        2 => 1.5,
+        3 => -3.25,
+        4 => f64::INFINITY,
+        5 => f64::NEG_INFINITY,
+        6 => f64::NAN,
+        _ => f64::from_bits(f64::NAN.to_bits() | 1), // distinct NaN payload
+    }
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
@@ -85,6 +118,114 @@ proptest! {
                 spec.size_sel_corr
             );
         }
+    }
+
+    #[test]
+    fn kernel_group_by_matches_reference_int(cells in prop::collection::vec((0u8..10, -5i64..5), 0..300)) {
+        // ~10% NULLs mixed into a small integer domain.
+        let values: Vec<Value> = cells
+            .iter()
+            .map(|&(null, v)| if null == 0 { Value::Null } else { Value::Int(v) })
+            .collect();
+        let t = one_column_table("g", DataType::Int, values);
+        prop_assert_eq!(t.group_by("g").unwrap(), t.group_by_reference("g").unwrap());
+    }
+
+    #[test]
+    fn kernel_group_by_matches_reference_float(cells in prop::collection::vec(0u8..9, 0..300)) {
+        // Index 8 is NULL; 0..8 covers zeros, infinities, and two NaN
+        // payloads (which the reference groups as *distinct* keys).
+        let values: Vec<Value> = cells
+            .iter()
+            .map(|&i| if i == 8 { Value::Null } else { Value::Float(float_from_index(i)) })
+            .collect();
+        let t = one_column_table("g", DataType::Float, values);
+        prop_assert!(same_grouping(
+            &t.group_by("g").unwrap(),
+            &t.group_by_reference("g").unwrap()
+        ));
+    }
+
+    #[test]
+    fn kernel_group_by_matches_reference_str(cells in prop::collection::vec("[a-c]{0,3}", 0..200)) {
+        let values: Vec<Value> = cells
+            .iter()
+            .map(|c| if c.is_empty() { Value::Null } else { Value::Str(c.clone()) })
+            .collect();
+        let t = one_column_table("g", DataType::Str, values);
+        prop_assert_eq!(t.group_by("g").unwrap(), t.group_by_reference("g").unwrap());
+    }
+
+    #[test]
+    fn kernel_group_by_matches_reference_bool(cells in prop::collection::vec(0u8..3, 0..200)) {
+        let values: Vec<Value> = cells
+            .iter()
+            .map(|&i| match i { 0 => Value::Null, 1 => Value::Bool(false), _ => Value::Bool(true) })
+            .collect();
+        let t = one_column_table("g", DataType::Bool, values);
+        prop_assert_eq!(t.group_by("g").unwrap(), t.group_by_reference("g").unwrap());
+    }
+
+    #[test]
+    fn zone_mapped_scan_matches_naive_filter(
+        cells in prop::collection::vec((0u8..12, -50i64..50), 0..300),
+        lo in -60i64..60,
+        width in 0i64..40,
+    ) {
+        let values: Vec<Value> = cells
+            .iter()
+            .map(|&(null, v)| if null == 0 { Value::Null } else { Value::Int(v) })
+            .collect();
+        let t = one_column_table("v", DataType::Int, values.clone());
+        let hi = lo + width;
+        let (rows, stats) = t.scan("v", &ScanPredicate::IntRange { lo, hi }).unwrap();
+        let naive: Vec<u32> = values
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| v.as_int().is_some_and(|x| x >= lo && x <= hi))
+            .map(|(r, _)| r as u32)
+            .collect();
+        prop_assert_eq!(rows, naive);
+        prop_assert!(stats.rows_tested <= t.num_rows());
+
+        let (null_rows, _) = t.scan("v", &ScanPredicate::IsNull).unwrap();
+        let naive_nulls: Vec<u32> = values
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| v.is_null())
+            .map(|(r, _)| r as u32)
+            .collect();
+        prop_assert_eq!(null_rows, naive_nulls);
+    }
+
+    #[test]
+    fn derived_cache_tracks_version_history(
+        base in prop::collection::vec(-3i64..3, 1..40),
+        extra_a in prop::collection::vec(-3i64..3, 1..10),
+        extra_b in prop::collection::vec(-3i64..3, 1..10),
+    ) {
+        // Two clones diverge by different push_row histories; a shared
+        // cache must serve each clone its own partition at every step and
+        // treat every version bump as a fresh entry.
+        let cache = DerivedCache::new();
+        let t = one_column_table("g", DataType::Int, base.iter().map(|&v| Value::Int(v)).collect());
+        let (mut a, mut b) = (t.clone(), t.clone());
+        let first = cache.group_by(&t, "g").unwrap();
+        prop_assert_eq!(first.as_ref(), &t.group_by_reference("g").unwrap());
+        for &v in &extra_a {
+            a.push_row(vec![Value::Int(v)]).unwrap();
+            let got = cache.group_by(&a, "g").unwrap();
+            prop_assert_eq!(got.as_ref(), &a.group_by_reference("g").unwrap());
+        }
+        for &v in &extra_b {
+            b.push_row(vec![Value::Int(v)]).unwrap();
+            let got = cache.group_by(&b, "g").unwrap();
+            prop_assert_eq!(got.as_ref(), &b.group_by_reference("g").unwrap());
+        }
+        // The base version's entry is still correct after both histories.
+        let again = cache.group_by(&t, "g").unwrap();
+        prop_assert_eq!(again.as_ref(), first.as_ref());
+        prop_assert!(cache.stats().hits >= 1);
     }
 
     #[test]

@@ -73,6 +73,7 @@ fn main() {
         &invoker,
         &labelled,
         10,
+        &expred::exec::ExecContext::sequential(),
     );
     println!("\nvirtual-column buckets (score-ordered):");
     for (g, _, rows) in groups.iter() {
