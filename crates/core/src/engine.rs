@@ -91,7 +91,10 @@ use crate::request::{InfeasiblePolicy, QueryRequest};
 use crate::result_memo::{ResultMemoStats, ShardedResultMemo};
 use crate::sampling::SampleSizeRule;
 use crate::strategy::StrategyIdentity;
-use expred_exec::{AdaptiveController, CacheStats, CacheStore, ExecContext, Executor, Sequential};
+use expred_exec::{
+    AdaptiveController, CacheStats, CacheStore, ExecContext, Executor, SelectivityTracker,
+    Sequential,
+};
 use expred_stats::hash::Fnv64;
 use expred_table::datasets::Dataset;
 use expred_table::{DerivedCache, DerivedCacheStats};
@@ -349,6 +352,11 @@ pub struct QueryEngine {
     /// Session memo of derived per-column artifacts (group partitions,
     /// encoding dictionaries), keyed by `(table id, version, column)`.
     derived: DerivedCache,
+    /// Observed per-`(udf, table version)` pass rates, fed by every fresh
+    /// audited evaluation and read by the expression optimizer
+    /// ([`crate::strategy::ExprScan::optimized`]). Statistics, not cached
+    /// answers: [`QueryEngine::clear_caches`] leaves them alone.
+    selectivity: SelectivityTracker,
 }
 
 // The `&self + Sync` contract is the point of the engine; if a field
@@ -377,6 +385,7 @@ impl QueryEngine {
             adaptive: AdaptiveController::new(),
             inflight: Mutex::new(HashMap::new()),
             derived: DerivedCache::new(),
+            selectivity: SelectivityTracker::new(),
         }
     }
 
@@ -426,7 +435,8 @@ impl QueryEngine {
         let ctx = ExecContext::new(self.executor.as_ref())
             .with_cache(&self.store)
             .with_adaptive(&self.adaptive)
-            .with_derived(&self.derived);
+            .with_derived(&self.derived)
+            .with_selectivity(&self.selectivity);
         match self.udf_latency {
             Some(latency) => ctx.with_udf_latency(latency),
             None => ctx,
@@ -437,6 +447,12 @@ impl QueryEngine {
     /// latency estimate and the window it would size today).
     pub fn adaptive(&self) -> &AdaptiveController {
         &self.adaptive
+    }
+
+    /// The session's observed per-leaf pass rates (diagnostics, and the
+    /// statistics behind [`crate::strategy::ExprScan::optimized`]).
+    pub fn selectivity(&self) -> &SelectivityTracker {
+        &self.selectivity
     }
 
     /// Serves one request — the engine's primary entry point. Callable
@@ -636,6 +652,11 @@ impl QueryEngine {
     /// staleness hazard to begin with: both tiers key by table version
     /// and full request identity, so the worst post-clear outcome is
     /// paying full price once more.
+    ///
+    /// The selectivity tracker is deliberately *not* cleared: it holds
+    /// statistics, not cached answers — dropping cached rows never
+    /// invalidates what was observed about the data, and a cleared-cache
+    /// session should keep planning with everything it has learned.
     pub fn clear_caches(&self) {
         self.store.clear();
         self.results.clear();

@@ -116,6 +116,17 @@ impl fmt::Display for EngineError {
 
 impl std::error::Error for EngineError {}
 
+/// A predicate-DSL parse failure is a bad expression: the serving tier
+/// parses `"predicate"` strings and `?` straight into the engine's error
+/// space (and from there to a 400, never a panic).
+impl From<expred_udf::ParseError> for EngineError {
+    fn from(e: expred_udf::ParseError) -> Self {
+        EngineError::BadExpression {
+            reason: e.to_string(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -148,5 +159,19 @@ mod tests {
     fn is_a_std_error() {
         fn takes_error(_: &dyn std::error::Error) {}
         takes_error(&EngineError::BadExpression { reason: "x".into() });
+    }
+
+    #[test]
+    fn parse_errors_convert_to_bad_expression() {
+        let parse_err = expred_udf::parse_predicate("a and", &expred_udf::OracleRegistry::new())
+            .expect_err("truncated predicate");
+        let engine_err: EngineError = parse_err.into();
+        match &engine_err {
+            EngineError::BadExpression { reason } => {
+                assert!(reason.contains("parse error"), "{reason}");
+                assert!(reason.contains("byte 5"), "{reason}");
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
     }
 }

@@ -175,6 +175,14 @@ impl QueryRequest {
         Self::new(ExprScan::new(expr, cost))
     }
 
+    /// [`QueryRequest::expr_scan`] with the session's selectivity-aware
+    /// optimizer enabled ([`crate::strategy::ExprScan::optimized`]):
+    /// identical answers, smaller bill once the session has observed the
+    /// leaves' pass rates.
+    pub fn expr_scan_optimized(expr: PredicateExpr, cost: CostModel) -> Self {
+        Self::new(ExprScan::optimized(expr, cost))
+    }
+
     /// Sets the random seed (identical requests differing only in seed
     /// are distinct memo identities).
     pub fn with_seed(mut self, seed: u64) -> Self {

@@ -629,17 +629,45 @@ impl Strategy for Multiple {
 pub struct ExprScan {
     expr: PredicateExpr,
     cost: CostModel,
+    /// Whether to run the selectivity-aware rewrite
+    /// ([`expred_udf::optimize_expr`]) before evaluating. Answers are
+    /// byte-identical either way; the flag still enters the strategy
+    /// fingerprint because the *bill* differs, and a memoized outcome
+    /// replays its bill.
+    optimize: bool,
 }
 
 impl ExprScan {
-    /// A full-table scan of `expr` billed under `cost`.
+    /// A full-table scan of `expr` billed under `cost`, evaluated with
+    /// static cost-ordered short-circuiting.
     pub fn new(expr: PredicateExpr, cost: CostModel) -> Self {
-        Self { expr, cost }
+        Self {
+            expr,
+            cost,
+            optimize: false,
+        }
+    }
+
+    /// A scan that first rewrites `expr` through the session's
+    /// selectivity-aware optimizer: shared conjuncts factor out and
+    /// `AND`/`OR` siblings reorder by observed pass rates. Same answers,
+    /// smaller bill once the session has observations.
+    pub fn optimized(expr: PredicateExpr, cost: CostModel) -> Self {
+        Self {
+            expr,
+            cost,
+            optimize: true,
+        }
     }
 
     /// The expression this scan evaluates.
     pub fn expr(&self) -> &PredicateExpr {
         &self.expr
+    }
+
+    /// Whether the selectivity-aware rewrite runs before evaluation.
+    pub fn is_optimized(&self) -> bool {
+        self.optimize
     }
 }
 
@@ -656,6 +684,7 @@ impl Strategy for ExprScan {
         fp.write_u64(self.expr.fingerprint().map_or(0, |id| id.as_u64()));
         fp.write_f64(self.cost.retrieve);
         fp.write_f64(self.cost.evaluate);
+        fp.write_u64(self.optimize as u64);
     }
 
     fn validate(&self, ds: &Dataset) -> Result<(), EngineError> {
@@ -690,7 +719,20 @@ impl Strategy for ExprScan {
         let tracker = CostTracker::new();
         let rows: Vec<usize> = (0..table.num_rows()).collect();
         tracker.add_retrievals(rows.len() as u64);
-        let answers = evaluate_expr_batch_ctx(&self.expr, table, &rows, &tracker, ctx);
+        let expr;
+        let expr = if self.optimize {
+            expr = expred_udf::optimize_expr(&self.expr, table, ctx.selectivity);
+            &expr
+        } else {
+            &self.expr
+        };
+        let answers = evaluate_expr_batch_ctx(expr, table, &rows, &tracker, ctx).map_err(|e| {
+            // Unreachable through the engine: validate() already rejected
+            // invalid costs. Kept as a typed error for direct callers.
+            EngineError::BadExpression {
+                reason: e.to_string(),
+            }
+        })?;
         let returned: Vec<u32> = rows
             .iter()
             .zip(&answers)

@@ -12,6 +12,7 @@
 use crate::adaptive::AdaptiveController;
 use crate::executor::{Executor, Sequential};
 use crate::planner::{BatchPlanner, DEFAULT_MAX_IN_FLIGHT};
+use crate::selectivity::SelectivityTracker;
 use crate::store::CacheStore;
 use expred_table::DerivedCache;
 use std::time::Duration;
@@ -49,6 +50,11 @@ pub struct ExecContext<'a> {
     /// keyed by `(table id, version, column)`, so pipelines may reuse
     /// them freely: outputs are byte-identical with or without it.
     pub derived: Option<&'a DerivedCache>,
+    /// The session's observed per-leaf pass rates, if this query runs
+    /// inside a session: audited invokers feed it with every fresh
+    /// answer, and the expression optimizer reads it to reorder
+    /// `AND`/`OR` siblings. Statistics only — it never changes answers.
+    pub selectivity: Option<&'a SelectivityTracker>,
 }
 
 impl<'a> ExecContext<'a> {
@@ -61,6 +67,7 @@ impl<'a> ExecContext<'a> {
             udf_latency: None,
             adaptive: None,
             derived: None,
+            selectivity: None,
         }
     }
 
@@ -103,6 +110,14 @@ impl<'a> ExecContext<'a> {
         self
     }
 
+    /// Attaches a session [`SelectivityTracker`]: audited invokers feed
+    /// observed pass rates into it, and the expression optimizer ranks
+    /// `AND`/`OR` siblings by them.
+    pub fn with_selectivity(mut self, tracker: &'a SelectivityTracker) -> Self {
+        self.selectivity = Some(tracker);
+        self
+    }
+
     /// A batch planner honoring this context's in-flight budget (and its
     /// adaptive controller, when one is attached).
     pub fn planner(&self) -> BatchPlanner {
@@ -122,6 +137,7 @@ impl std::fmt::Debug for ExecContext<'_> {
             .field("max_in_flight", &self.max_in_flight)
             .field("adaptive", &self.adaptive.is_some())
             .field("derived", &self.derived.is_some())
+            .field("selectivity", &self.selectivity.is_some())
             .finish()
     }
 }
@@ -143,13 +159,17 @@ mod tests {
     fn builders_compose() {
         let store = CacheStore::new();
         let derived = DerivedCache::new();
+        let selectivity = SelectivityTracker::new();
         let ctx = ExecContext::new(&Sequential)
             .with_cache(&store)
             .with_derived(&derived)
+            .with_selectivity(&selectivity)
             .with_max_in_flight(0);
         assert!(ctx.cache.is_some());
         assert!(ctx.derived.is_some());
+        assert!(ctx.selectivity.is_some());
         assert!(ExecContext::sequential().derived.is_none());
+        assert!(ExecContext::sequential().selectivity.is_none());
         assert_eq!(ctx.max_in_flight, 1, "budget clamps to >= 1");
         let copy = ctx; // Copy must hold: contexts are passed around freely.
         assert_eq!(copy.planner().max_in_flight(), 1);

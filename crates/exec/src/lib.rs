@@ -24,6 +24,9 @@
 //!   long-lived, capacity-bounded, `(udf, table, version)`-namespaced
 //!   cache that outlives individual queries; invokers borrow
 //!   [`CacheHandle`]s from it instead of owning their memo;
+//! * [`selectivity`] — [`SelectivityTracker`], the session's observed
+//!   per-namespace pass rates: invokers feed it with every fresh answer,
+//!   and the expression optimizer ranks `AND`/`OR` siblings by it;
 //! * [`context`] — [`ExecContext`], the single execution parameter
 //!   (backend + cache + batch budget) threaded through every pipeline;
 //! * [`planner`] — [`BatchPlanner`], which accumulates pending probes per
@@ -59,6 +62,7 @@ pub mod executor;
 pub mod parallel;
 pub mod planner;
 pub mod pool;
+pub mod selectivity;
 pub mod store;
 
 pub use adaptive::{AdaptiveController, DEFAULT_WINDOW_FLOOR};
@@ -68,6 +72,7 @@ pub use executor::{BatchProbe, Executor, Sequential};
 pub use parallel::Parallel;
 pub use planner::{BatchPlanner, GroupedAnswer, DEFAULT_MAX_IN_FLIGHT};
 pub use pool::WorkerPool;
+pub use selectivity::{SelectivityHandle, SelectivityTracker, DEFAULT_SELECTIVITY_CAPACITY};
 pub use store::{
     CacheHandle, CacheNamespace, CacheStats, CacheStore, DEFAULT_CACHE_CAPACITY, MAX_LIVE_VERSIONS,
 };

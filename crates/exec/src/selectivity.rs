@@ -1,0 +1,235 @@
+//! [`SelectivityTracker`]: observed per-leaf pass rates for a session.
+//!
+//! The expression optimizer reorders `AND`/`OR` siblings by each leaf's
+//! *observed* selectivity — the fraction of fresh evaluations that
+//! returned `true` — instead of declared costs alone. Those observations
+//! come for free: the audited invoker already knows every fresh answer it
+//! computes, so it feeds them here, keyed by the same
+//! [`CacheNamespace`] `(udf fingerprint, table id, table version)` the
+//! row cache uses. A new table version starts cold on purpose: pass
+//! rates of a mutated table are a different distribution.
+//!
+//! Unlike the row cache, the tracker holds *statistics*, not reusable
+//! answers — a session keeps them across [`clear_caches`]-style resets
+//! (dropping a cache never invalidates what was observed). The map is
+//! still bounded: namespaces evict in deterministic FIFO insertion order
+//! once `capacity` is exceeded, so version churn cannot grow it without
+//! bound, and eviction order never depends on thread timing.
+//!
+//! [`clear_caches`]: crate::store::CacheStore::clear
+
+use crate::store::CacheNamespace;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Default bound on tracked namespaces.
+pub const DEFAULT_SELECTIVITY_CAPACITY: usize = 65_536;
+
+/// Pass/total counters for one `(udf, table, version)` namespace.
+#[derive(Debug, Default)]
+struct LeafStats {
+    passes: AtomicU64,
+    total: AtomicU64,
+}
+
+/// A borrowed view of one namespace's counters: resolve it once per
+/// invoker (one tracker lock), then record lock-free per batch.
+#[derive(Debug, Clone)]
+pub struct SelectivityHandle {
+    stats: Arc<LeafStats>,
+}
+
+impl SelectivityHandle {
+    /// Records one observed answer.
+    pub fn record(&self, passed: bool) {
+        self.record_many(passed as u64, 1);
+    }
+
+    /// Records a batch: `passes` of `total` observed answers were `true`.
+    pub fn record_many(&self, passes: u64, total: u64) {
+        if total == 0 {
+            return;
+        }
+        debug_assert!(passes <= total, "passes {passes} > total {total}");
+        self.stats.passes.fetch_add(passes, Ordering::Relaxed);
+        self.stats.total.fetch_add(total, Ordering::Relaxed);
+    }
+
+    /// Observed pass rate in `[0, 1]`, or `None` before any observation.
+    pub fn pass_rate(&self) -> Option<f64> {
+        let total = self.stats.total.load(Ordering::Relaxed);
+        (total > 0).then(|| self.stats.passes.load(Ordering::Relaxed) as f64 / total as f64)
+    }
+
+    /// How many answers have been observed.
+    pub fn observations(&self) -> u64 {
+        self.stats.total.load(Ordering::Relaxed)
+    }
+}
+
+/// FIFO-bounded map of [`CacheNamespace`] → observed pass/total counters.
+///
+/// Thread-safe: `handle` takes one short lock; recording through a
+/// [`SelectivityHandle`] is atomic and lock-free. A handle stays valid
+/// after its namespace evicts (it owns the counters) — the eviction only
+/// stops *new* lookups from seeing the history.
+#[derive(Debug)]
+pub struct SelectivityTracker {
+    inner: Mutex<TrackerInner>,
+    capacity: usize,
+}
+
+#[derive(Debug, Default)]
+struct TrackerInner {
+    stats: HashMap<CacheNamespace, Arc<LeafStats>>,
+    /// Namespaces in insertion order — the deterministic eviction queue.
+    order: VecDeque<CacheNamespace>,
+}
+
+impl SelectivityTracker {
+    /// A tracker bounded at [`DEFAULT_SELECTIVITY_CAPACITY`] namespaces.
+    pub fn new() -> Self {
+        Self::with_capacity(DEFAULT_SELECTIVITY_CAPACITY)
+    }
+
+    /// A tracker bounded at `capacity` namespaces (at least 1).
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            inner: Mutex::new(TrackerInner::default()),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// The counters for `ns`, creating them (and possibly evicting the
+    /// oldest namespace) if absent.
+    pub fn handle(&self, ns: CacheNamespace) -> SelectivityHandle {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(stats) = inner.stats.get(&ns) {
+            return SelectivityHandle {
+                stats: Arc::clone(stats),
+            };
+        }
+        while inner.order.len() >= self.capacity {
+            if let Some(oldest) = inner.order.pop_front() {
+                inner.stats.remove(&oldest);
+            }
+        }
+        let stats = Arc::new(LeafStats::default());
+        inner.stats.insert(ns, Arc::clone(&stats));
+        inner.order.push_back(ns);
+        SelectivityHandle { stats }
+    }
+
+    /// Observed pass rate for `ns`, or `None` if the namespace is
+    /// untracked or has no observations yet.
+    pub fn pass_rate(&self, ns: CacheNamespace) -> Option<f64> {
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let stats = inner.stats.get(&ns)?;
+        let total = stats.total.load(Ordering::Relaxed);
+        (total > 0).then(|| stats.passes.load(Ordering::Relaxed) as f64 / total as f64)
+    }
+
+    /// Number of tracked namespaces.
+    pub fn len(&self) -> usize {
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .stats
+            .len()
+    }
+
+    /// Whether nothing has been tracked yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Default for SelectivityTracker {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ns(udf: u64) -> CacheNamespace {
+        CacheNamespace {
+            udf,
+            table: 1,
+            version: 0,
+        }
+    }
+
+    #[test]
+    fn records_and_reports_pass_rates() {
+        let tracker = SelectivityTracker::new();
+        assert_eq!(tracker.pass_rate(ns(1)), None, "unseen namespace");
+        let handle = tracker.handle(ns(1));
+        assert_eq!(handle.pass_rate(), None, "no observations yet");
+        assert_eq!(tracker.pass_rate(ns(1)), None);
+        handle.record(true);
+        handle.record(false);
+        handle.record(true);
+        handle.record(true);
+        assert_eq!(handle.pass_rate(), Some(0.75));
+        assert_eq!(tracker.pass_rate(ns(1)), Some(0.75));
+        assert_eq!(handle.observations(), 4);
+        handle.record_many(0, 4);
+        assert_eq!(tracker.pass_rate(ns(1)), Some(0.375));
+        handle.record_many(3, 0);
+        assert_eq!(handle.observations(), 8, "zero-total batches are no-ops");
+    }
+
+    #[test]
+    fn namespaces_are_independent_and_version_scoped() {
+        let tracker = SelectivityTracker::new();
+        tracker.handle(ns(1)).record_many(9, 10);
+        tracker.handle(ns(2)).record_many(1, 10);
+        let bumped = CacheNamespace {
+            version: 1,
+            ..ns(1)
+        };
+        assert_eq!(tracker.pass_rate(ns(1)), Some(0.9));
+        assert_eq!(tracker.pass_rate(ns(2)), Some(0.1));
+        assert_eq!(tracker.pass_rate(bumped), None, "new version starts cold");
+    }
+
+    #[test]
+    fn eviction_is_fifo_and_deterministic() {
+        let tracker = SelectivityTracker::with_capacity(2);
+        let a = tracker.handle(ns(1));
+        a.record(true);
+        tracker.handle(ns(2)).record(false);
+        tracker.handle(ns(3)).record(true); // evicts ns(1): oldest first
+        assert_eq!(tracker.len(), 2);
+        assert_eq!(tracker.pass_rate(ns(1)), None, "ns 1 was evicted");
+        assert_eq!(tracker.pass_rate(ns(2)), Some(0.0));
+        assert_eq!(tracker.pass_rate(ns(3)), Some(1.0));
+        // The detached handle still works: its counters are owned.
+        a.record(true);
+        assert_eq!(a.pass_rate(), Some(1.0));
+        // Re-tracking ns(1) starts from scratch (the history evicted).
+        assert_eq!(tracker.handle(ns(1)).pass_rate(), None);
+    }
+
+    #[test]
+    fn concurrent_recording_is_exact() {
+        let tracker = SelectivityTracker::new();
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let tracker = &tracker;
+                scope.spawn(move || {
+                    let handle = tracker.handle(ns(7));
+                    for i in 0..1000u64 {
+                        handle.record(i % 4 == 0);
+                    }
+                });
+            }
+        });
+        assert_eq!(tracker.pass_rate(ns(7)), Some(0.25));
+        assert_eq!(tracker.handle(ns(7)).observations(), 8000);
+    }
+}

@@ -157,6 +157,13 @@ pub struct ApiQuery {
 /// * `"iterative"` — `predictor` (required), `corr`, `sample_fraction`,
 ///   `rounds` (default 2).
 /// * `"multiple"` — `imputations` (default 5).
+/// * `"expr"` — `predicate` (required): a pypred-style boolean string
+///   over the table's boolean columns, e.g.
+///   `"udf_label and (vip or not flagged)"` (`not` binds tighter than
+///   `and`, which binds tighter than `or`); `optimize` (default `true`)
+///   runs the session's selectivity-aware rewrite before evaluating —
+///   identical answers either way, smaller bill once the session has
+///   observations. Parse failures are 400 `bad_expression`.
 ///
 /// Work-multiplier fields are admission-controlled here, not just in
 /// the engine: `imputations` ≤ [`MAX_IMPUTATIONS`], `rounds` ≤
@@ -290,6 +297,8 @@ struct QueryFields<'a> {
     corr: CorrelationModel,
     imputations: usize,
     rounds: usize,
+    predicate: Option<String>,
+    optimize: bool,
 }
 
 fn parse_query(value: &JsonValue) -> Result<QueryRequest, ApiError> {
@@ -308,6 +317,8 @@ fn parse_query(value: &JsonValue) -> Result<QueryRequest, ApiError> {
         corr: CorrelationModel::Independent,
         imputations: 5,
         rounds: 2,
+        predicate: None,
+        optimize: true,
     };
     let number = |field: &JsonValue, name: &str| {
         field
@@ -374,6 +385,19 @@ fn parse_query(value: &JsonValue) -> Result<QueryRequest, ApiError> {
             }
             "imputations" => f.imputations = bounded(field, "imputations", MAX_IMPUTATIONS)?,
             "rounds" => f.rounds = bounded(field, "rounds", MAX_ROUNDS)?,
+            "predicate" => {
+                f.predicate = Some(
+                    field
+                        .as_str()
+                        .ok_or_else(|| ApiError::bad_request("\"predicate\" must be a string"))?
+                        .to_owned(),
+                )
+            }
+            "optimize" => {
+                f.optimize = field
+                    .as_bool()
+                    .ok_or_else(|| ApiError::bad_request("\"optimize\" must be a boolean"))?
+            }
             other => {
                 return Err(ApiError::bad_request(format!(
                     "unknown query field {other:?}"
@@ -416,10 +440,26 @@ fn parse_query(value: &JsonValue) -> Result<QueryRequest, ApiError> {
                 predictor,
             }))
         }
+        "expr" => {
+            let predicate = f.predicate.ok_or_else(|| {
+                ApiError::bad_request("query kind \"expr\" requires \"predicate\"")
+            })?;
+            // Every identifier resolves to an oracle leaf over the column
+            // of that name; a column the table lacks is caught by strategy
+            // validation (404 unknown_column), a malformed string here
+            // (400 bad_expression).
+            let expr = expred_udf::parse_predicate(&predicate, &expred_udf::OracleRegistry::new())
+                .map_err(|e| ApiError::from(EngineError::from(e)))?;
+            Ok(if f.optimize {
+                QueryRequest::expr_scan_optimized(expr, f.cost)
+            } else {
+                QueryRequest::expr_scan(expr, f.cost)
+            })
+        }
         "" => Err(ApiError::bad_request("missing \"query.kind\"")),
         other => Err(ApiError::bad_request(format!(
             "unknown query kind {other:?} (available: naive, intel_sample, optimal, \
-             adaptive, iterative, learning, multiple)"
+             adaptive, iterative, learning, multiple, expr)"
         ))),
     }
 }
@@ -550,6 +590,67 @@ mod tests {
             let q = parse(&body).unwrap_or_else(|e| panic!("kind {kind}: {e:?}"));
             assert_eq!(q.request.strategy().name(), kind);
         }
+    }
+
+    #[test]
+    fn expr_kind_parses_predicates() {
+        let q = parse(
+            r#"{"table": {"spec": "prosper", "rows": 100},
+                "query": {"kind": "expr", "predicate": "udf_label and (vip or not flagged)"}}"#,
+        )
+        .expect("parses");
+        assert_eq!(q.request.strategy().name(), "expr_scan");
+        // The default submits through the optimizer; "optimize": false
+        // must produce a *distinct* request identity (different bill).
+        let raw = parse(
+            r#"{"table": {"spec": "prosper", "rows": 100},
+                "query": {"kind": "expr", "predicate": "udf_label", "optimize": false}}"#,
+        )
+        .unwrap();
+        let opt = parse(
+            r#"{"table": {"spec": "prosper", "rows": 100},
+                "query": {"kind": "expr", "predicate": "udf_label"}}"#,
+        )
+        .unwrap();
+        assert_eq!(raw.request.strategy().name(), "expr_scan");
+        let identity = |q: &ApiQuery| {
+            expred_core::strategy::StrategyIdentity::of(q.request.strategy()).digest64()
+        };
+        assert_ne!(
+            identity(&raw),
+            identity(&opt),
+            "optimize flag must enter the request identity"
+        );
+    }
+
+    #[test]
+    fn bad_predicates_are_400_bad_expression() {
+        for (predicate, needle) in [
+            ("udf_label and (oops", "unexpected end"),
+            ("a and and b", "unexpected token"),
+            ("a & b", "unexpected character"),
+            (")", "unmatched"),
+            ("", "empty predicate"),
+        ] {
+            let body = format!(
+                r#"{{"table": {{"spec": "prosper", "rows": 10}},
+                     "query": {{"kind": "expr", "predicate": "{predicate}"}}}}"#
+            );
+            let err = parse(&body).expect_err(predicate);
+            assert_eq!(err.status, 400, "{predicate}");
+            assert_eq!(err.kind, "bad_expression", "{predicate}");
+            assert!(err.detail.contains(needle), "{predicate}: {}", err.detail);
+        }
+        let missing =
+            parse(r#"{"table": {"spec": "prosper", "rows": 10}, "query": {"kind": "expr"}}"#)
+                .expect_err("predicate required");
+        assert!(missing.detail.contains("requires \"predicate\""));
+        let wrong_type = parse(
+            r#"{"table": {"spec": "prosper", "rows": 10},
+                "query": {"kind": "expr", "predicate": "udf_label", "optimize": 1}}"#,
+        )
+        .expect_err("optimize must be a bool");
+        assert!(wrong_type.detail.contains("\"optimize\" must be a boolean"));
     }
 
     #[test]

@@ -449,3 +449,65 @@ fn tenant_header_overrides_body_tenant() {
         .collect();
     assert_eq!(names, ["from-header"]);
 }
+
+#[test]
+fn predicate_strings_match_direct_submit_byte_identically() {
+    let handle = serve("127.0.0.1:0", small_config()).unwrap();
+    let mut client = HttpClient::connect(handle.local_addr()).unwrap();
+    let mut mirror = Mirror::new();
+
+    let tenant = "dsl-tenant";
+    let key = TableKey {
+        spec: "prosper".into(),
+        rows: 400,
+        seed: 11,
+    };
+    let table = "\"table\":{\"spec\":\"prosper\",\"rows\":400,\"seed\":11}";
+    let predicate = "udf_label and (udf_label or not udf_label)";
+    let registry = expred_udf::OracleRegistry::new();
+    let parsed = || expred_udf::parse_predicate(predicate, &registry).expect("valid predicate");
+
+    // Optimized (the default), twice: the repeat must answer from the
+    // result memo on both sides and still render identically.
+    let body = format!(
+        "{{\"tenant\":\"{tenant}\",{table},\"seed\":3,\
+         \"query\":{{\"kind\":\"expr\",\"predicate\":\"{predicate}\"}}}}"
+    );
+    let request =
+        QueryRequest::expr_scan_optimized(parsed(), CostModel::PAPER_DEFAULT).with_seed(3);
+    for round in 0..2 {
+        let response = client.post("/query", &body).unwrap();
+        assert_eq!(response.status, 200, "round {round}");
+        let expected = mirror.submit(tenant, &key, &request);
+        assert_eq!(
+            response.body_text(),
+            expected,
+            "round {round}: HTTP predicate body must be byte-identical to direct submit"
+        );
+    }
+
+    // `"optimize": false` routes to the static-order strategy — a
+    // distinct memo identity, still byte-identical to the direct path.
+    let body = format!(
+        "{{\"tenant\":\"{tenant}\",{table},\"seed\":3,\
+         \"query\":{{\"kind\":\"expr\",\"predicate\":\"{predicate}\",\"optimize\":false}}}}"
+    );
+    let response = client.post("/query", &body).unwrap();
+    assert_eq!(response.status, 200);
+    let request = QueryRequest::expr_scan(parsed(), CostModel::PAPER_DEFAULT).with_seed(3);
+    let expected = mirror.submit(tenant, &key, &request);
+    assert_eq!(response.body_text(), expected);
+
+    // A malformed predicate is absorbed at the door: 400 bad_expression
+    // with the parser's byte position, no engine touch, no panic.
+    let r = client
+        .post(
+            "/query",
+            &format!("{{{table},\"query\":{{\"kind\":\"expr\",\"predicate\":\"udf_label and\"}}}}"),
+        )
+        .unwrap();
+    assert_eq!(r.status, 400);
+    let text = r.body_text();
+    assert!(text.contains("\"error\":\"bad_expression\""), "{text}");
+    assert!(text.contains("byte 13"), "{text}");
+}

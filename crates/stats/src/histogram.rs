@@ -16,12 +16,20 @@
 /// buckets may result (matching how equal-sized bucketing behaves on
 /// discrete score distributions).
 ///
+/// NaN scores (a degenerate classifier can emit them) never panic: they
+/// are excluded from boundary estimation, and [`assign_buckets`] routes
+/// them deterministically to the last bucket. All-NaN scores produce no
+/// cut points (one bucket).
+///
 /// Panics if `buckets == 0` or `scores` is empty.
 pub fn equi_depth_boundaries(scores: &[f64], buckets: usize) -> Vec<f64> {
     assert!(buckets > 0, "need at least one bucket");
     assert!(!scores.is_empty(), "cannot bucketize an empty score set");
-    let mut sorted = scores.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN score"));
+    let mut sorted: Vec<f64> = scores.iter().copied().filter(|s| !s.is_nan()).collect();
+    sorted.sort_by(f64::total_cmp);
+    if sorted.is_empty() {
+        return Vec::new();
+    }
     let n = sorted.len();
     let mut cuts = Vec::with_capacity(buckets.saturating_sub(1));
     for i in 1..buckets {
@@ -40,11 +48,16 @@ pub fn equi_depth_boundaries(scores: &[f64], buckets: usize) -> Vec<f64> {
 /// (as produced by [`equi_depth_boundaries`]).
 ///
 /// Scores below the first boundary get bucket 0; scores ≥ the last boundary
-/// get the final bucket.
+/// get the final bucket. NaN scores go to the final bucket too — a fixed,
+/// deterministic home ("no usable score" sorts with "highest"), never a
+/// panic or an unspecified comparison.
 pub fn assign_buckets(scores: &[f64], boundaries: &[f64]) -> Vec<usize> {
     scores
         .iter()
         .map(|&s| {
+            if s.is_nan() {
+                return boundaries.len();
+            }
             // partition_point gives the count of boundaries <= s, which is
             // exactly the bucket index for half-open intervals.
             boundaries.partition_point(|&b| b <= s)
@@ -111,6 +124,31 @@ mod tests {
         for w in pairs.windows(2) {
             assert!(w[0].1 <= w[1].1, "bucket ids must be monotone in score");
         }
+    }
+
+    #[test]
+    fn nan_scores_never_panic_and_land_in_the_last_bucket() {
+        // Regression: a degenerate classifier emitting NaN scores used to
+        // kill the whole query via `.expect("NaN score")` in the sort.
+        let scores = [0.1, f64::NAN, 0.9, 0.4, f64::NAN, 0.6];
+        let bounds = equi_depth_boundaries(&scores, 2);
+        // Boundaries come from the finite scores only.
+        assert_eq!(bounds, vec![0.6]);
+        let ids = assign_buckets(&scores, &bounds);
+        assert_eq!(ids, vec![0, 1, 1, 0, 1, 1], "NaN goes to the last bucket");
+        // NaN placement is deterministic regardless of input order.
+        let flipped = [f64::NAN, 0.9, 0.1, 0.6, f64::NAN, 0.4];
+        assert_eq!(equi_depth_boundaries(&flipped, 2), bounds);
+        assert_eq!(assign_buckets(&[f64::NAN], &bounds), vec![1]);
+    }
+
+    #[test]
+    fn all_nan_scores_form_one_bucket() {
+        let scores = [f64::NAN, f64::NAN, f64::NAN];
+        let bounds = equi_depth_boundaries(&scores, 4);
+        assert!(bounds.is_empty(), "no finite scores, no cut points");
+        assert_eq!(assign_buckets(&scores, &bounds), vec![0, 0, 0]);
+        assert_eq!(bucketize(&scores, 4), vec![0, 0, 0]);
     }
 
     #[test]

@@ -153,6 +153,37 @@ proptest! {
     }
 
     #[test]
+    fn bucketize_tolerates_nan_scores(
+        xs in prop::collection::vec(0.0f64..1.0, 1..200),
+        nan_every in 1usize..6,
+        k in 1usize..12,
+    ) {
+        // Poison a deterministic subset of scores with NaN: bucketing
+        // must neither panic nor send NaN anywhere but the last bucket,
+        // and the finite scores must bucket exactly as they do alone.
+        let poisoned: Vec<f64> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| if i % nan_every == 0 { f64::NAN } else { x })
+            .collect();
+        let bounds = equi_depth_boundaries(&poisoned, k);
+        let finite: Vec<f64> = poisoned.iter().copied().filter(|s| !s.is_nan()).collect();
+        if !finite.is_empty() {
+            prop_assert_eq!(&bounds, &equi_depth_boundaries(&finite, k));
+        } else {
+            prop_assert!(bounds.is_empty());
+        }
+        let ids = assign_buckets(&poisoned, &bounds);
+        prop_assert_eq!(ids.len(), poisoned.len());
+        for (score, id) in poisoned.iter().zip(&ids) {
+            prop_assert!(*id < k);
+            if score.is_nan() {
+                prop_assert_eq!(*id, bounds.len(), "NaN belongs to the last bucket");
+            }
+        }
+    }
+
+    #[test]
     fn selectivity_estimate_absorb_matches_fresh(p1 in 0u64..100, n1x in 0u64..100, p2 in 0u64..100, n2x in 0u64..100) {
         let (n1, n2) = (p1 + n1x, p2 + n2x);
         let mut e = SelectivityEstimate::from_sample(p1, n1);

@@ -34,12 +34,21 @@
 //!   exactly like the column-store disjunction evaluation strategy.
 //!   Answers are independent of the order (the predicates are
 //!   deterministic); only the bill changes.
+//!
+//! Expressions also round-trip through the predicate DSL
+//! ([`crate::parse_predicate`]): a parsed expression remembers its leaf
+//! names and [`PredicateExpr::render`]s back to an equivalent string.
+//! The session optimizer ([`crate::optimize_expr`]) rewrites a tree into
+//! an answer-equivalent one whose sibling order is *pinned* — the staged
+//! evaluator then honors that order instead of re-sorting by declared
+//! cost.
 
 use crate::cost::CostTracker;
 use crate::invoker::UdfInvoker;
 use crate::udf::{BooleanUdf, UdfId};
 use expred_exec::{ExecContext, Executor};
 use expred_table::Table;
+use std::collections::HashSet;
 use std::sync::Arc;
 
 /// Short alias so expressions read as predicates:
@@ -49,18 +58,46 @@ pub type Pred = PredicateExpr;
 /// Default per-evaluation cost of a leaf, when none is declared.
 pub const DEFAULT_LEAF_COST: f64 = 1.0;
 
+/// The batch entry points reject an expression whose declared leaf costs
+/// are malformed (NaN, infinite, or negative) — such a cost cannot order
+/// short-circuit stages, and before this check a NaN cost silently fed a
+/// non-total comparator into the stage sort.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvalidCostsError;
+
+impl std::fmt::Display for InvalidCostsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "every leaf evaluation cost must be finite and >= 0")
+    }
+}
+
+impl std::error::Error for InvalidCostsError {}
+
 /// A boolean expression over expensive UDF predicates — see the module
 /// docs. Opaque on purpose: the only way to build one is through the
-/// combinators, which maintain the tree invariants (`AND`/`OR` nodes
-/// always have at least one child).
+/// combinators (or the DSL parser), which maintain the tree invariants
+/// (`AND`/`OR` nodes always have at least one child).
 #[derive(Clone)]
 pub struct PredicateExpr {
-    node: Node,
+    pub(crate) node: Node,
+    /// Whether the stored sibling order is authoritative (set by the
+    /// optimizer): the staged evaluator then runs children in stored
+    /// order instead of re-sorting by declared cost. Never part of the
+    /// fingerprint — order cannot change answers. Combinators reset it:
+    /// composing onto an optimized tree yields a new, unoptimized one.
+    pub(crate) pinned: bool,
 }
 
 #[derive(Clone)]
-enum Node {
-    Leaf { udf: Arc<dyn BooleanUdf>, cost: f64 },
+pub(crate) enum Node {
+    Leaf {
+        udf: Arc<dyn BooleanUdf>,
+        cost: f64,
+        /// The DSL name this leaf was parsed from, if any — what
+        /// [`PredicateExpr::render`] prints. Excluded from the
+        /// fingerprint: identity is the UDF's, not its spelling.
+        name: Option<Arc<str>>,
+    },
     Not(Box<Node>),
     And(Vec<Node>),
     Or(Vec<Node>),
@@ -83,8 +120,33 @@ impl PredicateExpr {
     /// A leaf over an already-shared UDF.
     pub fn shared_with_cost(udf: Arc<dyn BooleanUdf>, cost: f64) -> Self {
         Self {
-            node: Node::Leaf { udf, cost },
+            node: Node::Leaf {
+                udf,
+                cost,
+                name: None,
+            },
+            pinned: false,
         }
+    }
+
+    /// Wraps `node` in an unpinned expression (crate-internal: the
+    /// parser and optimizer build trees directly).
+    pub(crate) fn from_node(node: Node) -> Self {
+        Self {
+            node,
+            pinned: false,
+        }
+    }
+
+    /// Names this expression's root leaf (crate-internal: the parser
+    /// tags resolved leaves with their DSL spelling). Non-leaf roots are
+    /// left unchanged — a registry that expands a name into a compound
+    /// expression has no single leaf to name.
+    pub(crate) fn with_leaf_name(mut self, leaf_name: &str) -> Self {
+        if let Node::Leaf { name, .. } = &mut self.node {
+            *name = Some(Arc::from(leaf_name));
+        }
+        self
     }
 
     /// `self AND other` (flattens nested conjunctions).
@@ -97,9 +159,7 @@ impl PredicateExpr {
             Node::And(mut more) => parts.append(&mut more),
             node => parts.push(node),
         }
-        Self {
-            node: Node::And(parts),
-        }
+        Self::from_node(Node::And(parts))
     }
 
     /// `self OR other` (flattens nested disjunctions).
@@ -112,9 +172,7 @@ impl PredicateExpr {
             Node::Or(mut more) => parts.append(&mut more),
             node => parts.push(node),
         }
-        Self {
-            node: Node::Or(parts),
-        }
+        Self::from_node(Node::Or(parts))
     }
 
     /// `NOT self` (double negation cancels). Also available as the `!`
@@ -156,13 +214,21 @@ impl PredicateExpr {
         walk(&self.node)
     }
 
+    /// Whether the sibling order was pinned by the optimizer
+    /// ([`crate::optimize_expr`]): pinned trees evaluate children in
+    /// stored order; unpinned trees re-sort by declared cost.
+    pub fn is_pinned(&self) -> bool {
+        self.pinned
+    }
+
     /// The derived identity of the whole expression, or `None` if any
     /// leaf UDF opted out of identity ([`BooleanUdf::fingerprint`]).
     ///
     /// Sibling order is significant (as for [`crate::ConjunctionUdf`]):
     /// `a.and(b)` and `b.and(a)` answer identically but carry distinct
     /// ids — the id never claims an equivalence it cannot prove. Leaf
-    /// costs are excluded: ordering cannot change answers.
+    /// costs, DSL names, and the pinned flag are excluded: ordering and
+    /// spelling cannot change answers.
     pub fn fingerprint(&self) -> Option<UdfId> {
         fn walk(node: &Node) -> Option<UdfId> {
             match node {
@@ -186,6 +252,73 @@ impl PredicateExpr {
         }
         walk(&self.node)
     }
+
+    /// Renders the expression back to predicate-DSL text
+    /// ([`crate::parse_predicate`] accepts the result), or `None` if any
+    /// leaf has no DSL name (only parsed leaves carry one).
+    ///
+    /// Parentheses are minimal under the grammar's precedence
+    /// (`not` > `and` > `or`), so
+    /// `parse(expr.render()?)` rebuilds a tree with the same
+    /// [`PredicateExpr::fingerprint`] and the same answers.
+    pub fn render(&self) -> Option<String> {
+        // Precedence levels: Or = 0, And = 1, Not = 2, Leaf = 3. A child
+        // needs parentheses when it binds no tighter than its parent.
+        fn level(node: &Node) -> u8 {
+            match node {
+                Node::Or(_) => 0,
+                Node::And(_) => 1,
+                Node::Not(_) => 2,
+                Node::Leaf { .. } => 3,
+            }
+        }
+        fn child(node: &Node, min_level: u8, out: &mut String) -> Option<()> {
+            if level(node) < min_level {
+                out.push('(');
+                walk(node, out)?;
+                out.push(')');
+                Some(())
+            } else {
+                walk(node, out)
+            }
+        }
+        fn walk(node: &Node, out: &mut String) -> Option<()> {
+            match node {
+                Node::Leaf { name, .. } => {
+                    out.push_str(name.as_deref()?);
+                    Some(())
+                }
+                Node::Not(inner) => {
+                    out.push_str("not ");
+                    child(inner, 2, out)
+                }
+                // A nested same-op child still gets parentheses (min
+                // level one above its own), keeping re-parsing faithful
+                // even for trees the optimizer built unflattened.
+                Node::And(parts) => {
+                    for (i, part) in parts.iter().enumerate() {
+                        if i > 0 {
+                            out.push_str(" and ");
+                        }
+                        child(part, 2, out)?;
+                    }
+                    Some(())
+                }
+                Node::Or(parts) => {
+                    for (i, part) in parts.iter().enumerate() {
+                        if i > 0 {
+                            out.push_str(" or ");
+                        }
+                        child(part, 1, out)?;
+                    }
+                    Some(())
+                }
+            }
+        }
+        let mut out = String::new();
+        walk(&self.node, &mut out)?;
+        Some(out)
+    }
 }
 
 /// `NOT expr` (double negation cancels). `std::ops::Not` is in the
@@ -194,12 +327,10 @@ impl std::ops::Not for PredicateExpr {
     type Output = PredicateExpr;
 
     fn not(self) -> PredicateExpr {
-        Self {
-            node: match self.node {
-                Node::Not(inner) => *inner,
-                node => Node::Not(Box::new(node)),
-            },
-        }
+        Self::from_node(match self.node {
+            Node::Not(inner) => *inner,
+            node => Node::Not(Box::new(node)),
+        })
     }
 }
 
@@ -212,14 +343,22 @@ fn node_cost(node: &Node) -> f64 {
 }
 
 /// Child evaluation order: cheapest subtree first, original order on
-/// ties (stable sort), so evaluation is deterministic.
-fn cost_order(parts: &[Node]) -> Vec<usize> {
+/// ties (stable sort), so evaluation is deterministic. The sort key is
+/// total (`f64::total_cmp`, non-finite costs clamped to `+inf`): a NaN
+/// leaf cost must never feed a non-total comparator into the sort —
+/// validated entry points reject it, and any other path degrades to
+/// "last", not to unspecified (or panicking) behavior.
+pub(crate) fn cost_order(parts: &[Node]) -> Vec<usize> {
+    let key = |node: &Node| {
+        let cost = node_cost(node);
+        if cost.is_finite() {
+            cost
+        } else {
+            f64::INFINITY
+        }
+    };
     let mut order: Vec<usize> = (0..parts.len()).collect();
-    order.sort_by(|&a, &b| {
-        node_cost(&parts[a])
-            .partial_cmp(&node_cost(&parts[b]))
-            .unwrap_or(std::cmp::Ordering::Equal)
-    });
+    order.sort_by(|&a, &b| key(&parts[a]).total_cmp(&key(&parts[b])));
     order
 }
 
@@ -250,16 +389,26 @@ impl BooleanUdf for PredicateExpr {
         PredicateExpr::fingerprint(self)
     }
 
+    /// Columns any leaf declares, deduplicated in first-seen order — an
+    /// expression whose leaves share a column must not report (or make a
+    /// validator re-check) that column once per leaf.
     fn required_columns(&self) -> Vec<String> {
-        fn walk(node: &Node, out: &mut Vec<String>) {
+        fn walk(node: &Node, out: &mut Vec<String>, seen: &mut HashSet<String>) {
             match node {
-                Node::Leaf { udf, .. } => out.extend(udf.required_columns()),
-                Node::Not(inner) => walk(inner, out),
-                Node::And(parts) | Node::Or(parts) => parts.iter().for_each(|p| walk(p, out)),
+                Node::Leaf { udf, .. } => {
+                    for column in udf.required_columns() {
+                        if seen.insert(column.clone()) {
+                            out.push(column);
+                        }
+                    }
+                }
+                Node::Not(inner) => walk(inner, out, seen),
+                Node::And(parts) | Node::Or(parts) => parts.iter().for_each(|p| walk(p, out, seen)),
             }
         }
         let mut out = Vec::new();
-        walk(&self.node, &mut out);
+        let mut seen = HashSet::new();
+        walk(&self.node, &mut out, &mut seen);
         out
     }
 }
@@ -268,7 +417,10 @@ impl std::fmt::Debug for PredicateExpr {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         fn walk(node: &Node, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
             match node {
-                Node::Leaf { udf, cost } => write!(f, "{}@{cost}", udf.name()),
+                Node::Leaf { udf, cost, name } => match name {
+                    Some(name) => write!(f, "{name}@{cost}"),
+                    None => write!(f, "{}@{cost}", udf.name()),
+                },
                 Node::Not(inner) => {
                     write!(f, "not(")?;
                     walk(inner, f)?;
@@ -291,16 +443,25 @@ impl std::fmt::Debug for PredicateExpr {
                 }
             }
         }
-        walk(&self.node, f)
+        walk(&self.node, f)?;
+        if self.pinned {
+            write!(f, " [pinned]")?;
+        }
+        Ok(())
     }
 }
 
 /// Evaluates `expr` over `rows` in staged, audited batches: every leaf
 /// gets its own [`UdfInvoker`] charging to `tracker` (and borrowing the
 /// context's session cache, when present); inside each `AND`/`OR`,
-/// children run cheapest-first over the surviving/undecided rows only.
-/// Answers come back in input order and are identical across executor
-/// backends and orderings.
+/// children run cheapest-first over the surviving/undecided rows only —
+/// or in stored order when the optimizer pinned it
+/// ([`PredicateExpr::is_pinned`]). Answers come back in input order and
+/// are identical across executor backends and orderings.
+///
+/// Errors with [`InvalidCostsError`] if any declared leaf cost is NaN,
+/// infinite, or negative (such a cost cannot order stages) — the same
+/// rejection the engine's `ExprScan` validation performs.
 ///
 /// Retrieval is *not* charged here — the caller decided to touch the
 /// rows; each leaf invocation is charged one evaluation (or arrives as a
@@ -311,8 +472,18 @@ pub fn evaluate_expr_batch_ctx(
     rows: &[usize],
     tracker: &CostTracker,
     ctx: &ExecContext<'_>,
-) -> Vec<bool> {
-    eval_node(&expr.node, table, rows, tracker, ctx)
+) -> Result<Vec<bool>, InvalidCostsError> {
+    if !expr.costs_valid() {
+        return Err(InvalidCostsError);
+    }
+    Ok(eval_node(
+        &expr.node,
+        expr.pinned,
+        table,
+        rows,
+        tracker,
+        ctx,
+    ))
 }
 
 /// [`evaluate_expr_batch_ctx`] on a bare executor (no session cache).
@@ -322,36 +493,47 @@ pub fn evaluate_expr_batch(
     rows: &[usize],
     tracker: &CostTracker,
     executor: &dyn Executor,
-) -> Vec<bool> {
+) -> Result<Vec<bool>, InvalidCostsError> {
     evaluate_expr_batch_ctx(expr, table, rows, tracker, &ExecContext::new(executor))
 }
 
 fn eval_node(
     node: &Node,
+    pinned: bool,
     table: &Table,
     rows: &[usize],
     tracker: &CostTracker,
     ctx: &ExecContext<'_>,
 ) -> Vec<bool> {
+    // Pinned trees honor the optimizer's stored sibling order; unpinned
+    // trees sort cheapest-first. Either way the order is deterministic
+    // and cannot change answers.
+    let stage_order = |parts: &[Node]| -> Vec<usize> {
+        if pinned {
+            (0..parts.len()).collect()
+        } else {
+            cost_order(parts)
+        }
+    };
     match node {
         Node::Leaf { udf, .. } => {
             let invoker =
                 UdfInvoker::with_tracker_and_context(udf.as_ref(), table, tracker.clone(), ctx);
             invoker.evaluate_batch(ctx.executor, rows)
         }
-        Node::Not(inner) => eval_node(inner, table, rows, tracker, ctx)
+        Node::Not(inner) => eval_node(inner, pinned, table, rows, tracker, ctx)
             .into_iter()
             .map(|v| !v)
             .collect(),
         Node::And(parts) => {
             // Positions (into `rows`) still alive after the stages so far.
             let mut alive: Vec<usize> = (0..rows.len()).collect();
-            for part in cost_order(parts) {
+            for part in stage_order(parts) {
                 if alive.is_empty() {
                     break;
                 }
                 let batch: Vec<usize> = alive.iter().map(|&pos| rows[pos]).collect();
-                let verdicts = eval_node(&parts[part], table, &batch, tracker, ctx);
+                let verdicts = eval_node(&parts[part], pinned, table, &batch, tracker, ctx);
                 alive = alive
                     .into_iter()
                     .zip(verdicts)
@@ -369,12 +551,12 @@ fn eval_node(
             // Positions not yet accepted by any earlier (cheaper) child.
             let mut undecided: Vec<usize> = (0..rows.len()).collect();
             let mut answers = vec![false; rows.len()];
-            for part in cost_order(parts) {
+            for part in stage_order(parts) {
                 if undecided.is_empty() {
                     break;
                 }
                 let batch: Vec<usize> = undecided.iter().map(|&pos| rows[pos]).collect();
-                let verdicts = eval_node(&parts[part], table, &batch, tracker, ctx);
+                let verdicts = eval_node(&parts[part], pinned, table, &batch, tracker, ctx);
                 let mut rest = Vec::with_capacity(undecided.len());
                 for (pos, passed) in undecided.into_iter().zip(verdicts) {
                     if passed {
@@ -429,7 +611,8 @@ mod tests {
             (leaf("a").or(leaf("b")).not(), Box::new(|x, y| !(x || y))),
         ];
         for (expr, want) in cases {
-            let got = evaluate_expr_batch(&expr, &t, &rows, &tracker, &expred_exec::Sequential);
+            let got = evaluate_expr_batch(&expr, &t, &rows, &tracker, &expred_exec::Sequential)
+                .expect("valid costs");
             let expect: Vec<bool> = a.iter().zip(&b).map(|(&x, &y)| want(x, y)).collect();
             assert_eq!(got, expect, "{expr:?}");
             // Per-row evaluation (the BooleanUdf view) agrees.
@@ -454,7 +637,8 @@ mod tests {
                 .and(Pred::udf_with_cost(OracleUdf::new("pricey"), 10.0)),
         ] {
             let tracker = CostTracker::new();
-            let answers = evaluate_expr_batch(&expr, &t, &rows, &tracker, &expred_exec::Sequential);
+            let answers = evaluate_expr_batch(&expr, &t, &rows, &tracker, &expred_exec::Sequential)
+                .expect("valid costs");
             let want: Vec<bool> = cheap_vals
                 .iter()
                 .zip(&pricey_vals)
@@ -475,10 +659,67 @@ mod tests {
         let expr = Pred::udf_with_cost(OracleUdf::new("pricey"), 10.0)
             .or(Pred::udf_with_cost(OracleUdf::new("cheap"), 1.0));
         let tracker = CostTracker::new();
-        let answers = evaluate_expr_batch(&expr, &t, &rows, &tracker, &expred_exec::Sequential);
+        let answers = evaluate_expr_batch(&expr, &t, &rows, &tracker, &expred_exec::Sequential)
+            .expect("valid costs");
         assert_eq!(answers, vec![true, true, true, false]);
         // 4 cheap probes; only the 2 cheap-rejected rows reach pricey.
         assert_eq!(tracker.snapshot().evaluated, 4 + 2);
+    }
+
+    #[test]
+    fn nan_cost_is_rejected_not_missorted() {
+        // Regression: a NaN leaf cost used to feed a non-total comparator
+        // into the stage sort (unspecified order; newer std sorts may
+        // panic). The batch entry points now reject it up front…
+        let vals = [true, false];
+        let t = table(&[("a", &vals), ("b", &vals)]);
+        let rows: Vec<usize> = (0..2).collect();
+        let nan = Pred::udf_with_cost(OracleUdf::new("a"), f64::NAN).and(leaf("b"));
+        let tracker = CostTracker::new();
+        let err = evaluate_expr_batch(&nan, &t, &rows, &tracker, &expred_exec::Sequential)
+            .expect_err("NaN cost must be rejected");
+        assert_eq!(err, InvalidCostsError);
+        assert_eq!(tracker.snapshot().evaluated, 0, "no money was spent");
+        assert!(err.to_string().contains("finite"));
+        // …and the sort itself is total: non-finite costs order last,
+        // deterministically, instead of panicking or shuffling.
+        let parts = vec![
+            Node::Leaf {
+                udf: Arc::new(OracleUdf::new("a")),
+                cost: f64::NAN,
+                name: None,
+            },
+            Node::Leaf {
+                udf: Arc::new(OracleUdf::new("b")),
+                cost: 2.0,
+                name: None,
+            },
+            Node::Leaf {
+                udf: Arc::new(OracleUdf::new("a")),
+                cost: f64::INFINITY,
+                name: None,
+            },
+            Node::Leaf {
+                udf: Arc::new(OracleUdf::new("b")),
+                cost: 1.0,
+                name: None,
+            },
+        ];
+        assert_eq!(
+            cost_order(&parts),
+            vec![3, 1, 0, 2],
+            "finite ascending, then non-finite in original order"
+        );
+    }
+
+    #[test]
+    fn required_columns_deduplicate_in_first_seen_order() {
+        // Regression: leaves sharing a column used to report it once per
+        // leaf, so validators re-checked (and re-reported) duplicates.
+        let expr = leaf("b").and(leaf("a")).and(leaf("b").not().or(leaf("c")));
+        assert_eq!(BooleanUdf::required_columns(&expr), vec!["b", "a", "c"]);
+        let single = leaf("x").and(leaf("x"));
+        assert_eq!(BooleanUdf::required_columns(&single), vec!["x"]);
     }
 
     #[test]
@@ -522,11 +763,26 @@ mod tests {
         assert_eq!(e.leaf_count(), 4);
         assert_eq!(e.cost(), 4.0);
         assert!(e.costs_valid());
+        assert!(!e.is_pinned());
         assert!(!Pred::udf_with_cost(OracleUdf::new("a"), f64::NAN).costs_valid());
         assert!(!Pred::udf_with_cost(OracleUdf::new("a"), -1.0).costs_valid());
         let debug = format!("{e:?}");
         assert!(debug.starts_with("and("), "{debug}");
         assert!(debug.contains("or("), "{debug}");
+    }
+
+    #[test]
+    fn render_requires_names_and_round_trips_structure() {
+        // Combinator-built leaves carry no DSL name: nothing to render.
+        assert_eq!(leaf("a").and(leaf("b")).render(), None);
+        // Named leaves render with minimal parentheses.
+        let named = |n: &str| leaf(n).with_leaf_name(n);
+        let e = named("a")
+            .and(named("b").or(named("c")).not())
+            .or(named("d"));
+        assert_eq!(e.render().as_deref(), Some("a and not (b or c) or d"));
+        let flat = named("a").and(named("b")).and(named("c"));
+        assert_eq!(flat.render().as_deref(), Some("a and b and c"));
     }
 
     #[test]
@@ -539,14 +795,16 @@ mod tests {
         let ctx = expred_exec::ExecContext::sequential().with_cache(&store);
 
         let first = CostTracker::new();
-        evaluate_expr_batch_ctx(&leaf("a").and(leaf("b")), &t, &rows, &first, &ctx);
+        evaluate_expr_batch_ctx(&leaf("a").and(leaf("b")), &t, &rows, &first, &ctx)
+            .expect("valid costs");
         assert_eq!(first.snapshot().reuse_hits, 0, "cold session");
 
         // A *different* expression over the same leaves: every leaf probe
         // the conjunction already paid for arrives as reuse.
         let second = CostTracker::new();
         let answers =
-            evaluate_expr_batch_ctx(&leaf("b").or(leaf("a").not()), &t, &rows, &second, &ctx);
+            evaluate_expr_batch_ctx(&leaf("b").or(leaf("a").not()), &t, &rows, &second, &ctx)
+                .expect("valid costs");
         let want: Vec<bool> = a.iter().zip(&b).map(|(&x, &y)| y || !x).collect();
         assert_eq!(answers, want);
         let counts = second.snapshot();
@@ -566,7 +824,8 @@ mod tests {
         let rows: Vec<usize> = (0..n).rev().collect();
         let expr = leaf("a").and(leaf("b").or(leaf("c").not())).or(leaf("c"));
         let seq_tracker = CostTracker::new();
-        let want = evaluate_expr_batch(&expr, &t, &rows, &seq_tracker, &expred_exec::Sequential);
+        let want = evaluate_expr_batch(&expr, &t, &rows, &seq_tracker, &expred_exec::Sequential)
+            .expect("valid costs");
         let par_tracker = CostTracker::new();
         let got = evaluate_expr_batch(
             &expr,
@@ -574,7 +833,8 @@ mod tests {
             &rows,
             &par_tracker,
             &expred_exec::Parallel::with_threads(4),
-        );
+        )
+        .expect("valid costs");
         assert_eq!(want, got);
         assert_eq!(seq_tracker.snapshot(), par_tracker.snapshot());
     }

@@ -14,7 +14,9 @@
 
 use crate::cost::{CostCounts, CostModel, CostTracker};
 use crate::udf::BooleanUdf;
-use expred_exec::{CacheHandle, CacheNamespace, ExecContext, Executor, ShardedMemo};
+use expred_exec::{
+    CacheHandle, CacheNamespace, ExecContext, Executor, SelectivityHandle, ShardedMemo,
+};
 use expred_table::Table;
 use std::collections::{HashMap, HashSet};
 
@@ -67,6 +69,10 @@ pub struct UdfInvoker<'a> {
     tracker: CostTracker,
     memo: ShardedMemo<bool>,
     shared: Option<CacheHandle>,
+    /// The session's selectivity counters for this namespace, fed with
+    /// every *fresh* answer (memo/reuse hits were observed when first
+    /// computed). Statistics only — never read on the answer path.
+    selectivity: Option<SelectivityHandle>,
 }
 
 impl<'a> UdfInvoker<'a> {
@@ -84,6 +90,7 @@ impl<'a> UdfInvoker<'a> {
             tracker,
             memo: ShardedMemo::new(),
             shared: None,
+            selectivity: None,
         }
     }
 
@@ -101,15 +108,19 @@ impl<'a> UdfInvoker<'a> {
         tracker: CostTracker,
         ctx: &ExecContext<'_>,
     ) -> Self {
-        let shared = ctx
-            .cache
-            .and_then(|store| cache_namespace(udf, table).map(|ns| store.handle(ns)));
+        let ns = cache_namespace(udf, table);
+        let shared = ctx.cache.zip(ns).map(|(store, ns)| store.handle(ns));
+        let selectivity = ctx
+            .selectivity
+            .zip(ns)
+            .map(|(tracker, ns)| tracker.handle(ns));
         Self {
             udf,
             table,
             tracker,
             memo: ShardedMemo::new(),
             shared,
+            selectivity,
         }
     }
 
@@ -160,6 +171,9 @@ impl<'a> UdfInvoker<'a> {
         }
         let answer = self.udf.evaluate(self.table, row);
         self.tracker.add_evaluation();
+        if let Some(sel) = &self.selectivity {
+            sel.record(answer);
+        }
         self.commit(row, answer);
         answer
     }
@@ -240,6 +254,10 @@ impl<'a> UdfInvoker<'a> {
             let probe = |row: usize| self.udf.evaluate(self.table, row);
             let fresh_answers = executor.evaluate_batch(&probe, &fresh);
             self.tracker.add_evaluations(fresh.len() as u64);
+            if let Some(sel) = &self.selectivity {
+                let passes = fresh_answers.iter().filter(|&&a| a).count() as u64;
+                sel.record_many(passes, fresh.len() as u64);
+            }
             for (&row, &answer) in fresh.iter().zip(&fresh_answers) {
                 self.commit(row, answer);
             }
@@ -583,6 +601,39 @@ mod tests {
                 });
             }
         });
+    }
+
+    #[test]
+    fn selectivity_observes_fresh_evaluations_only() {
+        let t = table_with_labels(&[true, true, true, false]);
+        let udf = OracleUdf::new("good");
+        let store = expred_exec::CacheStore::new();
+        let sel = expred_exec::SelectivityTracker::new();
+        let ns = cache_namespace(&udf, &t).expect("oracle has identity");
+        let ctx = expred_exec::ExecContext::sequential()
+            .with_cache(&store)
+            .with_selectivity(&sel);
+
+        let q1 = UdfInvoker::with_context(&udf, &t, &ctx);
+        q1.evaluate_batch(&expred_exec::Sequential, &[0, 1, 2, 3]);
+        assert_eq!(sel.pass_rate(ns), Some(0.75));
+
+        // A second query reuses every answer: nothing fresh, nothing
+        // recorded — reuse would double-count the same rows.
+        let q2 = UdfInvoker::with_context(&udf, &t, &ctx);
+        q2.evaluate_batch(&expred_exec::Sequential, &[0, 1, 2, 3]);
+        assert_eq!(q2.counts().evaluated, 0);
+        assert_eq!(sel.handle(ns).observations(), 4);
+        assert_eq!(sel.pass_rate(ns), Some(0.75));
+
+        // The per-row path records fresh answers too.
+        let sel2 = expred_exec::SelectivityTracker::new();
+        let ctx2 = expred_exec::ExecContext::sequential().with_selectivity(&sel2);
+        let inv = UdfInvoker::with_context(&udf, &t, &ctx2);
+        inv.evaluate(3);
+        inv.evaluate(3); // memo hit: not re-observed
+        assert_eq!(sel2.pass_rate(ns), Some(0.0));
+        assert_eq!(sel2.handle(ns).observations(), 1);
     }
 
     #[test]

@@ -20,13 +20,28 @@
 //!   expressions over UDFs with derived cache identities, evaluated in
 //!   staged batches with cost-ordered short-circuiting through the
 //!   session cache ([`evaluate_expr_batch_ctx`]).
+//! * [`parse`] — the predicate DSL ([`parse_predicate`]): pypred-style
+//!   strings (`"a and (b or not c)"`) resolved to expressions through a
+//!   caller-supplied [`UdfRegistry`], with typed positioned errors.
+//! * [`optimize`] — [`optimize_expr`], the selectivity-aware rewrite
+//!   pass: normalize/dedup, Kim-style factoring of shared conjuncts, and
+//!   sibling reordering by observed pass rates
+//!   ([`expred_exec::SelectivityTracker`]). Answers are byte-identical;
+//!   only the bill drops.
 
 pub mod cost;
 pub mod expr;
 pub mod invoker;
+pub mod optimize;
+pub mod parse;
 pub mod udf;
 
 pub use cost::{CostCounts, CostModel, CostTracker};
-pub use expr::{evaluate_expr_batch, evaluate_expr_batch_ctx, Pred, PredicateExpr};
+pub use expr::{
+    evaluate_expr_batch, evaluate_expr_batch_ctx, InvalidCostsError, Pred, PredicateExpr,
+    DEFAULT_LEAF_COST,
+};
 pub use invoker::{cache_namespace, UdfInvoker};
+pub use optimize::optimize_expr;
+pub use parse::{parse_predicate, OracleRegistry, ParseError, ParseErrorKind, UdfRegistry};
 pub use udf::{BooleanUdf, ConjunctionUdf, NoisyUdf, OracleUdf, SlowUdf, UdfId};

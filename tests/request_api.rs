@@ -271,6 +271,66 @@ fn expr_scan_runs_through_the_session_cache() {
 }
 
 #[test]
+fn optimized_expr_scan_matches_static_and_learns_across_cache_clears() {
+    let ds = dataset(2_000, 7);
+    let engine = QueryEngine::new();
+    let cost = CostModel::PAPER_DEFAULT;
+    // Equal declared costs, wildly different pass rates: `common` accepts
+    // a small-flip majority (~80%+), `rare` is a triple conjunction
+    // (~10%). Written common-first, the static stage order is pessimal.
+    let common = || {
+        Pred::udf(expred::udf::NoisyUdf::new(
+            OracleUdf::new(LABEL_COLUMN),
+            0.9,
+            13,
+        ))
+    };
+    let rare = || {
+        Pred::udf(expred::udf::ConjunctionUdf::new(vec![
+            Box::new(OracleUdf::new(LABEL_COLUMN)),
+            Box::new(expred::udf::NoisyUdf::new(
+                OracleUdf::new(LABEL_COLUMN),
+                0.5,
+                11,
+            )),
+            Box::new(expred::udf::NoisyUdf::new(
+                OracleUdf::new(LABEL_COLUMN),
+                0.5,
+                12,
+            )),
+        ]))
+    };
+    let expr = || common().and(rare());
+
+    // Static submit: pays the written order and, as a side effect, feeds
+    // the session's selectivity tracker both leaves' pass rates.
+    let fixed = engine
+        .submit(&ds, &QueryRequest::expr_scan(expr(), cost))
+        .unwrap();
+    // Optimized submit: identical rows, distinct memo identity (no hit).
+    let optimized = engine
+        .submit(&ds, &QueryRequest::expr_scan_optimized(expr(), cost))
+        .unwrap();
+    assert_eq!(optimized.returned, fixed.returned, "answers must not move");
+    assert_eq!(engine.stats().result_hits, 0, "distinct request identities");
+
+    // Drop every cached answer; the selectivity statistics survive by
+    // design, so the re-run pays fresh evaluations in the learned order.
+    engine.clear_caches();
+    let relearned = engine
+        .submit(&ds, &QueryRequest::expr_scan_optimized(expr(), cost))
+        .unwrap();
+    assert_eq!(relearned.returned, fixed.returned);
+    assert!(
+        relearned.counts.evaluated < fixed.counts.evaluated,
+        "rare-first ordering must bill fewer fresh evaluations \
+         (learned {} vs static {})",
+        relearned.counts.evaluated,
+        fixed.counts.evaluated
+    );
+}
+
+#[test]
 fn submit_memoizes_and_dedups_like_run() {
     // The cold-race waiter table works for submit-built requests.
     use std::time::Duration;
