@@ -1,0 +1,227 @@
+//! Remote-UDF backend benchmark: wire tax, hedged tail-cutting, and
+//! retry goodput under injected faults, against the bundled UDF server.
+//!
+//! ```text
+//! cargo bench --bench remote_bench            # full run
+//! cargo bench --bench remote_bench -- --smoke # CI proof (same
+//!                                             # scenarios, smaller and
+//!                                             # with perf assertions
+//!                                             # relaxed)
+//! ```
+//!
+//! Three scenarios (→ `BENCH_remote.json`):
+//!
+//! * `healthy_wire` — sequential probes against a fault-free in-process
+//!   [`UdfServer`] vs the same oracle read out of local memory. The
+//!   `remote` row's `speedup_vs_baseline` is the full
+//!   connect+frame+syscall tax (far below 1.0 by design — this row
+//!   prices the wire, it does not race it).
+//! * `tail_stalls` — 2% of responses stall for the configured tail
+//!   delay. An unhedged client eats every stall in its p99; a hedged
+//!   client fires a speculative duplicate after a short fixed delay and
+//!   takes whichever answer lands first. The headline is
+//!   `unhedged_p99 / hedged_p99`.
+//! * `drop_storm` — 20% of responses are silently dropped, so the
+//!   client's deadline+retry loop carries the workload. The artifact
+//!   rows are goodput and the retries-per-request ratio; correctness
+//!   (every answer equals the oracle) is asserted, not measured.
+//!
+//! Value semantics per row: `ns_per_probe` holds per-probe nanoseconds
+//! for latency rows, probes/sec for `probes_per_sec`, and a plain ratio
+//! for `retries_per_request`.
+
+use expred_bench::BenchReport;
+use expred_remote::{ClientConfig, FaultPlan, HedgeConfig, RemoteClient, UdfServer};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// SplitMix64 — the same generator the server binary uses for labels.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn make_oracle(rows: usize, seed: u64, selectivity: f64) -> Arc<Vec<bool>> {
+    let mut state = seed;
+    let threshold = (selectivity * u64::MAX as f64) as u64;
+    Arc::new(
+        (0..rows)
+            .map(|_| splitmix64(&mut state) <= threshold)
+            .collect(),
+    )
+}
+
+fn serve_oracle(labels: &Arc<Vec<bool>>, plan: FaultPlan) -> UdfServer {
+    let mut oracles = HashMap::new();
+    oracles.insert("default".to_owned(), Arc::clone(labels));
+    UdfServer::bind("127.0.0.1:0", oracles, plan).expect("bind udf server")
+}
+
+/// Probes `rows` sequentially, asserts every answer against the oracle,
+/// and returns per-probe latencies.
+fn probe_all(client: &RemoteClient, labels: &[bool], rows: usize) -> Vec<Duration> {
+    let mut latencies = Vec::with_capacity(rows);
+    for (row, &expected) in labels.iter().enumerate().take(rows) {
+        let sent = Instant::now();
+        let answer = client.probe("default", row as u64).expect("probe");
+        latencies.push(sent.elapsed());
+        assert_eq!(answer, expected, "row {row} diverged from the oracle");
+    }
+    latencies
+}
+
+fn quantile_ns(latencies: &mut [Duration], q: f64) -> f64 {
+    latencies.sort_unstable();
+    let idx = ((latencies.len() as f64 * q).ceil() as usize).clamp(1, latencies.len()) - 1;
+    latencies[idx].as_nanos() as f64
+}
+
+fn main() {
+    if std::env::args().any(|a| a == "--test") {
+        return;
+    }
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let mut report = BenchReport::new("remote");
+    println!(
+        "remote_bench ({} mode)",
+        if smoke { "smoke" } else { "full" }
+    );
+
+    let rows = if smoke { 400 } else { 2_000 };
+    let labels = make_oracle(rows, 42, 0.4);
+
+    // -- healthy_wire ----------------------------------------------------
+    let server = serve_oracle(&labels, FaultPlan::healthy());
+    let client = RemoteClient::new(ClientConfig::new(server.addr().to_string()));
+    let mut wire = probe_all(&client, &labels, rows);
+    let remote_ns = wire.iter().map(|d| d.as_nanos() as f64).sum::<f64>() / rows as f64;
+    let start = Instant::now();
+    let mut local_hits = 0usize;
+    for row in 0..rows {
+        local_hits += usize::from(labels[row]);
+    }
+    let local_ns = (start.elapsed().as_nanos() as f64 / rows as f64).max(1.0);
+    assert!(
+        local_hits > 0 && local_hits < rows,
+        "oracle is non-degenerate"
+    );
+    let wire_p99 = quantile_ns(&mut wire, 0.99);
+    report.record("healthy_wire", "local_memory", local_ns, 1.0);
+    report.record("healthy_wire", "remote", remote_ns, local_ns / remote_ns);
+    report.record("healthy_wire", "remote_p99_ns", wire_p99, 1.0);
+    println!(
+        "healthy_wire: {rows} probes | local {local_ns:>8.1} ns | remote {remote_ns:>9.0} ns | \
+         p99 {:.1}us",
+        wire_p99 / 1e3
+    );
+    drop(server);
+
+    // -- tail_stalls -----------------------------------------------------
+    // 2% of responses stall (1% would leave the stall mass entirely
+    // above the p99 rank). The hedged client uses a fixed hedge delay
+    // (min_samples = MAX pins it to initial_delay) well under the stall,
+    // so a stalled primary is overtaken by its healthy duplicate.
+    let tail_delay = Duration::from_millis(if smoke { 40 } else { 100 });
+    let hedge_delay = Duration::from_millis(5);
+    let stall_plan = FaultPlan {
+        seed: 7,
+        tail_probability: 0.02,
+        tail_delay,
+        ..FaultPlan::healthy()
+    };
+    let server = serve_oracle(&labels, stall_plan);
+    let endpoint = server.addr().to_string();
+
+    let unhedged = RemoteClient::new(ClientConfig {
+        hedge: None,
+        attempt_timeout: tail_delay * 4,
+        ..ClientConfig::new(endpoint.clone())
+    });
+    let mut unhedged_lat = probe_all(&unhedged, &labels, rows);
+
+    let hedged = RemoteClient::new(ClientConfig {
+        hedge: Some(HedgeConfig {
+            initial_delay: hedge_delay,
+            min_samples: usize::MAX,
+        }),
+        attempt_timeout: tail_delay * 4,
+        ..ClientConfig::new(endpoint)
+    });
+    let mut hedged_lat = probe_all(&hedged, &labels, rows);
+    let hedged_stats = hedged.stats();
+
+    let unhedged_p99 = quantile_ns(&mut unhedged_lat, 0.99);
+    let hedged_p99 = quantile_ns(&mut hedged_lat, 0.99);
+    report.record("tail_stalls", "unhedged_p99_ns", unhedged_p99, 1.0);
+    report.record(
+        "tail_stalls",
+        "hedged_p99_ns",
+        hedged_p99,
+        unhedged_p99 / hedged_p99,
+    );
+    report.record(
+        "tail_stalls",
+        "hedge_wins",
+        hedged_stats.hedge_wins as f64,
+        1.0,
+    );
+    println!(
+        "tail_stalls: {rows} probes, 2% x {tail_delay:?} | unhedged p99 {:.2}ms | \
+         hedged p99 {:.2}ms ({:.1}x) | {} hedges, {} wins",
+        unhedged_p99 / 1e6,
+        hedged_p99 / 1e6,
+        unhedged_p99 / hedged_p99,
+        hedged_stats.hedges,
+        hedged_stats.hedge_wins,
+    );
+    assert!(
+        hedged_stats.hedge_wins > 0,
+        "some stalled primaries must lose to their hedge"
+    );
+    assert!(
+        smoke || hedged_p99 < unhedged_p99,
+        "hedging must cut the stall-dominated p99: {hedged_p99:.0} vs {unhedged_p99:.0} ns"
+    );
+    drop(server);
+
+    // -- drop_storm ------------------------------------------------------
+    // 20% of responses vanish; every probe still answers correctly via
+    // deadline + retry, and the extra attempts are ledgered, not billed.
+    let storm_rows = rows / 4;
+    let storm_plan = FaultPlan {
+        seed: 11,
+        drop_probability: 0.20,
+        ..FaultPlan::healthy()
+    };
+    let server = serve_oracle(&labels, storm_plan);
+    let storm = RemoteClient::new(ClientConfig {
+        attempt_timeout: Duration::from_millis(60),
+        max_retries: 12,
+        hedge: None,
+        ..ClientConfig::new(server.addr().to_string())
+    });
+    let start = Instant::now();
+    probe_all(&storm, &labels, storm_rows);
+    let storm_wall = start.elapsed();
+    let storm_stats = storm.stats();
+    let goodput = storm_rows as f64 / storm_wall.as_secs_f64();
+    let retry_ratio = storm_stats.retries as f64 / storm_stats.requests as f64;
+    report.record("drop_storm", "probes_per_sec", goodput, 1.0);
+    report.record("drop_storm", "retries_per_request", retry_ratio, 1.0);
+    println!(
+        "drop_storm: {storm_rows} probes, 20% drops | {goodput:.0} probes/s | \
+         {:.2} retries/request",
+        retry_ratio
+    );
+    assert!(
+        storm_stats.retries > 0,
+        "a 20% drop rate must force at least one retry"
+    );
+
+    let path = report.write().expect("write artifact");
+    println!("wrote {}", path.display());
+}

@@ -15,6 +15,10 @@
 //! * [`pool`] — the [`WorkerPool`] backend: persistent work-stealing
 //!   workers with an atomic chunk cursor (no per-batch thread spawns, no
 //!   straggler-bound chunking) and a latency-aware inline fast path;
+//! * [`window`] — the [`InFlightWindow`] backend: a bounded window of
+//!   concurrently outstanding probes with out-of-order completion,
+//!   built for blocking-RPC probes (remote UDF backends) where the
+//!   window is connection-pool math, not core-count math;
 //! * [`adaptive`] — [`AdaptiveController`], the shared per-probe latency
 //!   EWMA that sizes planner drain slices between a floor and the
 //!   context's `max_in_flight`;
@@ -64,6 +68,7 @@ pub mod planner;
 pub mod pool;
 pub mod selectivity;
 pub mod store;
+pub mod window;
 
 pub use adaptive::{AdaptiveController, DEFAULT_WINDOW_FLOOR};
 pub use cache::ShardedMemo;
@@ -76,3 +81,4 @@ pub use selectivity::{SelectivityHandle, SelectivityTracker, DEFAULT_SELECTIVITY
 pub use store::{
     CacheHandle, CacheNamespace, CacheStats, CacheStore, DEFAULT_CACHE_CAPACITY, MAX_LIVE_VERSIONS,
 };
+pub use window::{InFlightWindow, DEFAULT_WINDOW};

@@ -1,0 +1,169 @@
+//! `expred-udf-server`: a standalone remote UDF oracle server.
+//!
+//! Serves one named oracle (`default`) whose labels are generated
+//! deterministically from `--rows`/`--seed`/`--selectivity`, over the
+//! length-prefixed protocol in `expred_remote::proto`, with every
+//! fault-injection knob exposed as a flag — the process the remote
+//! client's benches and manual experiments point at.
+//!
+//! ```text
+//! expred-udf-server --addr 127.0.0.1:9099 --rows 100000 --seed 42 \
+//!     --selectivity 0.25 --base-delay-ms 1 --tail-prob 0.01 \
+//!     --tail-delay-ms 100 --drop-prob 0.001
+//! ```
+
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
+
+use expred_remote::{FaultPlan, OracleMap, UdfServer};
+
+struct Options {
+    addr: String,
+    rows: usize,
+    seed: u64,
+    selectivity: f64,
+    plan: FaultPlan,
+}
+
+fn usage() -> String {
+    "usage: expred-udf-server [--addr HOST:PORT] [--rows N] [--seed N] \
+     [--selectivity P] [--base-delay-ms N] [--ramp-us N] [--tail-prob P] \
+     [--tail-delay-ms N] [--drop-prob P] [--corrupt-prob P] \
+     [--disconnect-prob P] [--blackout]"
+        .to_string()
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut options = Options {
+        addr: "127.0.0.1:9099".to_string(),
+        rows: 10_000,
+        seed: 42,
+        selectivity: 0.25,
+        plan: FaultPlan::healthy(),
+    };
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        if flag == "--help" || flag == "-h" {
+            return Err(usage());
+        }
+        if flag == "--blackout" {
+            options.plan.blackout = true;
+            i += 1;
+            continue;
+        }
+        let value = args
+            .get(i + 1)
+            .ok_or_else(|| format!("{flag} needs a value\n{}", usage()))?;
+        let bad = |detail: &str| format!("invalid {flag} {value:?}: {detail}");
+        match flag {
+            "--addr" => options.addr = value.clone(),
+            "--rows" => options.rows = value.parse().map_err(|_| bad("not a count"))?,
+            "--seed" => options.seed = value.parse().map_err(|_| bad("not a u64"))?,
+            "--selectivity" => {
+                options.selectivity = value.parse().map_err(|_| bad("not a probability"))?
+            }
+            "--base-delay-ms" => {
+                options.plan.base_delay =
+                    Duration::from_millis(value.parse().map_err(|_| bad("not a count"))?)
+            }
+            "--ramp-us" => {
+                options.plan.ramp_per_request =
+                    Duration::from_micros(value.parse().map_err(|_| bad("not a count"))?)
+            }
+            "--tail-prob" => {
+                options.plan.tail_probability =
+                    value.parse().map_err(|_| bad("not a probability"))?
+            }
+            "--tail-delay-ms" => {
+                options.plan.tail_delay =
+                    Duration::from_millis(value.parse().map_err(|_| bad("not a count"))?)
+            }
+            "--drop-prob" => {
+                options.plan.drop_probability =
+                    value.parse().map_err(|_| bad("not a probability"))?
+            }
+            "--corrupt-prob" => {
+                options.plan.corrupt_probability =
+                    value.parse().map_err(|_| bad("not a probability"))?
+            }
+            "--disconnect-prob" => {
+                options.plan.disconnect_probability =
+                    value.parse().map_err(|_| bad("not a probability"))?
+            }
+            other => return Err(format!("unknown flag {other}\n{}", usage())),
+        }
+        i += 2;
+    }
+    options.plan.seed = options.seed;
+    if !(0.0..=1.0).contains(&options.selectivity) {
+        return Err(format!(
+            "--selectivity {} is not in [0, 1]",
+            options.selectivity
+        ));
+    }
+    options.plan.validate()?;
+    Ok(options)
+}
+
+/// The same deterministic label generator the fault suite uses: row `i`
+/// is true when a SplitMix64 draw keyed on `(seed, i)` lands under the
+/// selectivity, so a client pointed at the same `--rows`/`--seed`/
+/// `--selectivity` can reproduce the ground truth locally.
+fn generate_labels(rows: usize, seed: u64, selectivity: f64) -> Vec<bool> {
+    (0..rows)
+        .map(|i| {
+            let mut z = seed
+                .wrapping_add((i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+                .wrapping_add(0x9E37_79B9_7F4A_7C15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            ((z >> 11) as f64 / (1u64 << 53) as f64) < selectivity
+        })
+        .collect()
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let options = match parse_args(&args) {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let labels = generate_labels(options.rows, options.seed, options.selectivity);
+    let positives = labels.iter().filter(|&&b| b).count();
+    let mut oracles = OracleMap::new();
+    oracles.insert("default".to_string(), Arc::new(labels));
+
+    let server = match UdfServer::bind(&options.addr, oracles, options.plan.clone()) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("cannot bind {}: {e}", options.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "expred-udf-server listening on {} (oracle \"default\": {} rows, {} positive, seed {})",
+        server.addr(),
+        options.rows,
+        positives,
+        options.seed
+    );
+    let healthy_here = FaultPlan {
+        seed: options.seed,
+        ..FaultPlan::healthy()
+    };
+    if options.plan != healthy_here {
+        println!("fault plan active: {:?}", options.plan);
+    }
+
+    // Serve until killed; the accept loop owns the process.
+    loop {
+        std::thread::park();
+    }
+}

@@ -1,0 +1,261 @@
+//! Per-endpoint circuit breaker: closed → open → half-open.
+//!
+//! Retries and deadlines protect one probe; the breaker protects the
+//! *query* (and the `WorkerPool` threads running it) from an endpoint
+//! that has stopped answering entirely. Without it, a black-holed server
+//! costs every probe its full deadline × retry budget — a 5 s request
+//! becomes a multi-minute hang. With it, the first few failures pay that
+//! price, the breaker opens, and every subsequent probe fails fast (or
+//! falls back to a local evaluator) until a cooldown elapses; then one
+//! half-open trial probe is let through to test recovery.
+//!
+//! The state machine is a single `AtomicU64` packing `(state, epoch)` so
+//! admission checks on the probe hot path are one load, and the
+//! open→half-open transition race (many probes noticing the cooldown
+//! expired at once) is settled by one CAS — exactly one caller wins the
+//! trial slot.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+const STATE_CLOSED: u64 = 0;
+const STATE_OPEN: u64 = 1;
+const STATE_HALF_OPEN: u64 = 2;
+
+/// Observable breaker state, for metrics and tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: all probes admitted.
+    Closed,
+    /// Tripped: all probes rejected until the cooldown elapses.
+    Open,
+    /// Cooldown elapsed: one trial probe is in flight.
+    HalfOpen,
+}
+
+/// Breaker tuning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Consecutive failures that trip the breaker.
+    pub failure_threshold: u32,
+    /// How long the breaker stays open before admitting a trial probe.
+    pub cooldown: Duration,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        Self {
+            failure_threshold: 5,
+            cooldown: Duration::from_millis(500),
+        }
+    }
+}
+
+/// What the breaker says about one probe attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// Proceed (closed, or you won the half-open trial slot).
+    Admitted,
+    /// Fail fast: the breaker is open (or another probe holds the trial).
+    Rejected,
+}
+
+/// A closed → open → half-open circuit breaker.
+///
+/// Thread-safe; one instance guards one endpoint.
+pub struct CircuitBreaker {
+    config: BreakerConfig,
+    state: AtomicU64,
+    consecutive_failures: AtomicU64,
+    /// When the breaker last opened; only read under the state machine's
+    /// transition paths, guarded by a mutex because `Instant` isn't atomic.
+    opened_at: Mutex<Option<Instant>>,
+    opens: AtomicU64,
+    rejections: AtomicU64,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker with the given tuning.
+    pub fn new(config: BreakerConfig) -> Self {
+        Self {
+            config,
+            state: AtomicU64::new(STATE_CLOSED),
+            consecutive_failures: AtomicU64::new(0),
+            opened_at: Mutex::new(None),
+            opens: AtomicU64::new(0),
+            rejections: AtomicU64::new(0),
+        }
+    }
+
+    /// The current state, for metrics and tests.
+    pub fn state(&self) -> BreakerState {
+        match self.state.load(Ordering::SeqCst) {
+            STATE_OPEN => BreakerState::Open,
+            STATE_HALF_OPEN => BreakerState::HalfOpen,
+            _ => BreakerState::Closed,
+        }
+    }
+
+    /// Times the breaker has tripped open.
+    pub fn opens(&self) -> u64 {
+        self.opens.load(Ordering::Relaxed)
+    }
+
+    /// Probes rejected fast by an open breaker.
+    pub fn rejections(&self) -> u64 {
+        self.rejections.load(Ordering::Relaxed)
+    }
+
+    /// Asks whether a probe may proceed. Call [`Self::record_success`] or
+    /// [`Self::record_failure`] with the outcome of every admitted probe.
+    pub fn admit(&self) -> Admission {
+        match self.state.load(Ordering::SeqCst) {
+            STATE_CLOSED => Admission::Admitted,
+            STATE_HALF_OPEN => {
+                // A trial probe is already in flight; don't pile on.
+                self.rejections.fetch_add(1, Ordering::Relaxed);
+                Admission::Rejected
+            }
+            _open => {
+                let cooled = {
+                    let opened = self.opened_at.lock().unwrap();
+                    opened
+                        .map(|t| t.elapsed() >= self.config.cooldown)
+                        .unwrap_or(true)
+                };
+                if cooled
+                    && self
+                        .state
+                        .compare_exchange(
+                            STATE_OPEN,
+                            STATE_HALF_OPEN,
+                            Ordering::SeqCst,
+                            Ordering::SeqCst,
+                        )
+                        .is_ok()
+                {
+                    // This caller won the single half-open trial slot.
+                    Admission::Admitted
+                } else {
+                    self.rejections.fetch_add(1, Ordering::Relaxed);
+                    Admission::Rejected
+                }
+            }
+        }
+    }
+
+    /// Reports that an admitted probe succeeded.
+    pub fn record_success(&self) {
+        self.consecutive_failures.store(0, Ordering::SeqCst);
+        // A successful half-open trial (or any success) closes the breaker.
+        self.state.store(STATE_CLOSED, Ordering::SeqCst);
+    }
+
+    /// Reports that an admitted probe exhausted its retries and failed.
+    pub fn record_failure(&self) {
+        let failures = self.consecutive_failures.fetch_add(1, Ordering::SeqCst) + 1;
+        let currently = self.state.load(Ordering::SeqCst);
+        let should_open = currently == STATE_HALF_OPEN
+            || (currently == STATE_CLOSED && failures >= self.config.failure_threshold as u64);
+        if should_open {
+            *self.opened_at.lock().unwrap() = Some(Instant::now());
+            let prev = self.state.swap(STATE_OPEN, Ordering::SeqCst);
+            if prev != STATE_OPEN {
+                self.opens.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> CircuitBreaker {
+        CircuitBreaker::new(BreakerConfig {
+            failure_threshold: 3,
+            cooldown: Duration::from_millis(20),
+        })
+    }
+
+    #[test]
+    fn stays_closed_under_success_and_scattered_failures() {
+        let b = quick();
+        for _ in 0..10 {
+            assert_eq!(b.admit(), Admission::Admitted);
+            b.record_failure();
+            assert_eq!(b.admit(), Admission::Admitted);
+            b.record_success(); // resets the consecutive counter
+        }
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.opens(), 0);
+    }
+
+    #[test]
+    fn consecutive_failures_trip_it_and_rejections_fail_fast() {
+        let b = quick();
+        for _ in 0..3 {
+            assert_eq!(b.admit(), Admission::Admitted);
+            b.record_failure();
+        }
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.opens(), 1);
+        assert_eq!(b.admit(), Admission::Rejected);
+        assert_eq!(b.admit(), Admission::Rejected);
+        assert_eq!(b.rejections(), 2);
+    }
+
+    #[test]
+    fn half_open_admits_exactly_one_trial_then_closes_on_success() {
+        let b = quick();
+        for _ in 0..3 {
+            b.admit();
+            b.record_failure();
+        }
+        std::thread::sleep(Duration::from_millis(25));
+        assert_eq!(b.admit(), Admission::Admitted, "trial probe after cooldown");
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        assert_eq!(b.admit(), Admission::Rejected, "only one trial at a time");
+        b.record_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.admit(), Admission::Admitted);
+    }
+
+    #[test]
+    fn failed_trial_reopens_immediately() {
+        let b = quick();
+        for _ in 0..3 {
+            b.admit();
+            b.record_failure();
+        }
+        std::thread::sleep(Duration::from_millis(25));
+        assert_eq!(b.admit(), Admission::Admitted);
+        b.record_failure(); // one failure in half-open: straight back to open
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.opens(), 2);
+        assert_eq!(b.admit(), Admission::Rejected, "cooldown restarts");
+    }
+
+    #[test]
+    fn trial_race_admits_exactly_one_thread() {
+        use std::sync::atomic::AtomicUsize;
+        let b = std::sync::Arc::new(quick());
+        for _ in 0..3 {
+            b.admit();
+            b.record_failure();
+        }
+        std::thread::sleep(Duration::from_millis(25));
+        let admitted = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    if b.admit() == Admission::Admitted {
+                        admitted.fetch_add(1, Ordering::SeqCst);
+                    }
+                });
+            }
+        });
+        assert_eq!(admitted.load(Ordering::SeqCst), 1);
+    }
+}

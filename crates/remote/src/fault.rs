@@ -1,0 +1,292 @@
+//! Deterministic fault injection for the UDF server.
+//!
+//! Every failure mode a real network oracle exhibits, as a seeded,
+//! reproducible schedule: the proof obligation for the remote backend is
+//! byte-identical answers and exact bill conservation *under every
+//! injected fault schedule*, and that is only a provable statement if
+//! the schedule is a pure function of `(plan seed, connection index,
+//! request index)` — rerunning a failing seed replays the exact faults.
+//!
+//! A [`FaultPlan`] describes the probabilities and magnitudes; each
+//! accepted connection derives its own [`FaultInjector`] whose decisions
+//! come from a private SplitMix64 stream. Knobs:
+//!
+//! * **latency**: fixed base delay, per-request ramp, and a jittered
+//!   tail (`tail_probability` of an extra `tail_delay` — the classic
+//!   "1% of requests stall 100ms" shape hedging exists to cut);
+//! * **drops**: the request is read and silently never answered (the
+//!   client's per-attempt deadline is the only way out);
+//! * **corrupt frames**: the response goes out with a wrong length
+//!   prefix (the client must treat the connection as poisoned);
+//! * **mid-response disconnects**: half a response, then FIN;
+//! * **blackout**: accept connections, answer nothing, forever — the
+//!   circuit-breaker wedge scenario.
+
+use std::time::Duration;
+
+/// What the server should do with one response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResponseFate {
+    /// Write the response normally.
+    Respond,
+    /// Read the request, answer nothing (client times out).
+    Drop,
+    /// Write a frame whose length prefix lies about the body length.
+    CorruptLength,
+    /// Write half the response bytes, then close the connection.
+    TruncateAndClose,
+}
+
+/// One request's injected faults: wait `delay`, then apply `fate`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultDecision {
+    /// Injected latency before any response bytes are written.
+    pub delay: Duration,
+    /// How the response is (mis)delivered.
+    pub fate: ResponseFate,
+}
+
+/// A seeded description of how a server misbehaves.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Seed for every derived decision stream.
+    pub seed: u64,
+    /// Latency added to every response.
+    pub base_delay: Duration,
+    /// Extra latency added per request served on a connection
+    /// (`ramp_per_request * request_index`) — models a degrading backend.
+    pub ramp_per_request: Duration,
+    /// Probability a response additionally stalls for `tail_delay`.
+    pub tail_probability: f64,
+    /// The stall added to tail-struck responses.
+    pub tail_delay: Duration,
+    /// Probability a request is read but never answered.
+    pub drop_probability: f64,
+    /// Probability a response frame goes out with a corrupt length.
+    pub corrupt_probability: f64,
+    /// Probability the connection closes mid-response.
+    pub disconnect_probability: f64,
+    /// Answer nothing at all, ever (overrides everything else).
+    pub blackout: bool,
+}
+
+impl FaultPlan {
+    /// A perfectly healthy server.
+    pub fn healthy() -> Self {
+        Self {
+            seed: 0,
+            base_delay: Duration::ZERO,
+            ramp_per_request: Duration::ZERO,
+            tail_probability: 0.0,
+            tail_delay: Duration::ZERO,
+            drop_probability: 0.0,
+            corrupt_probability: 0.0,
+            disconnect_probability: 0.0,
+            blackout: false,
+        }
+    }
+
+    /// A server that accepts connections and never answers.
+    pub fn blackout() -> Self {
+        Self {
+            blackout: true,
+            ..Self::healthy()
+        }
+    }
+
+    /// The "slow tail" shape hedged requests exist for: `probability` of
+    /// requests stall an extra `stall` on top of `base`.
+    pub fn jittered_tail(seed: u64, base: Duration, probability: f64, stall: Duration) -> Self {
+        Self {
+            seed,
+            base_delay: base,
+            tail_probability: probability,
+            tail_delay: stall,
+            ..Self::healthy()
+        }
+    }
+
+    /// Validates that every probability is a probability.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, p) in [
+            ("tail_probability", self.tail_probability),
+            ("drop_probability", self.drop_probability),
+            ("corrupt_probability", self.corrupt_probability),
+            ("disconnect_probability", self.disconnect_probability),
+        ] {
+            if !(0.0..=1.0).contains(&p) || p.is_nan() {
+                return Err(format!("{name} = {p} is not in [0, 1]"));
+            }
+        }
+        Ok(())
+    }
+
+    /// The injector for connection number `connection` under this plan.
+    pub fn injector(&self, connection: u64) -> FaultInjector {
+        FaultInjector {
+            plan: self.clone(),
+            // Decouple the per-connection streams: two connections under
+            // one plan see different (but individually deterministic)
+            // schedules, like real networks.
+            state: splitmix(self.seed ^ connection.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+            served: 0,
+        }
+    }
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        Self::healthy()
+    }
+}
+
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// One connection's deterministic fault stream.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    state: u64,
+    served: u64,
+}
+
+impl FaultInjector {
+    fn next_unit(&mut self) -> f64 {
+        self.state = splitmix(self.state);
+        (self.state >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Whether the whole connection is blacked out.
+    pub fn blackout(&self) -> bool {
+        self.plan.blackout
+    }
+
+    /// Decides the fate of the next request on this connection.
+    ///
+    /// Exactly four unit draws per request regardless of which branch
+    /// wins, so one decision never shifts the stream of the next — the
+    /// schedule for request *k* depends only on `(seed, connection, k)`.
+    #[allow(clippy::should_implement_trait)] // infinite, infallible — not an Iterator
+    pub fn next(&mut self) -> FaultDecision {
+        let request_index = self.served;
+        self.served += 1;
+        let tail = self.next_unit();
+        let drop = self.next_unit();
+        let corrupt = self.next_unit();
+        let disconnect = self.next_unit();
+
+        let mut delay = self.plan.base_delay + self.plan.ramp_per_request * request_index as u32;
+        if tail < self.plan.tail_probability {
+            delay += self.plan.tail_delay;
+        }
+        let fate = if drop < self.plan.drop_probability {
+            ResponseFate::Drop
+        } else if corrupt < self.plan.corrupt_probability {
+            ResponseFate::CorruptLength
+        } else if disconnect < self.plan.disconnect_probability {
+            ResponseFate::TruncateAndClose
+        } else {
+            ResponseFate::Respond
+        };
+        FaultDecision { delay, fate }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn healthy_plan_always_responds_instantly() {
+        let mut injector = FaultPlan::healthy().injector(0);
+        for _ in 0..64 {
+            let d = injector.next();
+            assert_eq!(d.delay, Duration::ZERO);
+            assert_eq!(d.fate, ResponseFate::Respond);
+        }
+    }
+
+    #[test]
+    fn schedules_are_deterministic_per_connection() {
+        let plan = FaultPlan {
+            seed: 99,
+            drop_probability: 0.3,
+            corrupt_probability: 0.2,
+            disconnect_probability: 0.2,
+            tail_probability: 0.5,
+            tail_delay: Duration::from_millis(10),
+            ..FaultPlan::healthy()
+        };
+        let a: Vec<FaultDecision> = {
+            let mut i = plan.injector(3);
+            (0..50).map(|_| i.next()).collect()
+        };
+        let b: Vec<FaultDecision> = {
+            let mut i = plan.injector(3);
+            (0..50).map(|_| i.next()).collect()
+        };
+        assert_eq!(a, b, "same (plan, connection) replays the same schedule");
+        let c: Vec<FaultDecision> = {
+            let mut i = plan.injector(4);
+            (0..50).map(|_| i.next()).collect()
+        };
+        assert_ne!(a, c, "different connections see different schedules");
+    }
+
+    #[test]
+    fn ramp_grows_with_request_index_and_tail_stalls_strike() {
+        let plan = FaultPlan {
+            seed: 1,
+            base_delay: Duration::from_millis(1),
+            ramp_per_request: Duration::from_millis(2),
+            tail_probability: 1.0,
+            tail_delay: Duration::from_millis(100),
+            ..FaultPlan::healthy()
+        };
+        let mut injector = plan.injector(0);
+        assert_eq!(injector.next().delay, Duration::from_millis(101));
+        assert_eq!(injector.next().delay, Duration::from_millis(103));
+        assert_eq!(injector.next().delay, Duration::from_millis(105));
+    }
+
+    #[test]
+    fn fault_rates_track_probabilities() {
+        let plan = FaultPlan {
+            seed: 7,
+            drop_probability: 0.25,
+            ..FaultPlan::healthy()
+        };
+        let mut injector = plan.injector(0);
+        let drops = (0..4000)
+            .filter(|_| injector.next().fate == ResponseFate::Drop)
+            .count();
+        let rate = drops as f64 / 4000.0;
+        assert!((rate - 0.25).abs() < 0.03, "rate = {rate}");
+    }
+
+    #[test]
+    fn validate_rejects_non_probabilities() {
+        assert!(FaultPlan::healthy().validate().is_ok());
+        let bad = FaultPlan {
+            drop_probability: 1.5,
+            ..FaultPlan::healthy()
+        };
+        assert!(bad.validate().unwrap_err().contains("drop_probability"));
+        let nan = FaultPlan {
+            tail_probability: f64::NAN,
+            ..FaultPlan::healthy()
+        };
+        assert!(nan.validate().is_err());
+    }
+
+    #[test]
+    fn blackout_overrides() {
+        assert!(FaultPlan::blackout().injector(0).blackout());
+        assert!(!FaultPlan::healthy().injector(0).blackout());
+    }
+}

@@ -1,8 +1,9 @@
 //! `expred-serve` — run the serving tier from the command line.
 //!
 //! ```text
-//! expred-serve [--addr HOST:PORT] [--max-in-flight N] [--max-tenants N]
-//!              [--max-rows N] [--pool] [--udf-latency-us MICROS]
+//! expred-serve [--addr HOST:PORT] [--max-in-flight N] [--max-connections N]
+//!              [--max-tenants N] [--max-rows N] [--pool]
+//!              [--udf-latency-us MICROS]
 //! ```
 
 use expred_serve::{serve, ServeConfig};
@@ -10,8 +11,9 @@ use std::time::Duration;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: expred-serve [--addr HOST:PORT] [--max-in-flight N] [--max-tenants N]\n\
-         \x20                   [--max-rows N] [--pool] [--udf-latency-us MICROS]"
+        "usage: expred-serve [--addr HOST:PORT] [--max-in-flight N] [--max-connections N]\n\
+         \x20                   [--max-tenants N] [--max-rows N] [--pool]\n\
+         \x20                   [--udf-latency-us MICROS]"
     );
     std::process::exit(2);
 }
@@ -34,6 +36,7 @@ fn main() {
         match arg.as_str() {
             "--addr" => addr = parse_value(&arg, args.next()),
             "--max-in-flight" => config.max_in_flight = parse_value(&arg, args.next()),
+            "--max-connections" => config.max_connections = parse_value(&arg, args.next()),
             "--max-tenants" => config.max_tenants = parse_value(&arg, args.next()),
             "--max-rows" => config.max_rows = parse_value(&arg, args.next()),
             "--pool" => config.pooled = true,

@@ -11,6 +11,7 @@
 //! saturation tests pin down via exact bill conservation.
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 
 /// A counting gate over at most `capacity` concurrent holders.
 ///
@@ -58,6 +59,31 @@ impl AdmissionGate {
         }
     }
 
+    /// Like [`Self::try_acquire`], but the pass owns an `Arc` to the
+    /// gate instead of borrowing it — for holders that outlive the
+    /// acquiring stack frame, like a connection thread releasing its
+    /// slot whenever the socket finally closes.
+    pub fn try_acquire_owned(self: &Arc<Self>) -> Option<OwnedGatePass> {
+        let pass = self.try_acquire()?;
+        std::mem::forget(pass); // the owned pass takes over the release
+        Some(OwnedGatePass {
+            gate: Arc::clone(self),
+        })
+    }
+
+    /// A `Retry-After` hint (seconds) derived from current load: an
+    /// idle gate says "1", a gate at capacity says up to ~5, and a
+    /// small deterministic jitter keyed on the shed counter de-phases
+    /// clients that were all refused in the same burst (so they do not
+    /// all come back in the same second and get shed again).
+    pub fn retry_after_hint(&self) -> u64 {
+        let capacity = self.capacity.max(1) as u64;
+        let load = (self.in_flight() as u64).min(capacity);
+        let base = 1 + (3 * load) / capacity; // 1 (idle) ..= 4 (full)
+        let jitter = self.shed.load(Ordering::Relaxed) % 2; // 0 or 1
+        base + jitter
+    }
+
     /// The configured slot count.
     pub fn capacity(&self) -> usize {
         self.capacity
@@ -86,6 +112,18 @@ pub struct GatePass<'a> {
 }
 
 impl Drop for GatePass<'_> {
+    fn drop(&mut self) {
+        self.gate.in_flight.fetch_sub(1, Ordering::Release);
+    }
+}
+
+/// An owned slot in an `Arc`-shared gate — same semantics as
+/// [`GatePass`], but movable across threads and lifetimes.
+pub struct OwnedGatePass {
+    gate: Arc<AdmissionGate>,
+}
+
+impl Drop for OwnedGatePass {
     fn drop(&mut self) {
         self.gate.in_flight.fetch_sub(1, Ordering::Release);
     }
@@ -129,6 +167,32 @@ mod tests {
         assert_eq!(gate.capacity(), 1);
         let _pass = gate.try_acquire().expect("one slot exists");
         assert!(gate.try_acquire().is_none());
+    }
+
+    #[test]
+    fn owned_passes_share_the_same_budget_and_release_on_drop() {
+        let gate = Arc::new(AdmissionGate::new(2));
+        let owned = gate.try_acquire_owned().expect("slot 1");
+        let _borrowed = gate.try_acquire().expect("slot 2");
+        assert!(gate.try_acquire_owned().is_none(), "budget is shared");
+        // An owned pass survives a move to another thread.
+        let moved = std::thread::spawn(move || drop(owned)).join();
+        assert!(moved.is_ok());
+        assert_eq!(gate.in_flight(), 1, "owned drop released its slot");
+    }
+
+    #[test]
+    fn retry_after_scales_with_load_and_jitters_deterministically() {
+        let gate = AdmissionGate::new(4);
+        assert_eq!(gate.retry_after_hint(), 1, "idle gate: minimum hint");
+        let passes: Vec<_> = (0..4).map(|_| gate.try_acquire().unwrap()).collect();
+        assert_eq!(gate.retry_after_hint(), 4, "full gate: maximum base");
+        assert!(gate.try_acquire().is_none()); // shed becomes odd
+        assert_eq!(gate.retry_after_hint(), 5, "odd shed count adds jitter");
+        assert!(gate.try_acquire().is_none()); // shed becomes even
+        assert_eq!(gate.retry_after_hint(), 4, "even shed count: no jitter");
+        drop(passes);
+        assert!(gate.retry_after_hint() <= 2, "drained gate relaxes");
     }
 
     #[test]

@@ -45,8 +45,8 @@ pub mod tenant;
 
 pub use api::{engine_error_kind, engine_error_status, ApiError, ApiQuery, TableKey};
 pub use client::{ClientResponse, HttpClient};
-pub use gate::{AdmissionGate, GatePass};
+pub use gate::{AdmissionGate, GatePass, OwnedGatePass};
 pub use http::{HttpError, HttpRequest, HttpResponse, Limits};
-pub use metrics::{LatencyHistogram, RouteMetrics, ServeMetrics};
+pub use metrics::{LatencyHistogram, MetricsContext, RouteMetrics, ServeMetrics};
 pub use server::{serve, ServeConfig, ServerHandle};
 pub use tenant::{EngineConfig, Tenant, TenantError, TenantRegistry};

@@ -13,10 +13,25 @@
 
 use crate::gate::AdmissionGate;
 use crate::tenant::TenantRegistry;
+use expred_remote::RemoteStatsSnapshot;
 use expred_stats::json::{counters_to_json, counters_to_text, escape, fmt_f64};
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
+
+/// Everything the renderers snapshot besides [`ServeMetrics`] itself:
+/// the two admission gates, the tenant registry, and (when the server
+/// fronts a remote UDF backend) that client's wire counters.
+pub struct MetricsContext<'a> {
+    /// The `/query` in-flight gate.
+    pub gate: &'a AdmissionGate,
+    /// The connection gate (open-connection gauge + shed counter).
+    pub connections: &'a AdmissionGate,
+    /// Per-tenant engines.
+    pub tenants: &'a TenantRegistry,
+    /// `(endpoint, counters)` of the remote UDF client, if configured.
+    pub remote: Option<(String, RemoteStatsSnapshot)>,
+}
 
 /// Log-scale latency histogram over microseconds.
 ///
@@ -196,27 +211,32 @@ impl ServeMetrics {
         [&self.query, &self.metrics, &self.health]
     }
 
-    fn server_counters(&self, gate: &AdmissionGate) -> Vec<(&'static str, u64)> {
+    fn server_counters(&self, ctx: &MetricsContext<'_>) -> Vec<(&'static str, u64)> {
         vec![
             (
                 "connections_accepted",
                 self.connections_accepted.load(Ordering::Relaxed),
             ),
+            ("connections_open", ctx.connections.in_flight() as u64),
+            ("connections_capacity", ctx.connections.capacity() as u64),
+            ("connections_shed", ctx.connections.shed()),
             ("responses_2xx", self.responses_2xx.load(Ordering::Relaxed)),
             ("responses_4xx", self.responses_4xx.load(Ordering::Relaxed)),
             ("responses_5xx", self.responses_5xx.load(Ordering::Relaxed)),
             ("panics", self.panics.load(Ordering::Relaxed)),
-            ("admitted", gate.admitted()),
-            ("shed", gate.shed()),
-            ("in_flight", gate.in_flight() as u64),
-            ("in_flight_capacity", gate.capacity() as u64),
+            ("admitted", ctx.gate.admitted()),
+            ("shed", ctx.gate.shed()),
+            ("in_flight", ctx.gate.in_flight() as u64),
+            ("in_flight_capacity", ctx.gate.capacity() as u64),
         ]
     }
 
     /// Exposition-format text for `GET /metrics`: serving counters,
-    /// per-route latency summaries, then per-tenant engine counters.
-    pub fn render_text(&self, gate: &AdmissionGate, tenants: &TenantRegistry) -> String {
-        let mut out = counters_to_text("serve", &[], &self.server_counters(gate));
+    /// per-route latency summaries, remote-UDF client counters (when a
+    /// backend is configured), then per-tenant engine counters.
+    pub fn render_text(&self, ctx: &MetricsContext<'_>) -> String {
+        let tenants = ctx.tenants;
+        let mut out = counters_to_text("serve", &[], &self.server_counters(ctx));
         for route in self.routes() {
             let labels = [("route", route.name)];
             out.push_str(&counters_to_text(
@@ -228,6 +248,10 @@ impl ServeMetrics {
                     ("latency_p99_micros", route.latency.p99_micros()),
                 ],
             ));
+        }
+        if let Some((endpoint, snapshot)) = &ctx.remote {
+            let labels = [("endpoint", endpoint.as_str())];
+            out.push_str(&counters_to_text("remote_udf", &labels, &snapshot.fields()));
         }
         for tenant in tenants.snapshot() {
             let name = tenant.name().to_owned();
@@ -259,9 +283,11 @@ impl ServeMetrics {
     }
 
     /// JSON snapshot for `GET /metrics.json` — same numbers, one object.
-    pub fn render_json(&self, gate: &AdmissionGate, tenants: &TenantRegistry) -> String {
+    /// The `"remote"` key is present only when a backend is configured.
+    pub fn render_json(&self, ctx: &MetricsContext<'_>) -> String {
+        let tenants = ctx.tenants;
         let mut out = String::from("{\"server\":");
-        out.push_str(&counters_to_json(&self.server_counters(gate)));
+        out.push_str(&counters_to_json(&self.server_counters(ctx)));
         out.push_str(",\"routes\":{");
         for (i, route) in self.routes().into_iter().enumerate() {
             if i > 0 {
@@ -277,7 +303,16 @@ impl ServeMetrics {
                 fmt_f64(route.latency.mean_micros()),
             );
         }
-        out.push_str("},\"tenants\":{");
+        out.push('}');
+        if let Some((endpoint, snapshot)) = &ctx.remote {
+            let _ = write!(
+                out,
+                ",\"remote\":{{\"endpoint\":\"{}\",\"counters\":{}}}",
+                escape(endpoint),
+                counters_to_json(&snapshot.fields()),
+            );
+        }
+        out.push_str(",\"tenants\":{");
         for (i, tenant) in tenants.snapshot().iter().enumerate() {
             if i > 0 {
                 out.push(',');
@@ -334,39 +369,85 @@ mod tests {
         assert_eq!(h.p99_micros(), u64::MAX, "overflow bucket is absorbing");
     }
 
+    fn context<'a>(
+        gate: &'a AdmissionGate,
+        connections: &'a AdmissionGate,
+        tenants: &'a TenantRegistry,
+        remote: Option<(String, RemoteStatsSnapshot)>,
+    ) -> MetricsContext<'a> {
+        MetricsContext {
+            gate,
+            connections,
+            tenants,
+            remote,
+        }
+    }
+
     #[test]
     fn render_text_has_serving_route_and_tenant_lines() {
         let metrics = ServeMetrics::new();
         let gate = AdmissionGate::new(4);
+        let connections = AdmissionGate::new(64);
         let tenants = TenantRegistry::new(4, 2, EngineConfig::default());
         tenants.route("acme").unwrap();
         metrics.record_status(200);
         metrics.query.observe(Duration::from_micros(120));
-        let text = metrics.render_text(&gate, &tenants);
+        let text = metrics.render_text(&context(&gate, &connections, &tenants, None));
         assert!(text.contains("serve_responses_2xx 1\n"));
         assert!(text.contains("serve_in_flight_capacity 4\n"));
+        assert!(text.contains("serve_connections_capacity 64\n"));
+        assert!(text.contains("serve_connections_open 0\n"));
         assert!(text.contains("serve_route_requests{route=\"query\"} 1\n"));
         assert!(text.contains("serve_route_latency_p50_micros{route=\"query\"} 128\n"));
         assert!(text.contains("engine_queries{tenant=\"acme\"} 0\n"));
         assert!(text.contains("engine_cache_hits{tenant=\"acme\"} 0\n"));
         assert!(text.contains("engine_memo_hits{tenant=\"acme\"} 0\n"));
         assert!(text.contains("engine_tables{tenant=\"acme\"} 0\n"));
+        assert!(
+            !text.contains("remote_udf_"),
+            "no remote section without a backend"
+        );
+    }
+
+    #[test]
+    fn render_text_exports_remote_counters_when_configured() {
+        let metrics = ServeMetrics::new();
+        let gate = AdmissionGate::new(4);
+        let connections = AdmissionGate::new(64);
+        let tenants = TenantRegistry::new(4, 2, EngineConfig::default());
+        let snapshot = RemoteStatsSnapshot {
+            requests: 10,
+            retries: 3,
+            ..RemoteStatsSnapshot::default()
+        };
+        let remote = Some(("10.0.0.7:9400".to_owned(), snapshot));
+        let text = metrics.render_text(&context(&gate, &connections, &tenants, remote));
+        assert!(text.contains("remote_udf_requests{endpoint=\"10.0.0.7:9400\"} 10\n"));
+        assert!(text.contains("remote_udf_retries{endpoint=\"10.0.0.7:9400\"} 3\n"));
+        assert!(text.contains("remote_udf_breaker_opens{endpoint=\"10.0.0.7:9400\"} 0\n"));
     }
 
     #[test]
     fn render_json_is_parseable_and_complete() {
         let metrics = ServeMetrics::new();
         let gate = AdmissionGate::new(2);
+        let connections = AdmissionGate::new(8);
         let tenants = TenantRegistry::new(4, 2, EngineConfig::default());
         tenants.route("a").unwrap();
         tenants.route("b").unwrap();
         metrics.record_status(429);
         metrics.record_status(500);
-        let doc = JsonValue::parse(&metrics.render_json(&gate, &tenants)).expect("valid JSON");
+        let plain = metrics.render_json(&context(&gate, &connections, &tenants, None));
+        let doc = JsonValue::parse(&plain).expect("valid JSON");
         let server = doc.get("server").unwrap();
         assert_eq!(server.get("responses_4xx").unwrap().as_u64(), Some(1));
         assert_eq!(server.get("responses_5xx").unwrap().as_u64(), Some(1));
         assert_eq!(server.get("in_flight_capacity").unwrap().as_u64(), Some(2));
+        assert_eq!(
+            server.get("connections_capacity").unwrap().as_u64(),
+            Some(8)
+        );
+        assert!(doc.get("remote").is_none(), "no remote key without backend");
         let routes = doc.get("routes").unwrap();
         for name in ["query", "metrics", "health"] {
             assert!(routes.get(name).is_some(), "route {name} exported");
@@ -381,5 +462,21 @@ mod tests {
             assert!(t.get("cache").is_some());
             assert!(t.get("result_memo").is_some());
         }
+        let snapshot = RemoteStatsSnapshot {
+            hedges: 2,
+            hedge_wins: 1,
+            ..RemoteStatsSnapshot::default()
+        };
+        let remote = Some(("backend:1".to_owned(), snapshot));
+        let with_remote = metrics.render_json(&context(&gate, &connections, &tenants, remote));
+        let doc = JsonValue::parse(&with_remote).expect("valid JSON with remote");
+        let remote_obj = doc.get("remote").unwrap();
+        assert_eq!(
+            remote_obj.get("endpoint").unwrap().as_str(),
+            Some("backend:1")
+        );
+        let counters = remote_obj.get("counters").unwrap();
+        assert_eq!(counters.get("hedges").unwrap().as_u64(), Some(2));
+        assert_eq!(counters.get("hedge_wins").unwrap().as_u64(), Some(1));
     }
 }

@@ -14,17 +14,24 @@
 //!    answered as `500` without killing the connection thread or the
 //!    accept loop.
 //!
-//! Each connection gets its own thread and serves any number of
-//! pipelined keep-alive requests; the idle read timeout
-//! ([`crate::http::IDLE_TIMEOUT`]) reclaims abandoned sockets.
+//! Each connection gets its own thread, holds one slot in a bounded
+//! **connection gate** (excess connections are answered `503` +
+//! `Retry-After` inline on the accept thread, before any thread is
+//! spawned), and serves any number of pipelined keep-alive requests.
+//! Idle connections wait in short poll quanta so a shutdown drains
+//! them promptly; the idle read timeout
+//! ([`crate::http::IDLE_TIMEOUT`]) still reclaims abandoned sockets.
+//! Shutdown is graceful: stop accepting, then wait for in-flight
+//! connections to finish up to [`ServeConfig::drain_deadline`].
 //!
 //! [`EngineError`]: expred_core::EngineError
 
 use crate::api::{self, ApiError, ApiQuery};
-use crate::gate::AdmissionGate;
+use crate::gate::{AdmissionGate, OwnedGatePass};
 use crate::http::{read_request, HttpError, HttpRequest, HttpResponse, Limits, IDLE_TIMEOUT};
-use crate::metrics::ServeMetrics;
+use crate::metrics::{MetricsContext, ServeMetrics};
 use crate::tenant::{EngineConfig, TenantError, TenantRegistry};
+use expred_remote::RemoteClient;
 use std::io::{BufReader, Write};
 use std::net::{Shutdown, TcpListener, TcpStream, ToSocketAddrs};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -32,11 +39,21 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+/// How often an idle connection re-checks the shutdown flag while
+/// waiting for its next request.
+const IDLE_POLL: Duration = Duration::from_millis(100);
+
 /// Server tuning knobs.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct ServeConfig {
     /// Concurrent `/query` requests allowed past the admission gate.
     pub max_in_flight: usize,
+    /// Concurrent TCP connections allowed; excess are refused with a
+    /// `503` before a connection thread is even spawned.
+    pub max_connections: usize,
+    /// How long a graceful shutdown waits for live connections to
+    /// finish before giving up on them.
+    pub drain_deadline: Duration,
     /// Distinct tenant sessions the registry will create.
     pub max_tenants: usize,
     /// Materialized tables kept per tenant (LRU past this).
@@ -49,18 +66,41 @@ pub struct ServeConfig {
     pub pooled: bool,
     /// Artificial per-evaluation UDF latency (load testing).
     pub udf_latency: Duration,
+    /// A remote UDF client whose wire counters (retries, hedges,
+    /// timeouts, breaker state) are exported through `GET /metrics`.
+    pub remote: Option<Arc<RemoteClient>>,
+}
+
+impl std::fmt::Debug for ServeConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServeConfig")
+            .field("max_in_flight", &self.max_in_flight)
+            .field("max_connections", &self.max_connections)
+            .field("drain_deadline", &self.drain_deadline)
+            .field("max_tenants", &self.max_tenants)
+            .field("max_tables_per_tenant", &self.max_tables_per_tenant)
+            .field("max_rows", &self.max_rows)
+            .field("max_body_bytes", &self.max_body_bytes)
+            .field("pooled", &self.pooled)
+            .field("udf_latency", &self.udf_latency)
+            .field("remote", &self.remote.as_ref().map(|c| c.endpoint()))
+            .finish()
+    }
 }
 
 impl Default for ServeConfig {
     fn default() -> Self {
         Self {
             max_in_flight: 64,
+            max_connections: 256,
+            drain_deadline: Duration::from_secs(5),
             max_tenants: 32,
             max_tables_per_tenant: 8,
             max_rows: 1_000_000,
             max_body_bytes: 1 << 20,
             pooled: false,
             udf_latency: Duration::ZERO,
+            remote: None,
         }
     }
 }
@@ -68,9 +108,25 @@ impl Default for ServeConfig {
 struct Shared {
     config: ServeConfig,
     gate: AdmissionGate,
+    connections: Arc<AdmissionGate>,
     metrics: ServeMetrics,
     tenants: TenantRegistry,
     shutting_down: AtomicBool,
+}
+
+impl Shared {
+    fn metrics_context(&self) -> MetricsContext<'_> {
+        MetricsContext {
+            gate: &self.gate,
+            connections: &self.connections,
+            tenants: &self.tenants,
+            remote: self
+                .config
+                .remote
+                .as_ref()
+                .map(|client| (client.endpoint().to_owned(), client.stats())),
+        }
+    }
 }
 
 /// A running server. Dropping the handle shuts the listener down.
@@ -87,6 +143,7 @@ pub fn serve(addr: impl ToSocketAddrs, config: ServeConfig) -> std::io::Result<S
     let local_addr = listener.local_addr()?;
     let shared = Arc::new(Shared {
         gate: AdmissionGate::new(config.max_in_flight),
+        connections: Arc::new(AdmissionGate::new(config.max_connections)),
         tenants: TenantRegistry::new(
             config.max_tenants,
             config.max_tables_per_tenant,
@@ -126,13 +183,20 @@ impl ServerHandle {
         &self.shared.gate
     }
 
+    /// The connection gate (counters: open/shed connections).
+    pub fn connections(&self) -> &AdmissionGate {
+        &self.shared.connections
+    }
+
     /// The tenant registry (inspect engines in tests).
     pub fn tenants(&self) -> &TenantRegistry {
         &self.shared.tenants
     }
 
-    /// Stops the accept loop. In-flight connections finish their current
-    /// request and then close.
+    /// Graceful shutdown: stops the accept loop, then waits (up to
+    /// [`ServeConfig::drain_deadline`]) for live connections to finish
+    /// their current request and release their connection-gate slot.
+    /// Idle keep-alive connections notice within one poll quantum.
     pub fn shutdown(&mut self) {
         if self.shared.shutting_down.swap(true, Ordering::SeqCst) {
             return;
@@ -151,6 +215,14 @@ impl ServerHandle {
         let _ = TcpStream::connect_timeout(&wake_addr, Duration::from_secs(1));
         if let Some(handle) = self.accept_thread.take() {
             let _ = handle.join();
+        }
+        // Drain: connection threads are detached, so wait on the gate
+        // they hold slots in rather than joining them. A request that
+        // outlives the deadline is abandoned (its thread exits on its
+        // own once the response write fails or completes).
+        let deadline = Instant::now() + self.shared.config.drain_deadline;
+        while self.shared.connections.in_flight() > 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
         }
     }
 }
@@ -184,14 +256,42 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
             .metrics
             .connections_accepted
             .fetch_add(1, Ordering::Relaxed);
+        // Take a connection slot BEFORE spawning: a flood of sockets
+        // past the bound costs one inline refusal write each, never an
+        // unbounded pile of threads.
+        let Some(pass) = shared.connections.try_acquire_owned() else {
+            refuse_connection(stream, &shared);
+            continue;
+        };
         let conn_shared = Arc::clone(&shared);
         let _ = std::thread::Builder::new()
             .name("expred-serve-conn".into())
-            .spawn(move || connection_loop(stream, conn_shared));
+            .spawn(move || connection_loop(stream, conn_shared, pass));
     }
 }
 
-fn connection_loop(stream: TcpStream, shared: Arc<Shared>) {
+/// Answers `503` + `Retry-After` inline on the accept thread. The write
+/// is bounded by a short timeout so a slow-reading flooder cannot stall
+/// the accept loop.
+fn refuse_connection(mut stream: TcpStream, shared: &Shared) {
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(200)));
+    let error = ApiError {
+        status: 503,
+        kind: "connections_exhausted",
+        detail: format!(
+            "all {} connection slots are in use; retry shortly",
+            shared.connections.capacity()
+        ),
+    };
+    let retry_after = shared.connections.retry_after_hint().to_string();
+    let response = HttpResponse::json(error.status, error.body())
+        .with_header("retry-after", retry_after.as_str());
+    shared.metrics.record_status(response.status);
+    let _ = response.write_to(&mut stream, false);
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
+fn connection_loop(stream: TcpStream, shared: Arc<Shared>, _pass: OwnedGatePass) {
     let _ = stream.set_read_timeout(Some(IDLE_TIMEOUT));
     let _ = stream.set_nodelay(true);
     let limits = Limits {
@@ -203,9 +303,34 @@ fn connection_loop(stream: TcpStream, shared: Arc<Shared>) {
         Err(_) => return,
     });
     let mut writer = stream;
+    let mut idle_since = Instant::now();
     loop {
         if shared.shutting_down.load(Ordering::SeqCst) {
             break;
+        }
+        // Idle wait in short quanta: when no request bytes are pending,
+        // peek with a small timeout so a shutdown drains this
+        // connection within one quantum instead of one IDLE_TIMEOUT.
+        // (The read timeout lives on the shared socket, so it must be
+        // restored before the real request read below.)
+        if reader.buffer().is_empty() {
+            let _ = writer.set_read_timeout(Some(IDLE_POLL));
+            let mut peeked = [0u8; 1];
+            match writer.peek(&mut peeked) {
+                Ok(0) => break, // peer closed
+                Ok(_) => {}
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    if idle_since.elapsed() >= IDLE_TIMEOUT {
+                        break; // abandoned socket: reclaim as before
+                    }
+                    continue;
+                }
+                Err(_) => break,
+            }
+            let _ = writer.set_read_timeout(Some(IDLE_TIMEOUT));
         }
         let request = match read_request(&mut reader, &limits) {
             Ok(request) => request,
@@ -238,6 +363,7 @@ fn connection_loop(stream: TcpStream, shared: Arc<Shared>) {
         if writer.flush().is_err() || !keep_alive {
             break;
         }
+        idle_since = Instant::now();
     }
     let _ = writer.shutdown(Shutdown::Both);
 }
@@ -252,13 +378,13 @@ fn dispatch(request: &HttpRequest, shared: &Shared) -> HttpResponse {
             response
         }
         ("GET", "/metrics") => {
-            let body = shared.metrics.render_text(&shared.gate, &shared.tenants);
+            let body = shared.metrics.render_text(&shared.metrics_context());
             let response = HttpResponse::text(200, body);
             shared.metrics.metrics.observe(started.elapsed());
             response
         }
         ("GET", "/metrics.json") => {
-            let body = shared.metrics.render_json(&shared.gate, &shared.tenants);
+            let body = shared.metrics.render_json(&shared.metrics_context());
             let response = HttpResponse::json(200, body);
             shared.metrics.metrics.observe(started.elapsed());
             response
@@ -300,7 +426,9 @@ fn query_route(request: &HttpRequest, shared: &Shared) -> HttpResponse {
                 shared.gate.capacity()
             ),
         };
-        return HttpResponse::json(error.status, error.body()).with_header("retry-after", "1");
+        let retry_after = shared.gate.retry_after_hint().to_string();
+        return HttpResponse::json(error.status, error.body())
+            .with_header("retry-after", retry_after.as_str());
     };
     let outcome = catch_unwind(AssertUnwindSafe(|| handle_query(request, shared)));
     match outcome {
@@ -308,7 +436,10 @@ fn query_route(request: &HttpRequest, shared: &Shared) -> HttpResponse {
         Ok(Err(error)) => {
             let response = HttpResponse::json(error.status, error.body());
             if error.status == 503 || error.status == 429 {
-                response.with_header("retry-after", "1")
+                // Load-derived hint: the busier the gate, the longer
+                // the suggested back-off, with deterministic jitter.
+                let retry_after = shared.gate.retry_after_hint().to_string();
+                response.with_header("retry-after", retry_after.as_str())
             } else {
                 response
             }

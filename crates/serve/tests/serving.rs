@@ -318,12 +318,19 @@ fn saturation_sheds_immediately_and_conserves_the_bill() {
         std::thread::yield_now();
     }
 
-    // Everything else is shed in constant time with a retry hint.
+    // Everything else is shed in constant time with a load-derived
+    // retry hint: the gate is at capacity, so the base hint is its
+    // maximum (4) plus the deterministic 0/1 shed-count jitter.
     for _ in 0..5 {
         let mut client = HttpClient::connect(addr).unwrap();
         let shed = client.post("/query", body).unwrap();
         assert_eq!(shed.status, 429);
-        assert_eq!(shed.header("retry-after"), Some("1"));
+        let hint: u64 = shed
+            .header("retry-after")
+            .expect("shed response carries a retry hint")
+            .parse()
+            .expect("retry-after is integral seconds");
+        assert!((4..=5).contains(&hint), "full gate hints 4-5s, got {hint}");
         assert!(shed.body_text().contains("\"error\":\"saturated\""));
     }
 
@@ -510,4 +517,144 @@ fn predicate_strings_match_direct_submit_byte_identically() {
     let text = r.body_text();
     assert!(text.contains("\"error\":\"bad_expression\""), "{text}");
     assert!(text.contains("byte 13"), "{text}");
+}
+
+#[test]
+fn connection_cap_refuses_inline_with_503_and_recovers() {
+    let handle = serve(
+        "127.0.0.1:0",
+        ServeConfig {
+            max_connections: 2,
+            ..small_config()
+        },
+    )
+    .unwrap();
+    let addr = handle.local_addr();
+
+    // Two live keep-alive connections fill the gate.
+    let mut a = HttpClient::connect(addr).unwrap();
+    let mut b = HttpClient::connect(addr).unwrap();
+    assert_eq!(a.get("/health").unwrap().status, 200);
+    assert_eq!(b.get("/health").unwrap().status, 200);
+    assert_eq!(handle.connections().in_flight(), 2);
+
+    // A third socket is refused inline on the accept thread — the 503
+    // arrives without the client sending a single byte, which is only
+    // possible if no connection thread was spawned for it.
+    let mut refused = HttpClient::connect(addr).unwrap();
+    let r = refused.raw(b"").unwrap();
+    assert_eq!(r.status, 503);
+    assert!(r.header("retry-after").is_some());
+    assert!(r
+        .body_text()
+        .contains("\"error\":\"connections_exhausted\""));
+    assert_eq!(handle.connections().shed(), 1);
+
+    // The refusal counts toward the metrics the surviving connections
+    // can still read.
+    let metrics = a.get("/metrics").unwrap().body_text();
+    assert!(metrics.contains("serve_connections_capacity 2\n"));
+    assert!(metrics.contains("serve_connections_open 2\n"));
+    assert!(metrics.contains("serve_connections_shed 1\n"));
+
+    // Closing one connection frees its slot (the idle loop notices the
+    // peer's FIN within one poll quantum) and a new client is admitted.
+    drop(b);
+    let deadline = std::time::Instant::now() + Duration::from_secs(2);
+    while handle.connections().in_flight() > 1 && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(
+        handle.connections().in_flight(),
+        1,
+        "slot released on close"
+    );
+    let mut c = HttpClient::connect(addr).unwrap();
+    assert_eq!(c.get("/health").unwrap().status, 200);
+}
+
+#[test]
+fn shutdown_drains_idle_connections_within_the_deadline() {
+    let mut handle = serve(
+        "127.0.0.1:0",
+        ServeConfig {
+            drain_deadline: Duration::from_secs(3),
+            ..small_config()
+        },
+    )
+    .unwrap();
+    let addr = handle.local_addr();
+
+    // Two idle keep-alive connections that already served a request.
+    let mut a = HttpClient::connect(addr).unwrap();
+    let mut b = HttpClient::connect(addr).unwrap();
+    assert_eq!(a.get("/health").unwrap().status, 200);
+    assert_eq!(b.get("/health").unwrap().status, 200);
+    assert_eq!(handle.connections().in_flight(), 2);
+
+    // Graceful shutdown must not wait out the full drain deadline (let
+    // alone the 5s idle read timeout): idle connections poll the
+    // shutdown flag every 100ms and release their slots.
+    let started = std::time::Instant::now();
+    handle.shutdown();
+    assert!(
+        started.elapsed() < Duration::from_secs(2),
+        "idle drain took {:?}",
+        started.elapsed()
+    );
+    assert_eq!(handle.connections().in_flight(), 0, "all slots released");
+    assert!(
+        a.get("/health").is_err() && b.get("/health").is_err(),
+        "drained connections are closed"
+    );
+}
+
+#[test]
+fn remote_backend_counters_surface_in_both_metrics_exports() {
+    use expred_remote::{ClientConfig, FaultPlan, RemoteClient, UdfServer};
+    use std::sync::Arc;
+
+    // A healthy in-process UDF backend with one oracle.
+    let labels: Arc<Vec<bool>> = Arc::new((0..64).map(|i| i % 3 == 0).collect());
+    let mut oracles = std::collections::HashMap::new();
+    oracles.insert("default".to_owned(), labels);
+    let backend = UdfServer::bind("127.0.0.1:0", oracles, FaultPlan::healthy()).unwrap();
+    let endpoint = backend.addr().to_string();
+
+    let remote = Arc::new(RemoteClient::new(ClientConfig::new(endpoint.clone())));
+    assert_eq!(remote.probe("default", 0), Ok(true));
+    assert_eq!(remote.probe("default", 1), Ok(false));
+
+    let handle = serve(
+        "127.0.0.1:0",
+        ServeConfig {
+            remote: Some(Arc::clone(&remote)),
+            ..small_config()
+        },
+    )
+    .unwrap();
+    let mut client = HttpClient::connect(handle.local_addr()).unwrap();
+
+    let text = client.get("/metrics").unwrap().body_text();
+    let requests_line = format!("remote_udf_requests{{endpoint=\"{endpoint}\"}} 2\n");
+    assert!(text.contains(&requests_line), "{text}");
+    assert!(text.contains(&format!(
+        "remote_udf_breaker_opens{{endpoint=\"{endpoint}\"}} 0\n"
+    )));
+
+    let doc = JsonValue::parse(&client.get("/metrics.json").unwrap().body_text()).unwrap();
+    let remote_obj = doc.get("remote").expect("remote key present");
+    assert_eq!(
+        remote_obj.get("endpoint").unwrap().as_str(),
+        Some(endpoint.as_str())
+    );
+    assert_eq!(
+        remote_obj
+            .get("counters")
+            .unwrap()
+            .get("requests")
+            .unwrap()
+            .as_u64(),
+        Some(2)
+    );
 }

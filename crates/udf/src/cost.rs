@@ -57,6 +57,15 @@ pub struct CostCounts {
     /// earlier query in the session already paid `o_e` for. Counted once
     /// per row and query (subsequent re-reads are `cache_hits`).
     pub reuse_hits: u64,
+    /// Extra wire attempts a remote backend made after a timeout or
+    /// transport failure. A ledger, not a bill: a retried probe still
+    /// charges `o_e` exactly once (under `evaluated`) — this counts the
+    /// re-sends so fault-handling overhead is auditable.
+    pub retries: u64,
+    /// Speculative duplicate requests a remote backend launched to cut
+    /// tail latency (first answer wins). Like `retries`, a ledger only:
+    /// a hedged probe bills `o_e` once no matter which copy answered.
+    pub hedges: u64,
 }
 
 impl CostCounts {
@@ -74,6 +83,19 @@ impl CostCounts {
     pub fn demanded(&self) -> u64 {
         self.evaluated + self.cache_hits + self.reuse_hits
     }
+
+    /// `(name, value)` pairs for metrics export, in stable order — the
+    /// same `fields()` snapshot pattern the engine/cache/memo stats use.
+    pub fn fields(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("retrieved", self.retrieved),
+            ("evaluated", self.evaluated),
+            ("cache_hits", self.cache_hits),
+            ("reuse_hits", self.reuse_hits),
+            ("retries", self.retries),
+            ("hedges", self.hedges),
+        ]
+    }
 }
 
 impl fmt::Display for CostCounts {
@@ -84,7 +106,17 @@ impl fmt::Display for CostCounts {
             f,
             "retrieved {} | fresh evals {} | memo hits {} | cross-query reuse {}",
             self.retrieved, self.evaluated, self.cache_hits, self.reuse_hits
-        )
+        )?;
+        // Wire-level fault handling is worth a line only when it
+        // happened; local backends keep the familiar four-part bill.
+        if self.retries != 0 || self.hedges != 0 {
+            write!(
+                f,
+                " | wire retries {} | hedges {}",
+                self.retries, self.hedges
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -108,6 +140,8 @@ struct AtomicCounts {
     evaluated: AtomicU64,
     cache_hits: AtomicU64,
     reuse_hits: AtomicU64,
+    retries: AtomicU64,
+    hedges: AtomicU64,
 }
 
 impl CostTracker {
@@ -151,6 +185,18 @@ impl CostTracker {
         self.counts.reuse_hits.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Records `n` wire-level retry attempts (ledger only — the retried
+    /// probes' `o_e` is still charged exactly once via `add_evaluations`).
+    pub fn add_retries(&self, n: u64) {
+        self.counts.retries.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records `n` hedged (speculative duplicate) wire requests (ledger
+    /// only — a hedged probe bills once no matter which copy answered).
+    pub fn add_hedges(&self, n: u64) {
+        self.counts.hedges.fetch_add(n, Ordering::Relaxed);
+    }
+
     /// Current counts.
     pub fn snapshot(&self) -> CostCounts {
         CostCounts {
@@ -158,6 +204,8 @@ impl CostTracker {
             evaluated: self.counts.evaluated.load(Ordering::Relaxed),
             cache_hits: self.counts.cache_hits.load(Ordering::Relaxed),
             reuse_hits: self.counts.reuse_hits.load(Ordering::Relaxed),
+            retries: self.counts.retries.load(Ordering::Relaxed),
+            hedges: self.counts.hedges.load(Ordering::Relaxed),
         }
     }
 
@@ -168,6 +216,8 @@ impl CostTracker {
         self.add_evaluations(counts.evaluated);
         self.add_cache_hits(counts.cache_hits);
         self.add_reuse_hits(counts.reuse_hits);
+        self.add_retries(counts.retries);
+        self.add_hedges(counts.hedges);
     }
 
     /// Resets all counters to zero.
@@ -176,6 +226,8 @@ impl CostTracker {
         self.counts.evaluated.store(0, Ordering::Relaxed);
         self.counts.cache_hits.store(0, Ordering::Relaxed);
         self.counts.reuse_hits.store(0, Ordering::Relaxed);
+        self.counts.retries.store(0, Ordering::Relaxed);
+        self.counts.hedges.store(0, Ordering::Relaxed);
     }
 }
 
@@ -228,6 +280,7 @@ mod tests {
             evaluated: 0,
             cache_hits: 100,
             reuse_hits: 40,
+            ..CostCounts::default()
         };
         assert_eq!(c.cost(&CostModel::PAPER_DEFAULT), 0.0);
         assert_eq!(c.demanded(), 140);
@@ -240,10 +293,21 @@ mod tests {
             evaluated: 75,
             cache_hits: 30,
             reuse_hits: 15,
+            ..CostCounts::default()
         };
         assert_eq!(
             c.to_string(),
             "retrieved 120 | fresh evals 75 | memo hits 30 | cross-query reuse 15"
+        );
+        let remote = CostCounts {
+            retries: 4,
+            hedges: 2,
+            ..c
+        };
+        assert_eq!(
+            remote.to_string(),
+            "retrieved 120 | fresh evals 75 | memo hits 30 | cross-query reuse 15 \
+             | wire retries 4 | hedges 2"
         );
     }
 
@@ -255,12 +319,16 @@ mod tests {
             evaluated: 5,
             cache_hits: 2,
             reuse_hits: 0,
+            retries: 3,
+            hedges: 1,
         };
         let q2 = CostCounts {
             retrieved: 4,
             evaluated: 0,
             cache_hits: 1,
             reuse_hits: 5,
+            retries: 0,
+            hedges: 2,
         };
         session.absorb(&q1);
         session.absorb(&q2);
@@ -269,6 +337,47 @@ mod tests {
         assert_eq!(total.evaluated, 5);
         assert_eq!(total.cache_hits, 3);
         assert_eq!(total.reuse_hits, 5);
+        assert_eq!(total.retries, 3);
+        assert_eq!(total.hedges, 3);
+    }
+
+    #[test]
+    fn retries_and_hedges_are_a_ledger_not_a_bill() {
+        let t = CostTracker::new();
+        t.add_evaluations(10);
+        t.add_retries(7);
+        t.add_hedges(3);
+        let c = t.snapshot();
+        assert_eq!(c.retries, 7);
+        assert_eq!(c.hedges, 3);
+        // The bill only counts evaluations: re-sends are free.
+        assert_eq!(c.cost(&CostModel::PAPER_DEFAULT), 30.0);
+        assert_eq!(c.demanded(), 10);
+        t.reset();
+        assert_eq!(t.snapshot(), CostCounts::default());
+    }
+
+    #[test]
+    fn fields_export_stable_names() {
+        let c = CostCounts {
+            retrieved: 1,
+            evaluated: 2,
+            cache_hits: 3,
+            reuse_hits: 4,
+            retries: 5,
+            hedges: 6,
+        };
+        assert_eq!(
+            c.fields(),
+            vec![
+                ("retrieved", 1),
+                ("evaluated", 2),
+                ("cache_hits", 3),
+                ("reuse_hits", 4),
+                ("retries", 5),
+                ("hedges", 6),
+            ]
+        );
     }
 
     #[test]
