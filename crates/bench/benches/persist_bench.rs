@@ -1,0 +1,162 @@
+//! Persistence-tier benchmarks: the cost of durability and the payoff
+//! of a warm restart.
+//!
+//! ```text
+//! cargo bench --bench persist_bench            # full run
+//! cargo bench --bench persist_bench -- --smoke # CI: compile-and-run proof
+//! ```
+//!
+//! Scenarios (→ `BENCH_persist.json`):
+//!
+//! * `warm_restart_naive_beta1` — a β = 1.0 naive query over a slow UDF,
+//!   timed in the process that pays for every row vs a fresh process
+//!   rehydrating the same directory. The restarted run must charge
+//!   **zero** fresh `o_e` (asserted, and exported as the
+//!   `warm_restart_bill` row, which must stay 0).
+//! * `wal_append` — raw [`PersistStore::append_row`] throughput through
+//!   the bounded queue and batched-fsync flusher, ns/record.
+//! * `recovery` — reopening the store over that WAL: CRC-checked replay
+//!   cost per recovered record.
+
+use expred_bench::BenchReport;
+use expred_core::{PersistConfig, QueryEngine, QueryRequest, QuerySpec};
+use expred_persist::{PersistKey, PersistStore};
+use expred_table::datasets::{Dataset, DatasetSpec, PROSPER};
+use expred_udf::CostModel;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("expred-persist-bench-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn main() {
+    if std::env::args().any(|a| a == "--test") {
+        return;
+    }
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let mut report = BenchReport::new("persist");
+    println!(
+        "persist_bench ({} mode)",
+        if smoke { "smoke" } else { "full" }
+    );
+
+    // ---- Warm restart: pay once, reboot, answer for free. ----
+    let rows = if smoke { 400 } else { 2_000 };
+    let latency = Duration::from_micros(if smoke { 50 } else { 100 });
+    let ds = Dataset::generate(DatasetSpec { rows, ..PROSPER }, 7);
+    // β = 1.0: the naive pipeline evaluates every row, so the cold run
+    // is `rows` slow UDF calls and the restart covers the whole table.
+    let spec = QuerySpec::try_new(0.8, 1.0, 0.8, CostModel::PAPER_DEFAULT).expect("valid spec");
+    let request = QueryRequest::naive(spec).with_seed(7);
+    let dir = scratch("engine");
+
+    let engine = |dir: &PathBuf| {
+        QueryEngine::new()
+            .with_result_capacity(0)
+            .with_udf_latency(latency)
+            .with_persistence(PersistConfig::new(dir))
+            .expect("open persistence")
+    };
+    let first = engine(&dir);
+    let start = Instant::now();
+    let cold = first.submit(&ds, &request).expect("cold submit");
+    let cold_secs = start.elapsed().as_secs_f64();
+    assert_eq!(cold.counts.evaluated as usize, rows, "β = 1.0 pays for all");
+    first.flush_persistence().expect("flush before the restart");
+    drop(first);
+
+    let second = engine(&dir);
+    let start = Instant::now();
+    let warm = second.submit(&ds, &request).expect("rehydrated submit");
+    let warm_secs = start.elapsed().as_secs_f64();
+    assert_eq!(
+        warm.counts.evaluated, 0,
+        "a warm restart must charge zero fresh o_e"
+    );
+    assert_eq!(warm.counts.reuse_hits as usize, rows);
+    assert_eq!(warm.returned, cold.returned, "restart changed answers");
+    let rehydrated = second
+        .persist_stats()
+        .expect("persistent engine exports stats")
+        .rehydrated_rows;
+    assert_eq!(rehydrated as usize, rows, "every row came back from disk");
+    drop(second);
+
+    let per_row = |secs: f64| secs * 1e9 / rows as f64;
+    let ratio = cold_secs / warm_secs;
+    report.record(
+        "warm_restart_naive_beta1",
+        "cold_process",
+        per_row(cold_secs),
+        1.0,
+    );
+    report.record(
+        "warm_restart_naive_beta1",
+        "rehydrated_process",
+        per_row(warm_secs),
+        ratio,
+    );
+    // The acceptance row: fresh evaluations after the restart. Must stay
+    // 0 forever; bench-diff treats a 0 baseline as unmeasured, so this
+    // documents the bill without ever tripping the perf gate.
+    report.record(
+        "warm_restart_bill",
+        "fresh_evaluations_after_restart",
+        warm.counts.evaluated as f64,
+        1.0,
+    );
+    println!(
+        "warm_restart_naive_beta1    cold {cold_secs:.3}s, rehydrated {warm_secs:.3}s \
+         ({rows} rows, 0 fresh o_e) -> {ratio:.0}x"
+    );
+
+    // ---- Raw WAL append throughput. ----
+    let wal_dir = scratch("wal");
+    let records = if smoke { 20_000u32 } else { 200_000 };
+    let store = PersistStore::open(
+        PersistConfig::new(&wal_dir)
+            .with_queue_capacity(records as usize)
+            .with_compact_after(0),
+    )
+    .expect("open WAL store");
+    let key = PersistKey {
+        udf: 1,
+        table: 2,
+        version: 3,
+    };
+    let start = Instant::now();
+    for i in 0..records {
+        store.append_row(key, i, i % 2 == 0, 1_000 + i as u64);
+    }
+    store.sync().expect("drain and fsync the WAL");
+    let append_secs = start.elapsed().as_secs_f64();
+    drop(store);
+    let append_ns = append_secs * 1e9 / records as f64;
+    report.record("wal_append", "append_plus_batched_fsync", append_ns, 1.0);
+    println!("wal_append                  {append_ns:>8.1} ns/record ({records} records)");
+
+    // ---- Recovery replay over that WAL. ----
+    let start = Instant::now();
+    let recovered = PersistStore::open(PersistConfig::new(&wal_dir)).expect("recover WAL");
+    let recovery_secs = start.elapsed().as_secs_f64();
+    assert_eq!(
+        recovered.stats().recovered_rows,
+        records as u64,
+        "recovery must replay every record"
+    );
+    drop(recovered);
+    let recovery_ns = recovery_secs * 1e9 / records as f64;
+    report.record("recovery", "open_wal", recovery_ns, append_ns / recovery_ns);
+    println!("recovery                    {recovery_ns:>8.1} ns/record");
+
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&wal_dir);
+    match report.write() {
+        Ok(path) => println!("results written to {}", path.display()),
+        Err(err) => eprintln!("could not write bench report: {err}"),
+    }
+}

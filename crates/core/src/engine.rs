@@ -85,6 +85,7 @@
 
 use crate::error::EngineError;
 use crate::optimize::CorrelationModel;
+use crate::persistence::{PersistLayer, PersistSessionStats};
 use crate::pipeline::{IntelSampleConfig, RunOutcome};
 use crate::query::QuerySpec;
 use crate::request::{InfeasiblePolicy, QueryRequest};
@@ -93,8 +94,9 @@ use crate::sampling::SampleSizeRule;
 use crate::strategy::StrategyIdentity;
 use expred_exec::{
     AdaptiveController, CacheStats, CacheStore, ExecContext, Executor, SelectivityTracker,
-    Sequential,
+    Sequential, SpillSink,
 };
+use expred_persist::{PersistConfig, PersistError, PersistStore};
 use expred_stats::hash::Fnv64;
 use expred_table::datasets::Dataset;
 use expred_table::{DerivedCache, DerivedCacheStats};
@@ -357,6 +359,11 @@ pub struct QueryEngine {
     /// ([`crate::strategy::ExprScan::optimized`]). Statistics, not cached
     /// answers: [`QueryEngine::clear_caches`] leaves them alone.
     selectivity: SelectivityTracker,
+    /// Durable persistence bridge ([`QueryEngine::with_persistence`]):
+    /// spills fresh answers to a WAL-backed store and rehydrates them —
+    /// version-checked — on the first submit over each table state.
+    /// `None` (the default) keeps the engine fully in-memory.
+    persist: Option<Arc<PersistLayer>>,
 }
 
 // The `&self + Sync` contract is the point of the engine; if a field
@@ -386,6 +393,7 @@ impl QueryEngine {
             inflight: Mutex::new(HashMap::new()),
             derived: DerivedCache::new(),
             selectivity: SelectivityTracker::new(),
+            persist: None,
         }
     }
 
@@ -398,10 +406,49 @@ impl QueryEngine {
     }
 
     /// Replaces the row-tier cache with one bounded at `capacity` entries
-    /// per namespace.
+    /// per namespace (the TTL and persistence wiring, if any, carry
+    /// over).
     pub fn with_cache_capacity(mut self, capacity: usize) -> Self {
+        let ttl = self.store.ttl();
         self.store = CacheStore::with_capacity(capacity);
+        self.store.set_ttl(ttl);
+        if let Some(layer) = &self.persist {
+            self.store
+                .set_spill(Some(Arc::clone(layer) as Arc<dyn SpillSink>));
+        }
         self
+    }
+
+    /// Bounds the staleness of row-tier answers: a cache namespace older
+    /// than `ttl` is dropped on next borrow ([`CacheStats::ttl_expirations`]).
+    /// With persistence wired, rehydrated namespaces carry the age of
+    /// their oldest persisted answer, so the bound holds across restarts
+    /// rather than resetting each boot.
+    pub fn with_cache_ttl(self, ttl: Duration) -> Self {
+        self.store.set_ttl(Some(ttl));
+        self
+    }
+
+    /// Attaches a durable persistence tier rooted at `config`'s
+    /// directory, recovering whatever a previous process left there.
+    ///
+    /// From this point on, every fresh `(udf, table, version, row) →
+    /// answer` the session pays `o_e` for is offered to a WAL-backed
+    /// store (asynchronously — the hot path never blocks on disk), and
+    /// the first submit over each table state rehydrates matching
+    /// persisted namespaces into the row tier, so a restarted process
+    /// re-serves previously-paid answers at zero `o_e`. Matching is by
+    /// *(schema fingerprint, content version)* — both process-independent
+    /// — so a mutated or different table can never be served another
+    /// table's answers. [`QueryEngine::clear_caches`] tombstones the
+    /// durable tier along with the in-memory ones.
+    pub fn with_persistence(mut self, config: PersistConfig) -> Result<Self, PersistError> {
+        let store = PersistStore::open(config)?;
+        let layer = Arc::new(PersistLayer::new(store));
+        self.store
+            .set_spill(Some(Arc::clone(&layer) as Arc<dyn SpillSink>));
+        self.persist = Some(layer);
+        Ok(self)
     }
 
     /// Bounds the query-tier result memo (0 disables it). The effective
@@ -477,6 +524,12 @@ impl QueryEngine {
     pub fn submit(&self, ds: &Dataset, req: &QueryRequest) -> Result<RunOutcome, EngineError> {
         let strategy = req.strategy();
         strategy.validate(ds)?;
+        // With persistence wired: register the table's durable identity
+        // and, once per (table, version), rehydrate persisted answers
+        // into the row tier before any evaluation is planned.
+        if let Some(layer) = &self.persist {
+            layer.register(ds, &self.store, &self.selectivity);
+        }
         // `queries` before the memo probe, `result_hits` after the hit:
         // this increment order is what makes stats snapshots consistent.
         self.stats.queries.fetch_add(1, Ordering::AcqRel);
@@ -631,6 +684,28 @@ impl QueryEngine {
         self.derived.stats()
     }
 
+    /// Persistence-tier statistics, if persistence is wired
+    /// ([`QueryEngine::with_persistence`]); `None` on in-memory engines.
+    pub fn persist_stats(&self) -> Option<PersistSessionStats> {
+        self.persist.as_ref().map(|layer| layer.session_stats())
+    }
+
+    /// Pushes the session's durable state to disk and waits for it:
+    /// re-offers every live row-tier entry (shed WAL records are
+    /// recaptured; already-persisted ones deduplicate to no-ops), writes
+    /// the current selectivity counters through, and blocks until the
+    /// flusher has fsynced everything accepted so far. A no-op without
+    /// persistence.
+    pub fn flush_persistence(&self) -> Result<(), PersistError> {
+        let Some(layer) = &self.persist else {
+            return Ok(());
+        };
+        self.store
+            .for_each_entry(|namespace, row, answer| layer.spill(namespace, row, answer));
+        layer.flush_selectivity(&self.selectivity);
+        layer.store().sync()
+    }
+
     /// The session's derived-data cache (e.g. for warming it outside the
     /// engine's own entry points).
     pub fn derived(&self) -> &DerivedCache {
@@ -657,10 +732,36 @@ impl QueryEngine {
     /// statistics, not cached answers — dropping cached rows never
     /// invalidates what was observed about the data, and a cleared-cache
     /// session should keep planning with everything it has learned.
+    ///
+    /// With persistence wired, the durable tier is tombstoned too —
+    /// synchronously, via an immediate compaction — so a clear followed
+    /// by a restart cannot resurrect the cleared answers from disk.
+    /// (Persisted selectivity counters are cleared along with the rows;
+    /// the session's in-memory counters survive and are re-persisted on
+    /// the next flush.)
     pub fn clear_caches(&self) {
         self.store.clear();
         self.results.clear();
         self.derived.clear();
+        if let Some(layer) = &self.persist {
+            // Best-effort: an IO failure here leaves the in-memory tiers
+            // cleared and the durable tier intact (it will be tombstoned
+            // again by the next clear or superseded by future snapshots).
+            let _ = layer.store().tombstone_all();
+        }
+    }
+}
+
+impl Drop for QueryEngine {
+    fn drop(&mut self) {
+        // Selectivity counters only reach the store on explicit flushes;
+        // catch whatever the session learned since the last one. Row
+        // answers need no help here: they were offered as they were
+        // cached, and `PersistStore`'s own Drop drains and fsyncs the
+        // WAL.
+        if let Some(layer) = &self.persist {
+            layer.flush_selectivity(&self.selectivity);
+        }
     }
 }
 

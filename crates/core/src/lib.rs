@@ -47,6 +47,7 @@ pub mod error;
 pub mod execute;
 pub mod extensions;
 pub mod optimize;
+pub mod persistence;
 pub mod pipeline;
 pub mod plan;
 pub mod query;
@@ -70,6 +71,10 @@ pub use optimize::{
     estimated_feasible, solve_estimated, solve_perfect_selectivities, CorrelationModel,
     EstimatedGroup, PlanError,
 };
+pub use persistence::PersistSessionStats;
+// Re-exported so engine users can configure persistence without a direct
+// `expred-persist` dependency.
+pub use expred_persist::{FsyncPolicy, PersistConfig, PersistError};
 pub use pipeline::{
     run_intel_sample, run_intel_sample_ctx, run_intel_sample_with, run_naive, run_naive_ctx,
     run_naive_with, run_optimal, run_optimal_ctx, run_optimal_with, IntelSampleConfig,

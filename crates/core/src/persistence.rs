@@ -1,0 +1,303 @@
+//! The engine ↔ durable-store bridge: identity translation, spill, and
+//! rehydration.
+//!
+//! [`expred_persist::PersistStore`] speaks *process-independent* keys —
+//! `(udf fingerprint, schema fingerprint, content version)` — because a
+//! [`expred_table::TableId`] is a process-local counter that means
+//! nothing after a restart. The live cache tiers speak *process-local*
+//! [`CacheNamespace`]s keyed by that id. `PersistLayer` owns the
+//! translation in both directions:
+//!
+//! * **Spill** (live → disk): the layer implements
+//!   [`expred_exec::SpillSink`], so every fresh answer entering the
+//!   [`expred_exec::CacheStore`] (and every answer the capacity bound
+//!   evicts) is offered to the WAL, translated through the table-id
+//!   registry. Offers for unregistered tables are dropped and counted —
+//!   never guessed.
+//! * **Rehydrate** (disk → live): the first time a session submits a
+//!   query over a dataset, the layer registers the table and prefill-loads
+//!   every persisted namespace whose `(schema fingerprint, content
+//!   version)` *both* match the live table — a version-checked hydration
+//!   that can serve stale answers to no one. Selectivity counters ride
+//!   along into the session's [`expred_exec::SelectivityTracker`].
+//!
+//! Row timestamps are wall-clock (`UNIX_EPOCH` nanos) so a cache TTL
+//! ([`expred_exec::CacheStore::set_ttl`]) measures answer age across
+//! restarts: a rehydrated namespace is backdated by its oldest persisted
+//! answer's age and expires on schedule, not one full TTL after every
+//! reboot.
+
+use expred_exec::{CacheNamespace, CacheStore, SelectivityTracker, SpillSink};
+use expred_persist::{PersistKey, PersistStats, PersistStore};
+use expred_table::datasets::Dataset;
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::RwLock;
+use std::time::{Duration, SystemTime, UNIX_EPOCH};
+
+/// Current wall-clock time as nanos since `UNIX_EPOCH` (0 if the clock
+/// is before the epoch — timestamps only feed TTL aging, so degrading to
+/// "brand new" is safe).
+pub(crate) fn now_unix_nanos() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_nanos().min(u64::MAX as u128) as u64)
+        .unwrap_or(0)
+}
+
+/// One registered table: its process-independent schema identity plus
+/// which content versions have already been rehydrated this session.
+#[derive(Debug, Default)]
+struct TableReg {
+    schema_fp: u64,
+    hydrated: HashSet<u64>,
+}
+
+/// Counters the engine layer adds on top of [`PersistStats`].
+#[derive(Debug, Default)]
+struct LayerCounters {
+    spilled_offers: AtomicU64,
+    skipped_unregistered: AtomicU64,
+    rehydrated_rows: AtomicU64,
+    rehydrated_namespaces: AtomicU64,
+    selectivity_seeded: AtomicU64,
+}
+
+/// A session-level snapshot of the whole persistence pipeline: the
+/// store's own counters plus the engine layer's translation/rehydration
+/// counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PersistSessionStats {
+    /// Row answers accepted into the durable index.
+    pub appended: u64,
+    /// WAL records dropped under backpressure (recaptured by compaction).
+    pub shed: u64,
+    /// Records written to the WAL by the flusher.
+    pub flushed: u64,
+    /// `fsync` calls issued.
+    pub fsyncs: u64,
+    /// Snapshot compactions completed.
+    pub compactions: u64,
+    /// Row answers recovered from disk at open.
+    pub recovered_rows: u64,
+    /// Namespaces recovered from disk at open.
+    pub recovered_namespaces: u64,
+    /// Corrupt/truncated tail bytes discarded at open.
+    pub tail_bytes_discarded: u64,
+    /// Cache writes offered to the store (fresh inserts + evictions).
+    pub spilled_offers: u64,
+    /// Offers dropped because their table was never registered.
+    pub skipped_unregistered: u64,
+    /// Rows prefill-loaded into the live cache from disk.
+    pub rehydrated_rows: u64,
+    /// Namespaces prefill-loaded into the live cache from disk.
+    pub rehydrated_namespaces: u64,
+    /// Selectivity namespaces seeded from persisted counters.
+    pub selectivity_seeded: u64,
+}
+
+impl PersistSessionStats {
+    /// The snapshot as named counters, in stable declaration order — the
+    /// serialization-ready view the `/metrics` endpoint and the bench
+    /// artifacts share (render with
+    /// [`expred_stats::json::counters_to_json`] /
+    /// [`expred_stats::json::counters_to_text`]).
+    pub fn fields(&self) -> [(&'static str, u64); 13] {
+        [
+            ("appended", self.appended),
+            ("shed", self.shed),
+            ("flushed", self.flushed),
+            ("fsyncs", self.fsyncs),
+            ("compactions", self.compactions),
+            ("recovered_rows", self.recovered_rows),
+            ("recovered_namespaces", self.recovered_namespaces),
+            ("tail_bytes_discarded", self.tail_bytes_discarded),
+            ("spilled_offers", self.spilled_offers),
+            ("skipped_unregistered", self.skipped_unregistered),
+            ("rehydrated_rows", self.rehydrated_rows),
+            ("rehydrated_namespaces", self.rehydrated_namespaces),
+            ("selectivity_seeded", self.selectivity_seeded),
+        ]
+    }
+}
+
+/// The engine's durable-persistence bridge. See the module docs.
+#[derive(Debug)]
+pub(crate) struct PersistLayer {
+    store: PersistStore,
+    /// Table instance id → registration (schema fingerprint + hydrated
+    /// versions). Read on every spill; written once per new table state.
+    tables: RwLock<HashMap<u64, TableReg>>,
+    counters: LayerCounters,
+}
+
+impl PersistLayer {
+    pub(crate) fn new(store: PersistStore) -> Self {
+        Self {
+            store,
+            tables: RwLock::new(HashMap::new()),
+            counters: LayerCounters::default(),
+        }
+    }
+
+    pub(crate) fn store(&self) -> &PersistStore {
+        &self.store
+    }
+
+    /// Translates a live namespace to its durable key, if the table is
+    /// registered.
+    fn durable_key(&self, namespace: CacheNamespace) -> Option<PersistKey> {
+        let tables = self.tables.read().unwrap_or_else(|e| e.into_inner());
+        tables.get(&namespace.table).map(|reg| PersistKey {
+            udf: namespace.udf,
+            table: reg.schema_fp,
+            version: namespace.version,
+        })
+    }
+
+    /// Registers `ds`'s current state and — exactly once per `(table,
+    /// version)` per session — rehydrates every matching persisted
+    /// namespace into `cache` and seeds `selectivity` with persisted
+    /// counters.
+    pub(crate) fn register(
+        &self,
+        ds: &Dataset,
+        cache: &CacheStore,
+        selectivity: &SelectivityTracker,
+    ) {
+        let tid = ds.table.id().as_u64();
+        let schema_fp = ds.table.schema().fingerprint();
+        let version = ds.table.version();
+        {
+            let tables = self.tables.read().unwrap_or_else(|e| e.into_inner());
+            if let Some(reg) = tables.get(&tid) {
+                if reg.schema_fp == schema_fp && reg.hydrated.contains(&version) {
+                    return;
+                }
+            }
+        }
+        let mut tables = self.tables.write().unwrap_or_else(|e| e.into_inner());
+        let reg = tables.entry(tid).or_default();
+        // A table id whose schema changed is a different durable identity:
+        // re-point the registration (hydration below is version-checked,
+        // so nothing stale can have leaked under the old mapping).
+        if reg.schema_fp != schema_fp {
+            reg.schema_fp = schema_fp;
+            reg.hydrated.clear();
+        }
+        if !reg.hydrated.insert(version) {
+            return;
+        }
+        // Hydrate while holding the write lock: it happens once per table
+        // state, and racing submits must not observe "registered" before
+        // the prefill has landed (they would pay o_e for persisted rows).
+        let now = now_unix_nanos();
+        for key in self.store.namespaces() {
+            if key.table != schema_fp || key.version != version {
+                continue;
+            }
+            let Some(rows) = self.store.rows(key) else {
+                continue;
+            };
+            if rows.is_empty() {
+                continue;
+            }
+            let oldest = rows.iter().map(|&(_, _, ts)| ts).min().unwrap_or(now);
+            let age = Duration::from_nanos(now.saturating_sub(oldest));
+            let pairs: Vec<(usize, bool)> = rows
+                .iter()
+                .map(|&(row, answer, _)| (row as usize, answer))
+                .collect();
+            let namespace = CacheNamespace {
+                udf: key.udf,
+                table: tid,
+                version,
+            };
+            let loaded = cache.prefill(namespace, &pairs, age);
+            if loaded > 0 {
+                self.counters
+                    .rehydrated_rows
+                    .fetch_add(loaded as u64, Ordering::Relaxed);
+                self.counters
+                    .rehydrated_namespaces
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        for (key, passes, total) in self.store.selectivities() {
+            if key.table != schema_fp || key.version != version {
+                continue;
+            }
+            let namespace = CacheNamespace {
+                udf: key.udf,
+                table: tid,
+                version,
+            };
+            selectivity.seed_counts(namespace, passes, total);
+            self.counters
+                .selectivity_seeded
+                .fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Writes the session's current selectivity counters through to the
+    /// store (absolute overwrite semantics: repeated flushes never
+    /// double-count).
+    pub(crate) fn flush_selectivity(&self, selectivity: &SelectivityTracker) {
+        for (namespace, passes, total) in selectivity.snapshot_counts() {
+            if let Some(key) = self.durable_key(namespace) {
+                self.store.record_selectivity(key, passes, total);
+            }
+        }
+    }
+
+    /// Session-level statistics: store counters + layer counters.
+    pub(crate) fn session_stats(&self) -> PersistSessionStats {
+        let PersistStats {
+            appended,
+            shed,
+            flushed,
+            fsyncs,
+            compactions,
+            recovered_rows,
+            recovered_namespaces,
+            tail_bytes_discarded,
+        } = self.store.stats();
+        PersistSessionStats {
+            appended,
+            shed,
+            flushed,
+            fsyncs,
+            compactions,
+            recovered_rows,
+            recovered_namespaces,
+            tail_bytes_discarded,
+            spilled_offers: self.counters.spilled_offers.load(Ordering::Relaxed),
+            skipped_unregistered: self.counters.skipped_unregistered.load(Ordering::Relaxed),
+            rehydrated_rows: self.counters.rehydrated_rows.load(Ordering::Relaxed),
+            rehydrated_namespaces: self.counters.rehydrated_namespaces.load(Ordering::Relaxed),
+            selectivity_seeded: self.counters.selectivity_seeded.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl SpillSink for PersistLayer {
+    fn spill(&self, namespace: CacheNamespace, row: usize, answer: bool) {
+        // The on-disk format stores row keys as u32; a row index beyond
+        // that (no bundled dataset comes close) is dropped rather than
+        // aliased onto a truncated key.
+        let Ok(row) = u32::try_from(row) else {
+            self.counters
+                .skipped_unregistered
+                .fetch_add(1, Ordering::Relaxed);
+            return;
+        };
+        let Some(key) = self.durable_key(namespace) else {
+            self.counters
+                .skipped_unregistered
+                .fetch_add(1, Ordering::Relaxed);
+            return;
+        };
+        self.counters.spilled_offers.fetch_add(1, Ordering::Relaxed);
+        self.store.append_row(key, row, answer, now_unix_nanos());
+    }
+}

@@ -79,6 +79,7 @@ pub use planner::{BatchPlanner, GroupedAnswer, DEFAULT_MAX_IN_FLIGHT};
 pub use pool::WorkerPool;
 pub use selectivity::{SelectivityHandle, SelectivityTracker, DEFAULT_SELECTIVITY_CAPACITY};
 pub use store::{
-    CacheHandle, CacheNamespace, CacheStats, CacheStore, DEFAULT_CACHE_CAPACITY, MAX_LIVE_VERSIONS,
+    CacheHandle, CacheNamespace, CacheStats, CacheStore, SpillSink, DEFAULT_CACHE_CAPACITY,
+    MAX_LIVE_VERSIONS,
 };
 pub use window::{InFlightWindow, DEFAULT_WINDOW};

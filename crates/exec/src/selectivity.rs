@@ -130,6 +130,39 @@ impl SelectivityTracker {
         (total > 0).then(|| stats.passes.load(Ordering::Relaxed) as f64 / total as f64)
     }
 
+    /// Every tracked namespace's raw `(passes, total)` counters — the
+    /// persistence-facing snapshot, in deterministic insertion order.
+    /// Namespaces with zero observations are skipped (nothing to carry
+    /// across a restart).
+    pub fn snapshot_counts(&self) -> Vec<(CacheNamespace, u64, u64)> {
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner
+            .order
+            .iter()
+            .filter_map(|ns| {
+                let stats = inner.stats.get(ns)?;
+                let total = stats.total.load(Ordering::Relaxed);
+                // `record_many` bumps passes before total, so a racing
+                // snapshot can observe passes > total; clamp to keep the
+                // persisted invariant.
+                let passes = stats.passes.load(Ordering::Relaxed).min(total);
+                (total > 0).then_some((*ns, passes, total))
+            })
+            .collect()
+    }
+
+    /// Seeds `ns` with absolute counters recovered from persistence.
+    ///
+    /// Additive on purpose: if the session already observed answers for
+    /// `ns` (it shouldn't have — seeding runs before queries), the
+    /// recovered history joins rather than overwrites them.
+    pub fn seed_counts(&self, ns: CacheNamespace, passes: u64, total: u64) {
+        if total == 0 {
+            return;
+        }
+        self.handle(ns).record_many(passes.min(total), total);
+    }
+
     /// Number of tracked namespaces.
     pub fn len(&self) -> usize {
         self.inner

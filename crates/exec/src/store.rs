@@ -34,6 +34,28 @@
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
+use std::time::{Duration, Instant};
+
+/// Receives cache writes for durable storage.
+///
+/// A sink hears about every answer that *enters* a namespace (fresh
+/// evaluations — the invoker only writes through on fresh) and every
+/// answer the capacity bound *evicts* (a second offer; sinks deduplicate
+/// by key, so re-offers are cheap no-ops). It never hears about
+/// [`CacheStore::prefill`]ed entries: those came *from* the sink, and
+/// echoing them back would re-log every restart.
+///
+/// Implementations must never block meaningfully (the store calls them
+/// outside its shard locks, but on the evaluation hot path) and must not
+/// call back into the store.
+pub trait SpillSink: Send + Sync + std::fmt::Debug {
+    /// Offers one `(namespace, row, answer)` for durable storage.
+    fn spill(&self, namespace: CacheNamespace, row: usize, answer: bool);
+}
+
+/// The store's current sink, shared by every namespace so
+/// [`CacheStore::set_spill`] reaches caches created before wiring.
+type SharedSink = Arc<RwLock<Option<Arc<dyn SpillSink>>>>;
 
 /// Default per-namespace entry budget: roomy for the bundled datasets
 /// while still exercising eviction on million-row workloads.
@@ -74,6 +96,9 @@ pub struct CacheStats {
     /// Entries discarded by namespace invalidation (version bumps,
     /// explicit invalidation).
     pub invalidated: u64,
+    /// Entries discarded because their namespace outlived the store's
+    /// time-to-live ([`CacheStore::with_ttl`]), checked lazily on borrow.
+    pub ttl_expirations: u64,
 }
 
 impl CacheStats {
@@ -81,13 +106,14 @@ impl CacheStats {
     /// serialization-ready view shared by the serving `/metrics` endpoint
     /// and the bench artifacts (render with
     /// `expred_stats::json::counters_to_json` / `counters_to_text`).
-    pub fn fields(&self) -> [(&'static str, u64); 5] {
+    pub fn fields(&self) -> [(&'static str, u64); 6] {
         [
             ("hits", self.hits),
             ("misses", self.misses),
             ("insertions", self.insertions),
             ("evictions", self.evictions),
             ("invalidated", self.invalidated),
+            ("ttl_expirations", self.ttl_expirations),
         ]
     }
 }
@@ -99,6 +125,7 @@ struct AtomicStats {
     insertions: AtomicU64,
     evictions: AtomicU64,
     invalidated: AtomicU64,
+    ttl_expirations: AtomicU64,
 }
 
 impl AtomicStats {
@@ -109,6 +136,7 @@ impl AtomicStats {
             insertions: self.insertions.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
             invalidated: self.invalidated.load(Ordering::Relaxed),
+            ttl_expirations: self.ttl_expirations.load(Ordering::Relaxed),
         }
     }
 }
@@ -133,23 +161,46 @@ struct Shard {
 /// The entries of one namespace, striped like `ShardedMemo`.
 #[derive(Debug)]
 struct NamespaceCache {
+    namespace: CacheNamespace,
     shards: Box<[RwLock<Shard>]>,
     mask: usize,
     shard_capacity: usize,
     stats: Arc<AtomicStats>,
+    /// The store's durable sink slot (shared, so late wiring applies to
+    /// every namespace); the slot holds `None` on stores without
+    /// persistence.
+    spill: SharedSink,
+    /// When this namespace was created — prefilled namespaces backdate
+    /// this by their oldest surviving entry's age so a TTL keeps counting
+    /// across restarts.
+    born: Instant,
 }
 
 impl NamespaceCache {
-    fn new(shard_capacity: usize, stats: Arc<AtomicStats>) -> Self {
+    fn new(
+        namespace: CacheNamespace,
+        shard_capacity: usize,
+        stats: Arc<AtomicStats>,
+        spill: SharedSink,
+        born: Instant,
+    ) -> Self {
         let shards: Vec<RwLock<Shard>> = (0..NAMESPACE_SHARDS)
             .map(|_| RwLock::new(Shard::default()))
             .collect();
         Self {
+            namespace,
             shards: shards.into_boxed_slice(),
             mask: NAMESPACE_SHARDS - 1,
             shard_capacity,
             stats,
+            spill,
+            born,
         }
+    }
+
+    /// Whether this namespace has outlived `ttl`.
+    fn expired(&self, ttl: Duration) -> bool {
+        self.born.elapsed() > ttl
     }
 
     /// Fibonacci-spreads `key` onto a shard index — the single source of
@@ -224,7 +275,21 @@ impl NamespaceCache {
     }
 
     fn insert(&self, key: usize, value: bool) {
-        let mut evicted = 0u64;
+        self.insert_inner(key, value, true);
+    }
+
+    /// Insert without offering the new entry to the spill sink — the
+    /// prefill path, whose entries came *from* the sink.
+    fn insert_silent(&self, key: usize, value: bool) {
+        self.insert_inner(key, value, false);
+    }
+
+    fn insert_inner(&self, key: usize, value: bool, offer: bool) {
+        // Evicted entries are re-offered to the sink after the shard
+        // guard drops: for a persistent sink the re-offer is a
+        // deduplicated no-op (first write wins), but it guarantees no
+        // answer leaves memory without the sink having heard of it.
+        let mut evicted: Vec<(usize, bool)> = Vec::new();
         {
             let mut guard = self.shard(key).write().unwrap_or_else(|e| e.into_inner());
             let shard = &mut *guard;
@@ -246,8 +311,9 @@ impl NamespaceCache {
                             shard.ring.push_back(candidate);
                         }
                         Some(_) => {
-                            shard.map.remove(&candidate);
-                            evicted += 1;
+                            if let Some(entry) = shard.map.remove(&candidate) {
+                                evicted.push((candidate, entry.answer));
+                            }
                         }
                         None => {}
                     }
@@ -263,8 +329,32 @@ impl NamespaceCache {
             }
         }
         self.stats.insertions.fetch_add(1, Ordering::Relaxed);
-        if evicted > 0 {
-            self.stats.evictions.fetch_add(evicted, Ordering::Relaxed);
+        if !evicted.is_empty() {
+            self.stats
+                .evictions
+                .fetch_add(evicted.len() as u64, Ordering::Relaxed);
+        }
+        let needs_sink = offer || !evicted.is_empty();
+        if needs_sink {
+            let sink = self.spill.read().unwrap_or_else(|e| e.into_inner()).clone();
+            if let Some(sink) = sink {
+                if offer {
+                    sink.spill(self.namespace, key, value);
+                }
+                for (row, answer) in evicted {
+                    sink.spill(self.namespace, row, answer);
+                }
+            }
+        }
+    }
+
+    /// Visits every live entry (per-shard read locks, no global freeze).
+    fn for_each(&self, f: &mut dyn FnMut(usize, bool)) {
+        for shard in self.shards.iter() {
+            let guard = shard.read().unwrap_or_else(|e| e.into_inner());
+            for (&key, entry) in guard.map.iter() {
+                f(key, entry.answer);
+            }
         }
     }
 
@@ -381,6 +471,11 @@ struct StoreInner {
     namespaces: RwLock<Namespaces>,
     shard_capacity: usize,
     stats: Arc<AtomicStats>,
+    /// The durable sink slot shared with every namespace (see
+    /// [`SharedSink`]); empty unless persistence is wired.
+    spill: SharedSink,
+    /// Namespace time-to-live in nanoseconds; `0` disables expiry.
+    ttl_nanos: AtomicU64,
 }
 
 impl CacheStore {
@@ -398,8 +493,62 @@ impl CacheStore {
                 namespaces: RwLock::new(Namespaces::default()),
                 shard_capacity,
                 stats: Arc::new(AtomicStats::default()),
+                spill: Arc::new(RwLock::new(None)),
+                ttl_nanos: AtomicU64::new(0),
             }),
         }
+    }
+
+    /// Builder form of [`CacheStore::set_ttl`].
+    pub fn with_ttl(self, ttl: Duration) -> Self {
+        self.set_ttl(Some(ttl));
+        self
+    }
+
+    /// Sets (or clears, with `None`) the namespace time-to-live.
+    ///
+    /// Expiry is *lazy*: a namespace older than the TTL is dropped the
+    /// next time someone borrows it via [`CacheStore::handle`], with its
+    /// entries counted under [`CacheStats::ttl_expirations`]. Handles
+    /// borrowed before expiry keep their private `Arc` — in-flight
+    /// queries are never interrupted; only new borrowers start cold.
+    /// Prefilled namespaces carry their age across restarts (see
+    /// [`CacheStore::prefill`]), so a TTL bounds *answer* staleness, not
+    /// merely process uptime.
+    pub fn set_ttl(&self, ttl: Option<Duration>) {
+        let nanos = match ttl {
+            // An explicit zero TTL means "expire immediately"; encode it
+            // as 1ns so it doesn't collide with the disabled sentinel.
+            Some(t) => (t.as_nanos().min(u64::MAX as u128) as u64).max(1),
+            None => 0,
+        };
+        self.inner.ttl_nanos.store(nanos, Ordering::Relaxed);
+    }
+
+    /// The configured namespace time-to-live, if any.
+    pub fn ttl(&self) -> Option<Duration> {
+        let nanos = self.inner.ttl_nanos.load(Ordering::Relaxed);
+        (nanos > 0).then(|| Duration::from_nanos(nanos))
+    }
+
+    /// Installs (or removes, with `None`) the durable spill sink.
+    ///
+    /// The slot is shared with every namespace, including ones created
+    /// before this call, so wiring order doesn't matter. The sink hears
+    /// every fresh insert and every capacity eviction; prefilled entries
+    /// are never echoed back.
+    pub fn set_spill(&self, sink: Option<Arc<dyn SpillSink>>) {
+        *self.inner.spill.write().unwrap_or_else(|e| e.into_inner()) = sink;
+    }
+
+    fn make_cache(&self, namespace: CacheNamespace, born: Instant) -> Arc<NamespaceCache> {
+        Arc::new(NamespaceCache::new(
+            namespace,
+            self.inner.shard_capacity,
+            Arc::clone(&self.inner.stats),
+            Arc::clone(&self.inner.spill),
+            born,
+        ))
     }
 
     /// Borrows the cache for `namespace`, creating it on first use.
@@ -422,22 +571,25 @@ impl CacheStore {
     /// `Arc` — its query's read-your-writes view stays intact; only new
     /// borrowers start empty.
     pub fn handle(&self, namespace: CacheNamespace) -> CacheHandle {
+        let ttl = self.ttl();
         {
-            // Fast path: borrowing the freshest version changes neither
-            // the recency list nor the namespace table.
+            // Fast path: borrowing the freshest, unexpired version
+            // changes neither the recency list nor the namespace table.
             let guard = self
                 .inner
                 .namespaces
                 .read()
                 .unwrap_or_else(|e| e.into_inner());
             if let Some(cache) = guard.map.get(&namespace) {
-                let pair = (namespace.udf, namespace.table);
-                let freshest = guard.recency.get(&pair).and_then(|v| v.last());
-                if freshest == Some(&namespace.version) {
-                    return CacheHandle {
-                        namespace,
-                        cache: Arc::clone(cache),
-                    };
+                if !ttl.is_some_and(|t| cache.expired(t)) {
+                    let pair = (namespace.udf, namespace.table);
+                    let freshest = guard.recency.get(&pair).and_then(|v| v.last());
+                    if freshest == Some(&namespace.version) {
+                        return CacheHandle {
+                            namespace,
+                            cache: Arc::clone(cache),
+                        };
+                    }
                 }
             }
         }
@@ -446,6 +598,20 @@ impl CacheStore {
             .namespaces
             .write()
             .unwrap_or_else(|e| e.into_inner());
+        // Lazy TTL expiry: an over-age namespace is dropped here, on
+        // borrow, so the borrower below starts from a fresh (re-aged)
+        // cache rather than serving answers older than the bound.
+        if let Some(ttl) = ttl {
+            if guard.map.get(&namespace).is_some_and(|c| c.expired(ttl)) {
+                let dropped = guard.remove(&namespace);
+                if dropped > 0 {
+                    self.inner
+                        .stats
+                        .ttl_expirations
+                        .fetch_add(dropped, Ordering::Relaxed);
+                }
+            }
+        }
         let pair = (namespace.udf, namespace.table);
         let stale_versions: Vec<u64> = {
             let versions = guard.recency.entry(pair).or_default();
@@ -470,14 +636,93 @@ impl CacheStore {
         let cache = guard
             .map
             .entry(namespace)
-            .or_insert_with(|| {
-                Arc::new(NamespaceCache::new(
-                    self.inner.shard_capacity,
-                    Arc::clone(&self.inner.stats),
-                ))
-            })
+            .or_insert_with(|| self.make_cache(namespace, Instant::now()))
             .clone();
         CacheHandle { namespace, cache }
+    }
+
+    /// Bulk-loads rehydrated `(row, answer)` pairs into `namespace`
+    /// without echoing them to the spill sink (they came *from* it), and
+    /// returns the number of rows loaded.
+    ///
+    /// A namespace created by prefill is backdated by `age` — the time
+    /// since its oldest persisted answer was written — so a configured
+    /// TTL measures answer staleness across restarts instead of
+    /// restarting the clock. Prefilling an already-live namespace keeps
+    /// its existing birth time (fresh activity wins).
+    pub fn prefill(
+        &self,
+        namespace: CacheNamespace,
+        rows: &[(usize, bool)],
+        age: Duration,
+    ) -> usize {
+        if rows.is_empty() {
+            return 0;
+        }
+        // If the whole batch is already over-age, loading it would only
+        // hand the next borrower an expired namespace to tear down.
+        if self.ttl().is_some_and(|ttl| age > ttl) {
+            return 0;
+        }
+        let born = Instant::now().checked_sub(age).unwrap_or_else(Instant::now);
+        let cache = {
+            let mut guard = self
+                .inner
+                .namespaces
+                .write()
+                .unwrap_or_else(|e| e.into_inner());
+            // Same recency maintenance as a borrow: a prefilled version
+            // counts as "recently seen" and may push an old one out.
+            let pair = (namespace.udf, namespace.table);
+            let stale_versions: Vec<u64> = {
+                let versions = guard.recency.entry(pair).or_default();
+                versions.retain(|&v| v != namespace.version);
+                versions.push(namespace.version);
+                let excess = versions.len().saturating_sub(MAX_LIVE_VERSIONS);
+                versions.drain(..excess).collect()
+            };
+            let mut invalidated = 0u64;
+            for version in stale_versions {
+                invalidated += guard.remove(&CacheNamespace {
+                    version,
+                    ..namespace
+                });
+            }
+            if invalidated > 0 {
+                self.inner
+                    .stats
+                    .invalidated
+                    .fetch_add(invalidated, Ordering::Relaxed);
+            }
+            guard
+                .map
+                .entry(namespace)
+                .or_insert_with(|| self.make_cache(namespace, born))
+                .clone()
+        };
+        for &(row, answer) in rows {
+            cache.insert_silent(row, answer);
+        }
+        rows.len()
+    }
+
+    /// Visits every live entry across all namespaces — the spill-on-flush
+    /// walk. Entries are read under per-shard read locks (no global
+    /// freeze), so concurrent inserts may or may not be visited; every
+    /// entry present for the whole walk is.
+    pub fn for_each_entry(&self, mut f: impl FnMut(CacheNamespace, usize, bool)) {
+        let caches: Vec<Arc<NamespaceCache>> = {
+            let guard = self
+                .inner
+                .namespaces
+                .read()
+                .unwrap_or_else(|e| e.into_inner());
+            guard.map.values().cloned().collect()
+        };
+        for cache in caches {
+            let namespace = cache.namespace;
+            cache.for_each(&mut |row, answer| f(namespace, row, answer));
+        }
     }
 
     /// Drops one namespace outright.
@@ -755,6 +1000,167 @@ mod tests {
         let view = store.clone();
         store.handle(ns(1, 1, 0)).insert(3, true);
         assert_eq!(view.handle(ns(1, 1, 0)).get(3), Some(true));
+    }
+
+    /// A sink that records every offer, for spill-path tests.
+    #[derive(Debug, Default)]
+    struct RecordingSink {
+        offers: std::sync::Mutex<Vec<(CacheNamespace, usize, bool)>>,
+    }
+
+    impl SpillSink for RecordingSink {
+        fn spill(&self, namespace: CacheNamespace, row: usize, answer: bool) {
+            self.offers
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push((namespace, row, answer));
+        }
+    }
+
+    impl RecordingSink {
+        fn offers(&self) -> Vec<(CacheNamespace, usize, bool)> {
+            self.offers
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .clone()
+        }
+    }
+
+    #[test]
+    fn spill_sink_hears_inserts_but_not_prefill() {
+        let store = CacheStore::new();
+        let sink = Arc::new(RecordingSink::default());
+        store.set_spill(Some(sink.clone() as Arc<dyn SpillSink>));
+        // Prefilled entries must not echo back to the sink.
+        assert_eq!(
+            store.prefill(ns(1, 1, 0), &[(10, true), (11, false)], Duration::ZERO),
+            2
+        );
+        assert!(sink.offers().is_empty());
+        // Fresh inserts do reach it — including on namespaces created
+        // before the sink was wired (the slot is shared).
+        store.handle(ns(1, 1, 0)).insert(12, true);
+        assert_eq!(sink.offers(), vec![(ns(1, 1, 0), 12, true)]);
+        // And prefilled entries are still readable.
+        assert_eq!(store.handle(ns(1, 1, 0)).get(10), Some(true));
+        assert_eq!(store.handle(ns(1, 1, 0)).get(11), Some(false));
+    }
+
+    #[test]
+    fn spill_sink_wired_late_still_hears_old_namespaces() {
+        let store = CacheStore::new();
+        let h = store.handle(ns(1, 1, 0));
+        let sink = Arc::new(RecordingSink::default());
+        store.set_spill(Some(sink.clone() as Arc<dyn SpillSink>));
+        h.insert(5, false);
+        assert_eq!(sink.offers(), vec![(ns(1, 1, 0), 5, false)]);
+    }
+
+    #[test]
+    fn evictions_are_reoffered_to_sink() {
+        let store = CacheStore::with_capacity(1); // 1 entry per shard
+        let sink = Arc::new(RecordingSink::default());
+        store.set_spill(Some(sink.clone() as Arc<dyn SpillSink>));
+        let h = store.handle(ns(1, 1, 0));
+        for key in 0..1_000usize {
+            h.insert(key, key % 2 == 0);
+        }
+        let offers = sink.offers();
+        let evictions = store.stats().evictions;
+        assert!(evictions > 0);
+        // Every insert offered once, every eviction re-offered once.
+        assert_eq!(offers.len() as u64, 1_000 + evictions);
+        // Re-offers carry the answer originally cached.
+        for &(_, row, answer) in &offers {
+            assert_eq!(answer, row % 2 == 0);
+        }
+    }
+
+    #[test]
+    fn ttl_expires_namespaces_lazily_on_borrow() {
+        let store = CacheStore::new().with_ttl(Duration::from_millis(20));
+        let h = store.handle(ns(1, 1, 0));
+        h.insert(1, true);
+        h.insert(2, false);
+        // Young namespace: borrow serves the cached answers.
+        assert_eq!(store.handle(ns(1, 1, 0)).get(1), Some(true));
+        std::thread::sleep(Duration::from_millis(40));
+        // Over-age: the next borrow starts cold and counts expirations.
+        let reborrowed = store.handle(ns(1, 1, 0));
+        assert_eq!(reborrowed.get(1), None);
+        assert_eq!(store.stats().ttl_expirations, 2);
+        // The pre-expiry handle keeps its private view (read-your-writes
+        // within a query survives).
+        assert_eq!(h.get(2), Some(false));
+        // The replacement namespace ages from now, not from the original.
+        reborrowed.insert(3, true);
+        assert_eq!(store.handle(ns(1, 1, 0)).get(3), Some(true));
+    }
+
+    #[test]
+    fn prefill_age_counts_against_ttl() {
+        let store = CacheStore::new().with_ttl(Duration::from_millis(25));
+        // Rehydrated with most of its TTL already spent…
+        assert_eq!(
+            store.prefill(ns(1, 1, 0), &[(1, true)], Duration::from_millis(15)),
+            1
+        );
+        assert_eq!(store.handle(ns(1, 1, 0)).get(1), Some(true));
+        // …so it expires after the *remaining* budget, not a full TTL.
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(store.handle(ns(1, 1, 0)).get(1), None);
+        assert_eq!(store.stats().ttl_expirations, 1);
+        // A batch already past the TTL is refused outright: no namespace
+        // is created for it (only the reborrowed ns(1,..) remains).
+        assert_eq!(
+            store.prefill(ns(2, 1, 0), &[(1, true)], Duration::from_millis(60)),
+            0
+        );
+        assert_eq!(store.num_namespaces(), 1);
+    }
+
+    #[test]
+    fn no_ttl_means_no_expiry() {
+        let store = CacheStore::new();
+        store.handle(ns(1, 1, 0)).insert(1, true);
+        std::thread::sleep(Duration::from_millis(5));
+        assert_eq!(store.handle(ns(1, 1, 0)).get(1), Some(true));
+        assert_eq!(store.stats().ttl_expirations, 0);
+        assert_eq!(store.ttl(), None);
+        store.set_ttl(Some(Duration::from_secs(3600)));
+        assert_eq!(store.ttl(), Some(Duration::from_secs(3600)));
+    }
+
+    #[test]
+    fn for_each_entry_visits_every_namespace() {
+        let store = CacheStore::new();
+        store.handle(ns(1, 1, 0)).insert(1, true);
+        store.handle(ns(2, 1, 0)).insert(2, false);
+        store.prefill(ns(3, 1, 0), &[(3, true)], Duration::ZERO);
+        let mut seen: Vec<(CacheNamespace, usize, bool)> = Vec::new();
+        store.for_each_entry(|namespace, row, answer| seen.push((namespace, row, answer)));
+        seen.sort_by_key(|(n, r, _)| (n.udf, *r));
+        assert_eq!(
+            seen,
+            vec![
+                (ns(1, 1, 0), 1, true),
+                (ns(2, 1, 0), 2, false),
+                (ns(3, 1, 0), 3, true),
+            ]
+        );
+    }
+
+    #[test]
+    fn prefill_respects_version_recency_window() {
+        let store = CacheStore::new();
+        store.handle(ns(1, 9, 100)).insert(1, true);
+        store.handle(ns(1, 9, 101)).insert(1, true);
+        // Prefilling a third version pushes the oldest out, exactly like
+        // a borrow would.
+        store.prefill(ns(1, 9, 102), &[(1, false)], Duration::ZERO);
+        assert_eq!(store.num_namespaces(), MAX_LIVE_VERSIONS);
+        assert_eq!(store.stats().invalidated, 1);
+        assert_eq!(store.handle(ns(1, 9, 102)).get(1), Some(false));
     }
 
     #[test]

@@ -1,0 +1,448 @@
+//! The on-disk format: checksummed, length-prefixed, versioned frames.
+//!
+//! Both file kinds (WAL and snapshot) share one layout:
+//!
+//! ```text
+//! file   := header frame*
+//! header := magic "EXPD" (4 bytes) | format version (u32 le)
+//! frame  := payload length (u32 le) | crc32(payload) (u32 le) | payload
+//! ```
+//!
+//! The payload's first byte is a record tag; everything after it is
+//! fixed-width little-endian fields. Decoding is *defensive by
+//! construction*: a frame whose length prefix overruns the buffer (a
+//! truncated tail), whose CRC does not match (bit rot, a torn write),
+//! whose tag is unknown, or whose payload length disagrees with its tag
+//! stops replay at that point — the valid prefix before it is recovered,
+//! the tail is never trusted. Recovery never panics on file contents.
+
+/// File magic: the first four bytes of every persist file.
+pub const MAGIC: [u8; 4] = *b"EXPD";
+
+/// Current format version. Files written by a different version are
+/// ignored wholesale on recovery (never partially interpreted).
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Length of the file header (magic + version).
+pub const HEADER_LEN: usize = 8;
+
+/// Per-frame overhead (length prefix + CRC).
+pub const FRAME_OVERHEAD: usize = 8;
+
+/// Upper bound on a single frame's payload; a corrupt length prefix
+/// must not make recovery attempt a multi-gigabyte allocation.
+pub const MAX_PAYLOAD: usize = 1 << 26;
+
+/// The serialized file header.
+pub fn file_header() -> [u8; HEADER_LEN] {
+    let mut h = [0u8; HEADER_LEN];
+    h[..4].copy_from_slice(&MAGIC);
+    h[4..].copy_from_slice(&FORMAT_VERSION.to_le_bytes());
+    h
+}
+
+/// Whether `bytes` starts with a header this version can read.
+pub fn check_header(bytes: &[u8]) -> bool {
+    bytes.len() >= HEADER_LEN
+        && bytes[..4] == MAGIC
+        && bytes[4..HEADER_LEN] == FORMAT_VERSION.to_le_bytes()
+}
+
+/// CRC-32 (IEEE, reflected) lookup table, built at compile time so the
+/// crate stays dependency-free.
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            bit += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 (IEEE) over `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+/// The durable identity of one cache namespace.
+///
+/// Deliberately *not* the runtime `CacheNamespace`: that keys by
+/// `TableId`, a process-local counter that means nothing after a
+/// restart. Here `table` is the table's **schema fingerprint**
+/// (structural, process-independent) and `version` its **content
+/// fingerprint** — two tables agreeing on both hold the same rows under
+/// the same columns, so an answer persisted under this key is valid for
+/// any future process that re-materializes the same table state. The
+/// engine maintains the `TableId` → schema-fingerprint mapping at
+/// registration time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PersistKey {
+    /// The UDF's stable fingerprint.
+    pub udf: u64,
+    /// The table's schema (structure) fingerprint.
+    pub table: u64,
+    /// The table's content version fingerprint.
+    pub version: u64,
+}
+
+/// One durable record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Record {
+    /// One fresh row answer, stamped with its write time (Unix nanos)
+    /// so TTL policies survive a restart.
+    Row {
+        /// Namespace the answer belongs to.
+        key: PersistKey,
+        /// Row index within the table.
+        row: u32,
+        /// The UDF's answer.
+        answer: bool,
+        /// Write timestamp, nanoseconds since the Unix epoch.
+        ts_nanos: u64,
+    },
+    /// A whole namespace's rows in one frame (snapshot compaction).
+    RowBatch {
+        /// Namespace the rows belong to.
+        key: PersistKey,
+        /// `(row, answer, ts_nanos)` triples.
+        rows: Vec<(u32, bool, u64)>,
+    },
+    /// Everything before this point is cleared (durable
+    /// `clear_caches`): replay drops all namespaces seen so far.
+    TombstoneAll,
+    /// Absolute selectivity counters for one namespace. Overwrite
+    /// semantics — replay keeps the *last* record, so flushing a
+    /// snapshot of live counters can never double-count across
+    /// restarts.
+    Selectivity {
+        /// Namespace the counters describe.
+        key: PersistKey,
+        /// Observed passing evaluations.
+        passes: u64,
+        /// Observed total evaluations.
+        total: u64,
+    },
+}
+
+const TAG_ROW: u8 = 0x01;
+const TAG_TOMBSTONE_ALL: u8 = 0x02;
+const TAG_SELECTIVITY: u8 = 0x04;
+const TAG_ROW_BATCH: u8 = 0x05;
+
+/// Why a frame could not be decoded. Every variant means the same thing
+/// to recovery: stop here, keep the prefix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The buffer ends inside the frame (truncated tail).
+    Truncated,
+    /// The payload does not match its checksum.
+    BadChecksum,
+    /// The length prefix exceeds [`MAX_PAYLOAD`].
+    BadLength,
+    /// Unknown record tag, or a payload whose size disagrees with it.
+    Malformed,
+}
+
+fn put_key(out: &mut Vec<u8>, key: PersistKey) {
+    out.extend_from_slice(&key.udf.to_le_bytes());
+    out.extend_from_slice(&key.table.to_le_bytes());
+    out.extend_from_slice(&key.version.to_le_bytes());
+}
+
+/// Appends `record` to `out` as one framed, checksummed unit.
+pub fn encode_frame(record: &Record, out: &mut Vec<u8>) {
+    let mut payload = Vec::with_capacity(64);
+    match record {
+        Record::Row {
+            key,
+            row,
+            answer,
+            ts_nanos,
+        } => {
+            payload.push(TAG_ROW);
+            put_key(&mut payload, *key);
+            payload.extend_from_slice(&row.to_le_bytes());
+            payload.push(*answer as u8);
+            payload.extend_from_slice(&ts_nanos.to_le_bytes());
+        }
+        Record::RowBatch { key, rows } => {
+            payload.push(TAG_ROW_BATCH);
+            put_key(&mut payload, *key);
+            payload.extend_from_slice(&(rows.len() as u32).to_le_bytes());
+            for (row, answer, ts_nanos) in rows {
+                payload.extend_from_slice(&row.to_le_bytes());
+                payload.push(*answer as u8);
+                payload.extend_from_slice(&ts_nanos.to_le_bytes());
+            }
+        }
+        Record::TombstoneAll => payload.push(TAG_TOMBSTONE_ALL),
+        Record::Selectivity { key, passes, total } => {
+            payload.push(TAG_SELECTIVITY);
+            put_key(&mut payload, *key);
+            payload.extend_from_slice(&passes.to_le_bytes());
+            payload.extend_from_slice(&total.to_le_bytes());
+        }
+    }
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(&payload).to_le_bytes());
+    out.extend_from_slice(&payload);
+}
+
+/// A little-endian cursor over a payload; every read is bounds-checked
+/// so corrupt payloads surface as [`DecodeError::Malformed`], never a
+/// slice panic.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        let end = self.at.checked_add(n).ok_or(DecodeError::Malformed)?;
+        if end > self.bytes.len() {
+            return Err(DecodeError::Malformed);
+        }
+        let slice = &self.bytes[self.at..end];
+        self.at = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, DecodeError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, DecodeError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn key(&mut self) -> Result<PersistKey, DecodeError> {
+        Ok(PersistKey {
+            udf: self.u64()?,
+            table: self.u64()?,
+            version: self.u64()?,
+        })
+    }
+
+    fn done(&self) -> bool {
+        self.at == self.bytes.len()
+    }
+}
+
+/// Decodes one frame at the start of `bytes`, returning the record and
+/// how many bytes the frame occupied.
+pub fn decode_frame(bytes: &[u8]) -> Result<(Record, usize), DecodeError> {
+    if bytes.len() < FRAME_OVERHEAD {
+        return Err(DecodeError::Truncated);
+    }
+    let len = u32::from_le_bytes(bytes[..4].try_into().unwrap()) as usize;
+    if len > MAX_PAYLOAD {
+        return Err(DecodeError::BadLength);
+    }
+    let want = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
+    let end = FRAME_OVERHEAD + len;
+    if bytes.len() < end {
+        return Err(DecodeError::Truncated);
+    }
+    let payload = &bytes[FRAME_OVERHEAD..end];
+    if crc32(payload) != want {
+        return Err(DecodeError::BadChecksum);
+    }
+    let mut c = Cursor {
+        bytes: payload,
+        at: 0,
+    };
+    let record = match c.u8()? {
+        TAG_ROW => Record::Row {
+            key: c.key()?,
+            row: c.u32()?,
+            answer: c.u8()? != 0,
+            ts_nanos: c.u64()?,
+        },
+        TAG_ROW_BATCH => {
+            let key = c.key()?;
+            let count = c.u32()? as usize;
+            // 13 bytes per entry: a count that overruns the payload is
+            // rejected before any allocation is sized by it.
+            if count > payload.len() / 13 {
+                return Err(DecodeError::Malformed);
+            }
+            let mut rows = Vec::with_capacity(count);
+            for _ in 0..count {
+                rows.push((c.u32()?, c.u8()? != 0, c.u64()?));
+            }
+            Record::RowBatch { key, rows }
+        }
+        TAG_TOMBSTONE_ALL => Record::TombstoneAll,
+        TAG_SELECTIVITY => Record::Selectivity {
+            key: c.key()?,
+            passes: c.u64()?,
+            total: c.u64()?,
+        },
+        _ => return Err(DecodeError::Malformed),
+    };
+    if !c.done() {
+        return Err(DecodeError::Malformed);
+    }
+    Ok((record, end))
+}
+
+/// Replays every valid frame from the start of `bytes` (which excludes
+/// the file header), calling `apply` per record. Returns the byte
+/// length of the valid prefix; decoding stops at the first bad frame.
+pub fn replay_frames(bytes: &[u8], mut apply: impl FnMut(Record)) -> usize {
+    let mut at = 0;
+    while at < bytes.len() {
+        match decode_frame(&bytes[at..]) {
+            Ok((record, consumed)) => {
+                apply(record);
+                at += consumed;
+            }
+            Err(_) => break,
+        }
+    }
+    at
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(n: u64) -> PersistKey {
+        PersistKey {
+            udf: n,
+            table: n + 1,
+            version: n + 2,
+        }
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // The classic IEEE check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn every_record_kind_round_trips() {
+        let records = [
+            Record::Row {
+                key: key(7),
+                row: 42,
+                answer: true,
+                ts_nanos: 123_456_789,
+            },
+            Record::RowBatch {
+                key: key(1),
+                rows: vec![(0, false, 1), (9, true, 2), (u32::MAX, true, u64::MAX)],
+            },
+            Record::TombstoneAll,
+            Record::Selectivity {
+                key: key(3),
+                passes: 10,
+                total: 40,
+            },
+        ];
+        let mut buf = Vec::new();
+        for r in &records {
+            encode_frame(r, &mut buf);
+        }
+        let mut got = Vec::new();
+        let valid = replay_frames(&buf, |r| got.push(r));
+        assert_eq!(valid, buf.len());
+        assert_eq!(got, records);
+    }
+
+    #[test]
+    fn truncation_recovers_the_frame_prefix() {
+        let mut buf = Vec::new();
+        let mut ends = Vec::new();
+        for i in 0..5u32 {
+            encode_frame(
+                &Record::Row {
+                    key: key(1),
+                    row: i,
+                    answer: i % 2 == 0,
+                    ts_nanos: 0,
+                },
+                &mut buf,
+            );
+            ends.push(buf.len());
+        }
+        for cut in 0..buf.len() {
+            let whole_frames = ends.iter().filter(|&&e| e <= cut).count();
+            let mut got = 0;
+            let valid = replay_frames(&buf[..cut], |_| got += 1);
+            assert_eq!(got, whole_frames, "cut at {cut}");
+            assert_eq!(
+                valid,
+                ends.get(whole_frames.wrapping_sub(1)).copied().unwrap_or(0)
+            );
+        }
+    }
+
+    #[test]
+    fn corruption_stops_replay_without_panicking() {
+        let mut clean = Vec::new();
+        for i in 0..4u32 {
+            encode_frame(
+                &Record::Row {
+                    key: key(2),
+                    row: i,
+                    answer: true,
+                    ts_nanos: i as u64,
+                },
+                &mut clean,
+            );
+        }
+        for at in 0..clean.len() {
+            let mut buf = clean.clone();
+            buf[at] ^= 0xFF;
+            let mut got: Vec<Record> = Vec::new();
+            replay_frames(&buf, |r| got.push(r));
+            // Whatever is recovered must be a prefix of the clean records.
+            let mut want: Vec<Record> = Vec::new();
+            replay_frames(&clean, |r| want.push(r));
+            assert!(got.len() <= want.len());
+            assert_eq!(got[..], want[..got.len()], "corrupt byte at {at}");
+        }
+    }
+
+    #[test]
+    fn header_is_versioned() {
+        let h = file_header();
+        assert!(check_header(&h));
+        let mut wrong_version = h;
+        wrong_version[4] ^= 1;
+        assert!(!check_header(&wrong_version));
+        assert!(!check_header(b"EXP"));
+        assert!(!check_header(b"NOPE1234"));
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(u32::MAX).to_le_bytes());
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        buf.resize(1024, 0);
+        assert_eq!(decode_frame(&buf), Err(DecodeError::BadLength));
+    }
+}

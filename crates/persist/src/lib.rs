@@ -1,0 +1,41 @@
+//! `expred-persist` — a std-only durable store for the engine's reuse
+//! tiers: every answer the session ever paid `o_e` for can outlive the
+//! process that bought it.
+//!
+//! The paper's entire win is never paying for the same probe twice;
+//! PRs 2–9 stretched that reuse across queries, threads, and tenants,
+//! but every tier still died with the process. This crate adds the
+//! missing axis — time across restarts — with a deliberately boring,
+//! auditable design:
+//!
+//! * **Format** ([`mod@format`]): magic + format version per file, one
+//!   CRC-checked length-prefixed frame per record. Corrupt or truncated
+//!   tails are *skipped, never trusted*: recovery keeps the longest
+//!   valid prefix and never panics on file contents.
+//! * **WAL** ([`store`]): fresh `(udf, table, version, row) → bool`
+//!   answers append to a write-ahead log through a bounded queue drained
+//!   by a background flusher thread with a batched-fsync policy. The
+//!   queue sheds its *oldest* pending records under backpressure, so
+//!   persistence can never stall the hot path — shedding trades
+//!   crash-window durability only, never correctness, because the
+//!   in-memory index (the snapshot source) is updated synchronously and
+//!   the next compaction re-captures anything the WAL dropped.
+//! * **Snapshots**: the WAL periodically compacts into a
+//!   generation-numbered snapshot file written as temp-then-rename, so
+//!   a crash at any byte leaves either the old generation or the new
+//!   one, never a half state.
+//! * **Rehydration**: namespaces are keyed by `(udf fingerprint, schema
+//!   fingerprint, content version)` — all process-independent — and the
+//!   engine checks versions on load, so a persisted namespace whose
+//!   table no longer matches is ignored, not served.
+//!
+//! The store itself is engine-agnostic: it maps [`PersistKey`]s to row
+//! answers and selectivity counters. `expred-core` wires it into
+//! `QueryEngine::with_persistence`, and `expred-serve` gives every
+//! tenant a directory under `--data-dir` for warm restarts.
+
+pub mod format;
+pub mod store;
+
+pub use format::{PersistKey, Record};
+pub use store::{FsyncPolicy, PersistConfig, PersistError, PersistStats, PersistStore};

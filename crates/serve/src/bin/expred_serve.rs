@@ -3,17 +3,26 @@
 //! ```text
 //! expred-serve [--addr HOST:PORT] [--max-in-flight N] [--max-connections N]
 //!              [--max-tenants N] [--max-rows N] [--pool]
-//!              [--udf-latency-us MICROS]
+//!              [--udf-latency-us MICROS] [--data-dir PATH]
+//!              [--cache-ttl-secs SECS]
 //! ```
+//!
+//! With `--data-dir`, every tenant's engine persists its paid-for answers
+//! under `<data-dir>/<tenant>/`, and `SIGTERM`/`SIGINT` trigger a graceful
+//! drain: stop accepting, finish in-flight requests, flush persistence,
+//! exit 0. A subsequent boot with the same `--data-dir` rehydrates the
+//! answers and serves repeats at zero fresh UDF cost (warm restart).
 
 use expred_serve::{serve, ServeConfig};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Duration;
 
 fn usage() -> ! {
     eprintln!(
         "usage: expred-serve [--addr HOST:PORT] [--max-in-flight N] [--max-connections N]\n\
          \x20                   [--max-tenants N] [--max-rows N] [--pool]\n\
-         \x20                   [--udf-latency-us MICROS]"
+         \x20                   [--udf-latency-us MICROS] [--data-dir PATH]\n\
+         \x20                   [--cache-ttl-secs SECS]"
     );
     std::process::exit(2);
 }
@@ -27,6 +36,29 @@ fn parse_value<T: std::str::FromStr>(flag: &str, value: Option<String>) -> T {
         }
     }
 }
+
+/// Set by the signal handler; the main loop polls it. A handler may only
+/// do async-signal-safe work, and a relaxed atomic store is exactly that.
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+fn install_signal_handlers() {
+    extern "C" fn on_signal(_signum: i32) {
+        SHUTDOWN.store(true, Ordering::Relaxed);
+    }
+    // `signal(2)` via the C library std already links against — SIGTERM
+    // is 15 and SIGINT is 2 on every Unix we target.
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    unsafe {
+        signal(15, on_signal); // SIGTERM
+        signal(2, on_signal); // SIGINT
+    }
+}
+
+#[cfg(not(unix))]
+fn install_signal_handlers() {}
 
 fn main() {
     let mut addr = "127.0.0.1:7878".to_owned();
@@ -43,6 +75,15 @@ fn main() {
             "--udf-latency-us" => {
                 config.udf_latency = Duration::from_micros(parse_value(&arg, args.next()))
             }
+            "--data-dir" => {
+                config.data_dir = Some(std::path::PathBuf::from(parse_value::<String>(
+                    &arg,
+                    args.next(),
+                )))
+            }
+            "--cache-ttl-secs" => {
+                config.cache_ttl = Some(Duration::from_secs(parse_value(&arg, args.next())))
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("expred-serve: unknown flag {other}");
@@ -50,7 +91,8 @@ fn main() {
             }
         }
     }
-    let handle = match serve(&*addr, config) {
+    install_signal_handlers();
+    let mut handle = match serve(&*addr, config) {
         Ok(handle) => handle,
         Err(e) => {
             eprintln!("expred-serve: failed to bind {addr}: {e}");
@@ -59,8 +101,13 @@ fn main() {
     };
     println!("expred-serve listening on http://{}", handle.local_addr());
     println!("routes: GET /health, GET /metrics, GET /metrics.json, POST /query");
-    // Serve until killed.
-    loop {
-        std::thread::park();
+    // Serve until signalled, then drain gracefully (finish in-flight
+    // requests, flush tenant persistence) and exit cleanly.
+    while !SHUTDOWN.load(Ordering::Relaxed) {
+        std::thread::sleep(Duration::from_millis(100));
     }
+    eprintln!("expred-serve: shutdown signal received; draining");
+    handle.shutdown();
+    drop(handle);
+    eprintln!("expred-serve: drained; exiting");
 }

@@ -272,6 +272,13 @@ impl ServeMetrics {
                 &labels,
                 &engine.result_memo_stats().fields(),
             ));
+            if let Some(persist) = engine.persist_stats() {
+                out.push_str(&counters_to_text(
+                    "engine_persist",
+                    &labels,
+                    &persist.fields(),
+                ));
+            }
             let _ = writeln!(
                 out,
                 "engine_tables{{tenant=\"{}\"}} {}",
@@ -320,13 +327,16 @@ impl ServeMetrics {
             let engine = tenant.engine();
             let _ = write!(
                 out,
-                "\"{}\":{{\"engine\":{},\"cache\":{},\"result_memo\":{},\"tables\":{}}}",
+                "\"{}\":{{\"engine\":{},\"cache\":{},\"result_memo\":{},",
                 escape(tenant.name()),
                 counters_to_json(&engine.stats().fields()),
                 counters_to_json(&engine.cache_stats().fields()),
                 counters_to_json(&engine.result_memo_stats().fields()),
-                tenant.table_count(),
             );
+            if let Some(persist) = engine.persist_stats() {
+                let _ = write!(out, "\"persist\":{},", counters_to_json(&persist.fields()));
+            }
+            let _ = write!(out, "\"tables\":{}}}", tenant.table_count());
         }
         out.push_str("}}");
         out
@@ -407,6 +417,59 @@ mod tests {
             !text.contains("remote_udf_"),
             "no remote section without a backend"
         );
+    }
+
+    #[test]
+    fn render_exports_persist_counters_only_with_persistence() {
+        let metrics = ServeMetrics::new();
+        let gate = AdmissionGate::new(4);
+        let connections = AdmissionGate::new(64);
+        // In-memory tenants: no persist section anywhere.
+        let tenants = TenantRegistry::new(4, 2, EngineConfig::default());
+        tenants.route("mem").unwrap();
+        let text = metrics.render_text(&context(&gate, &connections, &tenants, None));
+        assert!(!text.contains("engine_persist_"));
+        let doc =
+            JsonValue::parse(&metrics.render_json(&context(&gate, &connections, &tenants, None)))
+                .unwrap();
+        let mem = doc.get("tenants").unwrap().get("mem").unwrap();
+        assert!(mem.get("persist").is_none());
+        assert!(mem.get("tables").is_some(), "object closes correctly");
+
+        // Persistent tenants: both renderers grow a persist section.
+        let root = std::env::temp_dir().join(format!(
+            "expred-metrics-persist-{}-{:p}",
+            std::process::id(),
+            &metrics as *const _
+        ));
+        let persistent = TenantRegistry::new(
+            4,
+            2,
+            EngineConfig {
+                data_dir: Some(root.clone()),
+                ..EngineConfig::default()
+            },
+        );
+        persistent.route("disk").unwrap();
+        let text = metrics.render_text(&context(&gate, &connections, &persistent, None));
+        assert!(text.contains("engine_persist_appended{tenant=\"disk\"} 0\n"));
+        assert!(text.contains("engine_persist_rehydrated_rows{tenant=\"disk\"} 0\n"));
+        let doc = JsonValue::parse(&metrics.render_json(&context(
+            &gate,
+            &connections,
+            &persistent,
+            None,
+        )))
+        .expect("valid JSON with persist section");
+        let disk = doc.get("tenants").unwrap().get("disk").unwrap();
+        let persist = disk.get("persist").unwrap();
+        assert_eq!(persist.get("appended").unwrap().as_u64(), Some(0));
+        assert_eq!(
+            persist.get("rehydrated_namespaces").unwrap().as_u64(),
+            Some(0)
+        );
+        drop(persistent);
+        let _ = std::fs::remove_dir_all(&root);
     }
 
     #[test]

@@ -69,6 +69,15 @@ pub struct ServeConfig {
     /// A remote UDF client whose wire counters (retries, hedges,
     /// timeouts, breaker state) are exported through `GET /metrics`.
     pub remote: Option<Arc<RemoteClient>>,
+    /// Root directory for durable per-tenant persistence: tenant engines
+    /// spill fresh answers to WAL-backed stores under
+    /// `<data_dir>/<tenant>/` and rehydrate them on the next boot, so a
+    /// warm restart re-serves previously-paid answers at zero `o_e`.
+    /// `None` (the default) serves fully in-memory.
+    pub data_dir: Option<std::path::PathBuf>,
+    /// Row-tier answer TTL for tenant engines; with `data_dir` set, the
+    /// age survives restarts. `None` disables expiry.
+    pub cache_ttl: Option<Duration>,
 }
 
 impl std::fmt::Debug for ServeConfig {
@@ -84,6 +93,8 @@ impl std::fmt::Debug for ServeConfig {
             .field("pooled", &self.pooled)
             .field("udf_latency", &self.udf_latency)
             .field("remote", &self.remote.as_ref().map(|c| c.endpoint()))
+            .field("data_dir", &self.data_dir)
+            .field("cache_ttl", &self.cache_ttl)
             .finish()
     }
 }
@@ -101,6 +112,8 @@ impl Default for ServeConfig {
             pooled: false,
             udf_latency: Duration::ZERO,
             remote: None,
+            data_dir: None,
+            cache_ttl: None,
         }
     }
 }
@@ -150,6 +163,8 @@ pub fn serve(addr: impl ToSocketAddrs, config: ServeConfig) -> std::io::Result<S
             EngineConfig {
                 pooled: config.pooled,
                 udf_latency: config.udf_latency,
+                data_dir: config.data_dir.clone(),
+                cache_ttl: config.cache_ttl,
             },
         ),
         metrics: ServeMetrics::new(),
@@ -223,6 +238,20 @@ impl ServerHandle {
         let deadline = Instant::now() + self.shared.config.drain_deadline;
         while self.shared.connections.in_flight() > 0 && Instant::now() < deadline {
             std::thread::sleep(Duration::from_millis(10));
+        }
+        // With persistence configured, push every tenant's durable state
+        // to disk now, deterministically — not via Drop ordering, which a
+        // straggler connection thread holding the `Arc<Shared>` could
+        // postpone past process exit.
+        if self.shared.config.data_dir.is_some() {
+            for tenant in self.shared.tenants.snapshot() {
+                if let Err(e) = tenant.engine().flush_persistence() {
+                    eprintln!(
+                        "expred-serve: tenant {:?} flush on shutdown failed: {e}",
+                        tenant.name()
+                    );
+                }
+            }
         }
     }
 }

@@ -19,9 +19,10 @@
 //! cache state.
 
 use crate::api::TableKey;
-use expred_core::QueryEngine;
+use expred_core::{PersistConfig, QueryEngine};
 use expred_table::datasets::{Dataset, DatasetSpec, LENDING_CLUB, PROSPER};
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::Duration;
 
@@ -48,6 +49,15 @@ pub struct EngineConfig {
     /// Artificial latency added to every fresh UDF evaluation — the
     /// load-testing knob ([`QueryEngine::with_udf_latency`]).
     pub udf_latency: Duration,
+    /// Root directory for durable per-tenant persistence
+    /// ([`QueryEngine::with_persistence`]); each tenant gets an isolated
+    /// subdirectory named after its (sanitized) id, so a restarted
+    /// server re-serves every answer its tenants already paid for.
+    /// `None` keeps engines fully in-memory.
+    pub data_dir: Option<PathBuf>,
+    /// Row-tier answer TTL ([`QueryEngine::with_cache_ttl`]); with
+    /// persistence, the age carries across restarts.
+    pub cache_ttl: Option<Duration>,
 }
 
 impl Default for EngineConfig {
@@ -55,18 +65,64 @@ impl Default for EngineConfig {
         Self {
             pooled: false,
             udf_latency: Duration::ZERO,
+            data_dir: None,
+            cache_ttl: None,
         }
     }
 }
 
+/// A filesystem-safe directory name for a tenant id: ASCII alphanumerics,
+/// `_`, and `-` pass through; every other byte is percent-encoded. The
+/// encoding is injective, so two distinct tenant ids can never collide on
+/// one directory — and a hostile id like `../../etc` cannot escape the
+/// data root.
+pub(crate) fn tenant_dir_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for byte in name.bytes() {
+        match byte {
+            b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'_' | b'-' => out.push(byte as char),
+            other => {
+                out.push('%');
+                let _ = std::fmt::Write::write_fmt(&mut out, format_args!("{other:02X}"));
+            }
+        }
+    }
+    if out.is_empty() {
+        out.push_str("%empty");
+    }
+    out
+}
+
 impl EngineConfig {
-    fn build(&self) -> QueryEngine {
+    fn base_engine(&self) -> QueryEngine {
         let engine = if self.pooled {
             QueryEngine::pooled()
         } else {
             QueryEngine::new()
         };
-        engine.with_udf_latency(self.udf_latency)
+        let engine = engine.with_udf_latency(self.udf_latency);
+        match self.cache_ttl {
+            Some(ttl) => engine.with_cache_ttl(ttl),
+            None => engine,
+        }
+    }
+
+    fn build(&self, tenant: &str) -> QueryEngine {
+        let engine = self.base_engine();
+        if let Some(root) = &self.data_dir {
+            let dir = root.join(tenant_dir_name(tenant));
+            return match engine.with_persistence(PersistConfig::new(dir)) {
+                Ok(persistent) => persistent,
+                Err(error) => {
+                    // Persistence is an accelerator, not a correctness
+                    // tier: serve this tenant in-memory rather than
+                    // refusing it.
+                    eprintln!("expred-serve: tenant {tenant:?} persistence disabled: {error}");
+                    self.base_engine()
+                }
+            };
+        }
+        engine
     }
 }
 
@@ -92,9 +148,10 @@ impl std::fmt::Debug for Tenant {
 
 impl Tenant {
     fn new(name: String, config: &EngineConfig, max_tables: usize) -> Self {
+        let engine = config.build(&name);
         Self {
             name,
-            engine: config.build(),
+            engine,
             tables: Mutex::new(HashMap::new()),
             clock: Mutex::new(0),
             max_tables: max_tables.max(1),
@@ -320,5 +377,42 @@ mod tests {
         assert!(known_spec("prosper"));
         assert!(known_spec("lc"));
         assert!(!known_spec("sentiment"));
+    }
+
+    #[test]
+    fn tenant_dir_names_are_safe_and_injective() {
+        assert_eq!(tenant_dir_name("acme_corp-1"), "acme_corp-1");
+        assert_eq!(tenant_dir_name("../../etc"), "%2E%2E%2F%2E%2E%2Fetc");
+        assert_eq!(tenant_dir_name("a b"), "a%20b");
+        assert_eq!(tenant_dir_name(""), "%empty");
+        // Distinct names that differ only in encoded bytes stay distinct.
+        assert_ne!(tenant_dir_name("a/b"), tenant_dir_name("a_b"));
+        assert_ne!(tenant_dir_name("a%2Fb"), tenant_dir_name("a/b"));
+    }
+
+    #[test]
+    fn data_dir_gives_each_tenant_an_isolated_persistent_engine() {
+        let root =
+            std::env::temp_dir().join(format!("expred-tenant-persist-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let registry = TenantRegistry::new(
+            4,
+            4,
+            EngineConfig {
+                data_dir: Some(root.clone()),
+                ..EngineConfig::default()
+            },
+        );
+        let a = registry.route("alice").unwrap();
+        let b = registry.route("bob/../alice").unwrap();
+        assert!(a.engine().persist_stats().is_some(), "persistence wired");
+        assert!(b.engine().persist_stats().is_some());
+        assert!(root.join("alice").is_dir());
+        assert!(
+            root.join("bob%2F%2E%2E%2Falice").is_dir(),
+            "hostile name confined to an encoded subdirectory"
+        );
+        drop(registry);
+        let _ = std::fs::remove_dir_all(&root);
     }
 }

@@ -1,6 +1,7 @@
 //! Table schemas.
 
 use crate::value::DataType;
+use expred_stats::hash::Fnv64;
 use std::fmt;
 
 /// One named, typed column descriptor.
@@ -98,6 +99,33 @@ impl Schema {
     pub fn field_at(&self, idx: usize) -> &Field {
         &self.fields[idx]
     }
+
+    /// A 64-bit structural fingerprint, stable across processes (FNV-1a
+    /// over field names, types, and nullability, in declaration order).
+    ///
+    /// Together with [`crate::table::Table::version`] (a *content*
+    /// fingerprint) this gives a table a durable identity that —
+    /// unlike [`crate::table::TableId`], a process-local counter —
+    /// survives restarts: two tables agreeing on both fingerprints hold
+    /// the same rows under the same schema, so persisted per-row answers
+    /// keyed by `(schema fingerprint, version)` can be rehydrated into a
+    /// fresh process without ever serving a stale or mismatched entry.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = Fnv64::new();
+        h.write_u64(self.fields.len() as u64);
+        for field in &self.fields {
+            h.write_str(field.name());
+            let type_tag = match field.data_type() {
+                DataType::Bool => 1u64,
+                DataType::Int => 2,
+                DataType::Float => 3,
+                DataType::Str => 4,
+            };
+            h.write_u64(type_tag);
+            h.write_u64(field.is_nullable() as u64);
+        }
+        h.finish()
+    }
 }
 
 impl fmt::Display for Schema {
@@ -141,6 +169,40 @@ mod tests {
             Field::nullable("y", DataType::Bool),
         ]);
         assert_eq!(schema.to_string(), "(x: float, y: bool?)");
+    }
+
+    #[test]
+    fn fingerprint_is_structural() {
+        let a = Schema::new(vec![
+            Field::new("a", DataType::Int),
+            Field::nullable("b", DataType::Str),
+        ]);
+        let same = Schema::new(vec![
+            Field::new("a", DataType::Int),
+            Field::nullable("b", DataType::Str),
+        ]);
+        assert_eq!(a.fingerprint(), same.fingerprint());
+        // Every structural difference must move the fingerprint: field
+        // order, name, type, and nullability all participate.
+        let reordered = Schema::new(vec![
+            Field::nullable("b", DataType::Str),
+            Field::new("a", DataType::Int),
+        ]);
+        let renamed = Schema::new(vec![
+            Field::new("a2", DataType::Int),
+            Field::nullable("b", DataType::Str),
+        ]);
+        let retyped = Schema::new(vec![
+            Field::new("a", DataType::Float),
+            Field::nullable("b", DataType::Str),
+        ]);
+        let denulled = Schema::new(vec![
+            Field::new("a", DataType::Int),
+            Field::new("b", DataType::Str),
+        ]);
+        for other in [&reordered, &renamed, &retyped, &denulled] {
+            assert_ne!(a.fingerprint(), other.fingerprint());
+        }
     }
 
     #[test]

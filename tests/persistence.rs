@@ -1,0 +1,234 @@
+//! Durability proof suite: the persistence tier must be *invisible*
+//! except in the bill.
+//!
+//! * Kill-and-rehydrate (property): an engine that persisted, died, and
+//!   rebooted answers byte-identically to a control engine that never
+//!   died — and rehydrated rows charge **zero** fresh `o_e`. The bill is
+//!   conserved exactly: every row is paid for once, in whichever process
+//!   first evaluated it, and never again.
+//! * `clear_caches` tombstones the durable tier: clear + restart must
+//!   not resurrect a single answer.
+//! * A rehydrated row tier feeds the result memo the same identities as
+//!   fresh evaluation, so repeats after a restart still memo-hit.
+//! * Persisted write timestamps make the cache TTL survive restarts:
+//!   a reboot past the TTL refuses the stale answers a generous TTL
+//!   happily loads.
+
+use expred::core::{PersistConfig, Query, QueryEngine, QuerySpec};
+use expred::table::datasets::{Dataset, DatasetSpec, PROSPER};
+use expred::udf::CostModel;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// A fresh scratch directory per call — process id plus a counter, so
+/// parallel tests and repeated proptest cases never collide.
+fn unique_dir(tag: &str) -> PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "expred-persist-proof-{tag}-{}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn prosper(rows: usize, seed: u64) -> Dataset {
+    Dataset::generate(DatasetSpec { rows, ..PROSPER }, seed)
+}
+
+/// Memo-less persistent engine: reuse must come from the row tier, so
+/// every assertion below exercises rehydration rather than the memo.
+fn persistent(dir: &Path) -> QueryEngine {
+    QueryEngine::new()
+        .with_result_capacity(0)
+        .with_persistence(PersistConfig::new(dir))
+        .expect("open persistence")
+}
+
+proptest::proptest! {
+    #![proptest_config(proptest::prelude::ProptestConfig::with_cases(5))]
+
+    // Property: for random tables, contracts, and query seeds, the
+    // kill-and-rehydrate engine B is indistinguishable from the control
+    // engine C that never died — byte-identical outcomes, zero fresh
+    // `o_e` for rehydrated rows, and an exactly conserved bill.
+    #[test]
+    fn kill_and_rehydrate_is_byte_identical_and_bills_each_row_once(
+        table_seed in 0u64..40,
+        warm_seed in 0u64..1_000,
+        q_seed in 0u64..1_000,
+        beta in 0.6f64..0.95,
+    ) {
+        let dir = unique_dir("prop");
+        let ds = prosper(600, table_seed);
+        let spec = QuerySpec::try_new(0.8, beta, 0.8, CostModel::PAPER_DEFAULT)
+            .expect("generated specs are in range");
+        let warm = Query::Naive(spec);
+        let q = Query::Naive(spec);
+
+        // Engine A pays for the session, flushes, and "dies".
+        let a = persistent(&dir);
+        a.run(&ds, &warm, warm_seed);
+        let a_q = a.run(&ds, &q, q_seed);
+        let a_bill = a.session_counts();
+        a.flush_persistence().expect("flush before the kill");
+        drop(a);
+
+        // Control C: the same session, never killed. Its third run
+        // replays Q over the fully warm cache — exactly the state B's
+        // rehydration must reconstruct (W's rows ∪ Q's fresh rows).
+        let c = QueryEngine::new().with_result_capacity(0);
+        c.run(&ds, &warm, warm_seed);
+        let c_q = c.run(&ds, &q, q_seed);
+        let c_bill = c.session_counts();
+        let c_warm_q = c.run(&ds, &q, q_seed);
+
+        // While alive, A matched C exactly.
+        assert_eq!(&a_q.returned, &c_q.returned);
+        assert_eq!(a_q.counts, c_q.counts);
+        assert_eq!(a_bill, c_bill);
+
+        // Engine B reboots over A's directory.
+        let b = persistent(&dir);
+        let b_q = b.run(&ds, &q, q_seed);
+        assert_eq!(&b_q.returned, &c_warm_q.returned,
+            "restart changed the answer");
+        assert_eq!(b_q.counts, c_warm_q.counts);
+        assert_eq!(b_q.cost, c_warm_q.cost);
+        assert_eq!(b_q.summary, c_warm_q.summary);
+
+        // The billing contract: rehydrated rows charge zero fresh o_e,
+        // so across both processes every row billed exactly once.
+        assert_eq!(b.session_counts().evaluated, 0,
+            "a warm restart must not re-pay o_e");
+        assert_eq!(
+            a_bill.evaluated + b.session_counts().evaluated,
+            c_bill.evaluated,
+            "bill not conserved across the restart"
+        );
+        let stats = b.persist_stats().expect("persistent engine has stats");
+        assert!(stats.rehydrated_rows > 0, "nothing was rehydrated");
+        assert!(stats.rehydrated_namespaces >= 1);
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn clear_caches_tombstones_the_disk_so_restart_cannot_resurrect() {
+    let dir = unique_dir("tombstone");
+    let ds = prosper(500, 9);
+    let q = Query::Naive(QuerySpec::paper_default());
+
+    let a = persistent(&dir);
+    let cold = a.run(&ds, &q, 3);
+    assert!(cold.counts.evaluated > 0, "the cold run must pay");
+    a.flush_persistence().expect("flush");
+    a.clear_caches();
+    drop(a);
+
+    let b = persistent(&dir);
+    let again = b.run(&ds, &q, 3);
+    assert_eq!(
+        b.persist_stats().expect("stats").rehydrated_rows,
+        0,
+        "a tombstoned directory must rehydrate nothing"
+    );
+    assert_eq!(
+        again.counts.reuse_hits, 0,
+        "cleared answers resurrected across the restart"
+    );
+    assert_eq!(
+        again.counts.evaluated, cold.counts.evaluated,
+        "the post-clear run must re-pay the full cold bill"
+    );
+    assert_eq!(again.returned, cold.returned, "answers are still answers");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn rehydrated_rows_feed_the_result_memo_the_same_identity_as_fresh() {
+    let dir = unique_dir("memo");
+    let ds = prosper(500, 11);
+    let q = Query::Naive(QuerySpec::paper_default());
+
+    // Memo ON here: the point is the interaction between tiers.
+    let a = QueryEngine::new()
+        .with_persistence(PersistConfig::new(&dir))
+        .expect("open persistence");
+    a.run(&ds, &q, 1);
+    let a_q = a.run(&ds, &q, 2);
+    a.flush_persistence().expect("flush");
+    drop(a);
+
+    let b = QueryEngine::new()
+        .with_persistence(PersistConfig::new(&dir))
+        .expect("open persistence");
+    // First submission computes (the memo is not persisted) — but over
+    // rehydrated rows, so it charges nothing fresh.
+    let first = b.run(&ds, &q, 2);
+    assert_eq!(b.stats().result_hits, 0, "the memo starts cold");
+    assert_eq!(first.returned, a_q.returned);
+    assert_eq!(first.counts.evaluated, 0, "rehydrated rows are free");
+    assert!(first.counts.reuse_hits > 0);
+    // The repeat must hit the memo entry that computation wrote: a
+    // rehydrated row tier produces the same result-memo identity as
+    // fresh evaluation did before the restart.
+    let second = b.run(&ds, &q, 2);
+    assert_eq!(
+        b.stats().result_hits,
+        1,
+        "rehydrated and fresh submissions must share one memo identity"
+    );
+    assert_eq!(second.returned, first.returned);
+    assert_eq!(second.counts, first.counts);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn cache_ttl_survives_the_restart_via_persisted_timestamps() {
+    let dir = unique_dir("ttl");
+    let ds = prosper(400, 5);
+    let q = Query::Naive(QuerySpec::paper_default());
+
+    let a = persistent(&dir);
+    let cold = a.run(&ds, &q, 1);
+    assert!(cold.counts.evaluated > 0);
+    a.flush_persistence().expect("flush");
+    drop(a);
+
+    // Let the persisted answers age past the strict TTL below.
+    std::thread::sleep(Duration::from_millis(80));
+
+    // A reboot with a 50 ms TTL must refuse the now-stale answers: the
+    // write timestamps persisted with each row survive the restart, so
+    // age is measured from the original evaluation, not the reboot.
+    let strict = QueryEngine::new()
+        .with_result_capacity(0)
+        .with_cache_ttl(Duration::from_millis(50))
+        .with_persistence(PersistConfig::new(&dir))
+        .expect("open persistence");
+    let stale = strict.run(&ds, &q, 1);
+    assert_eq!(
+        strict.persist_stats().expect("stats").rehydrated_rows,
+        0,
+        "answers older than the TTL must not be rehydrated"
+    );
+    assert_eq!(stale.counts.reuse_hits, 0, "expired answers served");
+    assert_eq!(stale.counts.evaluated, cold.counts.evaluated);
+    drop(strict);
+
+    // The same directory under a generous TTL is a normal warm restart.
+    let generous = QueryEngine::new()
+        .with_result_capacity(0)
+        .with_cache_ttl(Duration::from_secs(3_600))
+        .with_persistence(PersistConfig::new(&dir))
+        .expect("open persistence");
+    let warm = generous.run(&ds, &q, 1);
+    assert_eq!(warm.counts.evaluated, 0, "within-TTL answers are free");
+    assert_eq!(warm.counts.reuse_hits, cold.counts.evaluated);
+    assert_eq!(warm.returned, cold.returned);
+    let _ = std::fs::remove_dir_all(&dir);
+}
