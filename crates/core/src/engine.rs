@@ -691,11 +691,14 @@ impl QueryEngine {
     }
 
     /// Pushes the session's durable state to disk and waits for it:
-    /// re-offers every live row-tier entry (shed WAL records are
-    /// recaptured; already-persisted ones deduplicate to no-ops), writes
-    /// the current selectivity counters through, and blocks until the
-    /// flusher has fsynced everything accepted so far. A no-op without
-    /// persistence.
+    /// re-offers every live row-tier entry (catching answers whose table
+    /// was unregistered at insert time; already-persisted ones
+    /// deduplicate to no-ops), writes the current selectivity counters
+    /// through, compacts if any WAL record was ever shed (a shed record
+    /// lives only in the store's in-memory index — re-offers dedup
+    /// against the index without re-enqueuing, so only a snapshot of the
+    /// index gets it to disk), and blocks until everything accepted so
+    /// far is fsynced. A no-op without persistence.
     pub fn flush_persistence(&self) -> Result<(), PersistError> {
         let Some(layer) = &self.persist else {
             return Ok(());
@@ -703,6 +706,9 @@ impl QueryEngine {
         self.store
             .for_each_entry(|namespace, row, answer| layer.spill(namespace, row, answer));
         layer.flush_selectivity(&self.selectivity);
+        if layer.store().stats().shed > 0 {
+            layer.store().compact()?;
+        }
         layer.store().sync()
     }
 

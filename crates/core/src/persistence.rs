@@ -58,6 +58,7 @@ struct TableReg {
 struct LayerCounters {
     spilled_offers: AtomicU64,
     skipped_unregistered: AtomicU64,
+    skipped_row_overflow: AtomicU64,
     rehydrated_rows: AtomicU64,
     rehydrated_namespaces: AtomicU64,
     selectivity_seeded: AtomicU64,
@@ -88,6 +89,9 @@ pub struct PersistSessionStats {
     pub spilled_offers: u64,
     /// Offers dropped because their table was never registered.
     pub skipped_unregistered: u64,
+    /// Offers dropped because the row index exceeds the on-disk `u32`
+    /// key width.
+    pub skipped_row_overflow: u64,
     /// Rows prefill-loaded into the live cache from disk.
     pub rehydrated_rows: u64,
     /// Namespaces prefill-loaded into the live cache from disk.
@@ -102,7 +106,7 @@ impl PersistSessionStats {
     /// artifacts share (render with
     /// [`expred_stats::json::counters_to_json`] /
     /// [`expred_stats::json::counters_to_text`]).
-    pub fn fields(&self) -> [(&'static str, u64); 13] {
+    pub fn fields(&self) -> [(&'static str, u64); 14] {
         [
             ("appended", self.appended),
             ("shed", self.shed),
@@ -114,6 +118,7 @@ impl PersistSessionStats {
             ("tail_bytes_discarded", self.tail_bytes_discarded),
             ("spilled_offers", self.spilled_offers),
             ("skipped_unregistered", self.skipped_unregistered),
+            ("skipped_row_overflow", self.skipped_row_overflow),
             ("rehydrated_rows", self.rehydrated_rows),
             ("rehydrated_namespaces", self.rehydrated_namespaces),
             ("selectivity_seeded", self.selectivity_seeded),
@@ -191,6 +196,9 @@ impl PersistLayer {
         // Hydrate while holding the write lock: it happens once per table
         // state, and racing submits must not observe "registered" before
         // the prefill has landed (they would pay o_e for persisted rows).
+        // Safe only because `CacheStore::prefill` never touches the spill
+        // sink — a sink offer would re-enter `durable_key`'s read lock on
+        // this same thread and deadlock the std RwLock.
         let now = now_unix_nanos();
         for key in self.store.namespaces() {
             if key.table != schema_fp || key.version != version {
@@ -273,6 +281,7 @@ impl PersistLayer {
             tail_bytes_discarded,
             spilled_offers: self.counters.spilled_offers.load(Ordering::Relaxed),
             skipped_unregistered: self.counters.skipped_unregistered.load(Ordering::Relaxed),
+            skipped_row_overflow: self.counters.skipped_row_overflow.load(Ordering::Relaxed),
             rehydrated_rows: self.counters.rehydrated_rows.load(Ordering::Relaxed),
             rehydrated_namespaces: self.counters.rehydrated_namespaces.load(Ordering::Relaxed),
             selectivity_seeded: self.counters.selectivity_seeded.load(Ordering::Relaxed),
@@ -287,7 +296,7 @@ impl SpillSink for PersistLayer {
         // aliased onto a truncated key.
         let Ok(row) = u32::try_from(row) else {
             self.counters
-                .skipped_unregistered
+                .skipped_row_overflow
                 .fetch_add(1, Ordering::Relaxed);
             return;
         };

@@ -278,8 +278,13 @@ impl NamespaceCache {
         self.insert_inner(key, value, true);
     }
 
-    /// Insert without offering the new entry to the spill sink — the
-    /// prefill path, whose entries came *from* the sink.
+    /// Insert without touching the spill sink at all — the prefill path.
+    /// The inserted entries came *from* the sink, and anything this
+    /// insert evicts is either another prefilled (already durable) entry
+    /// or a live entry the sink heard at its own insert, so there is
+    /// nothing to tell it. Staying sink-silent is also what lets a
+    /// caller prefill while holding locks the sink would re-take (the
+    /// rehydration path holds its table registry's write lock).
     fn insert_silent(&self, key: usize, value: bool) {
         self.insert_inner(key, value, false);
     }
@@ -289,6 +294,7 @@ impl NamespaceCache {
         // guard drops: for a persistent sink the re-offer is a
         // deduplicated no-op (first write wins), but it guarantees no
         // answer leaves memory without the sink having heard of it.
+        // (Silent inserts skip the sink entirely — see `insert_silent`.)
         let mut evicted: Vec<(usize, bool)> = Vec::new();
         {
             let mut guard = self.shard(key).write().unwrap_or_else(|e| e.into_inner());
@@ -334,13 +340,10 @@ impl NamespaceCache {
                 .evictions
                 .fetch_add(evicted.len() as u64, Ordering::Relaxed);
         }
-        let needs_sink = offer || !evicted.is_empty();
-        if needs_sink {
+        if offer {
             let sink = self.spill.read().unwrap_or_else(|e| e.into_inner()).clone();
             if let Some(sink) = sink {
-                if offer {
-                    sink.spill(self.namespace, key, value);
-                }
+                sink.spill(self.namespace, key, value);
                 for (row, answer) in evicted {
                     sink.spill(self.namespace, row, answer);
                 }
@@ -535,8 +538,10 @@ impl CacheStore {
     ///
     /// The slot is shared with every namespace, including ones created
     /// before this call, so wiring order doesn't matter. The sink hears
-    /// every fresh insert and every capacity eviction; prefilled entries
-    /// are never echoed back.
+    /// every fresh insert and every capacity eviction a fresh insert
+    /// causes; prefill never touches the sink — neither its inserts nor
+    /// the evictions they trigger (everything involved is already
+    /// durable; see [`CacheStore::prefill`]).
     pub fn set_spill(&self, sink: Option<Arc<dyn SpillSink>>) {
         *self.inner.spill.write().unwrap_or_else(|e| e.into_inner()) = sink;
     }
@@ -642,8 +647,11 @@ impl CacheStore {
     }
 
     /// Bulk-loads rehydrated `(row, answer)` pairs into `namespace`
-    /// without echoing them to the spill sink (they came *from* it), and
-    /// returns the number of rows loaded.
+    /// without touching the spill sink at all, and returns the number of
+    /// rows loaded. The loaded entries came *from* the sink, and any
+    /// entry the capacity bound evicts mid-prefill is either another
+    /// prefilled entry or a live one the sink already heard — so prefill
+    /// is safe to call while holding locks the sink would re-take.
     ///
     /// A namespace created by prefill is backdated by `age` — the time
     /// since its oldest persisted answer was written — so a configured
@@ -1044,6 +1052,23 @@ mod tests {
         // And prefilled entries are still readable.
         assert_eq!(store.handle(ns(1, 1, 0)).get(10), Some(true));
         assert_eq!(store.handle(ns(1, 1, 0)).get(11), Some(false));
+    }
+
+    #[test]
+    fn prefill_past_capacity_evicts_without_touching_the_sink() {
+        // Regression: prefilling more rows than the capacity bound used
+        // to re-offer the evictions to the sink, re-entering the
+        // rehydration caller's locks on the same thread (deadlock).
+        let store = CacheStore::with_capacity(NAMESPACE_SHARDS); // 1 entry per shard
+        let sink = Arc::new(RecordingSink::default());
+        store.set_spill(Some(sink.clone() as Arc<dyn SpillSink>));
+        let rows: Vec<(usize, bool)> = (0..1_000).map(|r| (r, r % 2 == 0)).collect();
+        assert_eq!(store.prefill(ns(1, 1, 0), &rows, Duration::ZERO), 1_000);
+        assert!(store.stats().evictions > 0, "capacity bound not exercised");
+        assert!(
+            sink.offers().is_empty(),
+            "prefill must stay sink-silent even when it evicts"
+        );
     }
 
     #[test]

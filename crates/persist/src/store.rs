@@ -10,10 +10,15 @@
 //! queue in batches, appends frames to the current WAL file, and fsyncs
 //! per [`FsyncPolicy`]. When the queue is full the *oldest* pending
 //! record is shed: the hot path never blocks on disk. Shedding trades
-//! crash-window durability only — the index still holds the answer, so
-//! the next snapshot (compaction, [`PersistStore::sync`], or graceful
-//! drop) re-captures it; only a hard kill inside that window loses it,
-//! and losing a cache entry is a re-buy, never a wrong answer.
+//! durability-until-compaction only — the index still holds the answer,
+//! and the next *snapshot compaction* re-captures it. Nothing else
+//! does: [`PersistStore::sync`] and a graceful drop flush the pending
+//! *queue*, which no longer contains the shed record, and a re-offer of
+//! the same row deduplicates against the index without re-enqueuing.
+//! Callers that must not lose shed records across a restart therefore
+//! compact before exiting (the engine's `flush_persistence` does so
+//! whenever `shed > 0`). Losing one anyway is a re-buy, never a wrong
+//! answer.
 //!
 //! # Files and crash consistency
 //!
@@ -292,6 +297,13 @@ struct FlushQueue {
     /// makes a `sync()` acknowledgment durable across compaction.
     compact_requested: u64,
     compact_done: u64,
+    /// Tickets `<= compact_failed_through` were answered by a compaction
+    /// attempt that returned an error (no snapshot was written);
+    /// `compact_error` describes the most recent failure. Waiters use
+    /// this to turn a completed-but-failed compaction into an `Err`
+    /// instead of silently reporting durability that never happened.
+    compact_failed_through: u64,
+    compact_error: Option<String>,
     shutdown: bool,
 }
 
@@ -490,6 +502,8 @@ impl PersistStore {
                 flushed_ticket: 0,
                 compact_requested: 0,
                 compact_done: 0,
+                compact_failed_through: 0,
+                compact_error: None,
                 shutdown: false,
             }),
             work: Condvar::new(),
@@ -558,7 +572,10 @@ impl PersistStore {
     /// Durably forgets everything: clears the index, logs a tombstone,
     /// and synchronously compacts to an (empty or post-clear-only)
     /// snapshot, so a restart cannot resurrect cleared answers even if
-    /// the process dies right after this call returns.
+    /// the process dies right after this call returns `Ok`. An `Err`
+    /// means the durable clear did *not* happen (the in-memory index is
+    /// cleared, but a restart may still see the old answers) — the
+    /// compaction failure is propagated, never swallowed.
     pub fn tombstone_all(&self) -> Result<(), PersistError> {
         {
             let mut index = self.shared.index.lock().unwrap_or_else(|e| e.into_inner());
@@ -600,7 +617,9 @@ impl PersistStore {
 
     /// Compacts now: snapshots the whole index into the next generation
     /// and retires the current WAL. Blocks until the flusher (the single
-    /// WAL/snapshot writer) has completed it.
+    /// WAL/snapshot writer) has completed it, and returns `Err` when the
+    /// attempt failed (disk full, permissions) — an `Ok` from this call
+    /// means the snapshot really is on disk.
     pub fn compact(&self) -> Result<(), PersistError> {
         let mut queue = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
         queue.compact_requested += 1;
@@ -612,6 +631,16 @@ impl PersistStore {
                 .flushed
                 .wait(queue)
                 .unwrap_or_else(|e| e.into_inner());
+        }
+        if ticket <= queue.compact_failed_through {
+            let message = queue
+                .compact_error
+                .clone()
+                .unwrap_or_else(|| "unknown compaction failure".into());
+            return Err(PersistError::Io {
+                context: "compaction".into(),
+                source: std::io::Error::other(message),
+            });
         }
         Ok(())
     }
@@ -799,12 +828,19 @@ fn flusher_loop(shared: Arc<Shared>, mut wal: File, mut generation: u64) {
             let queue = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
             queue.compact_done < compact_ticket
         };
+        let mut compact_failure: Option<PersistError> = None;
         if auto || requested {
-            if let Ok((new_wal, next)) = compact_now(&shared, generation) {
-                wal = new_wal;
-                generation = next;
-                shared.stats.compactions.fetch_add(1, Ordering::Relaxed);
-                since_fsync = 0;
+            match compact_now(&shared, generation) {
+                Ok((new_wal, next)) => {
+                    wal = new_wal;
+                    generation = next;
+                    shared.stats.compactions.fetch_add(1, Ordering::Relaxed);
+                    since_fsync = 0;
+                }
+                // The error must reach any waiter parked on a compact
+                // ticket (below); the records themselves stay in the
+                // index, so a later attempt can still capture them.
+                Err(e) => compact_failure = Some(e),
             }
             since_compact = 0;
         }
@@ -817,6 +853,10 @@ fn flusher_loop(shared: Arc<Shared>, mut wal: File, mut generation: u64) {
             }
             if queue.compact_done < compact_ticket {
                 queue.compact_done = compact_ticket;
+                if let Some(e) = compact_failure {
+                    queue.compact_failed_through = compact_ticket;
+                    queue.compact_error = Some(e.to_string());
+                }
                 wake = true;
             }
             if wake {
@@ -1007,6 +1047,31 @@ mod tests {
         }
         let store = PersistStore::open(PersistConfig::new(&dir)).unwrap();
         assert_eq!(store.rows(key(1)).unwrap().len(), 2_000);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compaction_io_failure_surfaces_to_waiters_instead_of_ok() {
+        let dir = tmpdir("compactfail");
+        let store = PersistStore::open(PersistConfig::new(&dir)).unwrap();
+        store.append_row(key(1), 0, true, 1);
+        store.sync().unwrap();
+        // Yank the directory out from under the store: the snapshot temp
+        // file cannot be created, so the attempt must fail *loudly* —
+        // an Ok here would report durability that never happened.
+        fs::remove_dir_all(&dir).unwrap();
+        assert!(store.compact().is_err(), "compaction failure swallowed");
+        assert!(
+            store.tombstone_all().is_err(),
+            "tombstone claimed durability without a snapshot"
+        );
+        assert_eq!(store.stats().compactions, 0);
+        // Once the directory is back, the next request succeeds — the
+        // recorded failure covers only the tickets it answered.
+        fs::create_dir_all(&dir).unwrap();
+        store.compact().expect("compaction works once the dir is back");
+        assert_eq!(store.stats().compactions, 1);
+        drop(store);
         let _ = fs::remove_dir_all(&dir);
     }
 

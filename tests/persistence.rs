@@ -117,6 +117,90 @@ proptest::proptest! {
 }
 
 #[test]
+fn rehydration_larger_than_the_cache_capacity_does_not_deadlock() {
+    let dir = unique_dir("overflow");
+    let ds = prosper(600, 21);
+    let q = Query::Naive(QuerySpec::paper_default());
+
+    let a = persistent(&dir);
+    let cold = a.run(&ds, &q, 5);
+    assert!(cold.counts.evaluated > 0);
+    a.flush_persistence().expect("flush");
+    drop(a);
+
+    // The reboot's cache holds far fewer rows than were persisted, so
+    // prefill must evict mid-rehydration — which used to re-offer the
+    // evictions to the spill sink and re-enter the persistence layer's
+    // registry lock on the thread already holding it for write. Run on a
+    // watchdog thread so a regression fails the test instead of hanging
+    // the suite.
+    let (tx, rx) = std::sync::mpsc::channel();
+    let thread_dir = dir.clone();
+    std::thread::spawn(move || {
+        let b = QueryEngine::new()
+            .with_result_capacity(0)
+            .with_persistence(PersistConfig::new(&thread_dir))
+            .expect("open persistence")
+            .with_cache_capacity(32);
+        let _ = tx.send(b.run(&ds, &q, 5));
+    });
+    let warm = rx
+        .recv_timeout(Duration::from_secs(60))
+        .expect("rehydration deadlocked (or died) under an over-capacity prefill");
+    // Evictions mean some rows are re-bought, but never a wrong answer.
+    assert_eq!(warm.returned, cold.returned);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn graceful_drain_compacts_shed_wal_records_so_the_restart_stays_free() {
+    let dir = unique_dir("shed");
+    let q = Query::Naive(QuerySpec::paper_default());
+    // A one-record queue guarantees shedding under any real workload,
+    // and auto-compaction is off so only the drain itself can get the
+    // shed records (which live solely in the in-memory index) to disk.
+    let cfg = || {
+        PersistConfig::new(&dir)
+            .with_queue_capacity(1)
+            .with_compact_after(0)
+    };
+
+    let a = QueryEngine::new()
+        .with_result_capacity(0)
+        .with_persistence(cfg())
+        .expect("open persistence");
+    let mut datasets = Vec::new();
+    for seed in 0..50u64 {
+        let ds = prosper(400, seed);
+        a.run(&ds, &q, seed);
+        datasets.push(ds);
+        if a.persist_stats().expect("stats").shed > 0 {
+            break;
+        }
+    }
+    assert!(
+        a.persist_stats().expect("stats").shed > 0,
+        "workload never tripped the queue bound; widen the flood"
+    );
+    a.flush_persistence().expect("graceful drain");
+    drop(a);
+
+    let b = QueryEngine::new()
+        .with_result_capacity(0)
+        .with_persistence(cfg())
+        .expect("reopen");
+    for (seed, ds) in datasets.iter().enumerate() {
+        b.run(ds, &q, seed as u64);
+    }
+    assert_eq!(
+        b.session_counts().evaluated,
+        0,
+        "shed WAL records lost across a graceful drain (flush must compact)"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn clear_caches_tombstones_the_disk_so_restart_cannot_resurrect() {
     let dir = unique_dir("tombstone");
     let ds = prosper(500, 9);
